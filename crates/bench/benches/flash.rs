@@ -1,0 +1,90 @@
+//! Flash-emulator microbenchmarks: read/write paths and garbage collection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smartssd_flash::{FlashConfig, FlashSsd};
+use smartssd_sim::SimTime;
+
+fn page(cfg: &FlashConfig, tag: u64) -> bytes::Bytes {
+    let mut v = vec![0u8; cfg.page_size];
+    v[..8].copy_from_slice(&tag.to_le_bytes());
+    bytes::Bytes::from(v)
+}
+
+/// Sequential read through the full FTL + timing path.
+fn bench_seq_read(c: &mut Criterion) {
+    let cfg = FlashConfig::default();
+    let n: u64 = 4096;
+    let mut ssd = FlashSsd::new(cfg.clone());
+    for lba in 0..n {
+        ssd.write(lba, page(&cfg, lba), SimTime::ZERO).unwrap();
+    }
+    let mut group = c.benchmark_group("flash/seq_read");
+    group.throughput(Throughput::Bytes(n * cfg.page_size as u64));
+    group.bench_function("4096_pages", |b| {
+        b.iter(|| {
+            ssd.reset_timing();
+            let mut done = SimTime::ZERO;
+            for lba in 0..n {
+                done = done.max(ssd.read(lba, SimTime::ZERO).unwrap().1.end);
+            }
+            done
+        })
+    });
+    group.finish();
+}
+
+/// Random overwrites on a small, nearly-full device: the GC stress path.
+fn bench_gc_overwrites(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flash/gc_overwrite");
+    group.sample_size(20);
+    // Tight overprovisioning stresses GC harder; the tiny 8-block-per-die
+    // test geometry needs at least ~0.2 spare to never wedge.
+    for op in [0.2f64, 0.4] {
+        group.bench_function(BenchmarkId::new("overprovision", format!("{op}")), |b| {
+            b.iter(|| {
+                let cfg = FlashConfig {
+                    overprovision: op,
+                    ..FlashConfig::tiny()
+                };
+                let mut ssd = FlashSsd::new(cfg.clone());
+                let logical = ssd.logical_pages();
+                // Fill, then overwrite randomly (xorshift stream).
+                for lba in 0..logical {
+                    ssd.write(lba, page(&cfg, lba), SimTime::ZERO).unwrap();
+                }
+                let mut x = 0x12345678u64;
+                for i in 0..2 * logical {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    ssd.write(x % logical, page(&cfg, i), SimTime::ZERO)
+                        .unwrap();
+                }
+                ssd.stats().write_amplification()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Program (write) throughput through striping.
+fn bench_seq_write(c: &mut Criterion) {
+    let cfg = FlashConfig::default();
+    let n: u64 = 2048;
+    let mut group = c.benchmark_group("flash/seq_write");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(n * cfg.page_size as u64));
+    group.bench_function("2048_pages", |b| {
+        b.iter(|| {
+            let mut ssd = FlashSsd::new(cfg.clone());
+            for lba in 0..n {
+                ssd.write(lba, page(&cfg, lba), SimTime::ZERO).unwrap();
+            }
+            ssd.stats().writes
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(flash, bench_seq_read, bench_gc_overwrites, bench_seq_write);
+criterion_main!(flash);

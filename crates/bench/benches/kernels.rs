@@ -1,0 +1,237 @@
+//! Operator-kernel microbenchmarks and layout ablations.
+//!
+//! These isolate the design choices DESIGN.md calls out: NSM vs PAX decode
+//! cost (the paper's central layout result), predicate short-circuiting,
+//! and hash-join probe cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smartssd_exec::spec::{BuildSide, ColRef, JoinOutput, JoinSpec, ScanAggSpec, TableRef};
+use smartssd_exec::{
+    join::{probe_page, JoinHashTable, JoinSink},
+    scan_agg_page, WorkCounts,
+};
+use smartssd_storage::expr::{AggSpec, CmpOp, Expr, Pred};
+use smartssd_storage::{DataType, Datum, Layout, Schema, TableBuilder, TableImage, Tuple};
+use std::sync::Arc;
+
+fn lineitem_like(layout: Layout, rows: i32) -> TableImage {
+    let schema = smartssd_workload::tpch::lineitem_schema();
+    let mut b = TableBuilder::new("l", schema, layout);
+    b.extend(smartssd_workload::tpch::lineitem_rows(
+        rows as f64 / 6_000_000.0,
+        7,
+    ));
+    b.finish()
+}
+
+/// Q6's kernel on NSM vs PAX pages: the layout ablation.
+fn bench_scan_agg_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/scan_agg_q6");
+    let spec = ScanAggSpec {
+        pred: Pred::And(vec![
+            Pred::range_half_open(10, 731, 1096),
+            Pred::between_exclusive(6, 5, 7),
+            Pred::Cmp(CmpOp::Lt, Expr::col(4), Expr::lit(24)),
+        ]),
+        aggs: vec![AggSpec::sum(Expr::col(5).mul(Expr::col(6)))],
+    };
+    for layout in [Layout::Nsm, Layout::Pax] {
+        let img = lineitem_like(layout, 60_000);
+        group.throughput(Throughput::Elements(img.num_rows()));
+        group.bench_function(BenchmarkId::from_parameter(layout), |b| {
+            b.iter(|| {
+                let mut states = vec![smartssd_storage::expr::AggState::new(
+                    smartssd_storage::expr::AggFunc::Sum,
+                )];
+                let mut w = WorkCounts::default();
+                for p in img.pages() {
+                    scan_agg_page(p, img.schema(), &spec, &mut states, &mut w);
+                }
+                (states[0].finish(), w.pred_atoms)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Short-circuit ablation: selective leading atom vs non-selective.
+fn bench_short_circuit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/short_circuit");
+    let img = lineitem_like(Layout::Pax, 60_000);
+    // Selective first atom (quantity < 2, ~2%) vs always-true first atom.
+    for (label, first_lit) in [("selective_first", 2i64), ("nonselective_first", 100)] {
+        let spec = ScanAggSpec {
+            pred: Pred::And(vec![
+                Pred::Cmp(CmpOp::Lt, Expr::col(4), Expr::lit(first_lit)),
+                Pred::between_exclusive(6, 5, 7),
+                Pred::range_half_open(10, 731, 1096),
+            ]),
+            aggs: vec![AggSpec::count()],
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut states = vec![smartssd_storage::expr::AggState::new(
+                    smartssd_storage::expr::AggFunc::Count,
+                )];
+                let mut w = WorkCounts::default();
+                for p in img.pages() {
+                    scan_agg_page(p, img.schema(), &spec, &mut states, &mut w);
+                }
+                w.pred_atoms
+            })
+        });
+    }
+    group.finish();
+}
+
+fn synth_tables(layout: Layout) -> (TableImage, TableImage, Arc<Schema>) {
+    let schema = Schema::from_pairs(&[
+        ("k", DataType::Int32),
+        ("payload", DataType::Int64),
+        ("sel", DataType::Int32),
+    ]);
+    let mut build = TableBuilder::new("r", Arc::clone(&schema), layout);
+    build.extend((0..2_000i32).map(|k| {
+        vec![Datum::I32(k), Datum::I64(k as i64 * 10), Datum::I32(k % 100)] as Tuple
+    }));
+    let mut probe = TableBuilder::new("s", Arc::clone(&schema), layout);
+    probe.extend((0..60_000i32).map(|k| {
+        vec![
+            Datum::I32(k % 4_000), // half the keys miss
+            Datum::I64(k as i64),
+            Datum::I32(k % 100),
+        ] as Tuple
+    }));
+    (build.finish(), probe.finish(), schema)
+}
+
+/// Hash probe kernel: filter-before-probe vs probe-before-filter (the
+/// Figure 4 vs Figure 6 plan shapes).
+fn bench_probe_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/probe_order");
+    let (build, probe, _schema) = synth_tables(Layout::Pax);
+    for (label, filter_first) in [("filter_first", true), ("probe_first", false)] {
+        let spec = JoinSpec {
+            build: BuildSide {
+                table: TableRef {
+                    first_lba: 0,
+                    num_pages: build.num_pages() as u64,
+                    schema: build.schema().clone(),
+                    layout: build.layout(),
+                },
+                key_col: 0,
+                payload: vec![1],
+            },
+            probe_key: 0,
+            probe_pred: Pred::Cmp(CmpOp::Lt, Expr::col(2), Expr::lit(10)),
+            filter_first,
+            output: JoinOutput::Project(vec![ColRef::Probe(1), ColRef::Build(0)]),
+        };
+        let mut w = WorkCounts::default();
+        let ht = JoinHashTable::build(build.pages(), &spec.build, &mut w);
+        let joined = spec.joined_schema(probe.schema());
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut sink = JoinSink::new(&spec);
+                let mut w = WorkCounts::default();
+                for p in probe.pages() {
+                    probe_page(p, probe.schema(), &spec, &ht, &joined, &mut sink, &mut w);
+                }
+                (sink.rows.len(), w.hash_probes)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Page codec throughput: building NSM vs PAX pages.
+fn bench_page_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/page_build");
+    let rows: Vec<Tuple> = smartssd_workload::tpch::lineitem_rows(0.002, 3).collect();
+    let schema = smartssd_workload::tpch::lineitem_schema();
+    for layout in [Layout::Nsm, Layout::Pax] {
+        group.throughput(Throughput::Elements(rows.len() as u64));
+        group.bench_function(BenchmarkId::from_parameter(layout), |b| {
+            b.iter(|| {
+                let mut t = TableBuilder::new("t", Arc::clone(&schema), layout);
+                t.extend(rows.iter().cloned());
+                t.finish().num_pages()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// TPC-H Q1's grouped-aggregation kernel on NSM vs PAX pages.
+fn bench_group_agg_layouts(c: &mut Criterion) {
+    use smartssd_exec::spec::GroupAggSpec;
+    use smartssd_exec::{scan_group_agg_page, GroupTable};
+    let mut group = c.benchmark_group("kernel/group_agg_q1");
+    let spec = GroupAggSpec {
+        pred: Pred::Cmp(CmpOp::Le, Expr::col(10), Expr::lit(2_437)),
+        group_by: vec![8, 9], // returnflag, linestatus
+        aggs: vec![
+            AggSpec::sum(Expr::col(4)),
+            AggSpec::sum(Expr::col(5)),
+            AggSpec::sum(Expr::col(5).mul(Expr::lit(100).sub(Expr::col(6)))),
+            AggSpec::count(),
+        ],
+    };
+    for layout in [Layout::Nsm, Layout::Pax] {
+        let img = lineitem_like(layout, 60_000);
+        group.throughput(Throughput::Elements(img.num_rows()));
+        group.bench_function(BenchmarkId::from_parameter(layout), |b| {
+            b.iter(|| {
+                let mut acc = GroupTable::new();
+                let mut w = WorkCounts::default();
+                for p in img.pages() {
+                    scan_group_agg_page(p, img.schema(), &spec, &mut acc, &mut w);
+                }
+                (acc.len(), w.agg_updates)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Wire codec round trip for a realistic operator.
+fn bench_wire_codec(c: &mut Criterion) {
+    let mut catalog = smartssd_query::Catalog::new();
+    catalog.register(
+        "lineitem",
+        smartssd_exec::TableRef {
+            first_lba: 0,
+            num_pages: 10_000,
+            schema: smartssd_workload::tpch::lineitem_schema(),
+            layout: Layout::Pax,
+        },
+    );
+    catalog.register(
+        "part",
+        smartssd_exec::TableRef {
+            first_lba: 10_000,
+            num_pages: 500,
+            schema: smartssd_workload::tpch::part_schema(),
+            layout: Layout::Pax,
+        },
+    );
+    let op = smartssd_workload::q14().resolve(&catalog).unwrap();
+    let bytes = smartssd_exec::encode_op(&op);
+    c.bench_function("wire/encode_q14", |b| {
+        b.iter(|| smartssd_exec::encode_op(&op))
+    });
+    c.bench_function("wire/decode_q14", |b| {
+        b.iter(|| smartssd_exec::decode_op(&bytes).unwrap())
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_scan_agg_layouts,
+    bench_short_circuit,
+    bench_probe_order,
+    bench_page_build,
+    bench_group_agg_layouts,
+    bench_wire_codec
+);
+criterion_main!(kernels);

@@ -1,0 +1,135 @@
+//! Criterion benches regenerating the paper's tables and figures.
+//!
+//! One bench group per artifact. Each iteration runs the corresponding
+//! experiment end-to-end on the emulator (generation and table loading
+//! happen once, outside the measurement loop, wherever the experiment
+//! allows). The interesting *scientific* output — simulated elapsed time
+//! and ratios — is printed by `cargo run --bin repro`; these benches track
+//! the emulator's own wall-clock cost so regressions in the simulator
+//! itself are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartssd::{DeviceKind, Layout};
+use smartssd_bench::{synth_system, tab2, tpch_system, Scales};
+use smartssd_workload::{join_query, q14, q6};
+
+fn scales() -> Scales {
+    Scales {
+        tpch_sf: 0.005,
+        synth_scale: 0.0001,
+        seed: 42,
+    }
+}
+
+/// Table 2: raw sequential-read bandwidth measurement.
+fn bench_tab2(c: &mut Criterion) {
+    c.bench_function("tab2/seq_read_bandwidth", |b| b.iter(tab2));
+}
+
+/// Figure 3: TPC-H Q6 on the three configurations.
+fn bench_fig3(c: &mut Criterion) {
+    let s = scales();
+    let mut group = c.benchmark_group("fig3_q6");
+    group.sample_size(20);
+    let query = q6();
+    for (kind, layout, label) in [
+        (DeviceKind::Ssd, Layout::Nsm, "ssd_nsm"),
+        (DeviceKind::SmartSsd, Layout::Nsm, "smart_nsm"),
+        (DeviceKind::SmartSsd, Layout::Pax, "smart_pax"),
+    ] {
+        let mut sys = tpch_system(kind, layout, &s);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                sys.clear_cache();
+                sys.run(&query).expect("q6")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 7: TPC-H Q14 on the three configurations.
+fn bench_fig7(c: &mut Criterion) {
+    let s = scales();
+    let mut group = c.benchmark_group("fig7_q14");
+    group.sample_size(20);
+    let query = q14();
+    for (kind, layout, label) in [
+        (DeviceKind::Ssd, Layout::Nsm, "ssd_nsm"),
+        (DeviceKind::SmartSsd, Layout::Nsm, "smart_nsm"),
+        (DeviceKind::SmartSsd, Layout::Pax, "smart_pax"),
+    ] {
+        let mut sys = tpch_system(kind, layout, &s);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                sys.clear_cache();
+                sys.run(&query).expect("q14")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 5: the join at the sweep's endpoints.
+fn bench_fig5(c: &mut Criterion) {
+    let s = scales();
+    let mut group = c.benchmark_group("fig5_join");
+    group.sample_size(20);
+    for &sel in &[0.01, 1.0] {
+        let query = join_query(sel);
+        let mut ssd = synth_system(DeviceKind::Ssd, Layout::Nsm, &s);
+        group.bench_function(BenchmarkId::new("ssd", format!("sel{sel}")), |b| {
+            b.iter(|| {
+                ssd.clear_cache();
+                ssd.run(&query).expect("join")
+            })
+        });
+        let mut smart = synth_system(DeviceKind::SmartSsd, Layout::Pax, &s);
+        group.bench_function(BenchmarkId::new("smart_pax", format!("sel{sel}")), |b| {
+            b.iter(|| {
+                smart.clear_cache();
+                smart.run(&query).expect("join")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Table 3: the energy experiment (HDD bar dominates, so fewer samples).
+fn bench_tab3(c: &mut Criterion) {
+    let s = scales();
+    let mut group = c.benchmark_group("tab3_energy");
+    group.sample_size(10);
+    let query = q6();
+    for (kind, layout, label) in [
+        (DeviceKind::Hdd, Layout::Nsm, "hdd"),
+        (DeviceKind::Ssd, Layout::Nsm, "ssd"),
+        (DeviceKind::SmartSsd, Layout::Pax, "smart_pax"),
+    ] {
+        let mut sys = tpch_system(kind, layout, &s);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                sys.clear_cache();
+                let r = sys.run(&query).expect("q6");
+                r.energy.system_kj()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 1 is a data table; benching it tracks the roadmap generator.
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1/roadmap", |b| b.iter(smartssd_bench::fig1));
+}
+
+criterion_group!(
+    artifacts,
+    bench_tab2,
+    bench_fig3,
+    bench_fig5,
+    bench_fig7,
+    bench_tab3,
+    bench_fig1
+);
+criterion_main!(artifacts);

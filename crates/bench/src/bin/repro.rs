@@ -1,0 +1,328 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--quick] [fig1|tab2|fig3|fig5|fig7|tab3|plans|scan-sweep|array|cache|
+//!                  device-scaling|interface|concurrent|host-parallel|q1|all]
+//! ```
+//!
+//! Elapsed times are simulated; "projected" columns rescale them to the
+//! paper's SF-100 / 120 GB workloads by the page-count ratio (linear at
+//! fixed selectivity). EXPERIMENTS.md records paper-vs-measured values.
+
+use smartssd_bench::{
+    array_exp, cache_exp, concurrent_exp, device_scaling_exp, fig1, fig3, fig5, fig7,
+    host_parallel_exp, interface_exp, plans, q1_exp, scan_sweep_exp, tab2, tab3, Bars, Scales,
+};
+
+fn print_bars(title: &str, bars: &Bars, projection: f64, paper_speedup: f64) {
+    let [ssd, nsm, pax] = bars.seconds();
+    println!("== {title} ==");
+    println!("  config             measured[s]   projected-to-paper[s]");
+    println!("  SAS SSD (NSM)      {ssd:>10.3}   {:>12.1}", ssd * projection);
+    println!("  Smart SSD (NSM)    {nsm:>10.3}   {:>12.1}", nsm * projection);
+    println!("  Smart SSD (PAX)    {pax:>10.3}   {:>12.1}", pax * projection);
+    println!(
+        "  speedup: PAX {:.2}x (paper ~{:.1}x), NSM {:.2}x",
+        bars.speedup_pax(),
+        paper_speedup,
+        bars.speedup_nsm()
+    );
+    println!(
+        "  device-cpu util (PAX run): {:.0}%",
+        bars.smart_pax
+            .util
+            .utilization("device-cpu")
+            .unwrap_or(0.0)
+            * 100.0
+    );
+    println!();
+}
+
+fn run_fig1() {
+    println!("== Figure 1: bandwidth trends (relative to 375 MB/s in 2007) ==");
+    println!("  year   host-interface   ssd-internal   gap");
+    for p in fig1() {
+        println!(
+            "  {}   {:>14.2}   {:>12.2}   {:>4.1}x",
+            p.year,
+            p.host_rel,
+            p.internal_rel,
+            p.gap()
+        );
+    }
+    println!();
+}
+
+fn run_tab2() {
+    let t = tab2();
+    println!("== Table 2: max sequential read bandwidth, 32-page (256KB) I/Os ==");
+    println!("                      measured[MB/s]   paper[MB/s]");
+    println!("  SAS SSD (external)  {:>14.0}   {:>10}", t.external_mbps, 550);
+    println!("  Smart SSD (internal){:>14.0}   {:>10}", t.internal_mbps, 1560);
+    println!("  ratio               {:>13.2}x   {:>9.1}x", t.ratio(), 2.8);
+    println!();
+}
+
+fn run_fig5(s: &Scales) {
+    println!("== Figure 5: selection-with-join elapsed time vs selectivity ==");
+    println!("  sel%    SSD[s]   SmartNSM[s]   SmartPAX[s]   PAX-speedup (paper: 2.2x@1% -> ~1x@100%)");
+    for p in fig5(s, &[0.01, 0.10, 0.25, 0.50, 1.00]) {
+        let [ssd, nsm, pax] = p.bars.seconds();
+        println!(
+            "  {:>4.0}  {:>8.3}   {:>11.3}   {:>11.3}   {:>6.2}x",
+            p.selectivity * 100.0,
+            ssd,
+            nsm,
+            pax,
+            p.bars.speedup_pax()
+        );
+    }
+    println!();
+}
+
+fn run_tab3(s: &Scales) {
+    println!("== Table 3: energy for TPC-H Q6 ==");
+    println!("  config            elapsed[s]  system[kJ]  io[kJ]  over-idle[kJ]");
+    let rows = tab3(s);
+    for r in &rows {
+        println!(
+            "  {:<17} {:>9.3}  {:>9.4}  {:>6.4}  {:>9.4}",
+            r.config,
+            r.report.result.elapsed.as_secs_f64(),
+            r.report.energy.system_kj(),
+            r.report.energy.io_kj(),
+            r.report.energy.over_idle_kj()
+        );
+    }
+    let pax = &rows[3].report.energy;
+    let hdd = &rows[0].report.energy;
+    let ssd = &rows[1].report.energy;
+    println!("  ratios vs Smart SSD (PAX)        paper");
+    println!(
+        "    HDD system  {:>5.1}x             11.6x",
+        hdd.system_kj() / pax.system_kj()
+    );
+    println!(
+        "    HDD io      {:>5.1}x             14.3x",
+        hdd.io_kj() / pax.io_kj()
+    );
+    println!(
+        "    HDD o-idle  {:>5.1}x             12.4x",
+        hdd.over_idle_kj() / pax.over_idle_kj()
+    );
+    println!(
+        "    SSD system  {:>5.2}x              1.9x",
+        ssd.system_kj() / pax.system_kj()
+    );
+    println!(
+        "    SSD io      {:>5.2}x              1.4x",
+        ssd.io_kj() / pax.io_kj()
+    );
+    println!(
+        "    SSD o-idle  {:>5.2}x              2.3x",
+        ssd.over_idle_kj() / pax.over_idle_kj()
+    );
+    println!();
+}
+
+fn run_scan_sweep(s: &Scales) {
+    println!("== [7] single-table scan sweep (selectivity x aggregation) ==");
+    println!("  mode  sel%    SSD[s]   SmartPAX[s]   speedup");
+    for p in scan_sweep_exp(s, &[0.001, 0.01, 0.10, 1.00]) {
+        let [ssd, _, pax] = p.bars.seconds();
+        println!(
+            "  {}  {:>5.1}  {:>8.3}   {:>11.3}   {:>6.2}x",
+            if p.with_agg { "agg " } else { "rows" },
+            p.selectivity * 100.0,
+            ssd,
+            pax,
+            p.bars.speedup_pax()
+        );
+    }
+    println!();
+}
+
+fn run_array(s: &Scales) {
+    println!("== Discussion: Q6 across an array of Smart SSDs ==");
+    println!("  devices   elapsed[s]   speedup");
+    let points = array_exp(s, &[1, 2, 4, 8]);
+    let base = points[0].elapsed.as_secs_f64();
+    for p in &points {
+        println!(
+            "  {:>7}   {:>9.3}   {:>6.2}x",
+            p.devices,
+            p.elapsed.as_secs_f64(),
+            base / p.elapsed.as_secs_f64()
+        );
+    }
+    println!();
+}
+
+fn run_cache(s: &Scales) {
+    println!("== Discussion: pushdown vs buffer-pool residency (planner-routed Q6) ==");
+    println!("  resident%   route    elapsed[s]");
+    for p in cache_exp(s, &[0.0, 0.25, 0.5, 0.75, 1.0]) {
+        println!(
+            "  {:>8.0}   {:<7}  {:>9.3}",
+            p.resident * 100.0,
+            format!("{:?}", p.route),
+            p.elapsed.as_secs_f64()
+        );
+    }
+    println!();
+}
+
+fn run_device_scaling(s: &Scales) {
+    println!("== Section 5: device hardware scaling (Q6, vs fixed SAS SSD baseline) ==");
+    println!("  config                cores   MHz   internal[MB/s]   smart[s]   speedup");
+    for p in device_scaling_exp(s) {
+        println!(
+            "  {:<20} {:>6}  {:>4}   {:>13}   {:>8.3}   {:>6.2}x",
+            p.label, p.cores, p.mhz, p.internal_mbps, p.smart_secs, p.speedup
+        );
+    }
+    println!("  (the paper: more device hardware is \"absolutely crucial to achieve");
+    println!("   the 10X or more benefit\" promised by Figure 1)");
+    println!();
+}
+
+fn run_interface(s: &Scales) {
+    println!("== Section 3/5: pushdown benefit vs host interface generation ==");
+    println!("  (join @1% selectivity; the host path is I/O-bound on SAS, so each");
+    println!("   faster pipe shrinks pushdown's advantage until the host CPU becomes");
+    println!("   the next bottleneck and the curve flattens)");
+    println!("  interface      SSD[s]   SmartSSD[s]   speedup");
+    for p in interface_exp(s) {
+        println!(
+            "  {:<12} {:>8.3}   {:>11.3}   {:>6.2}x",
+            format!("{:?}", p.interface),
+            p.ssd_secs,
+            p.smart_secs,
+            p.speedup()
+        );
+    }
+    println!();
+}
+
+fn run_concurrent(s: &Scales) {
+    println!("== Section 5: concurrent pushdown sessions on one device (Q6) ==");
+    println!("  sessions   makespan[s]   vs single");
+    for p in concurrent_exp(s, &[1, 2, 4]) {
+        println!(
+            "  {:>8}   {:>10.3}   {:>7.2}x",
+            p.sessions, p.makespan_secs, p.slowdown
+        );
+    }
+    println!("  (sessions share the embedded CPU and flash path: concurrency");
+    println!("   serializes — one of the open problems the paper lists)");
+    println!();
+}
+
+fn run_host_parallel(s: &Scales) {
+    println!("== Ablation: parallel host scan vs pushdown (Q6) ==");
+    println!("  (the paper's baseline scan path is single-threaded; a parallel");
+    println!("   host erodes pushdown's CPU advantage down to the bandwidth gap)");
+    println!("  host DOP   SSD[s]   pushdown speedup");
+    for p in host_parallel_exp(s, &[1, 2, 4, 8]) {
+        println!(
+            "  {:>8}  {:>7.3}   {:>8.2}x",
+            p.dop, p.ssd_secs, p.pushdown_speedup
+        );
+    }
+    println!();
+}
+
+fn run_q1(s: &Scales) {
+    println!("== Extension: grouped aggregation (TPC-H Q1) pushdown ==");
+    let r = q1_exp(s);
+    println!("  SAS SSD (host)          {:>8.3}s", r.ssd_secs);
+    println!(
+        "  Smart SSD (prototype)   {:>8.3}s   ({:.2}x)",
+        r.smart_secs,
+        r.ssd_secs / r.smart_secs
+    );
+    println!(
+        "  Smart SSD (scaled)      {:>8.3}s   ({:.2}x)",
+        r.scaled_secs,
+        r.ssd_secs / r.scaled_secs
+    );
+    println!("  groups (flag status | sum_qty sum_base sum_disc sum_charge count):");
+    for row in &r.rows {
+        println!(
+            "    {} {}  | {} {} {} {} {}",
+            row[0], row[1], row[2], row[3], row[4], row[5], row[6]
+        );
+    }
+    println!("  (every row aggregates, so the paper-era device CPU saturates at");
+    println!("   break-even; Section 5's bigger device makes the operator pay off)");
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let s = if quick { Scales::quick() } else { Scales::default() };
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+    let all = what == "all";
+
+    if all || what == "fig1" {
+        run_fig1();
+    }
+    if all || what == "tab2" {
+        run_tab2();
+    }
+    if all || what == "fig3" {
+        print_bars(
+            "Figure 3: TPC-H Q6 elapsed time",
+            &fig3(&s),
+            s.tpch_projection(),
+            1.7,
+        );
+    }
+    if all || what == "fig5" {
+        run_fig5(&s);
+    }
+    if all || what == "fig7" {
+        print_bars(
+            "Figure 7: TPC-H Q14 elapsed time",
+            &fig7(&s),
+            s.tpch_projection(),
+            1.3,
+        );
+    }
+    if all || what == "tab3" {
+        run_tab3(&s);
+    }
+    if all || what == "plans" {
+        println!("== Figures 4 & 6: pushdown query plans ==");
+        println!("{}", plans());
+    }
+    if all || what == "scan-sweep" {
+        run_scan_sweep(&s);
+    }
+    if all || what == "array" {
+        run_array(&s);
+    }
+    if all || what == "cache" {
+        run_cache(&s);
+    }
+    if all || what == "device-scaling" {
+        run_device_scaling(&s);
+    }
+    if all || what == "interface" {
+        run_interface(&s);
+    }
+    if all || what == "concurrent" {
+        run_concurrent(&s);
+    }
+    if all || what == "host-parallel" {
+        run_host_parallel(&s);
+    }
+    if all || what == "q1" {
+        run_q1(&s);
+    }
+}

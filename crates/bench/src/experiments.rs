@@ -1,0 +1,667 @@
+//! One function per paper artifact.
+
+use crate::scale::Scales;
+use smartssd::{DeviceKind, RunReport, System, SystemConfig};
+use smartssd_host::interface::{roadmap, RoadmapPoint};
+use smartssd_query::{PlannerConfig, PlannerInputs, Query, Route};
+use smartssd_sim::SimTime;
+use smartssd_storage::{Layout, PAGE_SIZE};
+use smartssd_workload::{
+    join_query, q1, q14, q6, queries, synthetic::synthetic_schema, synthetic64_r, synthetic64_s,
+    tpch,
+};
+
+/// Builds a system with LINEITEM (and PART) loaded, cold.
+pub fn tpch_system(kind: DeviceKind, layout: Layout, s: &Scales) -> System {
+    let mut sys = System::new(SystemConfig::new(kind, layout));
+    sys.load_table_rows(
+        queries::LINEITEM,
+        &tpch::lineitem_schema(),
+        tpch::lineitem_rows(s.tpch_sf, s.seed),
+    )
+    .expect("load lineitem");
+    sys.load_table_rows(
+        queries::PART,
+        &tpch::part_schema(),
+        tpch::part_rows(s.tpch_sf, s.seed),
+    )
+    .expect("load part");
+    sys.finish_load();
+    sys
+}
+
+/// Builds a system with the synthetic join tables loaded, cold.
+pub fn synth_system(kind: DeviceKind, layout: Layout, s: &Scales) -> System {
+    let mut sys = System::new(SystemConfig::new(kind, layout));
+    sys.load_table_rows(
+        queries::SYNTH_R,
+        &synthetic_schema(),
+        synthetic64_r(s.synth_scale, s.seed),
+    )
+    .expect("load R");
+    sys.load_table_rows(
+        queries::SYNTH_S,
+        &synthetic_schema(),
+        synthetic64_s(s.synth_scale, s.synth_scale, s.seed),
+    )
+    .expect("load S");
+    sys.finish_load();
+    sys
+}
+
+/// Figure 1: host-interface vs SSD-internal bandwidth trend.
+pub fn fig1() -> Vec<RoadmapPoint> {
+    roadmap()
+}
+
+/// Table 2 result: achieved sequential read bandwidth, MB/s.
+#[derive(Debug, Clone, Copy)]
+pub struct Tab2 {
+    /// External path (SAS SSD through the host interface).
+    pub external_mbps: f64,
+    /// Internal path (Smart SSD reading to its own DRAM).
+    pub internal_mbps: f64,
+}
+
+impl Tab2 {
+    /// Internal / external — the paper's 2.8x headroom.
+    pub fn ratio(&self) -> f64 {
+        self.internal_mbps / self.external_mbps
+    }
+}
+
+/// Table 2: maximum sequential read bandwidth with 32-page (256 KB) I/Os.
+pub fn tab2() -> Tab2 {
+    use smartssd_flash::{FlashConfig, FlashSsd};
+    use smartssd_host::{InterfaceKind, PageSource, SsdHostPath};
+    let n: u64 = 8192;
+    // A real formatted page so the host path's validation passes.
+    let page = {
+        let schema = smartssd_storage::Schema::from_pairs(&[(
+            "x",
+            smartssd_storage::DataType::Int64,
+        )]);
+        let mut b = smartssd_storage::TableBuilder::new("t", schema, Layout::Nsm);
+        b.extend((0..1i64).map(|v| vec![smartssd_storage::Datum::I64(v)]));
+        b.finish().pages()[0].clone()
+    };
+    // Internal: read pages straight into device DRAM.
+    let mut ssd = FlashSsd::new(FlashConfig::default());
+    for lba in 0..n {
+        ssd.write(lba, page.raw().clone(), SimTime::ZERO).unwrap();
+    }
+    ssd.reset_timing();
+    let mut done = SimTime::ZERO;
+    for lba in 0..n {
+        done = done.max(ssd.read(lba, SimTime::ZERO).unwrap().1.end);
+    }
+    let internal = (n * PAGE_SIZE as u64) as f64 / done.as_secs_f64() / 1e6;
+    // External: same device behind the SAS link.
+    let mut ssd2 = FlashSsd::new(FlashConfig::default());
+    for lba in 0..n {
+        ssd2.write(lba, page.raw().clone(), SimTime::ZERO).unwrap();
+    }
+    ssd2.reset_timing();
+    let mut path = SsdHostPath::new(ssd2, InterfaceKind::Sas6, 0);
+    let mut done = SimTime::ZERO;
+    for lba in 0..n {
+        done = done.max(path.read_page(lba, SimTime::ZERO).unwrap().1);
+    }
+    let external = (n * PAGE_SIZE as u64) as f64 / done.as_secs_f64() / 1e6;
+    Tab2 {
+        external_mbps: external,
+        internal_mbps: internal,
+    }
+}
+
+/// Elapsed-time bars for a three-configuration figure (SSD baseline,
+/// Smart SSD NSM, Smart SSD PAX).
+#[derive(Debug, Clone)]
+pub struct Bars {
+    /// Regular SSD, host execution, NSM layout.
+    pub ssd: RunReport,
+    /// Smart SSD pushdown on NSM pages.
+    pub smart_nsm: RunReport,
+    /// Smart SSD pushdown on PAX pages.
+    pub smart_pax: RunReport,
+}
+
+impl Bars {
+    /// Elapsed seconds in figure order.
+    pub fn seconds(&self) -> [f64; 3] {
+        [
+            self.ssd.result.elapsed.as_secs_f64(),
+            self.smart_nsm.result.elapsed.as_secs_f64(),
+            self.smart_pax.result.elapsed.as_secs_f64(),
+        ]
+    }
+
+    /// The paper's headline: SSD time over Smart-SSD-PAX time.
+    pub fn speedup_pax(&self) -> f64 {
+        self.seconds()[0] / self.seconds()[2]
+    }
+
+    /// SSD time over Smart-SSD-NSM time.
+    pub fn speedup_nsm(&self) -> f64 {
+        self.seconds()[0] / self.seconds()[1]
+    }
+}
+
+/// Runs one query on the figure's three configurations.
+fn three_bars<F>(build: F, query: &Query) -> Bars
+where
+    F: Fn(DeviceKind, Layout) -> System,
+{
+    let mut ssd_sys = build(DeviceKind::Ssd, Layout::Nsm);
+    let ssd = ssd_sys.run(query).expect("ssd run");
+    let mut nsm_sys = build(DeviceKind::SmartSsd, Layout::Nsm);
+    let smart_nsm = nsm_sys.run(query).expect("smart nsm run");
+    let mut pax_sys = build(DeviceKind::SmartSsd, Layout::Pax);
+    let smart_pax = pax_sys.run(query).expect("smart pax run");
+    Bars {
+        ssd,
+        smart_nsm,
+        smart_pax,
+    }
+}
+
+/// Figure 3: TPC-H Q6 elapsed time (paper: PAX 1.7x over the SSD).
+pub fn fig3(s: &Scales) -> Bars {
+    three_bars(|k, l| tpch_system(k, l, s), &q6())
+}
+
+/// Figure 7: TPC-H Q14 elapsed time (paper: PAX 1.3x over the SSD).
+pub fn fig7(s: &Scales) -> Bars {
+    three_bars(|k, l| tpch_system(k, l, s), &q14())
+}
+
+/// One selectivity point of Figure 5.
+#[derive(Debug, Clone)]
+pub struct Fig5Point {
+    /// Predicate selectivity (fraction of S rows qualifying).
+    pub selectivity: f64,
+    /// The three bars at this selectivity.
+    pub bars: Bars,
+}
+
+/// Figure 5: the selection-with-join query swept over selectivity
+/// (paper: up to 2.2x at 1%, saturating toward 1x at 100%).
+pub fn fig5(s: &Scales, selectivities: &[f64]) -> Vec<Fig5Point> {
+    // Build each system once and reuse it across the sweep: only the
+    // predicate literal changes.
+    let mut ssd_sys = synth_system(DeviceKind::Ssd, Layout::Nsm, s);
+    let mut nsm_sys = synth_system(DeviceKind::SmartSsd, Layout::Nsm, s);
+    let mut pax_sys = synth_system(DeviceKind::SmartSsd, Layout::Pax, s);
+    selectivities
+        .iter()
+        .map(|&sel| {
+            let query = join_query(sel);
+            // The paper's protocol is cold: nothing cached between runs.
+            ssd_sys.clear_cache();
+            nsm_sys.clear_cache();
+            pax_sys.clear_cache();
+            Fig5Point {
+                selectivity: sel,
+                bars: Bars {
+                    ssd: ssd_sys.run(&query).expect("ssd run"),
+                    smart_nsm: nsm_sys.run(&query).expect("nsm run"),
+                    smart_pax: pax_sys.run(&query).expect("pax run"),
+                },
+            }
+        })
+        .collect()
+}
+
+/// One row of Table 3.
+#[derive(Debug, Clone)]
+pub struct Tab3Row {
+    /// Configuration label, as in the paper's column heads.
+    pub config: String,
+    /// The full run report.
+    pub report: RunReport,
+}
+
+/// Table 3: elapsed time and energy for TPC-H Q6 on all four
+/// configurations.
+pub fn tab3(s: &Scales) -> Vec<Tab3Row> {
+    let query = q6();
+    let configs: [(DeviceKind, Layout, &str); 4] = [
+        (DeviceKind::Hdd, Layout::Nsm, "SAS HDD"),
+        (DeviceKind::Ssd, Layout::Nsm, "SAS SSD"),
+        (DeviceKind::SmartSsd, Layout::Nsm, "Smart SSD (NSM)"),
+        (DeviceKind::SmartSsd, Layout::Pax, "Smart SSD (PAX)"),
+    ];
+    configs
+        .iter()
+        .map(|&(kind, layout, label)| {
+            let mut sys = tpch_system(kind, layout, s);
+            Tab3Row {
+                config: label.into(),
+                report: sys.run(&query).expect("tab3 run"),
+            }
+        })
+        .collect()
+}
+
+/// The plan diagrams of Figures 4 and 6, as text.
+pub fn plans() -> String {
+    format!(
+        "{}\n{}\n{}",
+        join_query(0.01).describe_pushdown(),
+        q14().describe_pushdown(),
+        q6().describe_pushdown()
+    )
+}
+
+/// One point of the companion-paper scan sweep.
+#[derive(Debug, Clone)]
+pub struct ScanSweepPoint {
+    /// Predicate selectivity.
+    pub selectivity: f64,
+    /// Whether the scan aggregates (vs returning rows).
+    pub with_agg: bool,
+    /// The three bars.
+    pub bars: Bars,
+}
+
+/// The companion paper [7]'s single-table-scan sweeps: selectivity x
+/// {row-returning, aggregating}.
+pub fn scan_sweep_exp(s: &Scales, selectivities: &[f64]) -> Vec<ScanSweepPoint> {
+    let mut out = Vec::new();
+    let mut ssd_sys = synth_system(DeviceKind::Ssd, Layout::Nsm, s);
+    let mut nsm_sys = synth_system(DeviceKind::SmartSsd, Layout::Nsm, s);
+    let mut pax_sys = synth_system(DeviceKind::SmartSsd, Layout::Pax, s);
+    for &with_agg in &[false, true] {
+        for &sel in selectivities {
+            let query = smartssd_workload::scan_sweep(sel, with_agg, 4);
+            ssd_sys.clear_cache();
+            nsm_sys.clear_cache();
+            pax_sys.clear_cache();
+            out.push(ScanSweepPoint {
+                selectivity: sel,
+                with_agg,
+                bars: Bars {
+                    ssd: ssd_sys.run(&query).expect("ssd"),
+                    smart_nsm: nsm_sys.run(&query).expect("nsm"),
+                    smart_pax: pax_sys.run(&query).expect("pax"),
+                },
+            });
+        }
+    }
+    out
+}
+
+/// One point of the Smart SSD array scaling experiment.
+#[derive(Debug, Clone)]
+pub struct ArrayPoint {
+    /// Number of devices.
+    pub devices: usize,
+    /// Coordinator completion time.
+    pub elapsed: SimTime,
+}
+
+/// Discussion-section extension: Q6-shaped aggregation over a LINEITEM
+/// partitioned across an array of Smart SSDs.
+pub fn array_exp(s: &Scales, device_counts: &[usize]) -> Vec<ArrayPoint> {
+    use smartssd::SmartSsdArray;
+    device_counts
+        .iter()
+        .map(|&n| {
+            let mut arr = SmartSsdArray::new(n, SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax));
+            arr.load_partitioned(
+                queries::LINEITEM,
+                &tpch::lineitem_schema(),
+                tpch::lineitem_rows(s.tpch_sf, s.seed),
+            )
+            .expect("load");
+            arr.finish_load();
+            let r = arr.run_agg(&q6()).expect("array q6");
+            ArrayPoint {
+                devices: n,
+                elapsed: r.elapsed,
+            }
+        })
+        .collect()
+}
+
+/// One point of the buffer-pool residency experiment.
+#[derive(Debug, Clone)]
+pub struct CachePoint {
+    /// Fraction of LINEITEM pre-cached in the buffer pool.
+    pub resident: f64,
+    /// Route the planner chose.
+    pub route: Route,
+    /// Elapsed time of the run.
+    pub elapsed: SimTime,
+}
+
+/// Discussion-section extension: Q6 on the Smart SSD with 0..100% of
+/// LINEITEM pre-cached; the planner should stop pushing down once enough of
+/// the table is resident.
+pub fn cache_exp(s: &Scales, fractions: &[f64]) -> Vec<CachePoint> {
+    let planner = PlannerConfig::default();
+    fractions
+        .iter()
+        .map(|&f| {
+            let mut sys = tpch_system(DeviceKind::SmartSsd, Layout::Pax, s);
+            sys.warm_cache(queries::LINEITEM, f).expect("warm");
+            let inputs = PlannerInputs {
+                selectivity: 0.006,
+                tuples_per_page: 55.0,
+                ..PlannerInputs::default()
+            };
+            let report = sys
+                .run_with_planner(&q6(), &planner, inputs)
+                .expect("cache run");
+            CachePoint {
+                resident: f,
+                route: report.route,
+                elapsed: report.result.elapsed,
+            }
+        })
+        .collect()
+}
+
+/// One point of the device-hardware-scaling experiment.
+#[derive(Debug, Clone)]
+pub struct DeviceScalingPoint {
+    /// Configuration label.
+    pub label: &'static str,
+    /// Device cores x clock.
+    pub cores: usize,
+    /// Device core clock, MHz.
+    pub mhz: u64,
+    /// Configured internal DRAM bus bandwidth, MB/s.
+    pub internal_mbps: u64,
+    /// Q6 elapsed on this device, seconds.
+    pub smart_secs: f64,
+    /// Speedup over the fixed regular-SSD baseline.
+    pub speedup: f64,
+}
+
+/// Section 5's hardware roadmap: "The next step must be to add in more
+/// hardware (CPU, SRAM and DRAM) ... crucial to achieve the 10X or more
+/// benefit that Smart SSDs have the potential of providing."
+///
+/// Sweeps device CPU and the internal data path while the SSD baseline
+/// stays fixed: more cores alone saturate at the internal-bandwidth bound;
+/// the 10x regime needs both.
+pub fn device_scaling_exp(s: &Scales) -> Vec<DeviceScalingPoint> {
+    let query = q6();
+    // Fixed baseline: the paper's regular SSD, host execution.
+    let mut base_sys = tpch_system(DeviceKind::Ssd, Layout::Nsm, s);
+    let base = base_sys.run(&query).expect("baseline").result.elapsed;
+    // (label, cores, MHz, channels, channel MB/s, dram MB/s)
+    let configs: [(&'static str, usize, u64, usize, u64, u64); 5] = [
+        ("paper prototype", 2, 400, 8, 400, 1_600),
+        ("more cores", 8, 400, 8, 400, 1_600),
+        ("faster cores", 8, 1_000, 8, 400, 1_600),
+        ("wider internal path", 8, 1_000, 16, 800, 6_400),
+        ("projected device", 16, 1_600, 32, 800, 12_800),
+    ];
+    configs
+        .iter()
+        .map(|&(label, cores, mhz, channels, ch_mbps, dram_mbps)| {
+            let mut cfg = SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax);
+            cfg.smart.cpu_cores = cores;
+            cfg.smart.cpu_hz = mhz * 1_000_000;
+            cfg.flash.channels = channels;
+            cfg.flash.channel_bw = ch_mbps * 1_000_000;
+            cfg.flash.dram_bw = dram_mbps * 1_000_000;
+            let mut sys = System::new(cfg);
+            sys.load_table_rows(
+                queries::LINEITEM,
+                &tpch::lineitem_schema(),
+                tpch::lineitem_rows(s.tpch_sf, s.seed),
+            )
+            .expect("load");
+            sys.finish_load();
+            let elapsed = sys.run(&query).expect("smart").result.elapsed;
+            DeviceScalingPoint {
+                label,
+                cores,
+                mhz,
+                internal_mbps: dram_mbps,
+                smart_secs: elapsed.as_secs_f64(),
+                speedup: base.as_secs_f64() / elapsed.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// One point of the interface-generation experiment.
+#[derive(Debug, Clone)]
+pub struct InterfacePoint {
+    /// Interface under test.
+    pub interface: smartssd_host::InterfaceKind,
+    /// Baseline (host execution) elapsed, seconds.
+    pub ssd_secs: f64,
+    /// Pushdown elapsed, seconds.
+    pub smart_secs: f64,
+}
+
+impl InterfacePoint {
+    /// Pushdown speedup under this interface.
+    pub fn speedup(&self) -> f64 {
+        self.ssd_secs / self.smart_secs
+    }
+}
+
+/// Section 3 notes the protocol "could be extended for PCIe"; Figure 1's
+/// whole premise is that the host interface keeps falling behind. This
+/// sweep runs the Figure 5 join (1% selectivity, host path I/O-bound) on
+/// successive interface generations: pushdown's advantage shrinks as the
+/// pipe widens and inverts once the interface outruns the device's
+/// internal path.
+pub fn interface_exp(s: &Scales) -> Vec<InterfacePoint> {
+    use smartssd_host::InterfaceKind;
+    let query = join_query(0.01);
+    [
+        InterfaceKind::Sas3,
+        InterfaceKind::Sas6,
+        InterfaceKind::Sas12,
+        InterfaceKind::PcieGen2x4,
+        InterfaceKind::PcieGen3x4,
+    ]
+    .iter()
+    .map(|&interface| {
+        let build = |kind: DeviceKind, layout: Layout| {
+            let mut cfg = SystemConfig::new(kind, layout);
+            cfg.interface = interface;
+            let mut sys = System::new(cfg);
+            sys.load_table_rows(
+                queries::SYNTH_R,
+                &synthetic_schema(),
+                synthetic64_r(s.synth_scale, s.seed),
+            )
+            .expect("load R");
+            sys.load_table_rows(
+                queries::SYNTH_S,
+                &synthetic_schema(),
+                synthetic64_s(s.synth_scale, s.synth_scale, s.seed),
+            )
+            .expect("load S");
+            sys.finish_load();
+            sys
+        };
+        let mut ssd = build(DeviceKind::Ssd, Layout::Nsm);
+        let mut smart = build(DeviceKind::SmartSsd, Layout::Pax);
+        InterfacePoint {
+            interface,
+            ssd_secs: ssd.run(&query).expect("ssd").result.elapsed.as_secs_f64(),
+            smart_secs: smart
+                .run(&query)
+                .expect("smart")
+                .result
+                .elapsed
+                .as_secs_f64(),
+        }
+    })
+    .collect()
+}
+
+/// One point of the concurrent-sessions experiment.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyPoint {
+    /// Number of concurrent sessions.
+    pub sessions: usize,
+    /// Makespan: time until the last session finishes.
+    pub makespan_secs: f64,
+    /// Makespan normalized by the single-session time.
+    pub slowdown: f64,
+}
+
+/// "Considering the impact of concurrent queries" is on the paper's
+/// research-opportunities list (Section 5). N identical Q6 sessions open
+/// simultaneously on one device and share its CPU and flash path.
+pub fn concurrent_exp(s: &Scales, session_counts: &[usize]) -> Vec<ConcurrencyPoint> {
+    use smartssd_device::GetResponse;
+    use smartssd_workload::tpch::lineitem_schema;
+    let mut single = None;
+    session_counts
+        .iter()
+        .map(|&n| {
+            let cfg = SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax);
+            let mut dev = smartssd_device::SmartSsd::new(
+                cfg.flash.clone(),
+                smartssd_device::DeviceConfig {
+                    max_sessions: n.max(4),
+                    ..cfg.smart.clone()
+                },
+            );
+            let mut b = smartssd_storage::TableBuilder::new(
+                "lineitem",
+                lineitem_schema(),
+                Layout::Pax,
+            );
+            b.extend(tpch::lineitem_rows(s.tpch_sf, s.seed));
+            let img = b.finish();
+            let tref = dev.load_table(&img, 0).expect("load");
+            dev.reset_timing();
+            let mut catalog = smartssd_query::Catalog::new();
+            catalog.register(queries::LINEITEM, tref);
+            let op = q6().resolve(&catalog).expect("resolve");
+            let sids: Vec<_> = (0..n)
+                .map(|_| dev.open(&op, SimTime::ZERO).expect("open"))
+                .collect();
+            let mut makespan = SimTime::ZERO;
+            for sid in sids {
+                let mut t = SimTime::ZERO;
+                loop {
+                    match dev.get(sid, t).expect("get") {
+                        GetResponse::Running { ready_at } => {
+                            t = ready_at.max(t + SimTime::from_nanos(1))
+                        }
+                        GetResponse::Batch(b) => t = t.max(b.ready_at),
+                        GetResponse::Done => break,
+                    }
+                }
+                dev.close(sid).expect("close");
+                makespan = makespan.max(t);
+            }
+            let secs = makespan.as_secs_f64();
+            let base = *single.get_or_insert(secs);
+            ConcurrencyPoint {
+                sessions: n,
+                makespan_secs: secs,
+                slowdown: secs / base,
+            }
+        })
+        .collect()
+}
+
+/// One point of the host-parallelism ablation.
+#[derive(Debug, Clone)]
+pub struct HostParallelPoint {
+    /// Host intra-query degree of parallelism.
+    pub dop: usize,
+    /// Host-route Q6 elapsed, seconds.
+    pub ssd_secs: f64,
+    /// Smart SSD (PAX) pushdown speedup over this baseline.
+    pub pushdown_speedup: f64,
+}
+
+/// Ablation the paper's setup invites: its baseline runs the scan on one
+/// host thread ("a prototype version of SQL Server that only works on a
+/// selected class of queries"). A production DBMS would parallelize the
+/// scan — how much of the Smart SSD's Q6 win survives?
+pub fn host_parallel_exp(s: &Scales, dops: &[usize]) -> Vec<HostParallelPoint> {
+    // Fixed pushdown reference.
+    let mut smart = tpch_system(DeviceKind::SmartSsd, Layout::Pax, s);
+    let smart_secs = smart
+        .run(&q6())
+        .expect("smart q6")
+        .result
+        .elapsed
+        .as_secs_f64();
+    dops.iter()
+        .map(|&dop| {
+            let mut cfg = SystemConfig::new(DeviceKind::Ssd, Layout::Nsm);
+            cfg.host_dop = dop;
+            let mut sys = System::new(cfg);
+            sys.load_table_rows(
+                queries::LINEITEM,
+                &tpch::lineitem_schema(),
+                tpch::lineitem_rows(s.tpch_sf, s.seed),
+            )
+            .expect("load");
+            sys.finish_load();
+            let ssd_secs = sys
+                .run(&q6())
+                .expect("host q6")
+                .result
+                .elapsed
+                .as_secs_f64();
+            HostParallelPoint {
+                dop,
+                ssd_secs,
+                pushdown_speedup: ssd_secs / smart_secs,
+            }
+        })
+        .collect()
+}
+
+/// Result of the grouped-aggregation (TPC-H Q1) extension experiment.
+#[derive(Debug, Clone)]
+pub struct Q1Result {
+    /// Host-route elapsed on the regular SSD, seconds.
+    pub ssd_secs: f64,
+    /// Pushdown elapsed on the paper-era Smart SSD, seconds.
+    pub smart_secs: f64,
+    /// Pushdown elapsed on a Section 5 scaled-up device, seconds.
+    pub scaled_secs: f64,
+    /// The grouped output rows (flag, status, sums..., count).
+    pub rows: Vec<smartssd_storage::Tuple>,
+}
+
+/// Extension: grouped aggregation (TPC-H Q1) pushed into the device. On the
+/// paper-era prototype it only breaks even (every row aggregates, the
+/// embedded CPU saturates); on a scaled device it wins — Section 5's
+/// hardware argument applied to a heavier operator.
+pub fn q1_exp(s: &Scales) -> Q1Result {
+    let query = q1();
+    let mut ssd = tpch_system(DeviceKind::Ssd, Layout::Nsm, s);
+    let host = ssd.run(&query).expect("ssd q1");
+    let mut smart = tpch_system(DeviceKind::SmartSsd, Layout::Pax, s);
+    let dev = smart.run(&query).expect("smart q1");
+    let mut cfg = SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax);
+    cfg.smart.cpu_cores = 8;
+    cfg.smart.cpu_hz = 1_000_000_000;
+    cfg.flash.channels = 16;
+    cfg.flash.dram_bw = 6_400_000_000;
+    let mut big = System::new(cfg);
+    big.load_table_rows(
+        queries::LINEITEM,
+        &tpch::lineitem_schema(),
+        tpch::lineitem_rows(s.tpch_sf, s.seed),
+    )
+    .expect("load");
+    big.finish_load();
+    let scaled = big.run(&query).expect("scaled q1");
+    Q1Result {
+        ssd_secs: host.result.elapsed.as_secs_f64(),
+        smart_secs: dev.result.elapsed.as_secs_f64(),
+        scaled_secs: scaled.result.elapsed.as_secs_f64(),
+        rows: dev.result.rows.clone(),
+    }
+}

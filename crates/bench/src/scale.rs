@@ -1,0 +1,60 @@
+//! Scale selection: the paper runs TPC-H at SF 100 (90 GB LINEITEM) and the
+//! synthetic join at 120 GB. The emulator runs real bytes, so experiments
+//! default to a few tens of megabytes; because all timing models are linear
+//! in pages at fixed selectivity, measured ratios are scale-invariant and
+//! elapsed times are projected to paper scale by the page-count ratio.
+
+/// Workload scales for one harness invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct Scales {
+    /// TPC-H scale factor (paper: 100).
+    pub tpch_sf: f64,
+    /// Synthetic64 scale: fraction of the paper's row counts
+    /// (R 1 M rows, S 400 M rows at 1.0).
+    pub synth_scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for Scales {
+    fn default() -> Self {
+        Self {
+            tpch_sf: 0.05,
+            synth_scale: 0.0005,
+            seed: 42,
+        }
+    }
+}
+
+impl Scales {
+    /// A smaller preset for smoke tests and Criterion runs.
+    pub fn quick() -> Self {
+        Self {
+            tpch_sf: 0.01,
+            synth_scale: 0.0001,
+            seed: 42,
+        }
+    }
+
+    /// Multiplier from this run's TPC-H scale to the paper's SF 100.
+    pub fn tpch_projection(&self) -> f64 {
+        100.0 / self.tpch_sf
+    }
+
+    /// Multiplier from this run's synthetic scale to the paper's full size.
+    pub fn synth_projection(&self) -> f64 {
+        1.0 / self.synth_scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projections() {
+        let s = Scales::default();
+        assert!((s.tpch_projection() - 2000.0).abs() < 1e-9);
+        assert!((s.synth_projection() - 2000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,256 @@
+//! An array of Smart SSDs coordinated by the host — the paper's
+//! Discussion-section sketch made concrete.
+//!
+//! Section 4.3: "the host machine could simply be the coordinator that
+//! stages computation across an array of Smart SSDs, making the system look
+//! like a parallel DBMS with the master node being the host server, and the
+//! worker nodes ... being the Smart SSDs." This module implements that
+//! sketch for aggregation queries: a table is horizontally partitioned
+//! across N devices, every device runs the pushed-down operator on its
+//! partition, and the host merges the aggregate partials — exactly a
+//! parallel DBMS's scatter/gather.
+//!
+//! The devices are independent [`SmartSsd`] instances, so their in-device
+//! executions are embarrassingly parallel; we run them on real threads via
+//! `crossbeam::scope` (the simulation stays deterministic because each
+//! device owns its private timelines). They still share the single host
+//! interface for result retrieval, which the shared link bus serializes.
+
+use crate::config::SystemConfig;
+use crate::system::RunError;
+use smartssd_device::{DeviceError, GetResponse, SmartSsd};
+use smartssd_query::{Query, QueryResult};
+use smartssd_sim::{mb_per_sec, Bus, CpuModel, SimTime};
+use smartssd_storage::expr::AggState;
+use smartssd_storage::{Schema, TableBuilder, Tuple};
+use std::sync::Arc;
+
+/// A host coordinating N Smart SSDs.
+pub struct SmartSsdArray {
+    cfg: SystemConfig,
+    devices: Vec<SmartSsd>,
+    catalogs: Vec<smartssd_query::Catalog>,
+    link: Bus,
+    host_cpu: CpuModel,
+    next_lba: u64,
+}
+
+impl SmartSsdArray {
+    /// Builds an array of `n` identical devices from a Smart SSD system
+    /// configuration.
+    pub fn new(n: usize, cfg: SystemConfig) -> Self {
+        assert!(n >= 1, "array needs at least one device");
+        let devices = (0..n)
+            .map(|_| SmartSsd::new(cfg.flash.clone(), cfg.smart.clone()))
+            .collect();
+        let catalogs = (0..n).map(|_| smartssd_query::Catalog::new()).collect();
+        Self {
+            link: Bus::new(
+                "host-interface",
+                mb_per_sec(cfg.interface.effective_mbps()),
+                0,
+            ),
+            host_cpu: CpuModel::new("host-cpu", cfg.host_cpu_cores, cfg.host_cpu_hz),
+            devices,
+            catalogs,
+            next_lba: 0,
+            cfg,
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the array is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Loads a table partitioned round-robin across the devices; each
+    /// device registers its own partition under the same name.
+    pub fn load_partitioned<I>(
+        &mut self,
+        name: &str,
+        schema: &Arc<Schema>,
+        rows: I,
+    ) -> Result<(), RunError>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let n = self.devices.len();
+        // Buffer each partition's rows, then build its pages in one pass
+        // (TableBuilder seals a page per `extend` call boundary).
+        let mut partitions: Vec<Vec<Tuple>> = vec![Vec::new(); n];
+        for (i, row) in rows.into_iter().enumerate() {
+            partitions[i % n].push(row);
+        }
+        let first_lba = self.next_lba;
+        let mut max_pages = 0;
+        for (d, part) in partitions.into_iter().enumerate() {
+            let mut b = TableBuilder::new(name, Arc::clone(schema), self.cfg.layout);
+            b.extend(part);
+            let img = b.finish();
+            max_pages = max_pages.max(img.num_pages() as u64);
+            let tref = self.devices[d]
+                .load_table(&img, first_lba)
+                .map_err(RunError::Device)?;
+            self.catalogs[d].register(name, tref);
+        }
+        self.next_lba = first_lba + max_pages;
+        Ok(())
+    }
+
+    /// Ends the load phase.
+    pub fn finish_load(&mut self) {
+        for d in &mut self.devices {
+            d.reset_timing();
+        }
+        self.link.reset();
+        self.host_cpu.reset();
+    }
+
+    /// Runs an aggregation query on every partition in parallel and merges
+    /// the partials on the host. Returns the merged result; `elapsed` is
+    /// the coordinator's completion time (slowest worker + gather).
+    pub fn run_agg(&mut self, query: &Query) -> Result<QueryResult, RunError> {
+        // Resolve per device (each has its own partition extent).
+        let ops: Vec<_> = self
+            .catalogs
+            .iter()
+            .map(|c| query.resolve(c))
+            .collect::<Result<_, _>>()?;
+        // Phase 1: all devices execute their partitions concurrently. Each
+        // device's simulation is private, so real threads are safe and the
+        // outcome is deterministic.
+        let sids: Vec<_> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .devices
+                .iter_mut()
+                .zip(&ops)
+                .map(|(dev, op)| scope.spawn(move |_| dev.open(op, SimTime::ZERO)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("device thread panicked"))
+                .collect::<Vec<Result<_, DeviceError>>>()
+        })
+        .expect("scope panicked");
+        // Phase 2: gather. GETs share the single host link.
+        let mut merged: Option<Vec<AggState>> = None;
+        let mut t = SimTime::ZERO;
+        for (dev, sid) in self.devices.iter_mut().zip(sids) {
+            let sid = sid.map_err(RunError::Device)?;
+            loop {
+                match dev.get(sid, t).map_err(RunError::Device)? {
+                    GetResponse::Running { ready_at } => {
+                        t = ready_at.max(t + SimTime::from_nanos(1));
+                    }
+                    GetResponse::Batch(b) => {
+                        let iv = self.link.transfer(t.max(b.ready_at), b.bytes.max(64));
+                        t = self.host_cpu.execute(iv.end, 20_000 + b.bytes / 2).end;
+                        if let Some(parts) = b.aggs {
+                            match &mut merged {
+                                None => merged = Some(parts),
+                                Some(acc) => {
+                                    for (a, p) in acc.iter_mut().zip(parts.iter()) {
+                                        a.merge(p);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    GetResponse::Done => break,
+                }
+            }
+            dev.close(sid).map_err(RunError::Device)?;
+        }
+        let (agg_values, scalar) = query.finalize.apply(merged.as_deref().unwrap_or(&[]));
+        Ok(QueryResult {
+            rows: Vec::new(),
+            agg_values,
+            scalar,
+            elapsed: t,
+            work: Default::default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceKind;
+    use smartssd_exec::spec::ScanAggSpec;
+    use smartssd_query::{Finalize, OpTemplate};
+    use smartssd_storage::expr::{AggSpec, CmpOp, Expr, Pred};
+    use smartssd_storage::{DataType, Datum, Layout};
+
+    fn rows(n: i32) -> Vec<Tuple> {
+        (0..n)
+            .map(|k| vec![Datum::I32(k), Datum::I64(k as i64)] as Tuple)
+            .collect()
+    }
+
+    fn schema() -> Arc<Schema> {
+        Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)])
+    }
+
+    fn count_query() -> Query {
+        Query {
+            name: "count".into(),
+            op: OpTemplate::ScanAgg {
+                table: "t".into(),
+                spec: ScanAggSpec {
+                    pred: Pred::Cmp(CmpOp::Lt, Expr::col(0), Expr::lit(i64::MAX)),
+                    aggs: vec![AggSpec::count(), AggSpec::sum(Expr::col(1))],
+                },
+            },
+            finalize: Finalize::AggRow,
+        }
+    }
+
+    fn array(n: usize) -> SmartSsdArray {
+        let cfg = SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax);
+        SmartSsdArray::new(n, cfg)
+    }
+
+    #[test]
+    fn partitioned_aggregate_matches_single_device() {
+        let n_rows = 120_000;
+        let expected_sum: i128 = (0..n_rows as i128).sum();
+        for n_dev in [1usize, 4] {
+            let mut arr = array(n_dev);
+            arr.load_partitioned("t", &schema(), rows(n_rows)).unwrap();
+            arr.finish_load();
+            let r = arr.run_agg(&count_query()).unwrap();
+            assert_eq!(r.agg_values[0], n_rows as i128, "n_dev={n_dev}");
+            assert_eq!(r.agg_values[1], expected_sum, "n_dev={n_dev}");
+        }
+    }
+
+    #[test]
+    fn more_devices_scale_down_elapsed_time() {
+        let mut times = Vec::new();
+        for n_dev in [1usize, 2, 4] {
+            let mut arr = array(n_dev);
+            arr.load_partitioned("t", &schema(), rows(400_000)).unwrap();
+            arr.finish_load();
+            let r = arr.run_agg(&count_query()).unwrap();
+            times.push(r.elapsed);
+        }
+        assert!(
+            times[1] < times[0] && times[2] < times[1],
+            "expected monotone speedup: {times:?}"
+        );
+        // Near-linear scaling 1 -> 4 devices for this CPU-light scan.
+        let speedup = times[0].as_secs_f64() / times[2].as_secs_f64();
+        assert!(speedup > 2.5, "4-device speedup only {speedup:.2}x");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_rejected() {
+        array(0);
+    }
+}

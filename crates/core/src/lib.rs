@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # smartssd — Query Processing on Smart SSDs, reproduced
+//!
+//! A full-system reproduction of Do, Kee, Patel, Park, Park, and DeWitt,
+//! *"Query Processing on Smart SSDs: Opportunities and Challenges"*
+//! (SIGMOD 2013 / IEEE Data Eng. Bulletin 2014): an emulated Samsung-style
+//! Smart SSD (NAND array, FTL, shared-DRAM-bus controller, embedded CPU, a
+//! session protocol of `OPEN`/`GET`/`CLOSE`) plus the host-side stack
+//! (interface bus, buffer pool, single-threaded DBMS scan path) needed to
+//! rerun the paper's entire evaluation.
+//!
+//! The entry point is [`System`]: pick a device ([`DeviceKind::Hdd`],
+//! [`DeviceKind::Ssd`], or [`DeviceKind::SmartSsd`]) and a page layout (NSM
+//! or PAX), load tables, and run queries. Results carry simulated elapsed
+//! time, per-component utilization, and wall-plug energy, calibrated so the
+//! paper's headline ratios reproduce (Table 2's 2.8x internal bandwidth,
+//! Figure 3's 1.7x on Q6, Figure 5's 2.2x -> 1x selectivity sweep, Figure
+//! 7's 1.3x on Q14, Table 3's energy ratios).
+//!
+//! ```
+//! use smartssd::{System, SystemConfig, DeviceKind};
+//! use smartssd_storage::Layout;
+//! use smartssd_workload::{q6, tpch};
+//!
+//! let mut sys = System::new(SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax));
+//! sys.load_table_rows(
+//!     "lineitem",
+//!     &tpch::lineitem_schema(),
+//!     tpch::lineitem_rows(0.001, 42),
+//! ).unwrap();
+//! sys.finish_load();
+//! let report = sys.run(&q6()).unwrap();
+//! println!("Q6 on the Smart SSD: {}", report.result.elapsed);
+//! ```
+
+pub mod array;
+pub mod config;
+pub mod system;
+
+pub use array::SmartSsdArray;
+pub use config::{DeviceKind, PowerParams, SystemConfig};
+pub use system::{RunError, RunReport, System};
+
+pub use smartssd_query::{Finalize, Query, QueryResult, Route};
+pub use smartssd_sim::{EnergyBreakdown, SimTime, UtilizationReport};
+pub use smartssd_storage::Layout;

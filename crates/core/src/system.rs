@@ -1,0 +1,766 @@
+//! The assembled test bed: one storage device, a host, a catalog, and the
+//! machinery to run a query on either side and meter it.
+
+use crate::config::{DeviceKind, SystemConfig};
+use smartssd_device::{DeviceError, GetResponse, SmartSsd};
+use smartssd_exec::QueryOp;
+use smartssd_host::{
+    io::IoError, BufferPool, CommandState, HddHostPath, HddModel, LinkedFlashView, PageSource,
+    SsdHostPath,
+};
+use smartssd_query::{
+    choose_route, plan::PlanError, Catalog, HostEngine, PlannerConfig, PlannerInputs, Query,
+    QueryResult, Route,
+};
+use smartssd_sim::energy::{ComponentDraw, Subsystem};
+use smartssd_sim::{mb_per_sec, Bus, CpuModel, EnergyBreakdown, PowerModel, SimTime,
+    UtilizationReport};
+use smartssd_storage::expr::AggState;
+use smartssd_storage::{Layout, Schema, TableBuilder, TableImage, Tuple};
+use std::fmt;
+use std::sync::Arc;
+
+/// Everything measured about one query run — one bar of one figure of the
+/// paper.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Query name.
+    pub query: String,
+    /// Device under test.
+    pub device: DeviceKind,
+    /// Page layout of the loaded tables.
+    pub layout: Layout,
+    /// Where the operator actually ran.
+    pub route: Route,
+    /// Rows / aggregates / simulated elapsed time / work receipt.
+    pub result: QueryResult,
+    /// Wall-plug energy (Table 3's meters).
+    pub energy: EnergyBreakdown,
+    /// Per-component utilization (why this configuration is fast or slow).
+    pub util: UtilizationReport,
+}
+
+impl RunReport {
+    /// Effective scan bandwidth over the operator's input, MB/s.
+    pub fn effective_mbps(&self, input_bytes: u64) -> f64 {
+        let s = self.result.elapsed.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            input_bytes as f64 / s / 1e6
+        }
+    }
+}
+
+/// Failures while running a query on a [`System`].
+#[derive(Debug)]
+pub enum RunError {
+    /// The query did not resolve against the catalog.
+    Plan(PlanError),
+    /// The host engine failed.
+    Engine(smartssd_query::EngineError),
+    /// The device rejected or failed the session.
+    Device(DeviceError),
+    /// Host read-path failure.
+    Io(IoError),
+    /// A table image's layout does not match the system configuration.
+    LayoutMismatch {
+        /// The system's configured layout.
+        expected: Layout,
+        /// The image's layout.
+        got: Layout,
+    },
+    /// Requested a device route on a non-smart device.
+    NotSmart,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Plan(e) => write!(f, "plan: {e}"),
+            RunError::Engine(e) => write!(f, "engine: {e}"),
+            RunError::Device(e) => write!(f, "device: {e}"),
+            RunError::Io(e) => write!(f, "io: {e}"),
+            RunError::LayoutMismatch { expected, got } => {
+                write!(f, "layout mismatch: system uses {expected}, image is {got}")
+            }
+            RunError::NotSmart => write!(f, "device route requires a Smart SSD system"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<PlanError> for RunError {
+    fn from(e: PlanError) -> Self {
+        RunError::Plan(e)
+    }
+}
+
+impl From<DeviceError> for RunError {
+    fn from(e: DeviceError) -> Self {
+        RunError::Device(e)
+    }
+}
+
+#[allow(clippy::large_enum_variant)] // one backend exists per System; no dense collections of these
+enum Backend {
+    Hdd(HddHostPath),
+    Ssd(SsdHostPath),
+    Smart {
+        dev: SmartSsd,
+        link: Bus,
+        pool: BufferPool,
+        cmd: CommandState,
+    },
+}
+
+/// One complete test bed: device + host + catalog.
+pub struct System {
+    cfg: SystemConfig,
+    backend: Backend,
+    host_cpu: CpuModel,
+    catalog: Catalog,
+    next_lba: u64,
+    /// Tables with buffer-pool updates not yet checkpointed to the device.
+    /// Pushdown against them would read stale data (paper Section 4.3).
+    dirty: std::collections::HashSet<String>,
+}
+
+impl System {
+    /// Builds an empty system per the configuration.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let backend = match cfg.device {
+            DeviceKind::Hdd => Backend::Hdd(HddHostPath::new(
+                HddModel::new(cfg.hdd.clone()),
+                cfg.bufferpool_pages,
+            )),
+            DeviceKind::Ssd => Backend::Ssd(SsdHostPath::new(
+                smartssd_flash::FlashSsd::new(cfg.flash.clone()),
+                cfg.interface,
+                cfg.bufferpool_pages,
+            )),
+            DeviceKind::SmartSsd => Backend::Smart {
+                dev: SmartSsd::new(cfg.flash.clone(), cfg.smart.clone()),
+                link: Bus::new(
+                    "host-interface",
+                    mb_per_sec(cfg.interface.effective_mbps()),
+                    0,
+                ),
+                pool: BufferPool::new(cfg.bufferpool_pages),
+                cmd: CommandState::default(),
+            },
+        };
+        let host_cpu = CpuModel::new("host-cpu", cfg.host_cpu_cores, cfg.host_cpu_hz);
+        Self {
+            backend,
+            host_cpu,
+            catalog: Catalog::new(),
+            next_lba: 0,
+            dirty: std::collections::HashSet::new(),
+            cfg,
+        }
+    }
+
+    /// System configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The table catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Loads a prebuilt table image onto the device and registers it.
+    pub fn load_table(&mut self, name: &str, img: &TableImage) -> Result<(), RunError> {
+        if img.layout() != self.cfg.layout {
+            return Err(RunError::LayoutMismatch {
+                expected: self.cfg.layout,
+                got: img.layout(),
+            });
+        }
+        let first_lba = self.next_lba;
+        match &mut self.backend {
+            Backend::Hdd(path) => {
+                for (i, page) in img.pages().iter().enumerate() {
+                    path.hdd
+                        .write(first_lba + i as u64, page.raw().clone(), SimTime::ZERO);
+                }
+            }
+            Backend::Ssd(path) => {
+                for (i, page) in img.pages().iter().enumerate() {
+                    path.ssd
+                        .write(first_lba + i as u64, page.raw().clone(), SimTime::ZERO)
+                        .map_err(|e| RunError::Io(IoError::Flash(e)))?;
+                }
+            }
+            Backend::Smart { dev, .. } => {
+                dev.load_table(img, first_lba)?;
+            }
+        }
+        self.next_lba = first_lba + img.num_pages() as u64;
+        self.catalog.register(
+            name,
+            smartssd_exec::TableRef {
+                first_lba,
+                num_pages: img.num_pages() as u64,
+                schema: img.schema().clone(),
+                layout: img.layout(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Builds a table in the system's configured layout from a row stream
+    /// and loads it.
+    pub fn load_table_rows<I>(
+        &mut self,
+        name: &str,
+        schema: &Arc<Schema>,
+        rows: I,
+    ) -> Result<(), RunError>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let mut b = TableBuilder::new(name, Arc::clone(schema), self.cfg.layout);
+        b.extend(rows);
+        let img = b.finish();
+        self.load_table(name, &img)
+    }
+
+    /// Ends the load phase: clears all timing state so the next run starts
+    /// from a quiet machine (the paper's cold-run protocol; the pool stays
+    /// as-is and is empty unless [`Self::warm_cache`] was called).
+    pub fn finish_load(&mut self) {
+        self.reset_run_timing();
+    }
+
+    /// Clears all timelines and counters (between runs).
+    fn reset_run_timing(&mut self) {
+        self.host_cpu.reset();
+        match &mut self.backend {
+            Backend::Hdd(p) => p.reset_timing(),
+            Backend::Ssd(p) => p.reset_timing(),
+            Backend::Smart {
+                dev, link, cmd, ..
+            } => {
+                dev.reset_timing();
+                link.reset();
+                cmd.reset();
+            }
+        }
+    }
+
+    /// Empties the buffer pool (cold-run protocol).
+    pub fn clear_cache(&mut self) {
+        match &mut self.backend {
+            Backend::Hdd(p) => p.pool.clear(),
+            Backend::Ssd(p) => p.pool.clear(),
+            Backend::Smart { pool, .. } => pool.clear(),
+        }
+    }
+
+    /// Pre-reads the first `fraction` of a table into the buffer pool (the
+    /// Discussion-section cache experiments). Timing of the warm-up is
+    /// discarded.
+    pub fn warm_cache(&mut self, table: &str, fraction: f64) -> Result<(), RunError> {
+        let tref = self
+            .catalog
+            .get(table)
+            .cloned()
+            .ok_or_else(|| RunError::Plan(PlanError::UnknownTable(table.into())))?;
+        let n = (tref.num_pages as f64 * fraction.clamp(0.0, 1.0)) as u64;
+        for lba in tref.first_lba..tref.first_lba + n {
+            match &mut self.backend {
+                Backend::Hdd(p) => {
+                    p.read_page(lba, SimTime::ZERO).map_err(RunError::Io)?;
+                }
+                Backend::Ssd(p) => {
+                    p.read_page(lba, SimTime::ZERO).map_err(RunError::Io)?;
+                }
+                Backend::Smart {
+                    dev,
+                    link,
+                    pool,
+                    cmd,
+                } => {
+                    let mut view = LinkedFlashView {
+                        ssd: &mut dev.flash,
+                        link,
+                        pool,
+                        cmd,
+                        cmd_latency_ns: self.cfg.interface.command_latency_ns(),
+                    };
+                    view.read_page(lba, SimTime::ZERO).map_err(RunError::Io)?;
+                }
+            }
+        }
+        self.reset_run_timing();
+        Ok(())
+    }
+
+    /// Fraction of a table currently resident in the buffer pool.
+    pub fn residency(&self, table: &str) -> f64 {
+        let Some(tref) = self.catalog.get(table) else {
+            return 0.0;
+        };
+        let pool = match &self.backend {
+            Backend::Hdd(p) => &p.pool,
+            Backend::Ssd(p) => &p.pool,
+            Backend::Smart { pool, .. } => pool,
+        };
+        pool.residency(tref.first_lba, tref.num_pages)
+    }
+
+    /// Replaces a table's contents with a new row set: the new image is
+    /// written to a fresh extent, the catalog re-points, and the old extent
+    /// is trimmed (on flash, the stale pages become GC fodder). Timing of
+    /// the rewrite is charged to the device and then reset, mirroring an
+    /// untimed maintenance window.
+    pub fn update_table_rows<I>(
+        &mut self,
+        name: &str,
+        rows: I,
+    ) -> Result<(), RunError>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let old = self
+            .catalog
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RunError::Plan(PlanError::UnknownTable(name.into())))?;
+        let schema = old.schema.clone();
+        self.load_table_rows(name, &schema, rows)?;
+        // Invalidate the old extent.
+        if let Backend::Ssd(path) = &mut self.backend {
+            for lba in old.first_lba..old.first_lba + old.num_pages {
+                path.ssd.trim(lba).map_err(|e| RunError::Io(IoError::Flash(e)))?;
+            }
+        } else if let Backend::Smart { dev, .. } = &mut self.backend {
+            for lba in old.first_lba..old.first_lba + old.num_pages {
+                dev.flash
+                    .trim(lba)
+                    .map_err(|e| RunError::Io(IoError::Flash(e)))?;
+            }
+        }
+        // Cached pages of the old extent are stale now.
+        self.clear_cache();
+        self.reset_run_timing();
+        Ok(())
+    }
+
+    /// Marks a table as having uncheckpointed buffer-pool updates. While
+    /// dirty, the on-device copy is stale: pushdown is *incorrect*, not
+    /// merely slow, so every run is forced onto the host (paper Section
+    /// 4.3: "pushing the query processing to the S[S]D may not be
+    /// feasible" when the buffer pool holds a fresher copy).
+    pub fn mark_dirty(&mut self, table: &str) {
+        self.dirty.insert(table.to_string());
+    }
+
+    /// Checkpoints a table: charges the write-back of its pages to the
+    /// device and clears the dirty flag, making pushdown legal again.
+    pub fn checkpoint(&mut self, table: &str) -> Result<(), RunError> {
+        if !self.dirty.remove(table) {
+            return Ok(());
+        }
+        let tref = self
+            .catalog
+            .get(table)
+            .cloned()
+            .ok_or_else(|| RunError::Plan(PlanError::UnknownTable(table.into())))?;
+        // Re-write the extent through the device's write path (the data is
+        // unchanged in this model; the cost is what matters).
+        match &mut self.backend {
+            Backend::Hdd(path) => {
+                for lba in tref.first_lba..tref.first_lba + tref.num_pages {
+                    if let Some((data, _)) = path.hdd.read(lba, SimTime::ZERO) {
+                        path.hdd.write(lba, data, SimTime::ZERO);
+                    }
+                }
+            }
+            Backend::Ssd(path) => {
+                for lba in tref.first_lba..tref.first_lba + tref.num_pages {
+                    let (data, _) = path
+                        .ssd
+                        .read(lba, SimTime::ZERO)
+                        .map_err(|e| RunError::Io(IoError::Flash(e)))?;
+                    path.ssd
+                        .write(lba, data, SimTime::ZERO)
+                        .map_err(|e| RunError::Io(IoError::Flash(e)))?;
+                }
+            }
+            Backend::Smart { dev, .. } => {
+                for lba in tref.first_lba..tref.first_lba + tref.num_pages {
+                    let (data, _) = dev
+                        .flash
+                        .read(lba, SimTime::ZERO)
+                        .map_err(|e| RunError::Io(IoError::Flash(e)))?;
+                    dev.flash
+                        .write(lba, data, SimTime::ZERO)
+                        .map_err(|e| RunError::Io(IoError::Flash(e)))?;
+                }
+            }
+        }
+        self.reset_run_timing();
+        Ok(())
+    }
+
+    /// Whether a table currently has uncheckpointed updates.
+    pub fn is_dirty(&self, table: &str) -> bool {
+        self.dirty.contains(table)
+    }
+
+    /// Tables referenced by an operator.
+    fn op_tables(op: &QueryOp) -> Vec<&smartssd_exec::TableRef> {
+        match op {
+            QueryOp::Scan { table, .. }
+            | QueryOp::ScanAgg { table, .. }
+            | QueryOp::GroupAgg { table, .. } => vec![table],
+            QueryOp::Join { probe, spec } => vec![probe, &spec.build.table],
+        }
+    }
+
+    /// Whether any table in the operator's input extents is dirty.
+    fn op_touches_dirty(&self, op: &QueryOp) -> bool {
+        if self.dirty.is_empty() {
+            return false;
+        }
+        // Compare by extent: catalog names map to TableRefs.
+        Self::op_tables(op).iter().any(|tref| {
+            self.catalog.names().iter().any(|name| {
+                self.dirty.contains(*name)
+                    && self
+                        .catalog
+                        .get(name)
+                        .map(|c| c.first_lba == tref.first_lba)
+                        .unwrap_or(false)
+            })
+        })
+    }
+
+    /// Runs a query on this system's natural route: pushdown on a Smart
+    /// SSD, host execution otherwise. If the device rejects the session
+    /// (e.g. the hash table exceeds its memory grant), the run transparently
+    /// falls back to the host, as a production DBMS would.
+    pub fn run(&mut self, query: &Query) -> Result<RunReport, RunError> {
+        let route = match self.cfg.device {
+            DeviceKind::SmartSsd => Route::Device,
+            _ => Route::Host,
+        };
+        self.run_routed(query, route)
+    }
+
+    /// Runs a query on an explicit route. `Route::Device` requires a Smart
+    /// SSD system.
+    pub fn run_routed(&mut self, query: &Query, route: Route) -> Result<RunReport, RunError> {
+        let op = query.resolve(&self.catalog)?;
+        // Correctness rule before any cost consideration: a dirty input
+        // means the on-device copy is stale, so the device route is not
+        // available (Section 4.3).
+        let route = if route == Route::Device && self.op_touches_dirty(&op) {
+            Route::Host
+        } else {
+            route
+        };
+        self.reset_run_timing();
+        let (result, route) = match route {
+            Route::Host => (self.run_host(&op, query)?, Route::Host),
+            Route::Device => match self.run_device(&op, query) {
+                Ok(r) => (r, Route::Device),
+                // Resource rejection: fall back to the host path (the
+                // paper's Discussion expects the DBMS to keep a host plan).
+                Err(RunError::Device(DeviceError::MemoryGrantExceeded { .. }))
+                | Err(RunError::Device(DeviceError::TooManySessions)) => {
+                    self.reset_run_timing();
+                    (self.run_host(&op, query)?, Route::Host)
+                }
+                Err(e) => return Err(e),
+            },
+        };
+        Ok(self.finish_report(query, route, result))
+    }
+
+    /// Runs a query letting the planner pick the route (Smart SSD systems
+    /// only consult the planner; others always use the host).
+    pub fn run_with_planner(
+        &mut self,
+        query: &Query,
+        planner: &PlannerConfig,
+        mut inputs: PlannerInputs,
+    ) -> Result<RunReport, RunError> {
+        if self.cfg.device != DeviceKind::SmartSsd {
+            return self.run_routed(query, Route::Host);
+        }
+        let op = query.resolve(&self.catalog)?;
+        // Residency comes from the actual buffer pool, not the caller.
+        inputs.residency = match &op {
+            QueryOp::Scan { table, .. }
+            | QueryOp::ScanAgg { table, .. }
+            | QueryOp::GroupAgg { table, .. } => self.residency_of(table),
+            QueryOp::Join { probe, .. } => self.residency_of(probe),
+        };
+        let (route, _est) = choose_route(&op, planner, &inputs);
+        self.run_routed(query, route)
+    }
+
+    fn residency_of(&self, tref: &smartssd_exec::TableRef) -> f64 {
+        let pool = match &self.backend {
+            Backend::Hdd(p) => &p.pool,
+            Backend::Ssd(p) => &p.pool,
+            Backend::Smart { pool, .. } => pool,
+        };
+        pool.residency(tref.first_lba, tref.num_pages)
+    }
+
+    /// Host-route execution on whatever device backs the system.
+    fn run_host(&mut self, op: &QueryOp, query: &Query) -> Result<QueryResult, RunError> {
+        let costs = self.cfg.host_costs;
+        let dop = self.cfg.host_dop;
+        match &mut self.backend {
+            Backend::Hdd(path) => HostEngine::new(path, &mut self.host_cpu, costs)
+                .run_with_dop(op, &query.finalize, SimTime::ZERO, dop)
+                .map_err(RunError::Engine),
+            Backend::Ssd(path) => HostEngine::new(path, &mut self.host_cpu, costs)
+                .run_with_dop(op, &query.finalize, SimTime::ZERO, dop)
+                .map_err(RunError::Engine),
+            Backend::Smart {
+                dev,
+                link,
+                pool,
+                cmd,
+            } => {
+                let mut view = LinkedFlashView {
+                    ssd: &mut dev.flash,
+                    link,
+                    pool,
+                    cmd,
+                    cmd_latency_ns: self.cfg.interface.command_latency_ns(),
+                };
+                HostEngine::new(&mut view, &mut self.host_cpu, costs)
+                    .run_with_dop(op, &query.finalize, SimTime::ZERO, dop)
+                    .map_err(RunError::Engine)
+            }
+        }
+    }
+
+    /// Device-route execution: drive the OPEN/GET/CLOSE protocol.
+    fn run_device(&mut self, op: &QueryOp, query: &Query) -> Result<QueryResult, RunError> {
+        let Backend::Smart { dev, link, .. } = &mut self.backend else {
+            return Err(RunError::NotSmart);
+        };
+        // The operator crosses the host interface as a marshalled OPEN
+        // payload (paper Section 3); the device unmarshals and validates.
+        let payload = smartssd_exec::encode_op(op);
+        let open_done = link
+            .transfer_with_setup(
+                SimTime::ZERO,
+                payload.len() as u64,
+                self.cfg.interface.command_latency_ns(),
+            )
+            .end;
+        let sid = dev.open_raw(&payload, open_done).map_err(RunError::Device)?;
+        let mut rows: Vec<Tuple> = Vec::new();
+        let mut agg_states: Option<Vec<AggState>> = None;
+        let mut t = SimTime::ZERO;
+        loop {
+            match dev.get(sid, t).map_err(RunError::Device)? {
+                GetResponse::Running { ready_at } => {
+                    // The host polls; the successful poll lands at
+                    // readiness (intermediate polls are folded into the
+                    // host-wait power term).
+                    t = ready_at.max(t + SimTime::from_nanos(1));
+                }
+                GetResponse::Batch(batch) => {
+                    // Results cross the host interface; even an empty
+                    // completion batch costs one status transfer.
+                    let iv = link.transfer(t.max(batch.ready_at), batch.bytes.max(64));
+                    t = iv.end;
+                    // Host-side receive + merge cost.
+                    let cycles = 20_000 + batch.bytes / 2;
+                    t = self.host_cpu.execute(t, cycles).end;
+                    rows.extend(batch.rows);
+                    if let Some(parts) = batch.aggs {
+                        match &mut agg_states {
+                            None => agg_states = Some(parts),
+                            Some(acc) => {
+                                for (a, p) in acc.iter_mut().zip(parts.iter()) {
+                                    a.merge(p);
+                                }
+                            }
+                        }
+                    }
+                }
+                GetResponse::Done => break,
+            }
+        }
+        let work = dev
+            .session_work(sid)
+            .copied()
+            .unwrap_or_default();
+        dev.close(sid).map_err(RunError::Device)?;
+        let (agg_values, scalar) = query.finalize.apply(agg_states.as_deref().unwrap_or(&[]));
+        Ok(QueryResult {
+            rows,
+            agg_values,
+            scalar,
+            elapsed: t,
+            work,
+        })
+    }
+
+    /// Assembles energy and utilization accounting for a finished run.
+    fn finish_report(&self, query: &Query, route: Route, result: QueryResult) -> RunReport {
+        let elapsed = result.elapsed;
+        let host_busy = self.host_cpu.busy_total_ns();
+        let (device_busy, link_busy, device_cpu) = match &self.backend {
+            Backend::Hdd(p) => (p.device_busy_ns(), 0, None),
+            Backend::Ssd(p) => (p.device_busy_ns(), p.link_busy_ns(), None),
+            Backend::Smart { dev, link, .. } => (
+                dev.flash.dram_busy_ns(),
+                link.busy_total_ns(),
+                Some(dev.cpu()),
+            ),
+        };
+        let pw = &self.cfg.power;
+        let mut draws = vec![
+            ComponentDraw {
+                name: "host-cpu-active".into(),
+                active_w: pw.host_active_w,
+                busy_ns: host_busy.min(elapsed.as_nanos()),
+                subsystem: Subsystem::Host,
+            },
+            ComponentDraw {
+                name: "host-io-wait".into(),
+                active_w: pw.host_wait_w,
+                busy_ns: elapsed.as_nanos().saturating_sub(host_busy),
+                subsystem: Subsystem::Host,
+            },
+        ];
+        if device_busy > 0 {
+            draws.push(ComponentDraw {
+                name: "io-device-active".into(),
+                active_w: pw.io_active_w(self.cfg.device),
+                busy_ns: elapsed.as_nanos(),
+                subsystem: Subsystem::Io,
+            });
+        }
+        let power = PowerModel::new(pw.system_idle_w, pw.io_idle_w(self.cfg.device));
+        let energy = power.energy(elapsed, &draws);
+
+        let mut util = UtilizationReport::new(elapsed);
+        util.record("host-cpu-thread", host_busy, 1);
+        util.record("io-device", device_busy, 1);
+        if link_busy > 0 {
+            util.record("host-interface", link_busy, 1);
+        }
+        if let Some(cpu) = device_cpu {
+            util.record("device-cpu", cpu.busy_total_ns(), cpu.cores());
+        }
+        RunReport {
+            query: query.name.clone(),
+            device: self.cfg.device,
+            layout: self.cfg.layout,
+            route,
+            result,
+            energy,
+            util,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceKind;
+    use smartssd_exec::spec::ScanAggSpec;
+    use smartssd_query::{Finalize, OpTemplate};
+    use smartssd_storage::expr::{AggSpec, Expr, Pred};
+    use smartssd_storage::{DataType, Datum};
+
+    fn sys_with_rows(kind: DeviceKind, n: i32) -> System {
+        let schema = smartssd_storage::Schema::from_pairs(&[
+            ("k", DataType::Int32),
+            ("v", DataType::Int64),
+        ]);
+        let mut sys = System::new(SystemConfig::new(kind, Layout::Pax));
+        sys.load_table_rows(
+            "t",
+            &schema,
+            (0..n).map(|k| vec![Datum::I32(k), Datum::I64(k as i64)]),
+        )
+        .unwrap();
+        sys.finish_load();
+        sys
+    }
+
+    fn count_query() -> Query {
+        Query {
+            name: "count".into(),
+            op: OpTemplate::ScanAgg {
+                table: "t".into(),
+                spec: ScanAggSpec {
+                    pred: Pred::Const(true),
+                    aggs: vec![AggSpec::sum(Expr::col(1))],
+                },
+            },
+            finalize: Finalize::AggRow,
+        }
+    }
+
+    #[test]
+    fn report_carries_device_layout_and_route() {
+        let mut sys = sys_with_rows(DeviceKind::SmartSsd, 5_000);
+        let r = sys.run(&count_query()).unwrap();
+        assert_eq!(r.device, DeviceKind::SmartSsd);
+        assert_eq!(r.layout, Layout::Pax);
+        assert_eq!(r.route, Route::Device);
+        assert_eq!(r.query, "count");
+    }
+
+    #[test]
+    fn effective_mbps_is_bytes_over_elapsed() {
+        let mut sys = sys_with_rows(DeviceKind::Ssd, 50_000);
+        let r = sys.run(&count_query()).unwrap();
+        let pages = sys.catalog().get("t").unwrap().num_pages;
+        let bytes = pages * smartssd_storage::PAGE_SIZE as u64;
+        let mbps = r.effective_mbps(bytes);
+        let manual = bytes as f64 / r.result.elapsed.as_secs_f64() / 1e6;
+        assert!((mbps - manual).abs() < 1e-6);
+        assert!(mbps > 0.0);
+    }
+
+    #[test]
+    fn layout_mismatch_is_rejected_at_load() {
+        let schema = smartssd_storage::Schema::from_pairs(&[("k", DataType::Int32)]);
+        let mut b = TableBuilder::new("t", schema, Layout::Nsm);
+        b.push(vec![Datum::I32(1)]);
+        let img = b.finish();
+        let mut sys = System::new(SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax));
+        assert!(matches!(
+            sys.load_table("t", &img).unwrap_err(),
+            RunError::LayoutMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn device_route_on_plain_ssd_is_rejected() {
+        let mut sys = sys_with_rows(DeviceKind::Ssd, 100);
+        assert!(matches!(
+            sys.run_routed(&count_query(), Route::Device).unwrap_err(),
+            RunError::NotSmart
+        ));
+    }
+
+    #[test]
+    fn energy_meters_are_ordered_system_over_io() {
+        for kind in [DeviceKind::Hdd, DeviceKind::Ssd, DeviceKind::SmartSsd] {
+            let mut sys = sys_with_rows(kind, 20_000);
+            let r = sys.run(&count_query()).unwrap();
+            assert!(r.energy.system_kj() > r.energy.io_kj(), "{kind:?}");
+            assert!(r.energy.over_idle_kj() > 0.0, "{kind:?}");
+        }
+    }
+}

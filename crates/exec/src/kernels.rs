@@ -1,0 +1,405 @@
+//! Page-level scan and aggregation kernels.
+
+use crate::spec::{GroupAggSpec, ScanAggSpec, ScanSpec};
+use crate::work::WorkCounts;
+use smartssd_storage::expr::{AggState, EvalCounts};
+use smartssd_storage::nsm::NsmReader;
+use smartssd_storage::pax::PaxReader;
+use smartssd_storage::{Layout, PageBuf, RowAccessor, Schema, Tuple};
+use std::collections::BTreeMap;
+
+/// A layout-dispatched page reader.
+pub enum AnyReader<'a> {
+    /// NSM slotted-page view.
+    Nsm(NsmReader<'a>),
+    /// PAX columnar view.
+    Pax(PaxReader<'a>),
+}
+
+impl<'a> AnyReader<'a> {
+    /// Which layout this reader decodes (for per-layout tuple pricing).
+    pub fn layout(&self) -> Layout {
+        match self {
+            AnyReader::Nsm(_) => Layout::Nsm,
+            AnyReader::Pax(_) => Layout::Pax,
+        }
+    }
+}
+
+impl RowAccessor for AnyReader<'_> {
+    fn schema(&self) -> &Schema {
+        match self {
+            AnyReader::Nsm(r) => r.schema(),
+            AnyReader::Pax(r) => r.schema(),
+        }
+    }
+
+    fn num_rows(&self) -> usize {
+        match self {
+            AnyReader::Nsm(r) => r.num_rows(),
+            AnyReader::Pax(r) => r.num_rows(),
+        }
+    }
+
+    #[inline]
+    fn field(&self, row: usize, col: usize) -> &[u8] {
+        match self {
+            AnyReader::Nsm(r) => r.field(row, col),
+            AnyReader::Pax(r) => r.field(row, col),
+        }
+    }
+}
+
+/// Opens a page with the reader matching its layout tag.
+pub fn page_reader<'a>(page: &'a PageBuf, schema: &'a Schema) -> AnyReader<'a> {
+    match page.layout() {
+        Layout::Nsm => AnyReader::Nsm(NsmReader::new(page, schema)),
+        Layout::Pax => AnyReader::Pax(PaxReader::new(page, schema)),
+    }
+}
+
+/// Charges the per-tuple visit counts for `n` tuples of the given layout.
+#[inline]
+pub(crate) fn count_tuples(w: &mut WorkCounts, layout: Layout, n: u64) {
+    match layout {
+        Layout::Nsm => w.tuples_nsm += n,
+        Layout::Pax => w.tuples_pax += n,
+    }
+}
+
+/// Filter + project one page, appending qualifying projected tuples to
+/// `out`. Returns the number of qualifying rows.
+pub fn scan_page(
+    page: &PageBuf,
+    schema: &Schema,
+    spec: &ScanSpec,
+    out: &mut Vec<Tuple>,
+    w: &mut WorkCounts,
+) -> usize {
+    let r = page_reader(page, schema);
+    w.pages += 1;
+    count_tuples(w, r.layout(), r.num_rows() as u64);
+    let mut qualifying = 0;
+    for row in 0..r.num_rows() {
+        let mut ev = EvalCounts::default();
+        let pass = spec.pred.eval_counted(&r, row, &mut ev);
+        w.absorb_eval(ev);
+        if !pass {
+            continue;
+        }
+        qualifying += 1;
+        let mut t = Tuple::with_capacity(spec.project.len());
+        let mut bytes = 0u64;
+        for &c in &spec.project {
+            bytes += schema.column(c).ty.width() as u64;
+            t.push(r.datum_at(row, c));
+        }
+        w.values += spec.project.len() as u64;
+        w.out_tuples += 1;
+        w.out_bytes += bytes;
+        out.push(t);
+    }
+    qualifying
+}
+
+/// Filter + aggregate one page, folding qualifying rows into `states`
+/// (one state per `spec.aggs` entry).
+pub fn scan_agg_page(
+    page: &PageBuf,
+    schema: &Schema,
+    spec: &ScanAggSpec,
+    states: &mut [AggState],
+    w: &mut WorkCounts,
+) {
+    assert_eq!(states.len(), spec.aggs.len(), "one state per aggregate");
+    let r = page_reader(page, schema);
+    w.pages += 1;
+    count_tuples(w, r.layout(), r.num_rows() as u64);
+    for row in 0..r.num_rows() {
+        let mut ev = EvalCounts::default();
+        let pass = spec.pred.eval_counted(&r, row, &mut ev);
+        w.absorb_eval(ev);
+        if !pass {
+            continue;
+        }
+        for (agg, state) in spec.aggs.iter().zip(states.iter_mut()) {
+            let mut ev = EvalCounts::default();
+            let v = agg.expr.eval_counted(&r, row, &mut ev);
+            w.absorb_eval(ev);
+            state.update(v);
+            w.agg_updates += 1;
+        }
+    }
+}
+
+
+/// Accumulator for grouped aggregation: encoded group key (concatenated
+/// fixed-width field bytes) -> one state per aggregate.
+///
+/// A `BTreeMap` keeps group order deterministic, so device and host runs
+/// emit identical row orders without a separate sort.
+pub type GroupTable = BTreeMap<Vec<u8>, Vec<AggState>>;
+
+/// Filter + group + aggregate one page into `acc`.
+pub fn scan_group_agg_page(
+    page: &PageBuf,
+    schema: &Schema,
+    spec: &GroupAggSpec,
+    acc: &mut GroupTable,
+    w: &mut WorkCounts,
+) {
+    let r = page_reader(page, schema);
+    w.pages += 1;
+    count_tuples(w, r.layout(), r.num_rows() as u64);
+    let key_width: usize = spec
+        .group_by
+        .iter()
+        .map(|&c| schema.column(c).ty.width())
+        .sum();
+    for row in 0..r.num_rows() {
+        let mut ev = EvalCounts::default();
+        let pass = spec.pred.eval_counted(&r, row, &mut ev);
+        w.absorb_eval(ev);
+        if !pass {
+            continue;
+        }
+        let mut key = Vec::with_capacity(key_width);
+        for &c in &spec.group_by {
+            key.extend_from_slice(r.field(row, c));
+        }
+        w.values += spec.group_by.len() as u64;
+        w.hash_probes += 1; // group lookup costs like a hash probe
+        let states = acc
+            .entry(key)
+            .or_insert_with(|| spec.aggs.iter().map(|a| AggState::new(a.func)).collect());
+        for (agg, state) in spec.aggs.iter().zip(states.iter_mut()) {
+            let mut ev = EvalCounts::default();
+            let v = agg.expr.eval_counted(&r, row, &mut ev);
+            w.absorb_eval(ev);
+            state.update(v);
+            w.agg_updates += 1;
+        }
+    }
+}
+
+/// Approximate resident bytes of a group table (memory-grant accounting on
+/// the device).
+pub fn group_table_memory_bytes(acc: &GroupTable, num_aggs: usize) -> u64 {
+    acc.keys()
+        .map(|k| k.len() as u64 + num_aggs as u64 * 24 + 48)
+        .sum()
+}
+
+/// Materializes a group table as output rows: grouping columns (decoded
+/// from the key bytes) followed by each aggregate's final value as `Int64`
+/// (saturating; aggregates that genuinely need 128 bits should stay
+/// scalar, where partials travel as `AggState`).
+pub fn group_table_rows(acc: &GroupTable, key_schema: &Schema) -> Vec<Tuple> {
+    acc.iter()
+        .map(|(key, states)| {
+            let mut row = Tuple::with_capacity(key_schema.len() + states.len());
+            for (i, col) in key_schema.columns().iter().enumerate() {
+                let off = key_schema.offset(i);
+                row.push(smartssd_storage::tuple::decode_field(
+                    col.ty,
+                    &key[off..off + col.ty.width()],
+                ));
+            }
+            for st in states {
+                let v = st.finish();
+                row.push(smartssd_storage::Datum::I64(v.clamp(
+                    i64::MIN as i128,
+                    i64::MAX as i128,
+                ) as i64));
+            }
+            row
+        })
+        .collect()
+}
+
+/// Merges one group table into another (host-side merge of device
+/// partials, or array gather).
+pub fn merge_group_tables(into: &mut GroupTable, from: GroupTable) {
+    for (key, states) in from {
+        match into.entry(key) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(states);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                for (a, b) in e.get_mut().iter_mut().zip(states.iter()) {
+                    a.merge(b);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ScanSpec;
+    use smartssd_storage::expr::{AggFunc, AggSpec, CmpOp, Expr, Pred};
+    use smartssd_storage::{DataType, Datum, TableBuilder};
+    use std::sync::Arc;
+
+    fn table(layout: Layout) -> smartssd_storage::TableImage {
+        let s = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)]);
+        let mut b = TableBuilder::new("t", Arc::clone(&s), layout);
+        b.extend((0..100).map(|k| vec![Datum::I32(k), Datum::I64(k as i64 * 2)] as Tuple));
+        b.finish()
+    }
+
+    #[test]
+    fn scan_filters_and_projects_both_layouts() {
+        for layout in [Layout::Nsm, Layout::Pax] {
+            let img = table(layout);
+            let spec = ScanSpec {
+                pred: Pred::Cmp(CmpOp::Lt, Expr::col(0), Expr::lit(10)),
+                project: vec![1],
+            };
+            let mut out = Vec::new();
+            let mut w = WorkCounts::default();
+            for p in img.pages() {
+                scan_page(p, img.schema(), &spec, &mut out, &mut w);
+            }
+            assert_eq!(out.len(), 10);
+            assert_eq!(out[3], vec![Datum::I64(6)]);
+            assert_eq!(w.tuples(), 100);
+            assert_eq!(w.out_tuples, 10);
+            assert_eq!(w.out_bytes, 80);
+            match layout {
+                Layout::Nsm => assert_eq!(w.tuples_nsm, 100),
+                Layout::Pax => assert_eq!(w.tuples_pax, 100),
+            }
+        }
+    }
+
+    #[test]
+    fn agg_kernel_matches_manual_sum() {
+        let img = table(Layout::Pax);
+        let spec = ScanAggSpec {
+            pred: Pred::Cmp(CmpOp::Ge, Expr::col(0), Expr::lit(50)),
+            aggs: vec![
+                AggSpec::sum(Expr::col(1)),
+                AggSpec::count(),
+                AggSpec::min(Expr::col(0)),
+                AggSpec::max(Expr::col(0)),
+            ],
+        };
+        let mut states: Vec<AggState> = spec.aggs.iter().map(|a| AggState::new(a.func)).collect();
+        let mut w = WorkCounts::default();
+        for p in img.pages() {
+            scan_agg_page(p, img.schema(), &spec, &mut states, &mut w);
+        }
+        let expected: i128 = (50..100).map(|k| k as i128 * 2).sum();
+        assert_eq!(states[0].finish(), expected);
+        assert_eq!(states[1].finish(), 50);
+        assert_eq!(states[2].finish(), 50);
+        assert_eq!(states[3].finish(), 99);
+        assert_eq!(w.agg_updates, 200); // 4 aggs x 50 qualifying rows
+        let _ = AggFunc::Sum;
+    }
+
+    #[test]
+    fn empty_predicate_counts_no_outputs() {
+        let img = table(Layout::Nsm);
+        let spec = ScanSpec {
+            pred: Pred::Const(false),
+            project: vec![0],
+        };
+        let mut out = Vec::new();
+        let mut w = WorkCounts::default();
+        for p in img.pages() {
+            scan_page(p, img.schema(), &spec, &mut out, &mut w);
+        }
+        assert!(out.is_empty());
+        assert_eq!(w.out_tuples, 0);
+        assert_eq!(w.tuples(), 100);
+    }
+
+    #[test]
+    fn group_agg_matches_manual_grouping() {
+        use crate::spec::GroupAggSpec;
+        let s = Schema::from_pairs(&[
+            ("g", DataType::Int32),
+            ("v", DataType::Int64),
+        ]);
+        let mut b = TableBuilder::new("t", Arc::clone(&s), Layout::Pax);
+        b.extend((0..1000).map(|k| vec![Datum::I32(k % 7), Datum::I64(k as i64)] as Tuple));
+        let img = b.finish();
+        let spec = GroupAggSpec {
+            pred: Pred::Cmp(CmpOp::Ge, Expr::col(1), Expr::lit(100)),
+            group_by: vec![0],
+            aggs: vec![AggSpec::sum(Expr::col(1)), AggSpec::count()],
+        };
+        let mut acc = GroupTable::new();
+        let mut w = WorkCounts::default();
+        for p in img.pages() {
+            scan_group_agg_page(p, img.schema(), &spec, &mut acc, &mut w);
+        }
+        assert_eq!(acc.len(), 7);
+        let rows = group_table_rows(&acc, &spec.key_schema(&s));
+        // Reference grouping.
+        for row in &rows {
+            let g = row[0].as_i64();
+            let expected_sum: i64 = (100..1000).filter(|k| k % 7 == g).sum();
+            let expected_cnt = (100..1000).filter(|k| k % 7 == g).count() as i64;
+            assert_eq!(row[1].as_i64(), expected_sum, "group {g}");
+            assert_eq!(row[2].as_i64(), expected_cnt, "group {g}");
+        }
+        assert!(group_table_memory_bytes(&acc, 2) > 0);
+        assert!(w.hash_probes >= 900);
+    }
+
+    #[test]
+    fn group_table_merge_equals_single_pass() {
+        use crate::spec::GroupAggSpec;
+        let s = Schema::from_pairs(&[("g", DataType::Int32), ("v", DataType::Int64)]);
+        let rows: Vec<Tuple> = (0..500)
+            .map(|k| vec![Datum::I32(k % 5), Datum::I64(k as i64 * 3)])
+            .collect();
+        let spec = GroupAggSpec {
+            pred: Pred::Const(true),
+            group_by: vec![0],
+            aggs: vec![AggSpec::sum(Expr::col(1)), AggSpec::min(Expr::col(1))],
+        };
+        let build = |slice: &[Tuple]| {
+            let mut b = TableBuilder::new("t", Arc::clone(&s), Layout::Nsm);
+            b.extend(slice.iter().cloned());
+            let img = b.finish();
+            let mut acc = GroupTable::new();
+            let mut w = WorkCounts::default();
+            for p in img.pages() {
+                scan_group_agg_page(p, img.schema(), &spec, &mut acc, &mut w);
+            }
+            acc
+        };
+        let whole = build(&rows);
+        let mut merged = build(&rows[..200]);
+        merge_group_tables(&mut merged, build(&rows[200..]));
+        assert_eq!(
+            group_table_rows(&whole, &spec.key_schema(&s)),
+            group_table_rows(&merged, &spec.key_schema(&s))
+        );
+    }
+
+    #[test]
+    fn short_circuit_reduces_counted_atoms() {
+        let img = table(Layout::Pax);
+        // First conjunct fails for 90% of rows; with short-circuiting total
+        // atoms << 2 * rows.
+        let spec = ScanSpec {
+            pred: Pred::And(vec![
+                Pred::Cmp(CmpOp::Lt, Expr::col(0), Expr::lit(10)),
+                Pred::Cmp(CmpOp::Lt, Expr::col(1), Expr::lit(1_000)),
+            ]),
+            project: vec![0],
+        };
+        let mut out = Vec::new();
+        let mut w = WorkCounts::default();
+        for p in img.pages() {
+            scan_page(p, img.schema(), &spec, &mut out, &mut w);
+        }
+        assert_eq!(w.pred_atoms, 110); // 100 first atoms + 10 second atoms
+    }
+}

@@ -1,0 +1,118 @@
+//! Model-based property tests of the flash device: an arbitrary sequence of
+//! writes, overwrites, trims, and reads must behave exactly like a plain
+//! `HashMap<lba, payload>`, regardless of how the FTL shuffles physical
+//! placement or when garbage collection runs.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use smartssd_flash::{FlashConfig, FlashError, FlashSsd};
+use smartssd_sim::SimTime;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u64, u8),
+    Trim(u64),
+    Read(u64),
+}
+
+fn arb_op(logical: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..logical, any::<u8>()).prop_map(|(l, v)| Op::Write(l, v)),
+        1 => (0..logical).prop_map(Op::Trim),
+        2 => (0..logical).prop_map(Op::Read),
+    ]
+}
+
+fn payload(cfg: &FlashConfig, tag: u8) -> Bytes {
+    Bytes::from(vec![tag; cfg.page_size])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn device_behaves_like_a_map(ops in prop::collection::vec(arb_op(96), 1..600)) {
+        let cfg = FlashConfig::tiny();
+        let logical = {
+            let ssd = FlashSsd::new(cfg.clone());
+            ssd.logical_pages()
+        };
+        prop_assume!(logical >= 96);
+        let mut ssd = FlashSsd::new(cfg.clone());
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Write(lba, v) => {
+                    ssd.write(lba, payload(&cfg, v), SimTime::ZERO).unwrap();
+                    model.insert(lba, v);
+                }
+                Op::Trim(lba) => {
+                    ssd.trim(lba).unwrap();
+                    model.remove(&lba);
+                }
+                Op::Read(lba) => match model.get(&lba) {
+                    Some(&v) => {
+                        let (data, _) = ssd.read(lba, SimTime::ZERO).unwrap();
+                        prop_assert!(data.iter().all(|&b| b == v), "lba {lba}");
+                    }
+                    None => {
+                        prop_assert_eq!(
+                            ssd.read(lba, SimTime::ZERO).unwrap_err(),
+                            FlashError::Unmapped(lba)
+                        );
+                    }
+                },
+            }
+        }
+        // Final full sweep: everything the model holds must be readable.
+        for (&lba, &v) in &model {
+            let (data, _) = ssd.read(lba, SimTime::ZERO).unwrap();
+            prop_assert!(data.iter().all(|&b| b == v));
+        }
+    }
+
+    #[test]
+    fn gc_never_loses_data_under_pressure(
+        seed_ops in prop::collection::vec((0u64..1000, any::<u8>()), 200..500)
+    ) {
+        // Hammer a small device close to capacity; GC must relocate
+        // correctly every time.
+        let cfg = FlashConfig::tiny();
+        let mut ssd = FlashSsd::new(cfg.clone());
+        let logical = ssd.logical_pages();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for (raw, v) in seed_ops {
+            let lba = raw % logical;
+            ssd.write(lba, payload(&cfg, v), SimTime::ZERO).unwrap();
+            model.insert(lba, v);
+        }
+        for (&lba, &v) in &model {
+            let (data, _) = ssd.read(lba, SimTime::ZERO).unwrap();
+            prop_assert!(data.iter().all(|&b| b == v));
+        }
+        // Write amplification is finite and >= 1.
+        let wa = ssd.stats().write_amplification();
+        prop_assert!((1.0..10.0).contains(&wa), "write amplification {wa}");
+    }
+
+    #[test]
+    fn timing_is_monotone_per_resource(lbas in prop::collection::vec(0u64..64, 1..200)) {
+        // Issuing reads in order at time zero: each read's completion is
+        // positive, and total busy time only grows.
+        let cfg = FlashConfig::tiny();
+        let mut ssd = FlashSsd::new(cfg.clone());
+        for lba in 0..64u64 {
+            ssd.write(lba, payload(&cfg, lba as u8), SimTime::ZERO).unwrap();
+        }
+        ssd.reset_timing();
+        let mut busy_prev = 0;
+        for lba in lbas {
+            let (_, iv) = ssd.read(lba, SimTime::ZERO).unwrap();
+            prop_assert!(iv.end > iv.start);
+            let busy = ssd.dram_busy_ns();
+            prop_assert!(busy >= busy_prev);
+            busy_prev = busy;
+        }
+    }
+}

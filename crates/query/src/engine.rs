@@ -1,0 +1,393 @@
+//! The host execution engine — the paper's baseline path.
+//!
+//! Runs the same physical operator (the same [`QueryOp`], the same kernels)
+//! as the device, but on the host: pages stream across the host interface
+//! from a [`PageSource`] and the operator work executes on one host thread
+//! priced by the host cost table. This is exactly the paper's baseline
+//! protocol ("we used the same query plan as the Smart SSD, but the plan was
+//! run entirely in the host", Section 4.2.2.1).
+
+use crate::plan::Finalize;
+use smartssd_exec::{
+    group_table_rows,
+    join::{probe_page, JoinHashTable, JoinSink},
+    scan_agg_page, scan_group_agg_page, scan_page,
+    spec::JoinOutput,
+    CostTable, GroupTable, QueryOp, WorkCounts,
+};
+use smartssd_host::{io::IoError, PageSource};
+use smartssd_sim::{CpuModel, SimTime};
+use smartssd_storage::expr::{AggState, ExprError};
+use smartssd_storage::Tuple;
+use std::fmt;
+
+/// A completed query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output rows (row-stream queries).
+    pub rows: Vec<Tuple>,
+    /// Final aggregate values.
+    pub agg_values: Vec<i128>,
+    /// Finalized scalar (e.g. Q14's promo_revenue percentage).
+    pub scalar: Option<f64>,
+    /// Simulated completion time of the query.
+    pub elapsed: SimTime,
+    /// Work receipt of everything the engine executed.
+    pub work: WorkCounts,
+}
+
+impl QueryResult {
+    /// Convenience: the single aggregate value of a one-agg query.
+    pub fn agg(&self) -> i128 {
+        assert_eq!(self.agg_values.len(), 1, "query has multiple aggregates");
+        self.agg_values[0]
+    }
+}
+
+/// Host-engine failures.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The read path failed.
+    Io(IoError),
+    /// The operator failed validation.
+    Validation(ExprError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Io(e) => write!(f, "io: {e}"),
+            EngineError::Validation(e) => write!(f, "validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<IoError> for EngineError {
+    fn from(e: IoError) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+/// The host engine: a page source, a CPU, and a cost table.
+///
+/// The engine runs single-threaded per query (the paper's special scan
+/// path): each page's operator work is chained after the previous page's,
+/// even when the underlying [`CpuModel`] has more cores.
+pub struct HostEngine<'a, S: PageSource> {
+    /// Pages come from here (SSD behind the interface, or HDD).
+    pub source: &'a mut S,
+    /// The host CPU bank.
+    pub cpu: &'a mut CpuModel,
+    /// Host cycle prices.
+    pub costs: CostTable,
+}
+
+impl<'a, S: PageSource> HostEngine<'a, S> {
+    /// Creates an engine.
+    pub fn new(source: &'a mut S, cpu: &'a mut CpuModel, costs: CostTable) -> Self {
+        Self { source, cpu, costs }
+    }
+
+    /// Executes `op` starting at simulated time `now`, applying `finalize`
+    /// to aggregates. Runs on a single query thread — the paper's special
+    /// SQL Server scan path.
+    pub fn run(
+        &mut self,
+        op: &QueryOp,
+        finalize: &Finalize,
+        now: SimTime,
+    ) -> Result<QueryResult, EngineError> {
+        self.run_with_dop(op, finalize, now, 1)
+    }
+
+    /// Executes `op` with `dop` parallel worker threads sharing the page
+    /// stream round-robin. The paper's prototype path is single-threaded
+    /// (`dop = 1`); higher degrees model the "what if the host DBMS
+    /// parallelized its scan" ablation — see the `host-parallel`
+    /// experiment. Results are identical at any degree; only timing moves.
+    pub fn run_with_dop(
+        &mut self,
+        op: &QueryOp,
+        finalize: &Finalize,
+        now: SimTime,
+        dop: usize,
+    ) -> Result<QueryResult, EngineError> {
+        let dop = dop.clamp(1, self.cpu.cores());
+        op.validate().map_err(EngineError::Validation)?;
+        let mut total = WorkCounts::default();
+        // Worker threads: page i's operator work runs on thread i % dop,
+        // chained after that thread's previous page.
+        let mut thread_free = vec![now; dop];
+        let mut next_thread = 0usize;
+        let mut charge = |cpu: &mut CpuModel, at: SimTime, cycles: u64| {
+            let slot = &mut thread_free[next_thread];
+            next_thread = (next_thread + 1) % dop;
+            let iv = cpu.execute(at.max(*slot), cycles);
+            *slot = iv.end;
+            iv.end
+        };
+        let (rows, aggs, end) = match op {
+            QueryOp::Scan { table, spec } => {
+                let mut rows = Vec::new();
+                let mut end = now;
+                for lba in table.lbas() {
+                    let (page, at) = self.source.read_page(lba, now)?;
+                    let mut w = WorkCounts::default();
+                    scan_page(&page, &table.schema, spec, &mut rows, &mut w);
+                    end = end.max(charge(self.cpu, at, self.costs.cycles(&w)));
+                    total.absorb(&w);
+                }
+                (rows, Vec::new(), end)
+            }
+            QueryOp::ScanAgg { table, spec } => {
+                let mut states: Vec<AggState> =
+                    spec.aggs.iter().map(|a| AggState::new(a.func)).collect();
+                let mut end = now;
+                for lba in table.lbas() {
+                    let (page, at) = self.source.read_page(lba, now)?;
+                    let mut w = WorkCounts::default();
+                    scan_agg_page(&page, &table.schema, spec, &mut states, &mut w);
+                    end = end.max(charge(self.cpu, at, self.costs.cycles(&w)));
+                    total.absorb(&w);
+                }
+                (Vec::new(), states, end)
+            }
+            QueryOp::GroupAgg { table, spec } => {
+                let mut acc = GroupTable::new();
+                let mut end = now;
+                for lba in table.lbas() {
+                    let (page, at) = self.source.read_page(lba, now)?;
+                    let mut w = WorkCounts::default();
+                    scan_group_agg_page(&page, &table.schema, spec, &mut acc, &mut w);
+                    end = end.max(charge(self.cpu, at, self.costs.cycles(&w)));
+                    total.absorb(&w);
+                }
+                let rows = group_table_rows(&acc, &spec.key_schema(&table.schema));
+                (rows, Vec::new(), end)
+            }
+            QueryOp::Join { probe, spec } => {
+                // Build phase: read the small table into the host hash table.
+                let mut build_pages = Vec::with_capacity(spec.build.table.num_pages as usize);
+                let mut build_ready = now;
+                for lba in spec.build.table.lbas() {
+                    let (page, at) = self.source.read_page(lba, now)?;
+                    build_ready = build_ready.max(at);
+                    build_pages.push(page);
+                }
+                let mut w = WorkCounts::default();
+                let ht = JoinHashTable::build(&build_pages, &spec.build, &mut w);
+                let build_done = charge(self.cpu, build_ready, self.costs.cycles(&w));
+                total.absorb(&w);
+                drop(build_pages);
+                // Probe phase.
+                let joined_schema = spec.joined_schema(&probe.schema);
+                let mut sink = JoinSink::new(spec);
+                let mut end = build_done;
+                for lba in probe.lbas() {
+                    let (page, at) = self.source.read_page(lba, build_done)?;
+                    let mut w = WorkCounts::default();
+                    probe_page(
+                        &page,
+                        &probe.schema,
+                        spec,
+                        &ht,
+                        &joined_schema,
+                        &mut sink,
+                        &mut w,
+                    );
+                    end = end.max(charge(self.cpu, at, self.costs.cycles(&w)));
+                    total.absorb(&w);
+                }
+                match spec.output {
+                    JoinOutput::Project(_) => (sink.rows, Vec::new(), end),
+                    JoinOutput::Aggregate(_) => (Vec::new(), sink.aggs, end),
+                }
+            }
+        };
+        let (agg_values, scalar) = finalize.apply(&aggs);
+        Ok(QueryResult {
+            rows,
+            agg_values,
+            scalar,
+            elapsed: end.saturating_sub(now),
+            work: total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartssd_exec::spec::{ScanAggSpec, ScanSpec};
+    use smartssd_exec::TableRef;
+    use smartssd_flash::{FlashConfig, FlashSsd};
+    use smartssd_host::{InterfaceKind, SsdHostPath};
+    use smartssd_storage::expr::{AggSpec, CmpOp, Expr, Pred};
+    use smartssd_storage::{DataType, Datum, Layout, Schema, TableBuilder, TableImage, PAGE_SIZE};
+    use std::sync::Arc;
+
+    fn table(layout: Layout, n: i32) -> TableImage {
+        let s = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)]);
+        let mut b = TableBuilder::new("t", Arc::clone(&s), layout);
+        b.extend((0..n).map(|k| vec![Datum::I32(k), Datum::I64(k as i64 * 2)] as Tuple));
+        b.finish()
+    }
+
+    fn loaded_path(img: &TableImage) -> (SsdHostPath, TableRef) {
+        let mut ssd = FlashSsd::new(FlashConfig::default());
+        for (i, p) in img.pages().iter().enumerate() {
+            ssd.write(i as u64, p.raw().clone(), SimTime::ZERO).unwrap();
+        }
+        ssd.reset_timing();
+        let tref = TableRef {
+            first_lba: 0,
+            num_pages: img.num_pages() as u64,
+            schema: img.schema().clone(),
+            layout: img.layout(),
+        };
+        (SsdHostPath::new(ssd, InterfaceKind::Sas6, 0), tref)
+    }
+
+    #[test]
+    fn host_agg_is_correct() {
+        let img = table(Layout::Nsm, 50_000);
+        let (mut path, tref) = loaded_path(&img);
+        let mut cpu = CpuModel::new("host-cpu", 8, 2_260_000_000);
+        let mut eng = HostEngine::new(&mut path, &mut cpu, CostTable::host());
+        let op = QueryOp::ScanAgg {
+            table: tref,
+            spec: ScanAggSpec {
+                pred: Pred::Cmp(CmpOp::Lt, Expr::col(0), Expr::lit(1000)),
+                aggs: vec![AggSpec::sum(Expr::col(1)), AggSpec::count()],
+            },
+        };
+        let r = eng.run(&op, &Finalize::AggRow, SimTime::ZERO).unwrap();
+        assert_eq!(r.agg_values[0], (0..1000i128).map(|k| k * 2).sum::<i128>());
+        assert_eq!(r.agg_values[1], 1000);
+        assert!(r.elapsed > SimTime::ZERO);
+    }
+
+    #[test]
+    fn host_scan_projects_rows() {
+        let img = table(Layout::Pax, 5_000);
+        let (mut path, tref) = loaded_path(&img);
+        let mut cpu = CpuModel::new("host-cpu", 8, 2_260_000_000);
+        let mut eng = HostEngine::new(&mut path, &mut cpu, CostTable::host());
+        let op = QueryOp::Scan {
+            table: tref,
+            spec: ScanSpec {
+                pred: Pred::Cmp(CmpOp::Ge, Expr::col(0), Expr::lit(4_990)),
+                project: vec![1],
+            },
+        };
+        let r = eng.run(&op, &Finalize::Rows, SimTime::ZERO).unwrap();
+        assert_eq!(r.rows.len(), 10);
+        assert_eq!(r.rows[0], vec![Datum::I64(4_990 * 2)]);
+    }
+
+    #[test]
+    fn single_thread_keeps_other_cores_idle() {
+        let img = table(Layout::Nsm, 100_000);
+        let (mut path, tref) = loaded_path(&img);
+        let mut cpu = CpuModel::new("host-cpu", 8, 2_260_000_000);
+        let op = QueryOp::ScanAgg {
+            table: tref,
+            spec: ScanAggSpec {
+                pred: Pred::Const(true),
+                aggs: vec![AggSpec::count()],
+            },
+        };
+        let r = HostEngine::new(&mut path, &mut cpu, CostTable::host())
+            .run(&op, &Finalize::AggRow, SimTime::ZERO)
+            .unwrap();
+        // All work chained on one thread: total busy equals the busy time of
+        // the busiest lane, i.e. utilization <= 1/8 of the bank.
+        let util = cpu.utilization(r.elapsed);
+        assert!(util <= 1.0 / 8.0 + 1e-6, "bank utilization {util}");
+    }
+
+    #[test]
+    fn io_bound_scan_approaches_interface_bandwidth() {
+        // A trivial predicate on realistically wide tuples (~60/page, like
+        // the paper's LINEITEM) keeps the host CPU light; elapsed time
+        // should approach bytes / 550 MB/s (the Table 2 external bound).
+        let s = Schema::from_pairs(&[
+            ("k", DataType::Int32),
+            ("v", DataType::Int64),
+            ("pad", DataType::Char(120)),
+        ]);
+        let mut b = TableBuilder::new("wide", Arc::clone(&s), Layout::Nsm);
+        b.extend((0..40_000).map(|k| {
+            vec![Datum::I32(k), Datum::I64(k as i64), Datum::str("x")] as Tuple
+        }));
+        let img = b.finish();
+        let (mut path, tref) = loaded_path(&img);
+        let mut cpu = CpuModel::new("host-cpu", 8, 2_260_000_000);
+        let op = QueryOp::ScanAgg {
+            table: tref.clone(),
+            spec: ScanAggSpec {
+                pred: Pred::Const(false),
+                aggs: vec![AggSpec::count()],
+            },
+        };
+        let r = HostEngine::new(&mut path, &mut cpu, CostTable::host())
+            .run(&op, &Finalize::AggRow, SimTime::ZERO)
+            .unwrap();
+        let mbps = (tref.num_pages * PAGE_SIZE as u64) as f64 / r.elapsed.as_secs_f64() / 1e6;
+        assert!(
+            (430.0..560.0).contains(&mbps),
+            "host scan effective {mbps:.0} MB/s"
+        );
+    }
+
+    #[test]
+    fn parallel_scan_is_faster_and_identical() {
+        let img = table(Layout::Nsm, 100_000);
+        let op = |tref: TableRef| QueryOp::ScanAgg {
+            table: tref,
+            spec: ScanAggSpec {
+                pred: Pred::Cmp(CmpOp::Lt, Expr::col(0), Expr::lit(500)),
+                aggs: vec![AggSpec::sum(Expr::col(1)), AggSpec::count()],
+            },
+        };
+        let (mut p1, t1) = loaded_path(&img);
+        let mut cpu1 = CpuModel::new("host-cpu", 8, 2_260_000_000);
+        let serial = HostEngine::new(&mut p1, &mut cpu1, CostTable::host())
+            .run_with_dop(&op(t1), &Finalize::AggRow, SimTime::ZERO, 1)
+            .unwrap();
+        let (mut p4, t4) = loaded_path(&img);
+        let mut cpu4 = CpuModel::new("host-cpu", 8, 2_260_000_000);
+        let parallel = HostEngine::new(&mut p4, &mut cpu4, CostTable::host())
+            .run_with_dop(&op(t4), &Finalize::AggRow, SimTime::ZERO, 4)
+            .unwrap();
+        assert_eq!(serial.agg_values, parallel.agg_values);
+        // This narrow-tuple scan is CPU-bound serially, so parallelism
+        // helps until the interface becomes the limit.
+        assert!(
+            parallel.elapsed.as_secs_f64() < serial.elapsed.as_secs_f64() * 0.7,
+            "dop4 {} vs dop1 {}",
+            parallel.elapsed,
+            serial.elapsed
+        );
+    }
+
+    #[test]
+    fn validation_failure_is_reported() {
+        let img = table(Layout::Nsm, 10);
+        let (mut path, tref) = loaded_path(&img);
+        let mut cpu = CpuModel::new("host-cpu", 1, 1_000_000_000);
+        let op = QueryOp::ScanAgg {
+            table: tref,
+            spec: ScanAggSpec {
+                pred: Pred::Const(true),
+                aggs: vec![AggSpec::sum(Expr::col(77))],
+            },
+        };
+        let err = HostEngine::new(&mut path, &mut cpu, CostTable::host())
+            .run(&op, &Finalize::AggRow, SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Validation(_)));
+    }
+}

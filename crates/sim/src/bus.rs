@@ -1,0 +1,163 @@
+//! Bandwidth-limited links: host interface buses, the device's shared DRAM
+//! bus, per-channel NAND transfer links.
+
+use crate::time::{transfer_ns, SimTime};
+use crate::timeline::{Interval, Timeline};
+
+/// A FIFO link with fixed per-request latency and fixed bandwidth.
+///
+/// Models SATA/SAS/PCIe host interfaces as well as the SSD-internal DRAM bus.
+/// The paper's key observation (Section 4.2) is that all flash channels share
+/// one DRAM bus, so internal bandwidth is capped by this bus (1,560 MB/s on
+/// their prototype) rather than by the aggregate channel bandwidth.
+#[derive(Debug, Clone)]
+pub struct Bus {
+    name: &'static str,
+    bytes_per_sec: u64,
+    latency_ns: u64,
+    timeline: Timeline,
+    bytes_moved: u64,
+}
+
+impl Bus {
+    /// Creates a bus with the given bandwidth (bytes/second) and per-request
+    /// latency (command/setup overhead charged to every transfer).
+    pub fn new(name: &'static str, bytes_per_sec: u64, latency_ns: u64) -> Self {
+        assert!(bytes_per_sec > 0, "bus bandwidth must be positive");
+        Self {
+            name,
+            bytes_per_sec,
+            latency_ns,
+            timeline: Timeline::new(),
+            bytes_moved: 0,
+        }
+    }
+
+    /// Transfers `bytes` over the bus, starting no earlier than `earliest`.
+    /// The latency is charged inside the occupancy: the bus is held for
+    /// `latency + bytes/bandwidth`.
+    pub fn transfer(&mut self, earliest: SimTime, bytes: u64) -> Interval {
+        self.transfer_with_setup(earliest, bytes, 0)
+    }
+
+    /// Like [`Self::transfer`], with an additional per-request setup time
+    /// that also occupies the bus (e.g. a command round-trip charged only at
+    /// I/O batch boundaries). Setup must occupy the resource — merely
+    /// delaying the start would let queued requests absorb it for free.
+    pub fn transfer_with_setup(
+        &mut self,
+        earliest: SimTime,
+        bytes: u64,
+        setup_ns: u64,
+    ) -> Interval {
+        let service = self
+            .latency_ns
+            .saturating_add(setup_ns)
+            .saturating_add(transfer_ns(bytes, self.bytes_per_sec));
+        self.bytes_moved = self.bytes_moved.saturating_add(bytes);
+        self.timeline.occupy(earliest, service)
+    }
+
+    /// Name used in utilization/energy reports.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Configured bandwidth in bytes per second.
+    pub fn bytes_per_sec(&self) -> u64 {
+        self.bytes_per_sec
+    }
+
+    /// Total payload bytes moved so far.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Total busy time in nanoseconds.
+    pub fn busy_total_ns(&self) -> u64 {
+        self.timeline.busy_total_ns()
+    }
+
+    /// Instant the bus next becomes free.
+    pub fn busy_until(&self) -> SimTime {
+        self.timeline.busy_until()
+    }
+
+    /// Achieved throughput over `[0, elapsed]` in bytes/second.
+    pub fn achieved_bps(&self, elapsed: SimTime) -> f64 {
+        let s = elapsed.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.bytes_moved as f64 / s
+        }
+    }
+
+    /// Fraction of `[0, elapsed]` spent busy.
+    pub fn utilization(&self, elapsed: SimTime) -> f64 {
+        self.timeline.utilization(elapsed)
+    }
+
+    /// Resets transfer statistics and frees the bus.
+    pub fn reset(&mut self) {
+        self.timeline.reset();
+        self.bytes_moved = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mb_per_sec;
+
+    #[test]
+    fn back_to_back_transfers_hit_configured_bandwidth() {
+        // 550 MB/s SAS link, zero latency: 1000 x 256KB should take
+        // 256MB / 550MB/s ~ 465ms.
+        let mut bus = Bus::new("sas", mb_per_sec(550), 0);
+        let mut t = SimTime::ZERO;
+        for _ in 0..1000 {
+            t = bus.transfer(SimTime::ZERO, 256 * 1024).end;
+        }
+        let achieved = bus.achieved_bps(t);
+        let rel = (achieved - 550e6).abs() / 550e6;
+        assert!(rel < 0.001, "achieved {achieved}");
+    }
+
+    #[test]
+    fn latency_reduces_small_transfer_throughput() {
+        // 20us setup per command makes 4KB transfers latency-bound.
+        let mut bus = Bus::new("sata", mb_per_sec(550), 20_000);
+        let mut t = SimTime::ZERO;
+        for _ in 0..100 {
+            t = bus.transfer(SimTime::ZERO, 4096).end;
+        }
+        let achieved = bus.achieved_bps(t);
+        assert!(achieved < 200e6, "achieved {achieved}");
+    }
+
+    #[test]
+    fn transfers_serialize() {
+        let mut bus = Bus::new("dram", 1_000, 0); // 1 KB/s: 1 byte = 1 ms
+        let a = bus.transfer(SimTime::ZERO, 1);
+        let b = bus.transfer(SimTime::ZERO, 1);
+        assert_eq!(b.start, a.end);
+    }
+
+    #[test]
+    fn bytes_moved_accumulates() {
+        let mut bus = Bus::new("x", mb_per_sec(100), 0);
+        bus.transfer(SimTime::ZERO, 10);
+        bus.transfer(SimTime::ZERO, 20);
+        assert_eq!(bus.bytes_moved(), 30);
+        bus.reset();
+        assert_eq!(bus.bytes_moved(), 0);
+        assert_eq!(bus.busy_total_ns(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_rejected() {
+        Bus::new("bad", 0, 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Energy accounting.
+//!
+//! The paper measured wall-socket energy for the whole server and for the
+//! I/O subsystem separately (Table 3). We reproduce that by integrating a
+//! simple power model over simulated time: a constant idle draw plus, for
+//! each active component, its dynamic power weighted by busy time.
+
+use crate::time::SimTime;
+
+/// Which meter a component's draw counts toward. Everything counts toward
+/// the system meter; only storage-device components count toward the I/O
+/// subsystem meter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Subsystem {
+    /// Host-side components (CPUs, DRAM, HBA).
+    Host,
+    /// Storage-device components (HDD, SSD, Smart SSD internals).
+    Io,
+}
+
+/// One component's contribution to a run: `active_w` is the *additional*
+/// power drawn while busy, on top of the idle baseline.
+#[derive(Debug, Clone)]
+pub struct ComponentDraw {
+    /// Component name for reports ("host-cpu", "device-cpu", ...).
+    pub name: String,
+    /// Dynamic (active-minus-idle) power in watts.
+    pub active_w: f64,
+    /// Total busy time during the run, in nanoseconds.
+    pub busy_ns: u64,
+    /// Meter assignment.
+    pub subsystem: Subsystem,
+}
+
+impl ComponentDraw {
+    /// Dynamic energy contributed by this component, in joules.
+    pub fn joules(&self) -> f64 {
+        self.active_w * (self.busy_ns as f64 / 1e9)
+    }
+}
+
+/// Idle baselines, calibrated to the paper's test bed.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerModel {
+    /// Whole-server idle draw. The paper states 235 W for its dual-Xeon box.
+    pub system_idle_w: f64,
+    /// Idle draw of the storage device under test (counted in both meters).
+    pub io_idle_w: f64,
+}
+
+impl PowerModel {
+    /// The paper's published server idle power.
+    pub const PAPER_SYSTEM_IDLE_W: f64 = 235.0;
+
+    /// Creates a power model with the given idle baselines.
+    pub fn new(system_idle_w: f64, io_idle_w: f64) -> Self {
+        assert!(system_idle_w >= 0.0 && io_idle_w >= 0.0);
+        Self {
+            system_idle_w,
+            io_idle_w,
+        }
+    }
+
+    /// Integrates the model over a run.
+    pub fn energy(&self, elapsed: SimTime, draws: &[ComponentDraw]) -> EnergyBreakdown {
+        let secs = elapsed.as_secs_f64();
+        let dynamic_total: f64 = draws.iter().map(ComponentDraw::joules).sum();
+        let dynamic_io: f64 = draws
+            .iter()
+            .filter(|d| d.subsystem == Subsystem::Io)
+            .map(ComponentDraw::joules)
+            .sum();
+        EnergyBreakdown {
+            elapsed,
+            system_j: self.system_idle_w * secs + dynamic_total,
+            io_j: self.io_idle_w * secs + dynamic_io,
+            over_idle_j: dynamic_total,
+        }
+    }
+}
+
+impl Default for PowerModel {
+    /// Paper test bed: 235 W system idle; 2 W device idle (typical for an
+    /// enterprise SAS SSD).
+    fn default() -> Self {
+        Self::new(Self::PAPER_SYSTEM_IDLE_W, 2.0)
+    }
+}
+
+/// Energy totals for one query run, mirroring the rows of the paper's
+/// Table 3.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyBreakdown {
+    /// Simulated elapsed time of the run.
+    pub elapsed: SimTime,
+    /// Whole-system energy in joules ("Entire System Energy" row).
+    pub system_j: f64,
+    /// I/O-subsystem energy in joules ("I/O Subsystem Energy" row).
+    pub io_j: f64,
+    /// Energy above the system idle baseline (the paper's "over the base
+    /// idle energy" comparison in Section 4.2.3).
+    pub over_idle_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Whole-system energy in kilojoules, as reported in Table 3.
+    pub fn system_kj(&self) -> f64 {
+        self.system_j / 1e3
+    }
+
+    /// I/O-subsystem energy in kilojoules.
+    pub fn io_kj(&self) -> f64 {
+        self.io_j / 1e3
+    }
+
+    /// Over-idle energy in kilojoules.
+    pub fn over_idle_kj(&self) -> f64 {
+        self.over_idle_j / 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn draw(w: f64, secs: f64, sub: Subsystem) -> ComponentDraw {
+        ComponentDraw {
+            name: "c".into(),
+            active_w: w,
+            busy_ns: (secs * 1e9) as u64,
+            subsystem: sub,
+        }
+    }
+
+    #[test]
+    fn idle_only_run() {
+        let pm = PowerModel::new(235.0, 2.0);
+        let e = pm.energy(SimTime::from_secs(100), &[]);
+        assert!((e.system_j - 23_500.0).abs() < 1e-6);
+        assert!((e.io_j - 200.0).abs() < 1e-6);
+        assert!(e.over_idle_j.abs() < 1e-12);
+    }
+
+    #[test]
+    fn io_draw_counts_in_both_meters() {
+        let pm = PowerModel::new(0.0, 0.0);
+        let e = pm.energy(
+            SimTime::from_secs(10),
+            &[draw(5.0, 10.0, Subsystem::Io), draw(100.0, 10.0, Subsystem::Host)],
+        );
+        assert!((e.system_j - 1050.0).abs() < 1e-6);
+        assert!((e.io_j - 50.0).abs() < 1e-6);
+        assert!((e.over_idle_j - 1050.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partial_busy_scales_linearly() {
+        let pm = PowerModel::new(0.0, 0.0);
+        // 100 W component busy for half the 10 s run: 500 J.
+        let e = pm.energy(SimTime::from_secs(10), &[draw(100.0, 5.0, Subsystem::Host)]);
+        assert!((e.system_j - 500.0).abs() < 1e-6);
+    }
+
+    /// Closed-form check that the calibrated default parameters used by the
+    /// Table 3 reproduction can satisfy the paper's six published ratios
+    /// simultaneously (system 11.6x/1.9x, I/O 14.3x/1.4x, over-idle
+    /// 12.4x/2.3x). See DESIGN.md section 4 for the derivation.
+    #[test]
+    fn table3_ratio_system_is_consistent() {
+        let idle = 235.0;
+        // Derived in DESIGN.md: t_hdd ~ 11.2 t_smart, t_ssd = 1.7 t_smart,
+        // dynamic powers p_smart=118W, p_ssd=159.6W, p_hdd=130.6W.
+        let t_smart = 120.0;
+        let (t_ssd, t_hdd) = (1.7 * t_smart, 11.2 * t_smart);
+        let (p_smart, p_ssd, p_hdd) = (118.0, 159.6, 130.6);
+        let e = |p: f64, t: f64| (idle + p) * t;
+        let sys_hdd_ratio = e(p_hdd, t_hdd) / e(p_smart, t_smart);
+        let sys_ssd_ratio = e(p_ssd, t_ssd) / e(p_smart, t_smart);
+        assert!((sys_hdd_ratio - 11.6).abs() < 0.2, "{sys_hdd_ratio}");
+        assert!((sys_ssd_ratio - 1.9).abs() < 0.1, "{sys_ssd_ratio}");
+        let over_hdd = (p_hdd * t_hdd) / (p_smart * t_smart);
+        let over_ssd = (p_ssd * t_ssd) / (p_smart * t_smart);
+        assert!((over_hdd - 12.4).abs() < 0.3, "{over_hdd}");
+        assert!((over_ssd - 2.3).abs() < 0.1, "{over_ssd}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Run-level utilization reporting.
+
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-component utilization summary for one simulated run.
+///
+/// Collected by the façade after a query completes; used by the experiment
+/// harness to explain *why* a configuration is slow (e.g. the device CPU at
+/// ~100% on Q6 explains the 1.7x-instead-of-2.8x result in Section 4.2.1).
+#[derive(Debug, Clone, Default)]
+pub struct UtilizationReport {
+    /// Simulated elapsed time of the run.
+    pub elapsed: SimTime,
+    /// Component name -> (busy nanoseconds, utilization in [0,1]).
+    pub components: BTreeMap<String, (u64, f64)>,
+}
+
+impl UtilizationReport {
+    /// Creates an empty report for a run of the given length.
+    pub fn new(elapsed: SimTime) -> Self {
+        Self {
+            elapsed,
+            components: BTreeMap::new(),
+        }
+    }
+
+    /// Records a component's busy time; utilization is computed against the
+    /// run length times `lanes` (for multi-lane resources such as CPU banks).
+    pub fn record(&mut self, name: impl Into<String>, busy_ns: u64, lanes: usize) {
+        let cap = self.elapsed.as_nanos() as f64 * lanes.max(1) as f64;
+        let util = if cap > 0.0 {
+            (busy_ns as f64 / cap).min(1.0)
+        } else {
+            0.0
+        };
+        self.components.insert(name.into(), (busy_ns, util));
+    }
+
+    /// Utilization of a named component, if recorded.
+    pub fn utilization(&self, name: &str) -> Option<f64> {
+        self.components.get(name).map(|&(_, u)| u)
+    }
+
+    /// The component with the highest utilization — the pipeline bottleneck.
+    pub fn bottleneck(&self) -> Option<(&str, f64)> {
+        self.components
+            .iter()
+            .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+            .map(|(n, &(_, u))| (n.as_str(), u))
+    }
+}
+
+impl fmt::Display for UtilizationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "elapsed {}", self.elapsed)?;
+        for (name, (busy, util)) in &self.components {
+            writeln!(
+                f,
+                "  {name:<18} busy {:>10.3}ms  util {:>5.1}%",
+                *busy as f64 / 1e6,
+                util * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_finds_bottleneck() {
+        let mut r = UtilizationReport::new(SimTime::from_secs(1));
+        r.record("bus", 500_000_000, 1);
+        r.record("cpu", 900_000_000, 1);
+        assert_eq!(r.utilization("bus"), Some(0.5));
+        let (name, util) = r.bottleneck().unwrap();
+        assert_eq!(name, "cpu");
+        assert!((util - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_lane_capacity() {
+        let mut r = UtilizationReport::new(SimTime::from_secs(1));
+        // 2 lanes, 1 lane-second busy => 50%.
+        r.record("cpu", 1_000_000_000, 2);
+        assert_eq!(r.utilization("cpu"), Some(0.5));
+    }
+
+    #[test]
+    fn zero_elapsed_is_zero_util() {
+        let mut r = UtilizationReport::new(SimTime::ZERO);
+        r.record("x", 100, 1);
+        assert_eq!(r.utilization("x"), Some(0.0));
+        assert!(r.utilization("missing").is_none());
+    }
+
+    #[test]
+    fn display_renders_components() {
+        let mut r = UtilizationReport::new(SimTime::from_secs(1));
+        r.record("bus", 100_000_000, 1);
+        let s = r.to_string();
+        assert!(s.contains("bus"));
+        assert!(s.contains("10.0%"));
+    }
+}

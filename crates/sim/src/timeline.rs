@@ -1,0 +1,219 @@
+//! FIFO resource timelines: the core serialization primitive of the
+//! simulation.
+
+use crate::time::SimTime;
+
+/// A half-open interval `[start, end)` during which a resource served one
+/// request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// When service began (request arrival or when the resource freed up,
+    /// whichever is later).
+    pub start: SimTime,
+    /// When service completed; the resource is free again from this instant.
+    pub end: SimTime,
+}
+
+impl Interval {
+    /// Length of the interval.
+    #[inline]
+    pub fn duration(&self) -> SimTime {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// A single hardware resource that serves requests one at a time, in FIFO
+/// order: a flash channel, the shared DRAM bus, a host-interface link, one
+/// CPU core.
+///
+/// The timeline tracks when the resource next becomes free (`busy_until`) and
+/// how much total busy time it has accumulated (used for utilization and
+/// energy accounting).
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    busy_until: SimTime,
+    busy_total_ns: u64,
+    requests: u64,
+}
+
+impl Timeline {
+    /// A fresh, idle timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves the resource for `service_ns` nanoseconds, starting no
+    /// earlier than `earliest`. Returns the actual service interval.
+    pub fn occupy(&mut self, earliest: SimTime, service_ns: u64) -> Interval {
+        let start = earliest.max(self.busy_until);
+        let end = start + SimTime::from_nanos(service_ns);
+        self.busy_until = end;
+        self.busy_total_ns = self.busy_total_ns.saturating_add(service_ns);
+        self.requests += 1;
+        Interval { start, end }
+    }
+
+    /// The instant the resource next becomes free.
+    #[inline]
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total busy time accumulated so far, in nanoseconds.
+    #[inline]
+    pub fn busy_total_ns(&self) -> u64 {
+        self.busy_total_ns
+    }
+
+    /// Number of requests served.
+    #[inline]
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Fraction of `[0, elapsed]` this resource spent busy. Returns 0 for a
+    /// zero-length run.
+    pub fn utilization(&self, elapsed: SimTime) -> f64 {
+        let e = elapsed.as_nanos();
+        if e == 0 {
+            0.0
+        } else {
+            (self.busy_total_ns as f64 / e as f64).min(1.0)
+        }
+    }
+
+    /// Resets the timeline to idle, clearing accumulated statistics.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// A bank of identical timelines with earliest-available dispatch: models a
+/// pool of interchangeable units (CPU cores, flash planes) any of which can
+/// serve the next request.
+#[derive(Debug, Clone)]
+pub struct TimelineBank {
+    lanes: Vec<Timeline>,
+}
+
+impl TimelineBank {
+    /// Creates a bank of `n` idle lanes. `n` must be at least 1.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "a timeline bank needs at least one lane");
+        Self {
+            lanes: vec![Timeline::new(); n],
+        }
+    }
+
+    /// Number of lanes in the bank.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Dispatches a request to the lane that frees up soonest.
+    pub fn occupy(&mut self, earliest: SimTime, service_ns: u64) -> Interval {
+        let lane = self
+            .lanes
+            .iter_mut()
+            .min_by_key(|l| l.busy_until())
+            .expect("bank is non-empty");
+        lane.occupy(earliest, service_ns)
+    }
+
+    /// Sum of busy time across all lanes, in nanoseconds.
+    pub fn busy_total_ns(&self) -> u64 {
+        self.lanes.iter().map(Timeline::busy_total_ns).sum()
+    }
+
+    /// The instant *all* lanes are free.
+    pub fn drained_at(&self) -> SimTime {
+        self.lanes
+            .iter()
+            .map(Timeline::busy_until)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Average per-lane utilization over `[0, elapsed]`.
+    pub fn utilization(&self, elapsed: SimTime) -> f64 {
+        let e = elapsed.as_nanos();
+        if e == 0 {
+            return 0.0;
+        }
+        let cap = e as f64 * self.lanes.len() as f64;
+        (self.busy_total_ns() as f64 / cap).min(1.0)
+    }
+
+    /// Resets all lanes to idle.
+    pub fn reset(&mut self) {
+        for l in &mut self.lanes {
+            l.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_serialization() {
+        let mut t = Timeline::new();
+        let a = t.occupy(SimTime::ZERO, 100);
+        assert_eq!(a.start, SimTime::ZERO);
+        assert_eq!(a.end, SimTime::from_nanos(100));
+        // Arrives while busy: queued behind the first request.
+        let b = t.occupy(SimTime::from_nanos(50), 100);
+        assert_eq!(b.start, SimTime::from_nanos(100));
+        assert_eq!(b.end, SimTime::from_nanos(200));
+        // Arrives after an idle gap: starts at its arrival time.
+        let c = t.occupy(SimTime::from_nanos(500), 100);
+        assert_eq!(c.start, SimTime::from_nanos(500));
+        assert_eq!(t.busy_total_ns(), 300);
+        assert_eq!(t.requests(), 3);
+    }
+
+    #[test]
+    fn utilization_excludes_idle_gaps() {
+        let mut t = Timeline::new();
+        t.occupy(SimTime::ZERO, 100);
+        t.occupy(SimTime::from_nanos(900), 100);
+        let u = t.utilization(SimTime::from_nanos(1000));
+        assert!((u - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_zero_elapsed() {
+        let t = Timeline::new();
+        assert_eq!(t.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn bank_dispatches_to_earliest_lane() {
+        let mut bank = TimelineBank::new(2);
+        let a = bank.occupy(SimTime::ZERO, 100);
+        let b = bank.occupy(SimTime::ZERO, 100);
+        // Two lanes: both requests start immediately.
+        assert_eq!(a.start, SimTime::ZERO);
+        assert_eq!(b.start, SimTime::ZERO);
+        // Third waits for the first lane to free.
+        let c = bank.occupy(SimTime::ZERO, 100);
+        assert_eq!(c.start, SimTime::from_nanos(100));
+        assert_eq!(bank.drained_at(), SimTime::from_nanos(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn bank_rejects_zero_lanes() {
+        TimelineBank::new(0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut t = Timeline::new();
+        t.occupy(SimTime::ZERO, 100);
+        t.reset();
+        assert_eq!(t.busy_total_ns(), 0);
+        assert_eq!(t.busy_until(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests of the simulation substrate's core invariants.
+
+use proptest::prelude::*;
+use smartssd_sim::{Bus, CpuModel, SimTime, Timeline};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A timeline's service intervals never overlap and never run backward,
+    /// whatever the arrival pattern.
+    #[test]
+    fn timeline_intervals_are_disjoint_and_ordered(
+        reqs in prop::collection::vec((0u64..10_000, 1u64..500), 1..200)
+    ) {
+        let mut t = Timeline::new();
+        let mut prev_end = SimTime::ZERO;
+        let mut total = 0u64;
+        for (arrival, service) in reqs {
+            let iv = t.occupy(SimTime::from_nanos(arrival), service);
+            prop_assert!(iv.start >= prev_end, "service overlapped predecessor");
+            prop_assert!(iv.start >= SimTime::from_nanos(arrival));
+            prop_assert_eq!(iv.duration().as_nanos(), service);
+            prev_end = iv.end;
+            total += service;
+        }
+        prop_assert_eq!(t.busy_total_ns(), total);
+        prop_assert_eq!(t.busy_until(), prev_end);
+    }
+
+    /// Bus throughput never exceeds configured bandwidth over the busy span.
+    #[test]
+    fn bus_never_exceeds_bandwidth(
+        sizes in prop::collection::vec(1u64..1_000_000, 1..100),
+        bw in 1_000_000u64..2_000_000_000,
+    ) {
+        let mut bus = Bus::new("b", bw, 0);
+        let mut end = SimTime::ZERO;
+        let mut bytes = 0u64;
+        for s in sizes {
+            end = bus.transfer(SimTime::ZERO, s).end;
+            bytes += s;
+        }
+        let achieved = bytes as f64 / end.as_secs_f64();
+        prop_assert!(achieved <= bw as f64 * 1.001, "{achieved} > {bw}");
+    }
+
+    /// A CPU bank with N cores is at most N times faster than one core for
+    /// the same work list, and never slower.
+    #[test]
+    fn cpu_bank_scales_between_1x_and_nx(
+        chunks in prop::collection::vec(1_000u64..1_000_000, 2..60),
+        cores in 2usize..8,
+    ) {
+        let hz = 1_000_000_000;
+        let mut one = CpuModel::new("one", 1, hz);
+        let mut many = CpuModel::new("many", cores, hz);
+        for &c in &chunks {
+            one.execute(SimTime::ZERO, c);
+            many.execute(SimTime::ZERO, c);
+        }
+        let t1 = one.drained_at().as_nanos() as f64;
+        let tn = many.drained_at().as_nanos() as f64;
+        prop_assert!(tn <= t1 * 1.001);
+        prop_assert!(tn * cores as f64 >= t1 * 0.999, "superlinear scaling?");
+    }
+
+    /// Utilization is always within [0, 1].
+    #[test]
+    fn utilization_bounded(
+        reqs in prop::collection::vec((0u64..1_000, 1u64..1_000), 1..100)
+    ) {
+        let mut t = Timeline::new();
+        let mut end = SimTime::ZERO;
+        for (a, s) in reqs {
+            end = t.occupy(SimTime::from_nanos(a), s).end;
+        }
+        let u = t.utilization(end);
+        prop_assert!((0.0..=1.0).contains(&u));
+    }
+}

@@ -1,0 +1,260 @@
+//! Common page infrastructure: the 8 KB page buffer, header codec, and
+//! checksum.
+//!
+//! Pages mirror SQL Server's 8 KB unit (the paper's host DBMS). Every page
+//! carries a small header with a layout tag, tuple count, and a checksum
+//! that stands in for the integrity checks a real device's ECC path
+//! provides end-to-end.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// Page size in bytes (SQL Server uses 8 KB pages).
+pub const PAGE_SIZE: usize = 8192;
+
+/// Bytes reserved for the page header.
+pub const PAGE_HEADER_SIZE: usize = 32;
+
+/// Magic bytes identifying a formatted page.
+pub const PAGE_MAGIC: [u8; 4] = *b"SSPG";
+
+/// On-page record organization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// N-ary storage model: whole tuples in a slotted page (SQL Server's
+    /// default heap layout).
+    Nsm,
+    /// Partition Attributes Across: per-column minipages within the page,
+    /// implemented by the paper for the Smart SSD path.
+    Pax,
+}
+
+impl Layout {
+    fn tag(self) -> u8 {
+        match self {
+            Layout::Nsm => 0,
+            Layout::Pax => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Layout> {
+        match tag {
+            0 => Some(Layout::Nsm),
+            1 => Some(Layout::Pax),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layout::Nsm => write!(f, "NSM"),
+            Layout::Pax => write!(f, "PAX"),
+        }
+    }
+}
+
+/// An immutable, reference-counted 8 KB page image.
+///
+/// Cloning a `PageBuf` is O(1) (shared `Bytes`), which lets the flash store,
+/// device DRAM, and host buffer pool pass pages around without copying —
+/// the *timing* cost of each copy is charged by the simulation layer, not
+/// by actual memcpys.
+#[derive(Debug, Clone)]
+pub struct PageBuf {
+    data: Bytes,
+}
+
+/// Errors surfaced when validating a page image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageError {
+    /// Page is not `PAGE_SIZE` bytes.
+    BadLength(usize),
+    /// Magic bytes missing — the page was never formatted.
+    BadMagic,
+    /// Unknown layout tag.
+    BadLayout(u8),
+    /// Checksum mismatch (simulated media corruption / ECC escape).
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u32,
+        /// Checksum recomputed over the body.
+        computed: u32,
+    },
+}
+
+impl fmt::Display for PageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageError::BadLength(n) => write!(f, "page has {n} bytes, expected {PAGE_SIZE}"),
+            PageError::BadMagic => write!(f, "page magic missing"),
+            PageError::BadLayout(t) => write!(f, "unknown layout tag {t}"),
+            PageError::ChecksumMismatch { stored, computed } => {
+                write!(f, "checksum mismatch: stored {stored:#x}, computed {computed:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PageError {}
+
+impl PageBuf {
+    /// Wraps raw bytes as a page, validating length, magic, layout tag, and
+    /// checksum.
+    pub fn from_bytes(data: Bytes) -> Result<Self, PageError> {
+        if data.len() != PAGE_SIZE {
+            return Err(PageError::BadLength(data.len()));
+        }
+        if data[0..4] != PAGE_MAGIC {
+            return Err(PageError::BadMagic);
+        }
+        let tag = data[4];
+        if Layout::from_tag(tag).is_none() {
+            return Err(PageError::BadLayout(tag));
+        }
+        let stored = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+        let computed = checksum(&data[PAGE_HEADER_SIZE..]);
+        if stored != computed {
+            return Err(PageError::ChecksumMismatch { stored, computed });
+        }
+        Ok(Self { data })
+    }
+
+    /// Formats a fresh page image from a body and header fields.
+    pub(crate) fn format(layout: Layout, tuple_count: u16, body: &[u8]) -> Self {
+        assert!(body.len() <= PAGE_SIZE - PAGE_HEADER_SIZE);
+        let mut raw = vec![0u8; PAGE_SIZE];
+        raw[PAGE_HEADER_SIZE..PAGE_HEADER_SIZE + body.len()].copy_from_slice(body);
+        raw[0..4].copy_from_slice(&PAGE_MAGIC);
+        raw[4] = layout.tag();
+        raw[5..7].copy_from_slice(&tuple_count.to_le_bytes());
+        let sum = checksum(&raw[PAGE_HEADER_SIZE..]);
+        raw[8..12].copy_from_slice(&sum.to_le_bytes());
+        Self {
+            data: Bytes::from(raw),
+        }
+    }
+
+    /// The page's layout tag.
+    pub fn layout(&self) -> Layout {
+        Layout::from_tag(self.data[4]).expect("validated at construction")
+    }
+
+    /// Number of tuples stored on the page.
+    pub fn tuple_count(&self) -> u16 {
+        u16::from_le_bytes(self.data[5..7].try_into().expect("2 bytes"))
+    }
+
+    /// The stored checksum.
+    pub fn stored_checksum(&self) -> u32 {
+        u32::from_le_bytes(self.data[8..12].try_into().expect("4 bytes"))
+    }
+
+    /// Verifies the body against the stored checksum.
+    pub fn verify(&self) -> Result<(), PageError> {
+        let computed = checksum(&self.data[PAGE_HEADER_SIZE..]);
+        let stored = self.stored_checksum();
+        if stored == computed {
+            Ok(())
+        } else {
+            Err(PageError::ChecksumMismatch { stored, computed })
+        }
+    }
+
+    /// The page body (everything after the header).
+    pub fn body(&self) -> &[u8] {
+        &self.data[PAGE_HEADER_SIZE..]
+    }
+
+    /// The full raw page, header included.
+    pub fn raw(&self) -> &Bytes {
+        &self.data
+    }
+
+    /// Returns a copy of this page with `nbytes` bytes flipped starting at
+    /// `offset` within the body — used by tests and failure-injection to
+    /// simulate media corruption that slipped past ECC.
+    pub fn corrupted(&self, offset: usize, nbytes: usize) -> PageBuf {
+        let mut raw = self.data.to_vec();
+        for b in raw
+            .iter_mut()
+            .skip(PAGE_HEADER_SIZE + offset)
+            .take(nbytes)
+        {
+            *b ^= 0xFF;
+        }
+        PageBuf {
+            data: Bytes::from(raw),
+        }
+    }
+}
+
+/// FNV-1a over the page body. A real SSD corrects errors with BCH/LDPC ECC
+/// in the flash controller; the checksum here plays the same
+/// detect-bad-reads role for the emulator's failure-injection tests.
+pub fn checksum(body: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c9dc5;
+    for &b in body {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x01000193);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_and_validate_round_trip() {
+        let page = PageBuf::format(Layout::Nsm, 7, b"hello");
+        let back = PageBuf::from_bytes(page.raw().clone()).unwrap();
+        assert_eq!(back.layout(), Layout::Nsm);
+        assert_eq!(back.tuple_count(), 7);
+        assert!(back.verify().is_ok());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let page = PageBuf::format(Layout::Pax, 3, b"body bytes");
+        let bad = page.corrupted(2, 1);
+        match bad.verify() {
+            Err(PageError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+        assert!(PageBuf::from_bytes(bad.raw().clone()).is_err());
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let err = PageBuf::from_bytes(Bytes::from_static(b"short")).unwrap_err();
+        assert_eq!(err, PageError::BadLength(5));
+    }
+
+    #[test]
+    fn missing_magic_rejected() {
+        let raw = vec![0u8; PAGE_SIZE];
+        assert_eq!(
+            PageBuf::from_bytes(Bytes::from(raw)).unwrap_err(),
+            PageError::BadMagic
+        );
+    }
+
+    #[test]
+    fn unknown_layout_rejected() {
+        let page = PageBuf::format(Layout::Nsm, 0, b"");
+        let mut raw = page.raw().to_vec();
+        raw[4] = 9;
+        assert_eq!(
+            PageBuf::from_bytes(Bytes::from(raw)).unwrap_err(),
+            PageError::BadLayout(9)
+        );
+    }
+
+    #[test]
+    fn checksum_is_stable_and_sensitive() {
+        assert_eq!(checksum(b""), 0x811c9dc5);
+        assert_ne!(checksum(b"a"), checksum(b"b"));
+    }
+}

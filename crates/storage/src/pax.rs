@@ -1,0 +1,271 @@
+//! PAX (Partition Attributes Across) pages.
+//!
+//! Same page-level granularity as NSM, but within the page all values of a
+//! column are stored contiguously in a "minipage" (Ailamaki et al., VLDB
+//! 2001). The paper implemented PAX for the Smart SSD because the in-device
+//! scan then reads only the minipages of referenced columns — far fewer
+//! device-CPU cycles per tuple than walking NSM slot directories and record
+//! offsets (Section 4.1.1 and the PAX vs NSM bars in Figures 3/5/7).
+//!
+//! Page body layout (all columns fixed width, `n` tuples):
+//!
+//! ```text
+//! [ col0 minipage: n * w0 bytes | col1 minipage: n * w1 bytes | ... ]
+//! ```
+//!
+//! Minipage offsets are computable from the schema and `n`, so no on-page
+//! offset table is needed.
+
+use crate::page::{Layout, PageBuf, PAGE_HEADER_SIZE, PAGE_SIZE};
+use crate::row::RowAccessor;
+use crate::schema::Schema;
+use crate::types::{DataType, Datum};
+use std::sync::Arc;
+
+/// Maximum number of tuples of `tuple_width` bytes that fit in a PAX page.
+/// Identical record payload to NSM minus the slot directory.
+pub fn capacity(tuple_width: usize) -> usize {
+    (PAGE_SIZE - PAGE_HEADER_SIZE) / tuple_width
+}
+
+/// Builds PAX pages from a stream of tuples.
+///
+/// Tuples are staged column-wise; `seal` lays the minipages out back to
+/// back sized to the actual tuple count.
+pub struct PaxPageBuilder {
+    schema: Arc<Schema>,
+    /// One staging buffer per column.
+    cols: Vec<Vec<u8>>,
+    n: usize,
+    capacity: usize,
+}
+
+impl PaxPageBuilder {
+    /// Creates a builder for pages of the given schema.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        let cap = capacity(schema.tuple_width());
+        assert!(
+            cap >= 1,
+            "tuple of width {} does not fit on a {}B page",
+            schema.tuple_width(),
+            PAGE_SIZE
+        );
+        let cols = schema
+            .columns()
+            .iter()
+            .map(|c| Vec::with_capacity(c.ty.width() * cap))
+            .collect();
+        Self {
+            schema,
+            cols,
+            n: 0,
+            capacity: cap,
+        }
+    }
+
+    /// Whether the page has room for another tuple.
+    pub fn has_room(&self) -> bool {
+        self.n < self.capacity
+    }
+
+    /// Number of tuples currently staged.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether no tuples are staged.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Appends a tuple. Panics if the page is full.
+    pub fn push(&mut self, tuple: &[Datum]) {
+        assert!(self.has_room(), "PAX page is full");
+        assert_eq!(tuple.len(), self.schema.len(), "tuple arity mismatch");
+        for ((datum, col), buf) in tuple
+            .iter()
+            .zip(self.schema.columns())
+            .zip(self.cols.iter_mut())
+        {
+            assert!(datum.fits(col.ty), "datum does not fit column {}", col.name);
+            match (datum, col.ty) {
+                (Datum::I32(v), DataType::Int32) => buf.extend_from_slice(&v.to_le_bytes()),
+                (Datum::I64(v), DataType::Int64) => buf.extend_from_slice(&v.to_le_bytes()),
+                (Datum::Str(b), DataType::Char(w)) => {
+                    buf.extend_from_slice(b);
+                    buf.resize(buf.len() + (w as usize - b.len()), b' ');
+                }
+                _ => unreachable!("fits() checked above"),
+            }
+        }
+        self.n += 1;
+    }
+
+    /// Seals the staged tuples into an immutable PAX page and resets the
+    /// builder.
+    pub fn seal(&mut self) -> PageBuf {
+        let mut body = Vec::with_capacity(self.n * self.schema.tuple_width());
+        for buf in &mut self.cols {
+            body.extend_from_slice(buf);
+            buf.clear();
+        }
+        let n = self.n;
+        self.n = 0;
+        PageBuf::format(Layout::Pax, n as u16, &body)
+    }
+}
+
+/// Read-side view of one PAX page.
+pub struct PaxReader<'a> {
+    page: &'a PageBuf,
+    schema: &'a Schema,
+    n: usize,
+    /// Byte offset of each column's minipage within the body.
+    mini_offsets: Vec<usize>,
+}
+
+impl<'a> PaxReader<'a> {
+    /// Wraps a page. Panics if the page is not PAX.
+    pub fn new(page: &'a PageBuf, schema: &'a Schema) -> Self {
+        assert_eq!(page.layout(), Layout::Pax, "not a PAX page");
+        let n = page.tuple_count() as usize;
+        let mut mini_offsets = Vec::with_capacity(schema.len());
+        let mut off = 0usize;
+        for c in schema.columns() {
+            mini_offsets.push(off);
+            off += n * c.ty.width();
+        }
+        Self {
+            page,
+            schema,
+            n,
+            mini_offsets,
+        }
+    }
+
+    /// The contiguous minipage of column `col`: `n * width` bytes.
+    #[inline]
+    pub fn minipage(&self, col: usize) -> &'a [u8] {
+        let w = self.schema.column(col).ty.width();
+        let start = self.mini_offsets[col];
+        &self.page.body()[start..start + self.n * w]
+    }
+
+    /// Iterates a numeric column without materializing datums — the
+    /// in-device scan hot path.
+    pub fn i64_column(&self, col: usize) -> impl Iterator<Item = i64> + '_ {
+        let ty = self.schema.column(col).ty;
+        let w = ty.width();
+        let mini = self.minipage(col);
+        (0..self.n).map(move |i| crate::tuple::read_i64(ty, &mini[i * w..(i + 1) * w]))
+    }
+}
+
+impl RowAccessor for PaxReader<'_> {
+    fn schema(&self) -> &Schema {
+        self.schema
+    }
+
+    fn num_rows(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn field(&self, row: usize, col: usize) -> &[u8] {
+        debug_assert!(row < self.n);
+        let w = self.schema.column(col).ty.width();
+        let start = self.mini_offsets[col] + row * w;
+        &self.page.body()[start..start + w]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> std::sync::Arc<Schema> {
+        Schema::from_pairs(&[
+            ("k", DataType::Int32),
+            ("s", DataType::Char(5)),
+            ("v", DataType::Int64),
+        ])
+    }
+
+    #[test]
+    fn build_and_read_back() {
+        let s = schema();
+        let mut b = PaxPageBuilder::new(Arc::clone(&s));
+        for k in 0..10 {
+            b.push(&[Datum::I32(k), Datum::str("ab"), Datum::I64(k as i64 * 3)]);
+        }
+        let page = b.seal();
+        assert_eq!(page.layout(), Layout::Pax);
+        let r = PaxReader::new(&page, &s);
+        assert_eq!(r.num_rows(), 10);
+        for k in 0..10usize {
+            assert_eq!(r.i64_at(k, 0), k as i64);
+            assert_eq!(r.field(k, 1), b"ab   ");
+            assert_eq!(r.i64_at(k, 2), k as i64 * 3);
+        }
+    }
+
+    #[test]
+    fn minipages_are_contiguous() {
+        let s = schema();
+        let mut b = PaxPageBuilder::new(Arc::clone(&s));
+        for k in 0..4 {
+            b.push(&[Datum::I32(k), Datum::str("x"), Datum::I64(0)]);
+        }
+        let page = b.seal();
+        let r = PaxReader::new(&page, &s);
+        let mini = r.minipage(0);
+        assert_eq!(mini.len(), 4 * 4);
+        let vals: Vec<i32> = mini
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(vals, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn i64_column_iterator_matches_field_access() {
+        let s = schema();
+        let mut b = PaxPageBuilder::new(Arc::clone(&s));
+        for k in 0..7 {
+            b.push(&[Datum::I32(k * 2), Datum::str("q"), Datum::I64(-k as i64)]);
+        }
+        let page = b.seal();
+        let r = PaxReader::new(&page, &s);
+        let via_iter: Vec<i64> = r.i64_column(2).collect();
+        let via_field: Vec<i64> = (0..7).map(|i| r.i64_at(i, 2)).collect();
+        assert_eq!(via_iter, via_field);
+    }
+
+    #[test]
+    fn pax_capacity_exceeds_nsm_capacity() {
+        // No slot directory: PAX fits at least as many tuples per page.
+        assert!(capacity(156) >= crate::nsm::capacity(156));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a PAX page")]
+    fn nsm_page_rejected() {
+        let s = schema();
+        let page = crate::nsm::NsmPageBuilder::new(Arc::clone(&s)).seal();
+        PaxReader::new(&page, &s);
+    }
+
+    #[test]
+    fn builder_resets_after_seal() {
+        let s = schema();
+        let mut b = PaxPageBuilder::new(Arc::clone(&s));
+        b.push(&[Datum::I32(1), Datum::str("a"), Datum::I64(1)]);
+        let p1 = b.seal();
+        assert_eq!(p1.tuple_count(), 1);
+        assert!(b.is_empty());
+        b.push(&[Datum::I32(2), Datum::str("b"), Datum::I64(2)]);
+        let p2 = b.seal();
+        let r = PaxReader::new(&p2, &s);
+        assert_eq!(r.i64_at(0, 0), 2);
+    }
+}

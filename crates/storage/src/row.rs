@@ -1,0 +1,41 @@
+//! Layout-agnostic row access.
+//!
+//! Operators (scan, filter, join, aggregate) are written once against this
+//! trait; the NSM and PAX page readers both implement it. The *cost* of each
+//! access differs by layout — that asymmetry lives in the execution cost
+//! model, not here.
+
+use crate::schema::Schema;
+use crate::tuple::{decode_field, read_i64, Tuple};
+use crate::types::Datum;
+
+/// Read access to the rows of one page (or any row batch).
+pub trait RowAccessor {
+    /// Schema of the rows.
+    fn schema(&self) -> &Schema;
+
+    /// Number of rows available.
+    fn num_rows(&self) -> usize;
+
+    /// Raw bytes of field `(row, col)`, exactly the column's width.
+    fn field(&self, row: usize, col: usize) -> &[u8];
+
+    /// Numeric field as `i64` (widens `Int32`). Panics on char columns.
+    #[inline]
+    fn i64_at(&self, row: usize, col: usize) -> i64 {
+        read_i64(self.schema().column(col).ty, self.field(row, col))
+    }
+
+    /// Decodes a single field to a `Datum`.
+    #[inline]
+    fn datum_at(&self, row: usize, col: usize) -> Datum {
+        decode_field(self.schema().column(col).ty, self.field(row, col))
+    }
+
+    /// Decodes a whole row.
+    fn tuple_at(&self, row: usize) -> Tuple {
+        (0..self.schema().len())
+            .map(|c| self.datum_at(row, c))
+            .collect()
+    }
+}

@@ -1,0 +1,278 @@
+//! In-memory table images: an ordered list of formatted pages.
+//!
+//! A `TableImage` is the unit that gets loaded onto a simulated storage
+//! device (each page becomes one logical block address). It is layout-typed:
+//! the paper populates each table twice, once NSM and once PAX, and selects
+//! the image matching the device configuration under test.
+
+use crate::nsm::NsmPageBuilder;
+use crate::page::{Layout, PageBuf, PAGE_SIZE};
+use crate::pax::PaxPageBuilder;
+use crate::row::RowAccessor;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use std::sync::Arc;
+
+/// An immutable table: schema + layout + formatted pages.
+#[derive(Clone)]
+pub struct TableImage {
+    name: String,
+    schema: Arc<Schema>,
+    layout: Layout,
+    pages: Vec<PageBuf>,
+    rows: u64,
+}
+
+impl TableImage {
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Page layout of this image.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// The formatted pages in order.
+    pub fn pages(&self) -> &[PageBuf] {
+        &self.pages
+    }
+
+    /// Number of pages.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total row count.
+    pub fn num_rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Total on-device size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE as u64
+    }
+
+    /// Decodes every tuple in storage order. Test/diagnostic path — the
+    /// engines read pages, not whole tables.
+    pub fn scan_tuples(&self) -> Vec<Tuple> {
+        let mut out = Vec::with_capacity(self.rows as usize);
+        for page in &self.pages {
+            match self.layout {
+                Layout::Nsm => {
+                    let r = crate::nsm::NsmReader::new(page, &self.schema);
+                    for i in 0..r.num_rows() {
+                        out.push(r.tuple_at(i));
+                    }
+                }
+                Layout::Pax => {
+                    let r = crate::pax::PaxReader::new(page, &self.schema);
+                    for i in 0..r.num_rows() {
+                        out.push(r.tuple_at(i));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+enum OpenPage {
+    Nsm(NsmPageBuilder),
+    Pax(PaxPageBuilder),
+}
+
+impl OpenPage {
+    fn has_room(&self) -> bool {
+        match self {
+            OpenPage::Nsm(b) => b.has_room(),
+            OpenPage::Pax(b) => b.has_room(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            OpenPage::Nsm(b) => b.is_empty(),
+            OpenPage::Pax(b) => b.is_empty(),
+        }
+    }
+
+    fn push(&mut self, t: &Tuple) {
+        match self {
+            OpenPage::Nsm(b) => b.push(t),
+            OpenPage::Pax(b) => b.push(t),
+        }
+    }
+
+    fn seal(&mut self) -> PageBuf {
+        match self {
+            OpenPage::Nsm(b) => b.seal(),
+            OpenPage::Pax(b) => b.seal(),
+        }
+    }
+}
+
+/// Streams tuples into formatted pages of a chosen layout.
+///
+/// The builder keeps one page open across `extend`/`push` calls, so
+/// row-at-a-time loading packs pages exactly as densely as bulk loading.
+pub struct TableBuilder {
+    name: String,
+    schema: Arc<Schema>,
+    layout: Layout,
+    pages: Vec<PageBuf>,
+    rows: u64,
+    open: OpenPage,
+}
+
+impl TableBuilder {
+    /// Creates a builder.
+    pub fn new(name: impl Into<String>, schema: Arc<Schema>, layout: Layout) -> Self {
+        let open = match layout {
+            Layout::Nsm => OpenPage::Nsm(NsmPageBuilder::new(Arc::clone(&schema))),
+            Layout::Pax => OpenPage::Pax(PaxPageBuilder::new(Arc::clone(&schema))),
+        };
+        Self {
+            name: name.into(),
+            schema,
+            layout,
+            pages: Vec::new(),
+            rows: 0,
+            open,
+        }
+    }
+
+    /// Appends all tuples produced by `rows`, sealing pages as they fill.
+    pub fn extend<I>(&mut self, rows: I) -> &mut Self
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        for t in rows {
+            if !self.open.has_room() {
+                self.pages.push(self.open.seal());
+            }
+            self.open.push(&t);
+            self.rows += 1;
+        }
+        self
+    }
+
+    /// Appends one tuple.
+    pub fn push(&mut self, tuple: Tuple) -> &mut Self {
+        self.extend(std::iter::once(tuple))
+    }
+
+    /// Finishes the image, sealing any partially-filled page.
+    pub fn finish(mut self) -> TableImage {
+        if !self.open.is_empty() {
+            self.pages.push(self.open.seal());
+        }
+        TableImage {
+            name: self.name,
+            schema: self.schema,
+            layout: self.layout,
+            pages: self.pages,
+            rows: self.rows,
+        }
+    }
+}
+
+/// Builds the same logical table in both layouts (paper Section 4.1.1: "For
+/// the Smart SSDs, we also implemented the PAX layout").
+pub fn build_both_layouts<F, I>(
+    name: &str,
+    schema: &Arc<Schema>,
+    gen: F,
+) -> (TableImage, TableImage)
+where
+    F: Fn() -> I,
+    I: IntoIterator<Item = Tuple>,
+{
+    let mut nsm = TableBuilder::new(name, Arc::clone(schema), Layout::Nsm);
+    nsm.extend(gen());
+    let mut pax = TableBuilder::new(name, Arc::clone(schema), Layout::Pax);
+    pax.extend(gen());
+    (nsm.finish(), pax.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{DataType, Datum};
+
+    fn schema() -> Arc<Schema> {
+        Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)])
+    }
+
+    fn rows(n: i32) -> Vec<Tuple> {
+        (0..n)
+            .map(|k| vec![Datum::I32(k), Datum::I64(k as i64 * 7)])
+            .collect()
+    }
+
+    #[test]
+    fn multi_page_round_trip_nsm() {
+        let s = schema();
+        let cap = crate::nsm::capacity(s.tuple_width()) as i32;
+        let n = cap * 3 + 5; // forces 4 pages
+        let mut b = TableBuilder::new("t", Arc::clone(&s), Layout::Nsm);
+        b.extend(rows(n));
+        let img = b.finish();
+        assert_eq!(img.num_pages(), 4);
+        assert_eq!(img.num_rows(), n as u64);
+        let ts = img.scan_tuples();
+        assert_eq!(ts.len(), n as usize);
+        assert_eq!(ts[0][0], Datum::I32(0));
+        assert_eq!(ts[n as usize - 1][1], Datum::I64((n as i64 - 1) * 7));
+    }
+
+    #[test]
+    fn multi_page_round_trip_pax() {
+        let s = schema();
+        let cap = crate::pax::capacity(s.tuple_width()) as i32;
+        let n = cap + 1;
+        let mut b = TableBuilder::new("t", Arc::clone(&s), Layout::Pax);
+        b.extend(rows(n));
+        let img = b.finish();
+        assert_eq!(img.num_pages(), 2);
+        let ts = img.scan_tuples();
+        assert_eq!(ts.len(), n as usize);
+        for (k, t) in ts.iter().enumerate() {
+            assert_eq!(t[0], Datum::I32(k as i32));
+        }
+    }
+
+    #[test]
+    fn both_layouts_hold_identical_data() {
+        let s = schema();
+        let (nsm, pax) = build_both_layouts("t", &s, || rows(1000));
+        assert_eq!(nsm.num_rows(), pax.num_rows());
+        assert_eq!(nsm.scan_tuples(), pax.scan_tuples());
+        // PAX packs at least as densely (no slot array).
+        assert!(pax.num_pages() <= nsm.num_pages());
+    }
+
+    #[test]
+    fn empty_table() {
+        let s = schema();
+        let img = TableBuilder::new("e", s, Layout::Nsm).finish();
+        assert_eq!(img.num_pages(), 0);
+        assert_eq!(img.num_rows(), 0);
+        assert!(img.scan_tuples().is_empty());
+    }
+
+    #[test]
+    fn size_bytes_counts_pages() {
+        let s = schema();
+        let mut b = TableBuilder::new("t", s, Layout::Nsm);
+        b.push(vec![Datum::I32(1), Datum::I64(2)]);
+        let img = b.finish();
+        assert_eq!(img.size_bytes(), PAGE_SIZE as u64);
+    }
+}

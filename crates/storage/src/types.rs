@@ -1,0 +1,159 @@
+//! Fixed-width column types and values.
+//!
+//! The paper (Section 4.1.1) modifies the TPC-H schema so that every column
+//! is fixed width: variable-length strings become fixed-length chars,
+//! decimals are multiplied by 100 and stored as integers, and dates become
+//! day counts since an epoch. We therefore support exactly three physical
+//! types: 4-byte integers, 8-byte integers, and fixed-length byte strings.
+
+use std::fmt;
+
+/// Physical column type. All types have a fixed on-page width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 4-byte signed integer (also used for dates-as-day-numbers and
+    /// decimals scaled by 100).
+    Int32,
+    /// 8-byte signed integer (used for keys and wide sums).
+    Int64,
+    /// Fixed-length character string of `n` bytes, space padded.
+    Char(u16),
+}
+
+impl DataType {
+    /// On-page width in bytes.
+    #[inline]
+    pub const fn width(self) -> usize {
+        match self {
+            DataType::Int32 => 4,
+            DataType::Int64 => 8,
+            DataType::Char(n) => n as usize,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int32 => write!(f, "int32"),
+            DataType::Int64 => write!(f, "int64"),
+            DataType::Char(n) => write!(f, "char({n})"),
+        }
+    }
+}
+
+/// A single column value.
+///
+/// `Str` always carries exactly the column's declared width once it has been
+/// through a page codec; shorter strings are space padded on encode.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Datum {
+    /// 4-byte integer value.
+    I32(i32),
+    /// 8-byte integer value.
+    I64(i64),
+    /// Fixed-width string value (raw bytes; trailing spaces are padding).
+    Str(Box<[u8]>),
+}
+
+impl Datum {
+    /// Builds a string datum from text.
+    pub fn str(s: &str) -> Self {
+        Datum::Str(s.as_bytes().into())
+    }
+
+    /// The datum's value as `i64`, widening `I32`. Panics on strings — the
+    /// expression layer type-checks before evaluation.
+    #[inline]
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Datum::I32(v) => *v as i64,
+            Datum::I64(v) => *v,
+            Datum::Str(_) => panic!("string datum used in numeric context"),
+        }
+    }
+
+    /// The raw bytes of a string datum. Panics on numerics.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            Datum::Str(b) => b,
+            other => panic!("numeric datum {other:?} used in string context"),
+        }
+    }
+
+    /// Whether this datum is storable in a column of type `ty` (strings may
+    /// be shorter than the declared width; they get padded on encode).
+    pub fn fits(&self, ty: DataType) -> bool {
+        match (self, ty) {
+            (Datum::I32(_), DataType::Int32) => true,
+            (Datum::I64(_), DataType::Int64) => true,
+            (Datum::Str(b), DataType::Char(n)) => b.len() <= n as usize,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::I32(v) => write!(f, "{v}"),
+            Datum::I64(v) => write!(f, "{v}"),
+            Datum::Str(b) => {
+                let s = String::from_utf8_lossy(b);
+                write!(f, "'{}'", s.trim_end())
+            }
+        }
+    }
+}
+
+impl From<i32> for Datum {
+    fn from(v: i32) -> Self {
+        Datum::I32(v)
+    }
+}
+
+impl From<i64> for Datum {
+    fn from(v: i64) -> Self {
+        Datum::I64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(DataType::Int32.width(), 4);
+        assert_eq!(DataType::Int64.width(), 8);
+        assert_eq!(DataType::Char(25).width(), 25);
+    }
+
+    #[test]
+    fn numeric_widening() {
+        assert_eq!(Datum::I32(-7).as_i64(), -7);
+        assert_eq!(Datum::I64(1 << 40).as_i64(), 1 << 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "numeric context")]
+    fn string_in_numeric_context_panics() {
+        Datum::str("x").as_i64();
+    }
+
+    #[test]
+    fn fits_checks_type_and_width() {
+        assert!(Datum::I32(1).fits(DataType::Int32));
+        assert!(!Datum::I32(1).fits(DataType::Int64));
+        assert!(Datum::str("abc").fits(DataType::Char(3)));
+        assert!(Datum::str("abc").fits(DataType::Char(10)));
+        assert!(!Datum::str("abcd").fits(DataType::Char(3)));
+    }
+
+    #[test]
+    fn display_trims_padding() {
+        let d = Datum::Str(b"PROMO    ".as_slice().into());
+        assert_eq!(d.to_string(), "'PROMO'");
+    }
+}

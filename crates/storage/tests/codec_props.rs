@@ -1,0 +1,139 @@
+//! Property tests of the page codecs: arbitrary schemas and rows must
+//! round-trip bit-exactly through both layouts, layouts must agree with
+//! each other, and the checksum must catch any body corruption.
+
+use proptest::prelude::*;
+use smartssd_storage::{
+    nsm::NsmReader, pax::PaxReader, DataType, Datum, Layout, RowAccessor, Schema, TableBuilder,
+    Tuple,
+};
+use std::sync::Arc;
+
+/// An arbitrary column type with a modest width.
+fn arb_type() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::Int32),
+        Just(DataType::Int64),
+        (1u16..24).prop_map(DataType::Char),
+    ]
+}
+
+/// An arbitrary schema of 1..8 columns.
+fn arb_schema() -> impl Strategy<Value = Arc<Schema>> {
+    prop::collection::vec(arb_type(), 1..8).prop_map(|types| {
+        let cols: Vec<(String, DataType)> = types
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (format!("c{i}"), t))
+            .collect();
+        let pairs: Vec<(&str, DataType)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        Schema::from_pairs(&pairs)
+    })
+}
+
+/// A datum valid for the given type. Char bytes avoid trailing spaces so
+/// padding is unambiguous in equality checks.
+fn arb_datum(ty: DataType) -> BoxedStrategy<Datum> {
+    match ty {
+        DataType::Int32 => any::<i32>().prop_map(Datum::I32).boxed(),
+        DataType::Int64 => any::<i64>().prop_map(Datum::I64).boxed(),
+        DataType::Char(w) => prop::collection::vec(0x21u8..0x7e, 0..=w as usize)
+            .prop_map(|v| Datum::Str(v.into()))
+            .boxed(),
+    }
+}
+
+fn arb_rows(schema: Arc<Schema>, max: usize) -> impl Strategy<Value = (Arc<Schema>, Vec<Tuple>)> {
+    let per_row: Vec<BoxedStrategy<Datum>> = schema
+        .columns()
+        .iter()
+        .map(|c| arb_datum(c.ty))
+        .collect();
+    prop::collection::vec(per_row, 1..max).prop_map(move |rows| (Arc::clone(&schema), rows))
+}
+
+fn schema_and_rows() -> impl Strategy<Value = (Arc<Schema>, Vec<Tuple>)> {
+    arb_schema().prop_flat_map(|s| arb_rows(s, 300))
+}
+
+/// Pads a string datum to the declared width, mirroring the codec.
+fn padded(d: &Datum, ty: DataType) -> Datum {
+    match (d, ty) {
+        (Datum::Str(b), DataType::Char(w)) => {
+            let mut v = b.to_vec();
+            v.resize(w as usize, b' ');
+            Datum::Str(v.into())
+        }
+        _ => d.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn layouts_round_trip_and_agree((schema, rows) in schema_and_rows()) {
+        let expected: Vec<Tuple> = rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .zip(schema.columns())
+                    .map(|(d, c)| padded(d, c.ty))
+                    .collect()
+            })
+            .collect();
+        let mut images = Vec::new();
+        for layout in [Layout::Nsm, Layout::Pax] {
+            let mut b = TableBuilder::new("t", Arc::clone(&schema), layout);
+            b.extend(rows.iter().cloned());
+            let img = b.finish();
+            prop_assert_eq!(img.num_rows() as usize, rows.len());
+            prop_assert_eq!(img.scan_tuples(), expected.clone(), "{} round trip", layout);
+            images.push(img);
+        }
+        // PAX never needs more pages than NSM (no slot directory).
+        prop_assert!(images[1].num_pages() <= images[0].num_pages());
+    }
+
+    #[test]
+    fn random_field_access_matches_tuple_decode((schema, rows) in schema_and_rows()) {
+        for layout in [Layout::Nsm, Layout::Pax] {
+            let mut b = TableBuilder::new("t", Arc::clone(&schema), layout);
+            b.extend(rows.iter().cloned());
+            let img = b.finish();
+            let mut row_base = 0usize;
+            for page in img.pages() {
+                let check = |r: &dyn RowAccessor| {
+                    for i in 0..r.num_rows() {
+                        let t = r.tuple_at(i);
+                        for (c, d) in t.iter().enumerate() {
+                            assert_eq!(*d, r.datum_at(i, c));
+                        }
+                    }
+                    r.num_rows()
+                };
+                row_base += match layout {
+                    Layout::Nsm => check(&NsmReader::new(page, &schema)),
+                    Layout::Pax => check(&PaxReader::new(page, &schema)),
+                };
+            }
+            prop_assert_eq!(row_base, rows.len());
+        }
+    }
+
+    #[test]
+    fn checksum_catches_any_body_corruption(
+        (schema, rows) in schema_and_rows(),
+        offset in 0usize..4096,
+        nbytes in 1usize..16,
+    ) {
+        let mut b = TableBuilder::new("t", Arc::clone(&schema), Layout::Nsm);
+        b.extend(rows.iter().cloned());
+        let img = b.finish();
+        let page = &img.pages()[0];
+        let body_len = page.body().len();
+        let off = offset % body_len;
+        let bad = page.corrupted(off, nbytes.min(body_len - off));
+        prop_assert!(bad.verify().is_err(), "corruption at {off} undetected");
+    }
+}

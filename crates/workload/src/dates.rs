@@ -1,0 +1,93 @@
+//! Day-number calendar: the paper stores dates as "the number of days since
+//! the last epoch". We use 1992-01-01 (the start of the TPC-H date range)
+//! as day 0.
+
+/// Days in each month of a non-leap year.
+const MONTH_DAYS: [u32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// Whether `year` is a leap year (Gregorian rules; the TPC-H range
+/// 1992-1998 only exercises the simple divisible-by-4 case).
+pub fn is_leap(year: u32) -> bool {
+    (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400)
+}
+
+/// Converts a calendar date to days since 1992-01-01. Panics on dates
+/// before the epoch or invalid month/day.
+pub fn date_to_days(year: u32, month: u32, day: u32) -> i64 {
+    assert!(year >= 1992, "date before the 1992-01-01 epoch");
+    assert!((1..=12).contains(&month), "bad month {month}");
+    let mut days: i64 = 0;
+    for y in 1992..year {
+        days += if is_leap(y) { 366 } else { 365 };
+    }
+    for m in 1..month {
+        days += MONTH_DAYS[(m - 1) as usize] as i64;
+        if m == 2 && is_leap(year) {
+            days += 1;
+        }
+    }
+    let month_len = MONTH_DAYS[(month - 1) as usize] + u32::from(month == 2 && is_leap(year));
+    assert!((1..=month_len).contains(&day), "bad day {year}-{month}-{day}");
+    days + (day as i64 - 1)
+}
+
+/// Exclusive upper bound of the TPC-H ship-date range (1998-12-01, the
+/// latest possible shipdate: orderdate max 1998-08-02 plus 121 days).
+pub fn shipdate_range() -> (i64, i64) {
+    (0, date_to_days(1998, 12, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(date_to_days(1992, 1, 1), 0);
+        assert_eq!(date_to_days(1992, 1, 2), 1);
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap(1992));
+        assert!(is_leap(1996));
+        assert!(!is_leap(1993));
+        assert!(!is_leap(1900));
+        assert!(is_leap(2000));
+    }
+
+    #[test]
+    fn q6_date_anchors() {
+        // 1992 is a leap year: 1993-01-01 is day 366.
+        assert_eq!(date_to_days(1993, 1, 1), 366);
+        // Q6: [1994-01-01, 1995-01-01).
+        assert_eq!(date_to_days(1994, 1, 1), 731);
+        assert_eq!(date_to_days(1995, 1, 1), 1096);
+        // Q14: [1995-09-01, 1995-10-01) — a 30-day window.
+        assert_eq!(
+            date_to_days(1995, 10, 1) - date_to_days(1995, 9, 1),
+            30
+        );
+    }
+
+    #[test]
+    fn feb_29_valid_only_in_leap_years() {
+        assert_eq!(date_to_days(1992, 2, 29), 59);
+        assert_eq!(date_to_days(1992, 3, 1), 60);
+        assert_eq!(date_to_days(1993, 3, 1), 366 + 59);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad day")]
+    fn feb_29_rejected_in_non_leap() {
+        date_to_days(1993, 2, 29);
+    }
+
+    #[test]
+    fn shipdate_range_spans_the_benchmark() {
+        let (lo, hi) = shipdate_range();
+        assert_eq!(lo, 0);
+        // ~6.9 years of dates.
+        assert!((2500..2540).contains(&hi), "hi={hi}");
+    }
+}

@@ -1,0 +1,128 @@
+//! The `Synthetic64_R` and `Synthetic64_S` tables (paper Section 4.1.1).
+//!
+//! Both tables have 64 integer columns. `R.col_1` is the primary key;
+//! `S.col_2` is a foreign key pointing to `R.col_1`; `S.col_3` carries the
+//! selection predicate of the Figure 5 sweep. At paper scale R has 1 M rows
+//! (~300 MB) and S has 400 M rows (~120 GB); this generator scales both.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smartssd_storage::{DataType, Datum, Schema, Tuple};
+use std::sync::Arc;
+
+/// Number of integer columns in both synthetic tables.
+pub const SYNTH_COLS: usize = 64;
+
+/// `R` rows at paper scale.
+pub const R_ROWS_FULL: u64 = 1_000_000;
+
+/// `S` rows at paper scale.
+pub const S_ROWS_FULL: u64 = 400_000_000;
+
+/// `S.col_3` values are uniform in `[0, SEL_DOMAIN)`; a predicate
+/// `col_3 < SEL_DOMAIN * f` selects fraction `f` of the rows.
+pub const SEL_DOMAIN: i32 = 1_000_000;
+
+/// The shared 64-int-column schema.
+pub fn synthetic_schema() -> Arc<Schema> {
+    let names: Vec<String> = (1..=SYNTH_COLS).map(|i| format!("col_{i}")).collect();
+    let pairs: Vec<(&str, DataType)> = names
+        .iter()
+        .map(|n| (n.as_str(), DataType::Int32))
+        .collect();
+    Schema::from_pairs(&pairs)
+}
+
+/// Generates `Synthetic64_R`: `col_1` (index 0) is the dense primary key
+/// `1..=n`.
+pub fn synthetic64_r(scale: f64, seed: u64) -> impl Iterator<Item = Tuple> {
+    let n = ((R_ROWS_FULL as f64 * scale) as u64).max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (1..=n).map(move |pk| {
+        let mut row: Tuple = Vec::with_capacity(SYNTH_COLS);
+        row.push(Datum::I32(pk as i32));
+        for _ in 1..SYNTH_COLS {
+            row.push(Datum::I32(rng.gen_range(0..SEL_DOMAIN)));
+        }
+        row
+    })
+}
+
+/// Generates `Synthetic64_S`: `col_2` (index 1) is a foreign key into R
+/// (uniform over `1..=r_rows`), `col_3` (index 2) is uniform over the
+/// selectivity domain.
+pub fn synthetic64_s(scale: f64, r_scale: f64, seed: u64) -> impl Iterator<Item = Tuple> {
+    let n = ((S_ROWS_FULL as f64 * scale) as u64).max(1);
+    let r_rows = ((R_ROWS_FULL as f64 * r_scale) as u64).max(1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD_EF01);
+    (0..n).map(move |_| {
+        let mut row: Tuple = Vec::with_capacity(SYNTH_COLS);
+        row.push(Datum::I32(rng.gen_range(0..SEL_DOMAIN))); // col_1
+        row.push(Datum::I32(rng.gen_range(1..=r_rows) as i32)); // col_2 (FK)
+        row.push(Datum::I32(rng.gen_range(0..SEL_DOMAIN))); // col_3 (selection)
+        for _ in 3..SYNTH_COLS {
+            row.push(Datum::I32(rng.gen_range(0..SEL_DOMAIN)));
+        }
+        row
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_is_64_ints_256_bytes() {
+        let s = synthetic_schema();
+        assert_eq!(s.len(), 64);
+        assert_eq!(s.tuple_width(), 256);
+        assert_eq!(s.index_of("col_1"), Some(0));
+        assert_eq!(s.index_of("col_3"), Some(2));
+    }
+
+    #[test]
+    fn r_has_dense_primary_keys() {
+        let rows: Vec<Tuple> = synthetic64_r(0.001, 5).collect();
+        assert_eq!(rows.len(), 1_000);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r[0], Datum::I32(i as i32 + 1));
+            assert_eq!(r.len(), 64);
+        }
+    }
+
+    #[test]
+    fn s_foreign_keys_land_in_r() {
+        let r_scale = 0.001; // 1000 R rows
+        for row in synthetic64_s(0.00001, r_scale, 5) {
+            let fk = row[1].as_i64();
+            assert!((1..=1_000).contains(&fk), "fk {fk}");
+        }
+    }
+
+    #[test]
+    fn col3_selectivity_is_controllable() {
+        let rows: Vec<Tuple> = synthetic64_s(0.0001, 0.001, 5).collect(); // 40k rows
+        for target in [0.01, 0.25, 1.0] {
+            let cutoff = (SEL_DOMAIN as f64 * target) as i64;
+            let hits = rows.iter().filter(|r| r[2].as_i64() < cutoff).count();
+            let sel = hits as f64 / rows.len() as f64;
+            assert!(
+                (sel - target).abs() < 0.02,
+                "target {target}, measured {sel}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<Tuple> = synthetic64_s(0.00002, 0.001, 9).collect();
+        let b: Vec<Tuple> = synthetic64_s(0.00002, 0.001, 9).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_size_ratio_holds() {
+        // |S| = 400 |R| at equal scale (paper Section 4.2.2.1).
+        assert_eq!(S_ROWS_FULL / R_ROWS_FULL, 400);
+    }
+}

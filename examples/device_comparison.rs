@@ -1,0 +1,82 @@
+//! Device comparison: the paper's evaluation in miniature.
+//!
+//! Runs TPC-H Q6 and Q14 across the paper's three devices (10K SAS HDD,
+//! regular SAS SSD, Smart SSD) and both layouts, printing elapsed time,
+//! energy, and who the bottleneck was — a compact reproduction of Figures
+//! 3 and 7 plus Table 3.
+//!
+//! ```text
+//! cargo run --release --example device_comparison
+//! ```
+
+use smartssd::{DeviceKind, Layout, RunReport, System, SystemConfig};
+use smartssd_workload::{q14, q6, queries, tpch};
+
+const SF: f64 = 0.02;
+
+fn build(kind: DeviceKind, layout: Layout) -> System {
+    let mut sys = System::new(SystemConfig::new(kind, layout));
+    sys.load_table_rows(
+        queries::LINEITEM,
+        &tpch::lineitem_schema(),
+        tpch::lineitem_rows(SF, 1),
+    )
+    .expect("load lineitem");
+    sys.load_table_rows(
+        queries::PART,
+        &tpch::part_schema(),
+        tpch::part_rows(SF, 1),
+    )
+    .expect("load part");
+    sys.finish_load();
+    sys
+}
+
+fn describe(r: &RunReport) -> String {
+    let bottleneck = r
+        .util
+        .bottleneck()
+        .map(|(n, u)| format!("{n} {:.0}%", u * 100.0))
+        .unwrap_or_default();
+    format!(
+        "{:>9.3}s   {:>8.4} kJ   {:<8}  {}",
+        r.result.elapsed.as_secs_f64(),
+        r.energy.system_kj(),
+        format!("{:?}", r.route),
+        bottleneck
+    )
+}
+
+fn main() {
+    let configs: [(DeviceKind, Layout); 4] = [
+        (DeviceKind::Hdd, Layout::Nsm),
+        (DeviceKind::Ssd, Layout::Nsm),
+        (DeviceKind::SmartSsd, Layout::Nsm),
+        (DeviceKind::SmartSsd, Layout::Pax),
+    ];
+    for (query, name, scalar) in [(q6(), "TPC-H Q6", false), (q14(), "TPC-H Q14", true)] {
+        println!("=== {name} at SF {SF} ===");
+        println!("  config                 elapsed       energy     route     bottleneck");
+        let mut baseline = None;
+        for (kind, layout) in configs {
+            if kind == DeviceKind::Hdd && scalar {
+                continue; // the paper's Q14 figure has no HDD bar
+            }
+            let mut sys = build(kind, layout);
+            let r = sys.run(&query).expect("run");
+            if kind == DeviceKind::Ssd {
+                baseline = Some(r.result.elapsed.as_secs_f64());
+            }
+            let speedup = baseline
+                .map(|b| format!("  ({:.2}x vs SSD)", b / r.result.elapsed.as_secs_f64()))
+                .unwrap_or_default();
+            println!("  {:<9} / {layout:<3}  {}{speedup}", kind.to_string(), describe(&r));
+            if scalar {
+                if let Some(v) = r.result.scalar {
+                    println!("      promo_revenue = {v:.4}%");
+                }
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: load TPC-H LINEITEM onto an emulated Smart SSD and push
+//! TPC-H Q6 into the device.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use smartssd::{DeviceKind, Layout, System, SystemConfig};
+use smartssd_workload::{q6, queries, tpch};
+
+fn main() {
+    // A Smart SSD system with tables stored in the PAX layout — the
+    // configuration the paper found best for in-device processing.
+    let mut sys = System::new(SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax));
+
+    // Generate and load LINEITEM at a laptop-friendly scale factor (the
+    // paper uses SF 100 = 600M rows; timing ratios are scale-invariant).
+    let sf = 0.01;
+    sys.load_table_rows(
+        queries::LINEITEM,
+        &tpch::lineitem_schema(),
+        tpch::lineitem_rows(sf, 42),
+    )
+    .expect("load lineitem");
+    sys.finish_load();
+
+    // Run TPC-H Q6. On this system the operator ships to the device as
+    // OPEN parameters; the host collects the aggregate via GET.
+    let report = sys.run(&q6()).expect("run q6");
+
+    println!("query   : {}", report.query);
+    println!("device  : {} ({} layout)", report.device, report.layout);
+    println!("route   : {:?}", report.route);
+    // Q6's sum is scaled by 100x100 (price cents x discount percent).
+    let revenue = report.result.agg_values[0] as f64 / 10_000.0;
+    println!("revenue : {revenue:.2}");
+    println!("elapsed : {} (simulated)", report.result.elapsed);
+    println!(
+        "energy  : {:.4} kJ system, {:.4} kJ I/O subsystem",
+        report.energy.system_kj(),
+        report.energy.io_kj()
+    );
+    println!("\nutilization:\n{}", report.util);
+    if let Some((name, util)) = report.util.bottleneck() {
+        println!("bottleneck: {name} at {:.0}%", util * 100.0);
+    }
+}

@@ -1,0 +1,5 @@
+#![warn(missing_docs)]
+
+//! Root crate: re-exports the `smartssd` facade so workspace-level
+//! integration tests and examples use one import path.
+pub use smartssd::*;

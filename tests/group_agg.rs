@@ -1,0 +1,165 @@
+//! Integration tests for grouped aggregation (the TPC-H Q1 extension):
+//! pushdown == host == reference, memory-grant enforcement, and the repro
+//! experiment path.
+
+use smartssd::{DeviceKind, Layout, Route, System, SystemConfig};
+use smartssd_exec::spec::GroupAggSpec;
+use smartssd_query::{Finalize, OpTemplate, Query};
+use smartssd_storage::expr::{AggSpec, Expr, Pred};
+use smartssd_storage::{DataType, Datum, Schema, Tuple};
+use smartssd_workload::{dates::date_to_days, q1, queries, tpch, tpch::lineitem_cols as l};
+use std::collections::BTreeMap;
+
+const SF: f64 = 0.005;
+const SEED: u64 = 11;
+
+fn tpch_system(kind: DeviceKind, layout: Layout) -> System {
+    let mut sys = System::new(SystemConfig::new(kind, layout));
+    sys.load_table_rows(
+        queries::LINEITEM,
+        &tpch::lineitem_schema(),
+        tpch::lineitem_rows(SF, SEED),
+    )
+    .unwrap();
+    sys.finish_load();
+    sys
+}
+
+/// Grouping key: (returnflag, linestatus) bytes.
+type Q1Key = (u8, u8);
+/// Per-group sums: (sum_qty, sum_base, sum_disc, sum_charge, count).
+type Q1Sums = (i64, i64, i64, i64, i64);
+
+/// Reference Q1 over the raw generated rows.
+fn q1_reference() -> BTreeMap<Q1Key, Q1Sums> {
+    let cutoff = date_to_days(1998, 9, 2);
+    let mut acc: BTreeMap<Q1Key, Q1Sums> = BTreeMap::new();
+    for t in tpch::lineitem_rows(SF, SEED) {
+        if t[l::SHIPDATE].as_i64() > cutoff {
+            continue;
+        }
+        let key = (t[l::RETURNFLAG].as_bytes()[0], t[l::LINESTATUS].as_bytes()[0]);
+        let qty = t[l::QUANTITY].as_i64();
+        let base = t[l::EXTENDEDPRICE].as_i64();
+        let disc = base * (100 - t[l::DISCOUNT].as_i64());
+        let charge = disc * (100 + t[l::TAX].as_i64());
+        let e = acc.entry(key).or_default();
+        e.0 += qty;
+        e.1 += base;
+        e.2 += disc;
+        e.3 += charge;
+        e.4 += 1;
+    }
+    acc
+}
+
+#[test]
+fn q1_identical_on_all_routes_and_matches_reference() {
+    let expected = q1_reference();
+    assert!(expected.len() >= 4, "expect several (flag,status) groups");
+    for layout in [Layout::Nsm, Layout::Pax] {
+        let mut sys = tpch_system(DeviceKind::SmartSsd, layout);
+        for route in [Route::Device, Route::Host] {
+            sys.clear_cache();
+            let r = sys.run_routed(&q1(), route).unwrap();
+            assert_eq!(r.result.rows.len(), expected.len(), "{layout}/{route:?}");
+            for row in &r.result.rows {
+                let key = (row[0].as_bytes()[0], row[1].as_bytes()[0]);
+                let exp = expected.get(&key).expect("unexpected group");
+                assert_eq!(row[2].as_i64(), exp.0, "sum_qty {key:?}");
+                assert_eq!(row[3].as_i64(), exp.1, "sum_base {key:?}");
+                assert_eq!(row[4].as_i64(), exp.2, "sum_disc {key:?}");
+                assert_eq!(row[5].as_i64(), exp.3, "sum_charge {key:?}");
+                assert_eq!(row[6].as_i64(), exp.4, "count {key:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn q1_breaks_even_on_prototype_but_wins_on_scaled_device() {
+    // Q1 aggregates every row (selectivity ~98%, five aggregates, wide
+    // expressions): the paper-era device CPU saturates and pushdown only
+    // breaks even — consistent with Section 5's call for more device
+    // hardware before heavier operators pay off.
+    let mut sys = tpch_system(DeviceKind::SmartSsd, Layout::Pax);
+    let dev = sys.run_routed(&q1(), Route::Device).unwrap();
+    sys.clear_cache();
+    let host = sys.run_routed(&q1(), Route::Host).unwrap();
+    assert_eq!(dev.result.rows, host.result.rows);
+    let ratio = host.result.elapsed.as_secs_f64() / dev.result.elapsed.as_secs_f64();
+    assert!(
+        (0.7..1.3).contains(&ratio),
+        "prototype Q1 pushdown should be near break-even, got {ratio:.2}x"
+    );
+    // A scaled-up device (Section 5's roadmap) turns Q1 into a clear win.
+    let mut cfg = SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax);
+    cfg.smart.cpu_cores = 8;
+    cfg.smart.cpu_hz = 1_000_000_000;
+    cfg.flash.channels = 16;
+    cfg.flash.dram_bw = 6_400_000_000;
+    let mut big = System::new(cfg);
+    big.load_table_rows(
+        queries::LINEITEM,
+        &tpch::lineitem_schema(),
+        tpch::lineitem_rows(SF, SEED),
+    )
+    .unwrap();
+    big.finish_load();
+    let scaled = big.run_routed(&q1(), Route::Device).unwrap();
+    assert_eq!(scaled.result.rows, host.result.rows);
+    let speedup = host.result.elapsed.as_secs_f64() / scaled.result.elapsed.as_secs_f64();
+    assert!(speedup > 2.0, "scaled-device Q1 speedup {speedup:.2}x");
+}
+
+#[test]
+fn high_cardinality_grouping_exceeds_grant_and_falls_back() {
+    // Group by a near-unique key with a tiny memory grant: the device
+    // aborts mid-scan and the System reruns on the host.
+    let schema = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)]);
+    let mut cfg = SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax);
+    cfg.smart.session_memory_bytes = 8 * 1024;
+    let mut sys = System::new(cfg);
+    let rows: Vec<Tuple> = (0..50_000)
+        .map(|k| vec![Datum::I32(k), Datum::I64(k as i64)])
+        .collect();
+    sys.load_table_rows("t", &schema, rows).unwrap();
+    sys.finish_load();
+    let query = Query {
+        name: "high-card group".into(),
+        op: OpTemplate::GroupAgg {
+            table: "t".into(),
+            spec: GroupAggSpec {
+                pred: Pred::Const(true),
+                group_by: vec![0],
+                aggs: vec![AggSpec::sum(Expr::col(1))],
+            },
+        },
+        finalize: Finalize::Rows,
+    };
+    let r = sys.run(&query).unwrap();
+    assert_eq!(r.route, Route::Host, "device must reject the grant");
+    assert_eq!(r.result.rows.len(), 50_000);
+}
+
+#[test]
+fn group_rows_are_deterministically_ordered() {
+    let mut sys = tpch_system(DeviceKind::SmartSsd, Layout::Pax);
+    let a = sys.run(&q1()).unwrap();
+    let b = sys.run(&q1()).unwrap();
+    assert_eq!(a.result.rows, b.result.rows);
+    // BTreeMap ordering: keys ascend byte-wise.
+    let keys: Vec<Vec<u8>> = a
+        .result
+        .rows
+        .iter()
+        .map(|r| {
+            let mut k = r[0].as_bytes().to_vec();
+            k.extend_from_slice(r[1].as_bytes());
+            k
+        })
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+}

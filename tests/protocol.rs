@@ -1,0 +1,273 @@
+//! Integration tests of the session protocol and failure handling across
+//! the device/host boundary.
+
+use smartssd::{DeviceKind, Layout, Route, SystemConfig};
+use smartssd_device::{DeviceConfig, DeviceError, GetResponse, SmartSsd};
+use smartssd_exec::spec::{ScanAggSpec, ScanSpec};
+use smartssd_exec::QueryOp;
+use smartssd_flash::FlashConfig;
+use smartssd_query::{Finalize, OpTemplate, PlannerConfig, PlannerInputs, Query};
+use smartssd_sim::SimTime;
+use smartssd_storage::expr::{AggSpec, CmpOp, Expr, Pred};
+use smartssd_storage::{DataType, Datum, Schema, Tuple};
+use std::sync::Arc;
+
+fn small_schema() -> Arc<Schema> {
+    Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)])
+}
+
+fn rows(n: i32) -> impl Iterator<Item = Tuple> {
+    (0..n).map(|k| vec![Datum::I32(k), Datum::I64(k as i64)])
+}
+
+fn loaded_device() -> (SmartSsd, smartssd_exec::TableRef) {
+    let mut dev = SmartSsd::new(FlashConfig::default(), DeviceConfig::default());
+    let mut b = smartssd_storage::TableBuilder::new("t", small_schema(), Layout::Pax);
+    b.extend(rows(50_000));
+    let img = b.finish();
+    let tref = dev.load_table(&img, 0).unwrap();
+    dev.reset_timing();
+    (dev, tref)
+}
+
+#[test]
+fn open_get_close_full_lifecycle() {
+    let (mut dev, tref) = loaded_device();
+    let op = QueryOp::ScanAgg {
+        table: tref,
+        spec: ScanAggSpec {
+            pred: Pred::Const(true),
+            aggs: vec![AggSpec::count()],
+        },
+    };
+    let sid = dev.open(&op, SimTime::ZERO).unwrap();
+    // Immediately polling reports Running with a readiness hint.
+    let ready = match dev.get(sid, SimTime::ZERO).unwrap() {
+        GetResponse::Running { ready_at } => ready_at,
+        other => panic!("expected Running, got {other:?}"),
+    };
+    // Polling at readiness yields the batch.
+    match dev.get(sid, ready).unwrap() {
+        GetResponse::Batch(b) => {
+            assert_eq!(b.aggs.unwrap()[0].finish(), 50_000);
+        }
+        other => panic!("expected Batch, got {other:?}"),
+    }
+    // Then Done, repeatedly (idempotent).
+    assert!(matches!(dev.get(sid, ready).unwrap(), GetResponse::Done));
+    assert!(matches!(dev.get(sid, ready).unwrap(), GetResponse::Done));
+    // CLOSE clears the state; the id is no longer valid.
+    dev.close(sid).unwrap();
+    assert_eq!(
+        dev.get(sid, ready).unwrap_err(),
+        DeviceError::UnknownSession(sid.0)
+    );
+}
+
+#[test]
+fn results_survive_interleaved_sessions() {
+    let (mut dev, tref) = loaded_device();
+    let count_op = QueryOp::ScanAgg {
+        table: tref.clone(),
+        spec: ScanAggSpec {
+            pred: Pred::Const(true),
+            aggs: vec![AggSpec::count()],
+        },
+    };
+    let sum_op = QueryOp::ScanAgg {
+        table: tref,
+        spec: ScanAggSpec {
+            pred: Pred::Cmp(CmpOp::Lt, Expr::col(0), Expr::lit(10)),
+            aggs: vec![AggSpec::sum(Expr::col(1))],
+        },
+    };
+    let s1 = dev.open(&count_op, SimTime::ZERO).unwrap();
+    let s2 = dev.open(&sum_op, SimTime::ZERO).unwrap();
+    // Drain s2 first even though s1 opened first.
+    let t = SimTime::from_secs(100);
+    let b2 = match dev.get(s2, t).unwrap() {
+        GetResponse::Batch(b) => b,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(b2.aggs.unwrap()[0].finish(), 45); // 0+..+9
+    let b1 = match dev.get(s1, t).unwrap() {
+        GetResponse::Batch(b) => b,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(b1.aggs.unwrap()[0].finish(), 50_000);
+    dev.close(s1).unwrap();
+    dev.close(s2).unwrap();
+}
+
+#[test]
+fn memory_grant_rejection_falls_back_to_host_in_system() {
+    // A join whose build side exceeds a tiny memory grant: System must
+    // transparently rerun on the host and still produce correct rows.
+    let mut cfg = SystemConfig::new(DeviceKind::SmartSsd, Layout::Nsm);
+    cfg.smart.session_memory_bytes = 2048;
+    let mut sys = smartssd::System::new(cfg);
+    sys.load_table_rows("build", &small_schema(), rows(20_000))
+        .unwrap();
+    sys.load_table_rows("probe", &small_schema(), rows(5_000))
+        .unwrap();
+    sys.finish_load();
+    let query = Query {
+        name: "fallback join".into(),
+        op: OpTemplate::Join {
+            probe: "probe".into(),
+            build: "build".into(),
+            build_key: 0,
+            build_payload: vec![1],
+            probe_key: 0,
+            probe_pred: Pred::Const(true),
+            filter_first: true,
+            output: smartssd_exec::JoinOutput::Project(vec![
+                smartssd_exec::ColRef::Probe(0),
+                smartssd_exec::ColRef::Build(0),
+            ]),
+        },
+        finalize: Finalize::Rows,
+    };
+    let report = sys.run(&query).unwrap();
+    // It ran — on the host.
+    assert_eq!(report.route, Route::Host);
+    assert_eq!(report.result.rows.len(), 5_000);
+}
+
+#[test]
+fn validation_failures_surface_as_plan_or_device_errors() {
+    let mut sys = smartssd::System::new(SystemConfig::new(DeviceKind::SmartSsd, Layout::Nsm));
+    sys.load_table_rows("t", &small_schema(), rows(100)).unwrap();
+    sys.finish_load();
+    // Unknown table.
+    let q_missing = Query {
+        name: "missing".into(),
+        op: OpTemplate::Scan {
+            table: "nope".into(),
+            spec: ScanSpec {
+                pred: Pred::Const(true),
+                project: vec![0],
+            },
+        },
+        finalize: Finalize::Rows,
+    };
+    assert!(sys.run(&q_missing).is_err());
+    // Bad column index.
+    let q_bad_col = Query {
+        name: "bad col".into(),
+        op: OpTemplate::Scan {
+            table: "t".into(),
+            spec: ScanSpec {
+                pred: Pred::Cmp(CmpOp::Lt, Expr::col(99), Expr::lit(0)),
+                project: vec![0],
+            },
+        },
+        finalize: Finalize::Rows,
+    };
+    assert!(sys.run(&q_bad_col).is_err());
+}
+
+#[test]
+fn planner_routes_by_residency_end_to_end() {
+    let mut sys = smartssd::System::new(SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax));
+    sys.load_table_rows("t", &small_schema(), rows(200_000))
+        .unwrap();
+    sys.finish_load();
+    let query = Query {
+        name: "agg".into(),
+        op: OpTemplate::ScanAgg {
+            table: "t".into(),
+            spec: ScanAggSpec {
+                pred: Pred::Cmp(CmpOp::Lt, Expr::col(0), Expr::lit(50)),
+                aggs: vec![AggSpec::sum(Expr::col(1))],
+            },
+        },
+        finalize: Finalize::AggRow,
+    };
+    let planner = PlannerConfig::default();
+    let inputs = PlannerInputs {
+        selectivity: 0.0005,
+        tuples_per_page: 580.0,
+        ..PlannerInputs::default()
+    };
+    // Cold: pushdown.
+    let cold = sys
+        .run_with_planner(&query, &planner, inputs.clone())
+        .unwrap();
+    assert_eq!(cold.route, Route::Device);
+    // Fully cached: the planner must refuse to push down.
+    sys.warm_cache("t", 1.0).unwrap();
+    let warm = sys.run_with_planner(&query, &planner, inputs).unwrap();
+    assert_eq!(warm.route, Route::Host);
+    assert_eq!(cold.result.agg_values, warm.result.agg_values);
+}
+
+#[test]
+fn ecc_failures_do_not_corrupt_device_results() {
+    // Heavy injected error rates: retries everywhere, same answer.
+    let flash = FlashConfig {
+        ecc_retry_rate: u32::MAX / 4,
+        ecc_fail_rate: u32::MAX / 64,
+        ..FlashConfig::default()
+    };
+    let mut dev = SmartSsd::new(flash, DeviceConfig::default());
+    let mut b = smartssd_storage::TableBuilder::new("t", small_schema(), Layout::Nsm);
+    b.extend(rows(30_000));
+    let img = b.finish();
+    let tref = dev.load_table(&img, 0).unwrap();
+    dev.reset_timing();
+    let op = QueryOp::ScanAgg {
+        table: tref,
+        spec: ScanAggSpec {
+            pred: Pred::Const(true),
+            aggs: vec![AggSpec::sum(Expr::col(1)), AggSpec::count()],
+        },
+    };
+    let sid = dev.open(&op, SimTime::ZERO).unwrap();
+    let batch = loop {
+        match dev.get(sid, SimTime::from_secs(1000)).unwrap() {
+            GetResponse::Batch(b) => break b,
+            GetResponse::Running { .. } => continue,
+            GetResponse::Done => panic!("no batch"),
+        }
+    };
+    let aggs = batch.aggs.unwrap();
+    assert_eq!(aggs[1].finish(), 30_000);
+    assert_eq!(aggs[0].finish(), (0..30_000i128).sum::<i128>());
+    assert!(dev.flash.stats().ecc_retries > 0, "retries were injected");
+}
+
+#[test]
+fn silent_corruption_is_caught_and_retried_on_both_routes() {
+    // ECC escapes: the device hands back flipped bytes with no error. The
+    // page checksum catches it on whichever side consumes the page, a
+    // re-read recovers, and query answers never change.
+    let flash = FlashConfig {
+        silent_corruption_rate: u32::MAX / 16, // ~6% of reads corrupted
+        ..FlashConfig::default()
+    };
+    let mut cfg = SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax);
+    cfg.flash = flash;
+    let mut sys = smartssd::System::new(cfg);
+    sys.load_table_rows("t", &small_schema(), rows(40_000))
+        .unwrap();
+    sys.finish_load();
+    let query = Query {
+        name: "sum under corruption".into(),
+        op: OpTemplate::ScanAgg {
+            table: "t".into(),
+            spec: ScanAggSpec {
+                pred: Pred::Const(true),
+                aggs: vec![AggSpec::sum(Expr::col(1)), AggSpec::count()],
+            },
+        },
+        finalize: Finalize::AggRow,
+    };
+    let expected_sum: i128 = (0..40_000i128).sum();
+    for route in [Route::Device, Route::Host] {
+        sys.clear_cache();
+        let r = sys.run_routed(&query, route).unwrap();
+        assert_eq!(r.result.agg_values[0], expected_sum, "route {route:?}");
+        assert_eq!(r.result.agg_values[1], 40_000);
+    }
+}

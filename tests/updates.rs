@@ -1,0 +1,145 @@
+//! Integration tests for the update/staleness machinery from the paper's
+//! Discussion section: in-place table replacement (with trim of the old
+//! extent), dirty tracking, and the pushdown-forbidden-while-dirty rule.
+
+use smartssd::{DeviceKind, Layout, Route, System, SystemConfig};
+use smartssd_exec::spec::ScanAggSpec;
+use smartssd_query::{Finalize, OpTemplate, Query};
+use smartssd_storage::expr::{AggSpec, Expr, Pred};
+use smartssd_storage::{DataType, Datum, Schema, Tuple};
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)])
+}
+
+fn rows(n: i32, scale: i64) -> impl Iterator<Item = Tuple> {
+    (0..n).map(move |k| vec![Datum::I32(k), Datum::I64(k as i64 * scale)])
+}
+
+fn sum_query() -> Query {
+    Query {
+        name: "sum v".into(),
+        op: OpTemplate::ScanAgg {
+            table: "t".into(),
+            spec: ScanAggSpec {
+                pred: Pred::Const(true),
+                aggs: vec![AggSpec::sum(Expr::col(1)), AggSpec::count()],
+            },
+        },
+        finalize: Finalize::AggRow,
+    }
+}
+
+fn smart_system(n: i32) -> System {
+    let mut sys = System::new(SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax));
+    sys.load_table_rows("t", &schema(), rows(n, 1)).unwrap();
+    sys.finish_load();
+    sys
+}
+
+#[test]
+fn update_replaces_contents_on_both_routes() {
+    let mut sys = smart_system(10_000);
+    let before = sys.run(&sum_query()).unwrap();
+    assert_eq!(before.result.agg_values[0], (0..10_000i128).sum::<i128>());
+    // Replace with scaled values and fewer rows.
+    sys.update_table_rows("t", rows(5_000, 10)).unwrap();
+    for route in [Route::Device, Route::Host] {
+        sys.clear_cache();
+        let after = sys.run_routed(&sum_query(), route).unwrap();
+        assert_eq!(
+            after.result.agg_values[0],
+            (0..5_000i128).map(|k| k * 10).sum::<i128>(),
+            "route {route:?} read stale data"
+        );
+        assert_eq!(after.result.agg_values[1], 5_000);
+    }
+}
+
+#[test]
+fn update_trims_old_extent_for_gc() {
+    let mut sys = smart_system(50_000);
+    // Several updates in a row keep re-pointing the catalog and trimming;
+    // the device must not leak space (GC reclaims trimmed extents).
+    for round in 1..=4 {
+        sys.update_table_rows("t", rows(50_000, round)).unwrap();
+        let r = sys.run(&sum_query()).unwrap();
+        assert_eq!(
+            r.result.agg_values[0],
+            (0..50_000i128).map(|k| k * round as i128).sum::<i128>()
+        );
+    }
+}
+
+#[test]
+fn dirty_table_forces_host_route() {
+    let mut sys = smart_system(20_000);
+    let clean = sys.run(&sum_query()).unwrap();
+    assert_eq!(clean.route, Route::Device);
+    // Mark dirty: even an explicit device request must be rerouted.
+    sys.mark_dirty("t");
+    assert!(sys.is_dirty("t"));
+    let dirty = sys.run_routed(&sum_query(), Route::Device).unwrap();
+    assert_eq!(dirty.route, Route::Host, "stale pushdown must be refused");
+    assert_eq!(dirty.result.agg_values, clean.result.agg_values);
+    // Checkpoint restores pushdown eligibility.
+    sys.checkpoint("t").unwrap();
+    assert!(!sys.is_dirty("t"));
+    let again = sys.run_routed(&sum_query(), Route::Device).unwrap();
+    assert_eq!(again.route, Route::Device);
+}
+
+#[test]
+fn checkpoint_of_clean_table_is_noop() {
+    let mut sys = smart_system(1_000);
+    sys.checkpoint("t").unwrap();
+    let r = sys.run(&sum_query()).unwrap();
+    assert_eq!(r.route, Route::Device);
+}
+
+#[test]
+fn dirty_join_input_forces_host_route() {
+    let mut sys = System::new(SystemConfig::new(DeviceKind::SmartSsd, Layout::Nsm));
+    sys.load_table_rows("build", &schema(), rows(500, 1)).unwrap();
+    sys.load_table_rows("probe", &schema(), rows(2_000, 1))
+        .unwrap();
+    sys.finish_load();
+    let query = Query {
+        name: "join".into(),
+        op: OpTemplate::Join {
+            probe: "probe".into(),
+            build: "build".into(),
+            build_key: 0,
+            build_payload: vec![1],
+            probe_key: 0,
+            probe_pred: Pred::Const(true),
+            filter_first: true,
+            output: smartssd_exec::JoinOutput::Project(vec![
+                smartssd_exec::ColRef::Probe(0),
+                smartssd_exec::ColRef::Build(0),
+            ]),
+        },
+        finalize: Finalize::Rows,
+    };
+    let clean = sys.run(&query).unwrap();
+    assert_eq!(clean.route, Route::Device);
+    // Dirtying the *build side* must also block pushdown.
+    sys.mark_dirty("build");
+    let dirty = sys.run(&query).unwrap();
+    assert_eq!(dirty.route, Route::Host);
+    assert_eq!(dirty.result.rows, clean.result.rows);
+}
+
+#[test]
+fn updates_work_on_plain_ssd_too() {
+    let mut sys = System::new(SystemConfig::new(DeviceKind::Ssd, Layout::Nsm));
+    sys.load_table_rows("t", &schema(), rows(3_000, 2)).unwrap();
+    sys.finish_load();
+    sys.update_table_rows("t", rows(1_000, 7)).unwrap();
+    let r = sys.run(&sum_query()).unwrap();
+    assert_eq!(
+        r.result.agg_values[0],
+        (0..1_000i128).map(|k| k * 7).sum::<i128>()
+    );
+}
