@@ -54,6 +54,38 @@ fn bench_scan_agg_layouts(c: &mut Criterion) {
     group.finish();
 }
 
+/// The same Q6 kernel via the tuple-at-a-time reference path: the
+/// vectorization speedup is `scan_agg_q6` vs `scan_agg_q6_rowwise`.
+fn bench_scan_agg_rowwise(c: &mut Criterion) {
+    use smartssd_exec::reference::scan_agg_page_rowwise;
+    let mut group = c.benchmark_group("kernel/scan_agg_q6_rowwise");
+    let spec = ScanAggSpec {
+        pred: Pred::And(vec![
+            Pred::range_half_open(10, 731, 1096),
+            Pred::between_exclusive(6, 5, 7),
+            Pred::Cmp(CmpOp::Lt, Expr::col(4), Expr::lit(24)),
+        ]),
+        aggs: vec![AggSpec::sum(Expr::col(5).mul(Expr::col(6)))],
+    };
+    for layout in [Layout::Nsm, Layout::Pax] {
+        let img = lineitem_like(layout, 60_000);
+        group.throughput(Throughput::Elements(img.num_rows()));
+        group.bench_function(BenchmarkId::from_parameter(layout), |b| {
+            b.iter(|| {
+                let mut states = vec![smartssd_storage::expr::AggState::new(
+                    smartssd_storage::expr::AggFunc::Sum,
+                )];
+                let mut w = WorkCounts::default();
+                for p in img.pages() {
+                    scan_agg_page_rowwise(p, img.schema(), &spec, &mut states, &mut w);
+                }
+                (states[0].finish(), w.pred_atoms)
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Short-circuit ablation: selective leading atom vs non-selective.
 fn bench_short_circuit(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel/short_circuit");
@@ -92,7 +124,11 @@ fn synth_tables(layout: Layout) -> (TableImage, TableImage, Arc<Schema>) {
     ]);
     let mut build = TableBuilder::new("r", Arc::clone(&schema), layout);
     build.extend((0..2_000i32).map(|k| {
-        vec![Datum::I32(k), Datum::I64(k as i64 * 10), Datum::I32(k % 100)] as Tuple
+        vec![
+            Datum::I32(k),
+            Datum::I64(k as i64 * 10),
+            Datum::I32(k % 100),
+        ] as Tuple
     }));
     let mut probe = TableBuilder::new("s", Arc::clone(&schema), layout);
     probe.extend((0..60_000i32).map(|k| {
@@ -194,6 +230,39 @@ fn bench_group_agg_layouts(c: &mut Criterion) {
     group.finish();
 }
 
+/// Q1's grouped aggregation via the tuple-at-a-time reference path
+/// (`BTreeMap` accumulator, per-row tree walks).
+fn bench_group_agg_rowwise(c: &mut Criterion) {
+    use smartssd_exec::reference::{scan_group_agg_page_rowwise, RefGroupTable};
+    use smartssd_exec::spec::GroupAggSpec;
+    let mut group = c.benchmark_group("kernel/group_agg_q1_rowwise");
+    let spec = GroupAggSpec {
+        pred: Pred::Cmp(CmpOp::Le, Expr::col(10), Expr::lit(2_437)),
+        group_by: vec![8, 9],
+        aggs: vec![
+            AggSpec::sum(Expr::col(4)),
+            AggSpec::sum(Expr::col(5)),
+            AggSpec::sum(Expr::col(5).mul(Expr::lit(100).sub(Expr::col(6)))),
+            AggSpec::count(),
+        ],
+    };
+    for layout in [Layout::Nsm, Layout::Pax] {
+        let img = lineitem_like(layout, 60_000);
+        group.throughput(Throughput::Elements(img.num_rows()));
+        group.bench_function(BenchmarkId::from_parameter(layout), |b| {
+            b.iter(|| {
+                let mut acc = RefGroupTable::new();
+                let mut w = WorkCounts::default();
+                for p in img.pages() {
+                    scan_group_agg_page_rowwise(p, img.schema(), &spec, &mut acc, &mut w);
+                }
+                (acc.len(), w.agg_updates)
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Wire codec round trip for a realistic operator.
 fn bench_wire_codec(c: &mut Criterion) {
     let mut catalog = smartssd_query::Catalog::new();
@@ -228,10 +297,12 @@ fn bench_wire_codec(c: &mut Criterion) {
 criterion_group!(
     kernels,
     bench_scan_agg_layouts,
+    bench_scan_agg_rowwise,
     bench_short_circuit,
     bench_probe_order,
     bench_page_build,
     bench_group_agg_layouts,
+    bench_group_agg_rowwise,
     bench_wire_codec
 );
 criterion_main!(kernels);

@@ -123,13 +123,5 @@ fn bench_fig1(c: &mut Criterion) {
     c.bench_function("fig1/roadmap", |b| b.iter(smartssd_bench::fig1));
 }
 
-criterion_group!(
-    artifacts,
-    bench_tab2,
-    bench_fig3,
-    bench_fig5,
-    bench_fig7,
-    bench_tab3,
-    bench_fig1
-);
+criterion_group!(artifacts, bench_tab2, bench_fig3, bench_fig5, bench_fig7, bench_tab3, bench_fig1);
 criterion_main!(artifacts);

@@ -2,7 +2,12 @@
 //!
 //! ```text
 //! repro [--quick] [fig1|tab2|fig3|fig5|fig7|tab3|plans|scan-sweep|array|cache|
-//!                  device-scaling|interface|concurrent|host-parallel|q1|all]
+//!                  device-scaling|interface|concurrent|host-parallel|q1|kernels|all]
+//!
+//! `kernels` wall-clock-times the vectorized scan kernels against the
+//! tuple-at-a-time reference implementations and writes the results to
+//! `BENCH_kernels.json` in the current directory (stdout stays
+//! deterministic; the timings live in the JSON).
 //! ```
 //!
 //! Elapsed times are simulated; "projected" columns rescale them to the
@@ -18,9 +23,18 @@ fn print_bars(title: &str, bars: &Bars, projection: f64, paper_speedup: f64) {
     let [ssd, nsm, pax] = bars.seconds();
     println!("== {title} ==");
     println!("  config             measured[s]   projected-to-paper[s]");
-    println!("  SAS SSD (NSM)      {ssd:>10.3}   {:>12.1}", ssd * projection);
-    println!("  Smart SSD (NSM)    {nsm:>10.3}   {:>12.1}", nsm * projection);
-    println!("  Smart SSD (PAX)    {pax:>10.3}   {:>12.1}", pax * projection);
+    println!(
+        "  SAS SSD (NSM)      {ssd:>10.3}   {:>12.1}",
+        ssd * projection
+    );
+    println!(
+        "  Smart SSD (NSM)    {nsm:>10.3}   {:>12.1}",
+        nsm * projection
+    );
+    println!(
+        "  Smart SSD (PAX)    {pax:>10.3}   {:>12.1}",
+        pax * projection
+    );
     println!(
         "  speedup: PAX {:.2}x (paper ~{:.1}x), NSM {:.2}x",
         bars.speedup_pax(),
@@ -29,11 +43,7 @@ fn print_bars(title: &str, bars: &Bars, projection: f64, paper_speedup: f64) {
     );
     println!(
         "  device-cpu util (PAX run): {:.0}%",
-        bars.smart_pax
-            .util
-            .utilization("device-cpu")
-            .unwrap_or(0.0)
-            * 100.0
+        bars.smart_pax.util.utilization("device-cpu").unwrap_or(0.0) * 100.0
     );
     println!();
 }
@@ -57,15 +67,23 @@ fn run_tab2() {
     let t = tab2();
     println!("== Table 2: max sequential read bandwidth, 32-page (256KB) I/Os ==");
     println!("                      measured[MB/s]   paper[MB/s]");
-    println!("  SAS SSD (external)  {:>14.0}   {:>10}", t.external_mbps, 550);
-    println!("  Smart SSD (internal){:>14.0}   {:>10}", t.internal_mbps, 1560);
+    println!(
+        "  SAS SSD (external)  {:>14.0}   {:>10}",
+        t.external_mbps, 550
+    );
+    println!(
+        "  Smart SSD (internal){:>14.0}   {:>10}",
+        t.internal_mbps, 1560
+    );
     println!("  ratio               {:>13.2}x   {:>9.1}x", t.ratio(), 2.8);
     println!();
 }
 
 fn run_fig5(s: &Scales) {
     println!("== Figure 5: selection-with-join elapsed time vs selectivity ==");
-    println!("  sel%    SSD[s]   SmartNSM[s]   SmartPAX[s]   PAX-speedup (paper: 2.2x@1% -> ~1x@100%)");
+    println!(
+        "  sel%    SSD[s]   SmartNSM[s]   SmartPAX[s]   PAX-speedup (paper: 2.2x@1% -> ~1x@100%)"
+    );
     for p in fig5(s, &[0.01, 0.10, 0.25, 0.50, 1.00]) {
         let [ssd, nsm, pax] = p.bars.seconds();
         println!(
@@ -258,10 +276,126 @@ fn run_q1(s: &Scales) {
     println!();
 }
 
+/// Minimum wall-clock over `reps` runs of `f`, in milliseconds.
+fn time_min_ms(reps: u32, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Times the vectorized Q6/Q1 kernels against the tuple-at-a-time
+/// reference kernels and writes `BENCH_kernels.json`. Timings are
+/// machine-dependent, so stdout reports only that the file was written.
+fn run_kernels(quick: bool) {
+    use smartssd_exec::kernels::{scan_agg_page, scan_group_agg_page, GroupTable};
+    use smartssd_exec::reference::{
+        scan_agg_page_rowwise, scan_group_agg_page_rowwise, RefGroupTable,
+    };
+    use smartssd_exec::spec::{GroupAggSpec, ScanAggSpec};
+    use smartssd_exec::WorkCounts;
+    use smartssd_storage::expr::{AggFunc, AggSpec, AggState, CmpOp, Expr, Pred};
+    use smartssd_storage::{Layout, TableBuilder};
+
+    let rows = if quick { 12_000 } else { 60_000 };
+    let reps = if quick { 3 } else { 7 };
+    let q6 = ScanAggSpec {
+        pred: Pred::And(vec![
+            Pred::range_half_open(10, 731, 1096),
+            Pred::between_exclusive(6, 5, 7),
+            Pred::Cmp(CmpOp::Lt, Expr::col(4), Expr::lit(24)),
+        ]),
+        aggs: vec![AggSpec::sum(Expr::col(5).mul(Expr::col(6)))],
+    };
+    let q1 = GroupAggSpec {
+        pred: Pred::Cmp(CmpOp::Le, Expr::col(10), Expr::lit(2_437)),
+        group_by: vec![8, 9],
+        aggs: vec![
+            AggSpec::sum(Expr::col(4)),
+            AggSpec::sum(Expr::col(5)),
+            AggSpec::sum(Expr::col(5).mul(Expr::lit(100).sub(Expr::col(6)))),
+            AggSpec::count(),
+        ],
+    };
+
+    let mut entries = String::new();
+    for layout in [Layout::Nsm, Layout::Pax] {
+        let schema = smartssd_workload::tpch::lineitem_schema();
+        let mut b = TableBuilder::new("l", schema, layout);
+        b.extend(smartssd_workload::tpch::lineitem_rows(
+            rows as f64 / 6_000_000.0,
+            7,
+        ));
+        let img = b.finish();
+        let scan_vec = time_min_ms(reps, || {
+            let mut states = vec![AggState::new(AggFunc::Sum)];
+            let mut w = WorkCounts::default();
+            for p in img.pages() {
+                scan_agg_page(p, img.schema(), &q6, &mut states, &mut w);
+            }
+            std::hint::black_box(states[0].finish());
+        });
+        let scan_row = time_min_ms(reps, || {
+            let mut states = vec![AggState::new(AggFunc::Sum)];
+            let mut w = WorkCounts::default();
+            for p in img.pages() {
+                scan_agg_page_rowwise(p, img.schema(), &q6, &mut states, &mut w);
+            }
+            std::hint::black_box(states[0].finish());
+        });
+        let group_vec = time_min_ms(reps, || {
+            let mut acc = GroupTable::new();
+            let mut w = WorkCounts::default();
+            for p in img.pages() {
+                scan_group_agg_page(p, img.schema(), &q1, &mut acc, &mut w);
+            }
+            std::hint::black_box(acc.len());
+        });
+        let group_row = time_min_ms(reps, || {
+            let mut acc = RefGroupTable::new();
+            let mut w = WorkCounts::default();
+            for p in img.pages() {
+                scan_group_agg_page_rowwise(p, img.schema(), &q1, &mut acc, &mut w);
+            }
+            std::hint::black_box(acc.len());
+        });
+        for (name, vec_ms, row_ms) in [
+            ("kernel/scan_agg_q6", scan_vec, scan_row),
+            ("kernel/group_agg_q1", group_vec, group_row),
+        ] {
+            if !entries.is_empty() {
+                entries.push_str(",\n");
+            }
+            entries.push_str(&format!(
+                "    {{\"name\": \"{name}\", \"layout\": \"{layout:?}\", \
+                 \"vectorized_ms\": {vec_ms:.3}, \"rowwise_ms\": {row_ms:.3}, \
+                 \"speedup\": {:.2}}}",
+                row_ms / vec_ms
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"generated_by\": \"repro kernels\",\n  \"quick\": {quick},\n  \
+         \"rows\": {rows},\n  \"reps\": {reps},\n  \"timing\": \"min wall-clock ms\",\n  \
+         \"benches\": [\n{entries}\n  ]\n}}\n"
+    );
+    std::fs::write("BENCH_kernels.json", json).expect("write BENCH_kernels.json");
+    println!("== Kernel micro-benchmarks (vectorized vs tuple-at-a-time) ==");
+    println!("  wrote BENCH_kernels.json ({rows} rows, min over {reps} reps per kernel)");
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let s = if quick { Scales::quick() } else { Scales::default() };
+    let s = if quick {
+        Scales::quick()
+    } else {
+        Scales::default()
+    };
     let what = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -324,5 +458,8 @@ fn main() {
     }
     if all || what == "q1" {
         run_q1(&s);
+    }
+    if all || what == "kernels" {
+        run_kernels(quick);
     }
 }

@@ -77,10 +77,8 @@ pub fn tab2() -> Tab2 {
     let n: u64 = 8192;
     // A real formatted page so the host path's validation passes.
     let page = {
-        let schema = smartssd_storage::Schema::from_pairs(&[(
-            "x",
-            smartssd_storage::DataType::Int64,
-        )]);
+        let schema =
+            smartssd_storage::Schema::from_pairs(&[("x", smartssd_storage::DataType::Int64)]);
         let mut b = smartssd_storage::TableBuilder::new("t", schema, Layout::Nsm);
         b.extend((0..1i64).map(|v| vec![smartssd_storage::Datum::I64(v)]));
         b.finish().pages()[0].clone()
@@ -307,7 +305,8 @@ pub fn array_exp(s: &Scales, device_counts: &[usize]) -> Vec<ArrayPoint> {
     device_counts
         .iter()
         .map(|&n| {
-            let mut arr = SmartSsdArray::new(n, SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax));
+            let mut arr =
+                SmartSsdArray::new(n, SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax));
             arr.load_partitioned(
                 queries::LINEITEM,
                 &tpch::lineitem_schema(),
@@ -529,11 +528,8 @@ pub fn concurrent_exp(s: &Scales, session_counts: &[usize]) -> Vec<ConcurrencyPo
                     ..cfg.smart.clone()
                 },
             );
-            let mut b = smartssd_storage::TableBuilder::new(
-                "lineitem",
-                lineitem_schema(),
-                Layout::Pax,
-            );
+            let mut b =
+                smartssd_storage::TableBuilder::new("lineitem", lineitem_schema(), Layout::Pax);
             b.extend(tpch::lineitem_rows(s.tpch_sf, s.seed));
             let img = b.finish();
             let tref = dev.load_table(&img, 0).expect("load");

@@ -12,7 +12,7 @@
 //!
 //! The devices are independent [`SmartSsd`] instances, so their in-device
 //! executions are embarrassingly parallel; we run them on real threads via
-//! `crossbeam::scope` (the simulation stays deterministic because each
+//! `std::thread::scope` (the simulation stays deterministic because each
 //! device owns its private timelines). They still share the single host
 //! interface for result retrieval, which the shared link bus serializes.
 
@@ -124,19 +124,18 @@ impl SmartSsdArray {
         // Phase 1: all devices execute their partitions concurrently. Each
         // device's simulation is private, so real threads are safe and the
         // outcome is deterministic.
-        let sids: Vec<_> = crossbeam::thread::scope(|scope| {
+        let sids: Vec<_> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .devices
                 .iter_mut()
                 .zip(&ops)
-                .map(|(dev, op)| scope.spawn(move |_| dev.open(op, SimTime::ZERO)))
+                .map(|(dev, op)| scope.spawn(move || dev.open(op, SimTime::ZERO)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("device thread panicked"))
                 .collect::<Vec<Result<_, DeviceError>>>()
-        })
-        .expect("scope panicked");
+        });
         // Phase 2: gather. GETs share the single host link.
         let mut merged: Option<Vec<AggState>> = None;
         let mut t = SimTime::ZERO;

@@ -13,8 +13,9 @@ use smartssd_query::{
     QueryResult, Route,
 };
 use smartssd_sim::energy::{ComponentDraw, Subsystem};
-use smartssd_sim::{mb_per_sec, Bus, CpuModel, EnergyBreakdown, PowerModel, SimTime,
-    UtilizationReport};
+use smartssd_sim::{
+    mb_per_sec, Bus, CpuModel, EnergyBreakdown, PowerModel, SimTime, UtilizationReport,
+};
 use smartssd_storage::expr::AggState;
 use smartssd_storage::{Layout, Schema, TableBuilder, TableImage, Tuple};
 use std::fmt;
@@ -242,9 +243,7 @@ impl System {
         match &mut self.backend {
             Backend::Hdd(p) => p.reset_timing(),
             Backend::Ssd(p) => p.reset_timing(),
-            Backend::Smart {
-                dev, link, cmd, ..
-            } => {
+            Backend::Smart { dev, link, cmd, .. } => {
                 dev.reset_timing();
                 link.reset();
                 cmd.reset();
@@ -318,11 +317,7 @@ impl System {
     /// is trimmed (on flash, the stale pages become GC fodder). Timing of
     /// the rewrite is charged to the device and then reset, mirroring an
     /// untimed maintenance window.
-    pub fn update_table_rows<I>(
-        &mut self,
-        name: &str,
-        rows: I,
-    ) -> Result<(), RunError>
+    pub fn update_table_rows<I>(&mut self, name: &str, rows: I) -> Result<(), RunError>
     where
         I: IntoIterator<Item = Tuple>,
     {
@@ -336,7 +331,9 @@ impl System {
         // Invalidate the old extent.
         if let Backend::Ssd(path) = &mut self.backend {
             for lba in old.first_lba..old.first_lba + old.num_pages {
-                path.ssd.trim(lba).map_err(|e| RunError::Io(IoError::Flash(e)))?;
+                path.ssd
+                    .trim(lba)
+                    .map_err(|e| RunError::Io(IoError::Flash(e)))?;
             }
         } else if let Backend::Smart { dev, .. } = &mut self.backend {
             for lba in old.first_lba..old.first_lba + old.num_pages {
@@ -561,7 +558,9 @@ impl System {
                 self.cfg.interface.command_latency_ns(),
             )
             .end;
-        let sid = dev.open_raw(&payload, open_done).map_err(RunError::Device)?;
+        let sid = dev
+            .open_raw(&payload, open_done)
+            .map_err(RunError::Device)?;
         let mut rows: Vec<Tuple> = Vec::new();
         let mut agg_states: Option<Vec<AggState>> = None;
         let mut t = SimTime::ZERO;
@@ -596,10 +595,7 @@ impl System {
                 GetResponse::Done => break,
             }
         }
-        let work = dev
-            .session_work(sid)
-            .copied()
-            .unwrap_or_default();
+        let work = dev.session_work(sid).copied().unwrap_or_default();
         dev.close(sid).map_err(RunError::Device)?;
         let (agg_values, scalar) = query.finalize.apply(agg_states.as_deref().unwrap_or(&[]));
         Ok(QueryResult {
@@ -681,10 +677,8 @@ mod tests {
     use smartssd_storage::{DataType, Datum};
 
     fn sys_with_rows(kind: DeviceKind, n: i32) -> System {
-        let schema = smartssd_storage::Schema::from_pairs(&[
-            ("k", DataType::Int32),
-            ("v", DataType::Int64),
-        ]);
+        let schema =
+            smartssd_storage::Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)]);
         let mut sys = System::new(SystemConfig::new(kind, Layout::Pax));
         sys.load_table_rows(
             "t",

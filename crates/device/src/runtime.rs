@@ -18,9 +18,9 @@
 
 use crate::config::DeviceConfig;
 use smartssd_exec::{
-    group_table_memory_bytes, group_table_rows,
+    default_workers, group_table_memory_bytes, group_table_rows,
     join::{probe_page, JoinHashTable, JoinSink},
-    scan_agg_page, scan_group_agg_page, scan_page,
+    parallel_map, scan_agg_page, scan_group_agg_page, scan_page,
     spec::JoinOutput,
     GroupTable, QueryOp, TableRef, WorkCounts,
 };
@@ -263,23 +263,39 @@ impl SmartSsd {
         op: &QueryOp,
         now: SimTime,
     ) -> Result<(VecDeque<ResultBatch>, WorkCounts), DeviceError> {
+        // Scan, ScanAgg, and the Join probe run in two phases: every page
+        // is first read through the flash path serially in LBA order (all
+        // reads are posted at the same sim time, and serial issue keeps
+        // flash timing/error-injection state identical to the pre-parallel
+        // runtime), then the pure per-page kernel work fans out over
+        // worker threads and the embedded-CPU charges replay in page
+        // order. Firmware on a real device would do the same: one kernel
+        // instance per channel, merged deterministically.
+        let workers = default_workers();
         match op {
             QueryOp::Scan { table, spec } => {
                 let mut total = WorkCounts::default();
                 let mut queue = VecDeque::new();
                 let out_width = spec.output_schema(&table.schema).tuple_width() as u64;
+                let mut pages = Vec::with_capacity(table.num_pages as usize);
+                for lba in table.lbas() {
+                    pages.push(self.read_page(lba, now)?);
+                }
+                let results = parallel_map(&pages, workers, |(page, _)| {
+                    let mut rows = Vec::new();
+                    let mut w = WorkCounts::default();
+                    scan_page(page, &table.schema, spec, &mut rows, &mut w);
+                    (rows, w)
+                });
                 let mut rows: Vec<Tuple> = Vec::new();
                 let mut bytes = 0u64;
                 let mut last_done = now;
-                for lba in table.lbas() {
-                    let (page, at) = self.read_page(lba, now)?;
-                    let mut w = WorkCounts::default();
-                    let n_before = rows.len();
-                    scan_page(&page, &table.schema, spec, &mut rows, &mut w);
-                    let iv = self.cpu.execute(at, self.cfg.costs.cycles(&w));
+                for ((_, at), (page_rows, w)) in pages.iter().zip(results) {
+                    let iv = self.cpu.execute(*at, self.cfg.costs.cycles(&w));
                     last_done = iv.end;
                     total.absorb(&w);
-                    bytes += (rows.len() - n_before) as u64 * out_width;
+                    bytes += page_rows.len() as u64 * out_width;
+                    rows.extend(page_rows);
                     if bytes >= self.cfg.result_buffer_bytes {
                         queue.push_back(ResultBatch {
                             rows: std::mem::take(&mut rows),
@@ -301,16 +317,27 @@ impl SmartSsd {
             }
             QueryOp::ScanAgg { table, spec } => {
                 let mut total = WorkCounts::default();
+                let mut pages = Vec::with_capacity(table.num_pages as usize);
+                for lba in table.lbas() {
+                    pages.push(self.read_page(lba, now)?);
+                }
+                let results = parallel_map(&pages, workers, |(page, _)| {
+                    let mut states: Vec<AggState> =
+                        spec.aggs.iter().map(|a| AggState::new(a.func)).collect();
+                    let mut w = WorkCounts::default();
+                    scan_agg_page(page, &table.schema, spec, &mut states, &mut w);
+                    (states, w)
+                });
                 let mut states: Vec<AggState> =
                     spec.aggs.iter().map(|a| AggState::new(a.func)).collect();
                 let mut last_done = now;
-                for lba in table.lbas() {
-                    let (page, at) = self.read_page(lba, now)?;
-                    let mut w = WorkCounts::default();
-                    scan_agg_page(&page, &table.schema, spec, &mut states, &mut w);
-                    let iv = self.cpu.execute(at, self.cfg.costs.cycles(&w));
+                for ((_, at), (partial, w)) in pages.iter().zip(results) {
+                    let iv = self.cpu.execute(*at, self.cfg.costs.cycles(&w));
                     last_done = iv.end;
                     total.absorb(&w);
+                    for (s, p) in states.iter_mut().zip(partial.iter()) {
+                        s.merge(p);
+                    }
                 }
                 let bytes = 16 * states.len() as u64;
                 let queue = VecDeque::from([ResultBatch {
@@ -322,6 +349,11 @@ impl SmartSsd {
                 Ok((queue, total))
             }
             QueryOp::GroupAgg { table, spec } => {
+                // Stays serial: the memory-grant check below runs after
+                // every page and aborts mid-scan, so later pages must not
+                // be read (or even fetched) once the grant is blown —
+                // two-phasing would over-read flash and diverge the
+                // simulated device state on the abort path.
                 let mut total = WorkCounts::default();
                 let mut acc = GroupTable::new();
                 let mut last_done = now;
@@ -395,16 +427,15 @@ impl SmartSsd {
                         .sum(),
                     JoinOutput::Aggregate(aggs) => 16 * aggs.len() as u64,
                 };
-                let mut sink = JoinSink::new(spec);
-                let mut queue = VecDeque::new();
-                let mut last_done = build_done;
-                let mut emitted = 0usize;
-                let mut bytes = 0u64;
+                let mut pages = Vec::with_capacity(probe.num_pages as usize);
                 for lba in probe.lbas() {
-                    let (page, at) = self.read_page(lba, build_done)?;
+                    pages.push(self.read_page(lba, build_done)?);
+                }
+                let results = parallel_map(&pages, workers, |(page, _)| {
+                    let mut sink = JoinSink::new(spec);
                     let mut w = WorkCounts::default();
                     probe_page(
-                        &page,
+                        page,
                         &probe.schema,
                         spec,
                         &ht,
@@ -412,18 +443,24 @@ impl SmartSsd {
                         &mut sink,
                         &mut w,
                     );
+                    (sink, w)
+                });
+                let mut sink = JoinSink::new(spec);
+                let mut queue = VecDeque::new();
+                let mut last_done = build_done;
+                let mut bytes = 0u64;
+                for ((_, at), (partial, w)) in pages.iter().zip(results) {
                     let iv = self
                         .cpu
-                        .execute(at.max(build_done), self.cfg.costs.cycles(&w));
+                        .execute((*at).max(build_done), self.cfg.costs.cycles(&w));
                     last_done = iv.end;
                     total.absorb(&w);
+                    let fresh = partial.rows.len();
+                    sink.merge(partial);
                     if matches!(spec.output, JoinOutput::Project(_)) {
-                        let fresh = sink.rows.len() - emitted;
                         bytes += fresh as u64 * out_width;
-                        emitted = sink.rows.len();
                         if bytes >= self.cfg.result_buffer_bytes {
                             let drained: Vec<Tuple> = sink.rows.drain(..).collect();
-                            emitted = 0;
                             queue.push_back(ResultBatch {
                                 rows: drained,
                                 aggs: None,
@@ -479,10 +516,7 @@ mod tests {
     }
 
     /// Drains a session to completion, returning rows, aggs, and finish time.
-    fn drain(
-        dev: &mut SmartSsd,
-        sid: SessionId,
-    ) -> (Vec<Tuple>, Option<Vec<AggState>>, SimTime) {
+    fn drain(dev: &mut SmartSsd, sid: SessionId) -> (Vec<Tuple>, Option<Vec<AggState>>, SimTime) {
         let mut rows = Vec::new();
         let mut aggs: Option<Vec<AggState>> = None;
         let mut t = SimTime::ZERO;
@@ -597,7 +631,10 @@ mod tests {
             dev.get(bogus, SimTime::ZERO).unwrap_err(),
             DeviceError::UnknownSession(99)
         );
-        assert_eq!(dev.close(bogus).unwrap_err(), DeviceError::UnknownSession(99));
+        assert_eq!(
+            dev.close(bogus).unwrap_err(),
+            DeviceError::UnknownSession(99)
+        );
     }
 
     #[test]

@@ -20,6 +20,8 @@
 
 pub mod join;
 pub mod kernels;
+pub mod par;
+pub mod reference;
 pub mod spec;
 pub mod wire;
 pub mod work;
@@ -29,9 +31,9 @@ pub use kernels::{
     group_table_memory_bytes, group_table_rows, merge_group_tables, page_reader, scan_agg_page,
     scan_group_agg_page, scan_page, GroupTable,
 };
+pub use par::{default_workers, parallel_map};
 pub use spec::{
-    BuildSide, ColRef, GroupAggSpec, JoinOutput, JoinSpec, QueryOp, ScanAggSpec, ScanSpec,
-    TableRef,
+    BuildSide, ColRef, GroupAggSpec, JoinOutput, JoinSpec, QueryOp, ScanAggSpec, ScanSpec, TableRef,
 };
 pub use wire::{decode_op, encode_op, WireError};
 pub use work::{CostTable, WorkCounts};

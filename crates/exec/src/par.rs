@@ -1,0 +1,70 @@
+//! Deterministic fork/join over page batches.
+//!
+//! Kernel execution is split into two phases by the engines: page reads
+//! stay serial (device state mutates in LBA order, so error injection and
+//! timing draws are unaffected), then the pure per-page kernel work fans
+//! out here. Results come back in input order, and the caller replays CPU
+//! charges and output merges in that order — so parallel execution is
+//! bit-identical to the serial loop, just faster in wall-clock terms.
+
+/// Maps `items` through `f` on scoped worker threads, returning results in
+/// input order. Falls back to a plain serial map for small batches, where
+/// thread spawn overhead would dominate.
+pub fn parallel_map<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    const MIN_PARALLEL_ITEMS: usize = 32;
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers == 1 || items.len() < MIN_PARALLEL_ITEMS {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            out.extend(h.join().expect("kernel worker thread panicked"));
+        }
+        out
+    })
+}
+
+/// Worker count for kernel fan-out: the machine's parallelism, capped so
+/// a wide simulation sweep doesn't oversubscribe the host.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(&items, 4, |&x| x * 3);
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_batches_run_inline() {
+        let items = [1, 2, 3];
+        assert_eq!(parallel_map(&items, 8, |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: [u32; 0] = [];
+        assert!(parallel_map(&items, 4, |&x| x).is_empty());
+    }
+}

@@ -14,8 +14,7 @@
 //! the device must survive malformed host commands.
 
 use crate::spec::{
-    BuildSide, ColRef, GroupAggSpec, JoinOutput, JoinSpec, QueryOp, ScanAggSpec, ScanSpec,
-    TableRef,
+    BuildSide, ColRef, GroupAggSpec, JoinOutput, JoinSpec, QueryOp, ScanAggSpec, ScanSpec, TableRef,
 };
 use smartssd_storage::expr::{AggFunc, AggSpec, CmpOp, Expr, Pred};
 use smartssd_storage::{Column, DataType, Layout, Schema};
@@ -590,7 +589,10 @@ mod tests {
         assert_round_trip(&QueryOp::ScanAgg {
             table: sample_table(),
             spec: ScanAggSpec {
-                pred: Pred::Or(vec![Pred::Const(true), Pred::Not(Box::new(Pred::Const(false)))]),
+                pred: Pred::Or(vec![
+                    Pred::Const(true),
+                    Pred::Not(Box::new(Pred::Const(false))),
+                ]),
                 aggs: vec![
                     AggSpec::sum(Expr::col(1).mul(Expr::lit(100).sub(Expr::col(0)))),
                     AggSpec::count(),
@@ -692,10 +694,7 @@ mod tests {
         bytes.extend_from_slice(&1u64.to_le_bytes()); // num_pages
         bytes.push(0); // layout NSM
         bytes.extend_from_slice(&(u64::MAX).to_le_bytes()); // column count
-        assert!(matches!(
-            decode_op(&bytes),
-            Err(WireError::BadLength(_))
-        ));
+        assert!(matches!(decode_op(&bytes), Err(WireError::BadLength(_))));
     }
 
     #[test]

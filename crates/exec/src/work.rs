@@ -199,7 +199,10 @@ mod tests {
             out_bytes: 25,
             ..Default::default()
         };
-        assert_eq!(t.cycles(&w), 2 * t.page + 3 * t.tuple_nsm + t.out_byte_tenths * 25 / 10);
+        assert_eq!(
+            t.cycles(&w),
+            2 * t.page + 3 * t.tuple_nsm + t.out_byte_tenths * 25 / 10
+        );
     }
 
     #[test]

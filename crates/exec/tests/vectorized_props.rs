@@ -1,0 +1,309 @@
+//! Differential property tests: the vectorized kernels must agree with the
+//! tuple-at-a-time reference kernels *exactly* — same output rows, same
+//! aggregate states, same group tables, and bit-identical [`WorkCounts`]
+//! receipts — on arbitrary schemas, layouts, row data, predicates,
+//! projections, aggregates, and grouping keys. The receipts feed the
+//! simulated cost model, so any divergence would silently change reported
+//! timings; equality here is what makes the vectorization a pure
+//! wall-clock optimization.
+
+use proptest::prelude::*;
+use smartssd_exec::kernels::{
+    group_table_rows, scan_agg_page, scan_group_agg_page, scan_page, GroupTable,
+};
+use smartssd_exec::reference::{
+    ref_group_table_rows, scan_agg_page_rowwise, scan_group_agg_page_rowwise, scan_page_rowwise,
+    RefGroupTable,
+};
+use smartssd_exec::spec::{GroupAggSpec, ScanAggSpec, ScanSpec};
+use smartssd_exec::WorkCounts;
+use smartssd_storage::expr::{AggSpec, AggState, CmpOp, Expr, Pred};
+use smartssd_storage::{DataType, Datum, Layout, Schema, TableBuilder, Tuple};
+use std::sync::Arc;
+
+/// An arbitrary column type. Char widths stay small so string literals of
+/// comparable width are easy to generate.
+fn arb_type() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::Int32),
+        Just(DataType::Int64),
+        (1u16..8).prop_map(DataType::Char),
+    ]
+}
+
+/// A schema of 1..6 columns whose first column is always numeric, so every
+/// generated schema has at least one column usable in arithmetic.
+fn arb_schema() -> impl Strategy<Value = Arc<Schema>> {
+    prop::collection::vec(arb_type(), 0..5).prop_map(|mut types| {
+        types.insert(0, DataType::Int64);
+        let cols: Vec<(String, DataType)> = types
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (format!("c{i}"), t))
+            .collect();
+        let pairs: Vec<(&str, DataType)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        Schema::from_pairs(&pairs)
+    })
+}
+
+/// A datum for one column. Values stay in a narrow band so comparisons hit
+/// all three orderings and products never overflow.
+fn arb_datum(ty: DataType) -> BoxedStrategy<Datum> {
+    match ty {
+        DataType::Int32 => (-20i32..=20).prop_map(Datum::I32).boxed(),
+        DataType::Int64 => (-20i64..=20).prop_map(Datum::I64).boxed(),
+        DataType::Char(w) => prop::collection::vec(b'a'..=b'd', 0..=w as usize)
+            .prop_map(|v| Datum::Str(v.into()))
+            .boxed(),
+    }
+}
+
+/// Column indices by kind.
+fn split_cols(schema: &Schema) -> (Vec<usize>, Vec<(usize, u16)>) {
+    let mut numeric = Vec::new();
+    let mut chars = Vec::new();
+    for (i, c) in schema.columns().iter().enumerate() {
+        match c.ty {
+            DataType::Int32 | DataType::Int64 => numeric.push(i),
+            DataType::Char(w) => chars.push((i, w)),
+        }
+    }
+    (numeric, chars)
+}
+
+/// Picks one element of a non-empty list.
+fn pick<T: Clone + std::fmt::Debug + 'static>(items: Vec<T>) -> BoxedStrategy<T> {
+    let n = items.len();
+    (0..n).prop_map(move |i| items[i].clone()).boxed()
+}
+
+fn arb_cmp_op() -> BoxedStrategy<CmpOp> {
+    pick(vec![
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ])
+}
+
+/// An arbitrary integer expression over the numeric columns.
+fn arb_expr(numeric: Vec<usize>, chars: Vec<(usize, u16)>, depth: u32) -> BoxedStrategy<Expr> {
+    let lit = (-20i64..=20).prop_map(Expr::Lit).boxed();
+    let leaf = if numeric.is_empty() {
+        lit
+    } else {
+        prop_oneof![pick(numeric.clone()).prop_map(Expr::Col), lit].boxed()
+    };
+    if depth == 0 {
+        return leaf;
+    }
+    let sub = arb_expr(numeric.clone(), chars.clone(), depth - 1);
+    let sub2 = arb_expr(numeric.clone(), chars.clone(), depth - 1);
+    let case = (
+        arb_pred(numeric.clone(), chars.clone(), depth - 1),
+        arb_expr(numeric.clone(), chars.clone(), 0),
+        arb_expr(numeric, chars, 0),
+    );
+    prop_oneof![
+        leaf,
+        (sub, sub2).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+        arb_expr_pair_mul(depth - 1),
+        case.prop_map(|(when, then, otherwise)| Expr::Case {
+            when: Box::new(when),
+            then: Box::new(then),
+            otherwise: Box::new(otherwise),
+        }),
+    ]
+    .boxed()
+}
+
+/// Literal-only multiply so nested arithmetic cannot overflow `i64`.
+fn arb_expr_pair_mul(_depth: u32) -> BoxedStrategy<Expr> {
+    ((-20i64..=20), (-20i64..=20))
+        .prop_map(|(a, b)| Expr::Mul(Box::new(Expr::Lit(a)), Box::new(Expr::Lit(b))))
+        .boxed()
+}
+
+/// An arbitrary predicate exercising every `Pred` variant the schema
+/// supports.
+fn arb_pred(numeric: Vec<usize>, chars: Vec<(usize, u16)>, depth: u32) -> BoxedStrategy<Pred> {
+    let cmp = (
+        arb_cmp_op(),
+        arb_expr(numeric.clone(), chars.clone(), depth.min(1)),
+        arb_expr(numeric.clone(), chars.clone(), depth.min(1)),
+    )
+        .prop_map(|(op, a, b)| Pred::Cmp(op, a, b))
+        .boxed();
+    let mut leaves: Vec<(u32, BoxedStrategy<Pred>)> =
+        vec![(3, cmp), (1, any::<bool>().prop_map(Pred::Const).boxed())];
+    if !chars.is_empty() {
+        let strcmp = (
+            pick(chars.clone()),
+            arb_cmp_op(),
+            prop::collection::vec(b'a'..=b'd', 0..3),
+        )
+            .prop_map(|((col, _), op, lit)| Pred::StrCmp {
+                col,
+                op,
+                lit: lit.into(),
+            })
+            .boxed();
+        let like = (
+            pick(chars.clone()),
+            prop::collection::vec(b'a'..=b'd', 0..3),
+        )
+            .prop_map(|((col, _), prefix)| Pred::LikePrefix {
+                col,
+                prefix: prefix.into(),
+            })
+            .boxed();
+        leaves.push((2, strcmp));
+        leaves.push((2, like));
+    }
+    let leaf = Union::new(leaves).boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    let sub = || arb_pred(numeric.clone(), chars.clone(), depth - 1);
+    prop_oneof![
+        leaf,
+        prop::collection::vec(sub(), 0..3).prop_map(Pred::And),
+        prop::collection::vec(sub(), 0..3).prop_map(Pred::Or),
+        sub().prop_map(|p| Pred::Not(Box::new(p))),
+    ]
+    .boxed()
+}
+
+/// An arbitrary aggregate list.
+fn arb_aggs(numeric: Vec<usize>, chars: Vec<(usize, u16)>) -> BoxedStrategy<Vec<AggSpec>> {
+    let one = prop_oneof![
+        arb_expr(numeric.clone(), chars.clone(), 1).prop_map(AggSpec::sum),
+        Just(AggSpec::count()),
+        arb_expr(numeric.clone(), chars.clone(), 1).prop_map(AggSpec::min),
+        arb_expr(numeric, chars, 1).prop_map(AggSpec::max),
+    ]
+    .boxed();
+    prop::collection::vec(one, 1..4).boxed()
+}
+
+/// Everything one differential case needs.
+#[derive(Debug, Clone)]
+struct Case {
+    schema: Arc<Schema>,
+    rows: Vec<Tuple>,
+    pred: Pred,
+    project: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    group_by: Vec<usize>,
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    arb_schema().prop_flat_map(|schema| {
+        let (numeric, chars) = split_cols(&schema);
+        let per_row: Vec<BoxedStrategy<Datum>> =
+            schema.columns().iter().map(|c| arb_datum(c.ty)).collect();
+        let all: Vec<usize> = (0..schema.len()).collect();
+        let s = Arc::clone(&schema);
+        (
+            prop::collection::vec(per_row, 1..250),
+            arb_pred(numeric.clone(), chars.clone(), 2),
+            prop::collection::vec(pick(all.clone()), 1..4),
+            arb_aggs(numeric, chars),
+            prop::collection::vec(pick(all), 1..3),
+        )
+            .prop_map(move |(rows, pred, project, aggs, mut group_by)| {
+                // Duplicate grouping columns would collide in the projected
+                // key schema; keep first occurrences.
+                let mut seen = [false; 16];
+                group_by.retain(|&c| !std::mem::replace(&mut seen[c], true));
+                Case {
+                    schema: Arc::clone(&s),
+                    rows,
+                    pred,
+                    project,
+                    aggs,
+                    group_by,
+                }
+            })
+    })
+}
+
+fn build(case: &Case, layout: Layout) -> smartssd_storage::TableImage {
+    let mut b = TableBuilder::new("t", Arc::clone(&case.schema), layout);
+    b.extend(case.rows.iter().cloned());
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `scan_page` ≡ `scan_page_rowwise`: rows, qualifying count, receipts.
+    #[test]
+    fn scan_matches_reference(case in arb_case()) {
+        for layout in [Layout::Nsm, Layout::Pax] {
+            let img = build(&case, layout);
+            let spec = ScanSpec { pred: case.pred.clone(), project: case.project.clone() };
+            let (mut out_v, mut w_v) = (Vec::new(), WorkCounts::default());
+            let (mut out_r, mut w_r) = (Vec::new(), WorkCounts::default());
+            let mut q_v = 0;
+            let mut q_r = 0;
+            for p in img.pages() {
+                q_v += scan_page(p, img.schema(), &spec, &mut out_v, &mut w_v);
+                q_r += scan_page_rowwise(p, img.schema(), &spec, &mut out_r, &mut w_r);
+            }
+            prop_assert_eq!(q_v, q_r);
+            prop_assert_eq!(&out_v, &out_r);
+            prop_assert_eq!(w_v, w_r);
+        }
+    }
+
+    /// `scan_agg_page` ≡ `scan_agg_page_rowwise`: states and receipts.
+    #[test]
+    fn scan_agg_matches_reference(case in arb_case()) {
+        for layout in [Layout::Nsm, Layout::Pax] {
+            let img = build(&case, layout);
+            let spec = ScanAggSpec { pred: case.pred.clone(), aggs: case.aggs.clone() };
+            let mut st_v: Vec<AggState> =
+                spec.aggs.iter().map(|a| AggState::new(a.func)).collect();
+            let mut st_r = st_v.clone();
+            let (mut w_v, mut w_r) = (WorkCounts::default(), WorkCounts::default());
+            for p in img.pages() {
+                scan_agg_page(p, img.schema(), &spec, &mut st_v, &mut w_v);
+                scan_agg_page_rowwise(p, img.schema(), &spec, &mut st_r, &mut w_r);
+            }
+            prop_assert_eq!(&st_v, &st_r);
+            prop_assert_eq!(w_v, w_r);
+        }
+    }
+
+    /// `scan_group_agg_page` ≡ `scan_group_agg_page_rowwise`: group count,
+    /// materialized rows in key order, and receipts. This pins the
+    /// open-addressing table to the `BTreeMap` reference.
+    #[test]
+    fn group_agg_matches_reference(case in arb_case()) {
+        for layout in [Layout::Nsm, Layout::Pax] {
+            let img = build(&case, layout);
+            let spec = GroupAggSpec {
+                pred: case.pred.clone(),
+                group_by: case.group_by.clone(),
+                aggs: case.aggs.clone(),
+            };
+            let mut acc_v = GroupTable::new();
+            let mut acc_r = RefGroupTable::new();
+            let (mut w_v, mut w_r) = (WorkCounts::default(), WorkCounts::default());
+            for p in img.pages() {
+                scan_group_agg_page(p, img.schema(), &spec, &mut acc_v, &mut w_v);
+                scan_group_agg_page_rowwise(p, img.schema(), &spec, &mut acc_r, &mut w_r);
+            }
+            prop_assert_eq!(acc_v.len(), acc_r.len());
+            let key_schema = spec.key_schema(img.schema());
+            prop_assert_eq!(
+                group_table_rows(&acc_v, &key_schema),
+                ref_group_table_rows(&acc_r, &key_schema)
+            );
+            prop_assert_eq!(w_v, w_r);
+        }
+    }
+}

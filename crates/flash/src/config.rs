@@ -87,8 +87,14 @@ impl FlashConfig {
     pub fn validate(&self) {
         assert!(self.channels >= 1, "need at least one channel");
         assert!(self.chips_per_channel >= 1, "need at least one chip");
-        assert!(self.blocks_per_chip >= 2, "need at least two blocks per chip");
-        assert!(self.pages_per_block >= 1, "need at least one page per block");
+        assert!(
+            self.blocks_per_chip >= 2,
+            "need at least two blocks per chip"
+        );
+        assert!(
+            self.pages_per_block >= 1,
+            "need at least one page per block"
+        );
         assert!(self.page_size >= 16, "page size too small");
         assert!(
             (0.0..0.9).contains(&self.overprovision),
@@ -118,9 +124,9 @@ impl Default for FlashConfig {
             pages_per_block: 64,
             page_size: 8192,
             overprovision: 0.125,
-            t_read_ns: 50_000,      // 50 us tR (MLC-era NAND)
-            t_program_ns: 600_000,  // 600 us tPROG
-            t_erase_ns: 3_000_000,  // 3 ms tBERS
+            t_read_ns: 50_000,       // 50 us tR (MLC-era NAND)
+            t_program_ns: 600_000,   // 600 us tPROG
+            t_erase_ns: 3_000_000,   // 3 ms tBERS
             channel_bw: 400_000_000, // 400 MB/s ONFI-style channel
             dram_bw: 1_600_000_000,  // 1.6 GB/s shared DRAM DMA bus
             dram_latency_ns: 120,

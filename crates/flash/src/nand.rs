@@ -61,7 +61,9 @@ impl fmt::Display for NandError {
         match self {
             NandError::BadAddress(p) => write!(f, "address {p} outside geometry"),
             NandError::ProgramNotFree(p) => write!(f, "program to non-free page {p}"),
-            NandError::ProgramOutOfOrder(p) => write!(f, "out-of-order program within block at {p}"),
+            NandError::ProgramOutOfOrder(p) => {
+                write!(f, "out-of-order program within block at {p}")
+            }
             NandError::ReadUnwritten(p) => write!(f, "read of unwritten page {p}"),
         }
     }

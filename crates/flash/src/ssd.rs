@@ -214,7 +214,15 @@ impl FlashSsd {
             self.pending_retry = None;
         } else if self.pending_clean == Some(lba) {
             self.pending_clean = None;
-        } else {
+        } else if self.cfg.ecc_fail_rate > 0
+            || self.cfg.ecc_retry_rate > 0
+            || self.cfg.silent_corruption_rate > 0
+        {
+            // Injection enabled: one RNG draw per read. With all rates at
+            // zero (the common configuration) this whole arm is skipped, so
+            // clean reads hand back the shared payload with no RNG traffic
+            // and no copies; a corrupted copy is only materialized below
+            // when silent-corruption injection actually fires.
             let draw = self.err_rng.next_u32();
             if self.cfg.ecc_fail_rate > 0 && draw < self.cfg.ecc_fail_rate {
                 self.stats.ecc_failures += 1;

@@ -96,7 +96,10 @@ impl HddModel {
     fn access(&mut self, lba: u64, now: SimTime) -> Interval {
         let sequential = self.last_lba == Some(lba.wrapping_sub(1)) || self.last_lba == Some(lba);
         self.last_lba = Some(lba);
-        let xfer = transfer_ns(self.cfg.page_size as u64, mb_per_sec(self.cfg.sustained_mbps));
+        let xfer = transfer_ns(
+            self.cfg.page_size as u64,
+            mb_per_sec(self.cfg.sustained_mbps),
+        );
         // Seek + rotation occupy the mechanism, just like the transfer:
         // the head cannot serve anything else while repositioning.
         let service = if sequential {

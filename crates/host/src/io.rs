@@ -139,11 +139,7 @@ impl SsdHostPath {
     pub fn new(ssd: FlashSsd, interface: InterfaceKind, pool_pages: usize) -> Self {
         Self {
             ssd,
-            link: Bus::new(
-                "host-interface",
-                mb_per_sec(interface.effective_mbps()),
-                0,
-            ),
+            link: Bus::new("host-interface", mb_per_sec(interface.effective_mbps()), 0),
             cmd_latency_ns: interface.command_latency_ns(),
             pool: BufferPool::new(pool_pages),
             cmd: CommandState::default(),

@@ -9,9 +9,9 @@
 
 use crate::plan::Finalize;
 use smartssd_exec::{
-    group_table_rows,
+    default_workers, group_table_rows,
     join::{probe_page, JoinHashTable, JoinSink},
-    scan_agg_page, scan_group_agg_page, scan_page,
+    merge_group_tables, parallel_map, scan_agg_page, scan_group_agg_page, scan_page,
     spec::JoinOutput,
     CostTable, GroupTable, QueryOp, WorkCounts,
 };
@@ -128,41 +128,77 @@ impl<'a, S: PageSource> HostEngine<'a, S> {
             *slot = iv.end;
             iv.end
         };
+        // Each operator runs in two phases. Phase 1 issues every page read
+        // serially in LBA order — all reads are posted at the same sim time
+        // anyway, and the serial order keeps device-side state mutations
+        // (timing queues, error-injection RNG draws) identical to the
+        // pre-parallel engine. Phase 2 fans the pure per-page kernel work
+        // out over real worker threads, then replays the CPU charges and
+        // merges outputs in page order, so results, work receipts, and
+        // simulated timing are all bit-identical to a serial pass.
+        let workers = default_workers();
         let (rows, aggs, end) = match op {
             QueryOp::Scan { table, spec } => {
+                let mut pages = Vec::with_capacity(table.num_pages as usize);
+                for lba in table.lbas() {
+                    pages.push(self.source.read_page(lba, now)?);
+                }
+                let results = parallel_map(&pages, workers, |(page, _)| {
+                    let mut rows = Vec::new();
+                    let mut w = WorkCounts::default();
+                    scan_page(page, &table.schema, spec, &mut rows, &mut w);
+                    (rows, w)
+                });
                 let mut rows = Vec::new();
                 let mut end = now;
-                for lba in table.lbas() {
-                    let (page, at) = self.source.read_page(lba, now)?;
-                    let mut w = WorkCounts::default();
-                    scan_page(&page, &table.schema, spec, &mut rows, &mut w);
-                    end = end.max(charge(self.cpu, at, self.costs.cycles(&w)));
+                for ((_, at), (mut page_rows, w)) in pages.iter().zip(results) {
+                    end = end.max(charge(self.cpu, *at, self.costs.cycles(&w)));
                     total.absorb(&w);
+                    rows.append(&mut page_rows);
                 }
                 (rows, Vec::new(), end)
             }
             QueryOp::ScanAgg { table, spec } => {
+                let mut pages = Vec::with_capacity(table.num_pages as usize);
+                for lba in table.lbas() {
+                    pages.push(self.source.read_page(lba, now)?);
+                }
+                let results = parallel_map(&pages, workers, |(page, _)| {
+                    let mut states: Vec<AggState> =
+                        spec.aggs.iter().map(|a| AggState::new(a.func)).collect();
+                    let mut w = WorkCounts::default();
+                    scan_agg_page(page, &table.schema, spec, &mut states, &mut w);
+                    (states, w)
+                });
                 let mut states: Vec<AggState> =
                     spec.aggs.iter().map(|a| AggState::new(a.func)).collect();
                 let mut end = now;
-                for lba in table.lbas() {
-                    let (page, at) = self.source.read_page(lba, now)?;
-                    let mut w = WorkCounts::default();
-                    scan_agg_page(&page, &table.schema, spec, &mut states, &mut w);
-                    end = end.max(charge(self.cpu, at, self.costs.cycles(&w)));
+                for ((_, at), (partial, w)) in pages.iter().zip(results) {
+                    end = end.max(charge(self.cpu, *at, self.costs.cycles(&w)));
                     total.absorb(&w);
+                    for (s, p) in states.iter_mut().zip(partial.iter()) {
+                        s.merge(p);
+                    }
                 }
                 (Vec::new(), states, end)
             }
             QueryOp::GroupAgg { table, spec } => {
+                let mut pages = Vec::with_capacity(table.num_pages as usize);
+                for lba in table.lbas() {
+                    pages.push(self.source.read_page(lba, now)?);
+                }
+                let results = parallel_map(&pages, workers, |(page, _)| {
+                    let mut acc = GroupTable::new();
+                    let mut w = WorkCounts::default();
+                    scan_group_agg_page(page, &table.schema, spec, &mut acc, &mut w);
+                    (acc, w)
+                });
                 let mut acc = GroupTable::new();
                 let mut end = now;
-                for lba in table.lbas() {
-                    let (page, at) = self.source.read_page(lba, now)?;
-                    let mut w = WorkCounts::default();
-                    scan_group_agg_page(&page, &table.schema, spec, &mut acc, &mut w);
-                    end = end.max(charge(self.cpu, at, self.costs.cycles(&w)));
+                for ((_, at), (partial, w)) in pages.iter().zip(results) {
+                    end = end.max(charge(self.cpu, *at, self.costs.cycles(&w)));
                     total.absorb(&w);
+                    merge_group_tables(&mut acc, partial);
                 }
                 let rows = group_table_rows(&acc, &spec.key_schema(&table.schema));
                 (rows, Vec::new(), end)
@@ -181,15 +217,18 @@ impl<'a, S: PageSource> HostEngine<'a, S> {
                 let build_done = charge(self.cpu, build_ready, self.costs.cycles(&w));
                 total.absorb(&w);
                 drop(build_pages);
-                // Probe phase.
+                // Probe phase: reads at `build_done`, per-page probes in
+                // parallel against the shared (read-only) hash table.
                 let joined_schema = spec.joined_schema(&probe.schema);
-                let mut sink = JoinSink::new(spec);
-                let mut end = build_done;
+                let mut pages = Vec::with_capacity(probe.num_pages as usize);
                 for lba in probe.lbas() {
-                    let (page, at) = self.source.read_page(lba, build_done)?;
+                    pages.push(self.source.read_page(lba, build_done)?);
+                }
+                let results = parallel_map(&pages, workers, |(page, _)| {
+                    let mut sink = JoinSink::new(spec);
                     let mut w = WorkCounts::default();
                     probe_page(
-                        &page,
+                        page,
                         &probe.schema,
                         spec,
                         &ht,
@@ -197,8 +236,14 @@ impl<'a, S: PageSource> HostEngine<'a, S> {
                         &mut sink,
                         &mut w,
                     );
-                    end = end.max(charge(self.cpu, at, self.costs.cycles(&w)));
+                    (sink, w)
+                });
+                let mut sink = JoinSink::new(spec);
+                let mut end = build_done;
+                for ((_, at), (partial, w)) in pages.iter().zip(results) {
+                    end = end.max(charge(self.cpu, *at, self.costs.cycles(&w)));
                     total.absorb(&w);
+                    sink.merge(partial);
                 }
                 match spec.output {
                     JoinOutput::Project(_) => (sink.rows, Vec::new(), end),
@@ -319,9 +364,10 @@ mod tests {
             ("pad", DataType::Char(120)),
         ]);
         let mut b = TableBuilder::new("wide", Arc::clone(&s), Layout::Nsm);
-        b.extend((0..40_000).map(|k| {
-            vec![Datum::I32(k), Datum::I64(k as i64), Datum::str("x")] as Tuple
-        }));
+        b.extend(
+            (0..40_000)
+                .map(|k| vec![Datum::I32(k), Datum::I64(k as i64), Datum::str("x")] as Tuple),
+        );
         let img = b.finish();
         let (mut path, tref) = loaded_path(&img);
         let mut cpu = CpuModel::new("host-cpu", 8, 2_260_000_000);

@@ -213,12 +213,18 @@ impl Query {
         match &self.op {
             OpTemplate::Scan { table, spec } => {
                 s.push_str("DEVICE: Project\n");
-                s.push_str(&format!("          Filter [{} atoms]\n", spec.pred.num_atoms()));
+                s.push_str(&format!(
+                    "          Filter [{} atoms]\n",
+                    spec.pred.num_atoms()
+                ));
                 s.push_str(&format!("            Scan {table}\n"));
             }
             OpTemplate::ScanAgg { table, spec } => {
                 s.push_str(&format!("DEVICE: Aggregate [{} aggs]\n", spec.aggs.len()));
-                s.push_str(&format!("          Filter [{} atoms]\n", spec.pred.num_atoms()));
+                s.push_str(&format!(
+                    "          Filter [{} atoms]\n",
+                    spec.pred.num_atoms()
+                ));
                 s.push_str(&format!("            Scan {table}\n"));
             }
             OpTemplate::GroupAgg { table, spec } => {
@@ -227,7 +233,10 @@ impl Query {
                     spec.group_by.len(),
                     spec.aggs.len()
                 ));
-                s.push_str(&format!("          Filter [{} atoms]\n", spec.pred.num_atoms()));
+                s.push_str(&format!(
+                    "          Filter [{} atoms]\n",
+                    spec.pred.num_atoms()
+                ));
                 s.push_str(&format!("            Scan {table}\n"));
             }
             OpTemplate::Join {
@@ -248,10 +257,16 @@ impl Query {
                 }
                 if *filter_first {
                     s.push_str("          HashJoin (probe)\n");
-                    s.push_str(&format!("            Filter [{} atoms]\n", probe_pred.num_atoms()));
+                    s.push_str(&format!(
+                        "            Filter [{} atoms]\n",
+                        probe_pred.num_atoms()
+                    ));
                     s.push_str(&format!("              Scan {probe}\n"));
                 } else {
-                    s.push_str(&format!("          Filter [{} atoms]\n", probe_pred.num_atoms()));
+                    s.push_str(&format!(
+                        "          Filter [{} atoms]\n",
+                        probe_pred.num_atoms()
+                    ));
                     s.push_str("            HashJoin (probe)\n");
                     s.push_str(&format!("              Scan {probe}\n"));
                 }

@@ -103,8 +103,7 @@ fn cycles_per_tuple(op: &QueryOp, costs: &CostTable, sel: f64) -> f64 {
         QueryOp::Scan { table, spec } => (
             table.layout,
             spec.pred.num_atoms() as f64,
-            sel * (costs.out_tuple as f64
-                + spec.project.len() as f64 * costs.value as f64),
+            sel * (costs.out_tuple as f64 + spec.project.len() as f64 * costs.value as f64),
         ),
         QueryOp::ScanAgg { table, spec } => (
             table.layout,
@@ -255,8 +254,7 @@ mod tests {
         let cols: Vec<(String, DataType)> = (0..20)
             .map(|i| (format!("c{i}"), DataType::Int64))
             .collect();
-        let pairs: Vec<(&str, DataType)> =
-            cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let pairs: Vec<(&str, DataType)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
         QueryOp::Scan {
             table: TableRef {
                 first_lba: 0,

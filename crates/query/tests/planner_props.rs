@@ -3,9 +3,9 @@
 //! overridden by cost.
 
 use proptest::prelude::*;
-use smartssd_query::{choose_route, planner::estimate, PlannerConfig, PlannerInputs, Route};
 use smartssd_exec::spec::{ScanAggSpec, TableRef};
 use smartssd_exec::QueryOp;
+use smartssd_query::{choose_route, planner::estimate, PlannerConfig, PlannerInputs, Route};
 use smartssd_storage::expr::{AggSpec, CmpOp, Expr, Pred};
 use smartssd_storage::{DataType, Layout, Schema};
 

@@ -1,0 +1,157 @@
+//! Offline shim for the `rand` crate.
+//!
+//! Only the API surface the workload generators use is provided:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen_range` over
+//! integer ranges, and `Rng::gen_bool`. The generator is SplitMix64 —
+//! deterministic for a given seed, which is all the workload layer
+//! requires (every table is generated from a fixed seed).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every core RNG.
+pub trait Rng: RngCore + Sized {
+    /// Uniformly samples from an integer range (`lo..hi` or `lo..=hi`).
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Range types that can be sampled uniformly.
+pub trait SampleRange {
+    type Output;
+    fn sample_from<G: RngCore>(self, g: &mut G) -> Self::Output;
+}
+
+/// Integer types sampleable from a range.
+pub trait SampleUniform: Copy {
+    fn sample_inclusive<G: RngCore>(g: &mut G, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<G: RngCore>(g: &mut G, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                // Lemire's multiply-shift maps a u64 draw onto the span.
+                let v = ((g.next_u64() as u128).wrapping_mul(span)) >> 64;
+                (lo as i128 + v as i128) as Self
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: SampleUniform + PartialOrd + OneLess> SampleRange for Range<T> {
+    type Output = T;
+    fn sample_from<G: RngCore>(self, g: &mut G) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_inclusive(g, self.start, self.end.one_less())
+    }
+}
+
+impl<T: SampleUniform> SampleRange for RangeInclusive<T> {
+    type Output = T;
+    fn sample_from<G: RngCore>(self, g: &mut G) -> T {
+        T::sample_inclusive(g, *self.start(), *self.end())
+    }
+}
+
+/// Helper to turn an exclusive upper bound into an inclusive one.
+pub trait OneLess {
+    fn one_less(self) -> Self;
+}
+
+macro_rules! impl_one_less {
+    ($($t:ty),*) => {$(
+        impl OneLess for $t {
+            fn one_less(self) -> Self { self - 1 }
+        }
+    )*};
+}
+
+impl_one_less!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seeded generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000), b.gen_range(0..1000i64));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: i32 = r.gen_range(-30..=30);
+            assert!((-30..=30).contains(&v));
+            let u: usize = r.gen_range(0..7);
+            assert!(u < 7);
+            let w: u64 = r.gen_range(1..=1);
+            assert_eq!(w, 1);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(9);
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+}

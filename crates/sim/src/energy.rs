@@ -146,7 +146,10 @@ mod tests {
         let pm = PowerModel::new(0.0, 0.0);
         let e = pm.energy(
             SimTime::from_secs(10),
-            &[draw(5.0, 10.0, Subsystem::Io), draw(100.0, 10.0, Subsystem::Host)],
+            &[
+                draw(5.0, 10.0, Subsystem::Io),
+                draw(100.0, 10.0, Subsystem::Host),
+            ],
         );
         assert!((e.system_j - 1050.0).abs() < 1e-6);
         assert!((e.io_j - 50.0).abs() < 1e-6);

@@ -21,7 +21,10 @@
 //!   host engine and the in-device operators (the paper passes these as
 //!   parameters to the `OPEN` session call);
 //! * [`row`]: the `RowAccessor` abstraction both page codecs implement, so
-//!   operators are layout-agnostic.
+//!   operators are layout-agnostic;
+//! * [`vector`]: selection-vector-driven predicate/expression evaluation —
+//!   the columnar fast path over either page codec, with work counts
+//!   identical to row-at-a-time evaluation.
 
 pub mod expr;
 pub mod nsm;
@@ -32,6 +35,7 @@ pub mod schema;
 pub mod table;
 pub mod tuple;
 pub mod types;
+pub mod vector;
 
 pub use page::{Layout, PageBuf, PAGE_SIZE};
 pub use row::RowAccessor;
@@ -39,3 +43,4 @@ pub use schema::{Column, Schema};
 pub use table::{TableBuilder, TableImage};
 pub use tuple::Tuple;
 pub use types::{DataType, Datum};
+pub use vector::{eval_select, filter_select, SelectionVector};

@@ -14,7 +14,7 @@ use crate::page::{Layout, PageBuf, PAGE_HEADER_SIZE, PAGE_SIZE};
 use crate::row::RowAccessor;
 use crate::schema::Schema;
 use crate::tuple::encode;
-use crate::types::Datum;
+use crate::types::{DataType, Datum};
 use std::sync::Arc;
 
 /// Maximum number of fixed-width tuples of `tuple_width` bytes that fit on
@@ -138,6 +138,83 @@ impl RowAccessor for NsmReader<'_> {
         let rec = self.record(row);
         let off = self.schema.offset(col);
         &rec[off..off + self.schema.column(col).ty.width()]
+    }
+
+    fn gather_i64_into(&self, col: usize, rows: &[u32], out: &mut Vec<i64>) {
+        // Hoist the page bytes, column offset, and type match out of the
+        // slot walk; each row then costs one slot load plus one field load.
+        let raw: &[u8] = self.page.raw();
+        let off = self.schema.offset(col);
+        out.reserve(rows.len());
+        match self.schema.column(col).ty {
+            DataType::Int32 => out.extend(rows.iter().map(|&row| {
+                let pos = PAGE_SIZE - 2 * (row as usize + 1);
+                let base = u16::from_le_bytes([raw[pos], raw[pos + 1]]) as usize + off;
+                i32::from_le_bytes(raw[base..base + 4].try_into().expect("4 bytes")) as i64
+            })),
+            DataType::Int64 => out.extend(rows.iter().map(|&row| {
+                let pos = PAGE_SIZE - 2 * (row as usize + 1);
+                let base = u16::from_le_bytes([raw[pos], raw[pos + 1]]) as usize + off;
+                i64::from_le_bytes(raw[base..base + 8].try_into().expect("8 bytes"))
+            })),
+            DataType::Char(_) => panic!("char field used in numeric context"),
+        }
+    }
+
+    fn filter_i64_cmp(
+        &self,
+        col: usize,
+        op: crate::expr::CmpOp,
+        lit: i64,
+        flipped: bool,
+        rows: &mut Vec<u32>,
+    ) {
+        let raw: &[u8] = self.page.raw();
+        let off = self.schema.offset(col);
+        let keep = |v: i64| op.matches(if flipped { lit.cmp(&v) } else { v.cmp(&lit) });
+        let load = |row: usize, w: usize| -> i64 {
+            let pos = PAGE_SIZE - 2 * (row + 1);
+            let base = u16::from_le_bytes([raw[pos], raw[pos + 1]]) as usize + off;
+            match w {
+                4 => i32::from_le_bytes(raw[base..base + 4].try_into().expect("4 bytes")) as i64,
+                _ => i64::from_le_bytes(raw[base..base + 8].try_into().expect("8 bytes")),
+            }
+        };
+        let w = match self.schema.column(col).ty {
+            DataType::Int32 => 4,
+            DataType::Int64 => 8,
+            DataType::Char(_) => panic!("char field used in numeric context"),
+        };
+        // The opening conjunct of a scan sees every row; walk the range
+        // directly instead of loading row indices from the vector. When the
+        // slot directory is a pure stride (records packed back-to-back, the
+        // builder's layout), skip the per-row slot load entirely.
+        if rows.last().is_some_and(|&l| l as usize + 1 == rows.len()) {
+            let n = rows.len();
+            let width = self.schema.tuple_width();
+            let s0 = self.slot_offset(0);
+            rows.clear();
+            if self.slot_offset(n - 1) == s0 + (n - 1) * width {
+                let field = |base: usize| -> i64 {
+                    match w {
+                        4 => i32::from_le_bytes(raw[base..base + 4].try_into().expect("4 bytes"))
+                            as i64,
+                        _ => i64::from_le_bytes(raw[base..base + 8].try_into().expect("8 bytes")),
+                    }
+                };
+                rows.extend(
+                    (s0 + off..)
+                        .step_by(width)
+                        .take(n)
+                        .enumerate()
+                        .filter_map(|(row, base)| keep(field(base)).then_some(row as u32)),
+                );
+            } else {
+                rows.extend((0..n as u32).filter(|&row| keep(load(row as usize, w))));
+            }
+        } else {
+            rows.retain(|&row| keep(load(row as usize, w)));
+        }
     }
 }
 

@@ -91,7 +91,10 @@ impl fmt::Display for PageError {
             PageError::BadMagic => write!(f, "page magic missing"),
             PageError::BadLayout(t) => write!(f, "unknown layout tag {t}"),
             PageError::ChecksumMismatch { stored, computed } => {
-                write!(f, "checksum mismatch: stored {stored:#x}, computed {computed:#x}")
+                write!(
+                    f,
+                    "checksum mismatch: stored {stored:#x}, computed {computed:#x}"
+                )
             }
         }
     }
@@ -177,11 +180,7 @@ impl PageBuf {
     /// simulate media corruption that slipped past ECC.
     pub fn corrupted(&self, offset: usize, nbytes: usize) -> PageBuf {
         let mut raw = self.data.to_vec();
-        for b in raw
-            .iter_mut()
-            .skip(PAGE_HEADER_SIZE + offset)
-            .take(nbytes)
-        {
+        for b in raw.iter_mut().skip(PAGE_HEADER_SIZE + offset).take(nbytes) {
             *b ^= 0xFF;
         }
         PageBuf {

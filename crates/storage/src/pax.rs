@@ -177,6 +177,85 @@ impl RowAccessor for PaxReader<'_> {
         let start = self.mini_offsets[col] + row * w;
         &self.page.body()[start..start + w]
     }
+
+    fn gather_i64_into(&self, col: usize, rows: &[u32], out: &mut Vec<i64>) {
+        let mini = self.minipage(col);
+        out.reserve(rows.len());
+        match self.schema.column(col).ty {
+            DataType::Int32 => out.extend(rows.iter().map(|&row| {
+                let at = row as usize * 4;
+                i32::from_le_bytes(mini[at..at + 4].try_into().expect("4 bytes")) as i64
+            })),
+            DataType::Int64 => out.extend(rows.iter().map(|&row| {
+                let at = row as usize * 8;
+                i64::from_le_bytes(mini[at..at + 8].try_into().expect("8 bytes"))
+            })),
+            DataType::Char(_) => panic!("char field used in numeric context"),
+        }
+    }
+
+    fn filter_i64_cmp(
+        &self,
+        col: usize,
+        op: crate::expr::CmpOp,
+        lit: i64,
+        flipped: bool,
+        rows: &mut Vec<u32>,
+    ) {
+        let mini = self.minipage(col);
+        let keep = |v: i64| op.matches(if flipped { lit.cmp(&v) } else { v.cmp(&lit) });
+        // The opening conjunct of a scan sees every row; decode the
+        // minipage sequentially instead of loading row indices.
+        let contiguous = rows.last().is_some_and(|&l| l as usize + 1 == rows.len());
+        match self.schema.column(col).ty {
+            DataType::Int32 => {
+                if contiguous {
+                    let n = rows.len();
+                    rows.clear();
+                    rows.extend(
+                        mini.chunks_exact(4)
+                            .take(n)
+                            .enumerate()
+                            .filter_map(|(row, c)| {
+                                keep(i32::from_le_bytes(c.try_into().expect("4 bytes")) as i64)
+                                    .then_some(row as u32)
+                            }),
+                    );
+                } else {
+                    rows.retain(|&row| {
+                        let at = row as usize * 4;
+                        keep(
+                            i32::from_le_bytes(mini[at..at + 4].try_into().expect("4 bytes"))
+                                as i64,
+                        )
+                    });
+                }
+            }
+            DataType::Int64 => {
+                if contiguous {
+                    let n = rows.len();
+                    rows.clear();
+                    rows.extend(
+                        mini.chunks_exact(8)
+                            .take(n)
+                            .enumerate()
+                            .filter_map(|(row, c)| {
+                                keep(i64::from_le_bytes(c.try_into().expect("8 bytes")))
+                                    .then_some(row as u32)
+                            }),
+                    );
+                } else {
+                    rows.retain(|&row| {
+                        let at = row as usize * 8;
+                        keep(i64::from_le_bytes(
+                            mini[at..at + 8].try_into().expect("8 bytes"),
+                        ))
+                    });
+                }
+            }
+            DataType::Char(_) => panic!("char field used in numeric context"),
+        }
+    }
 }
 
 #[cfg(test)]

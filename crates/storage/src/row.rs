@@ -5,6 +5,7 @@
 //! access differs by layout — that asymmetry lives in the execution cost
 //! model, not here.
 
+use crate::expr::CmpOp;
 use crate::schema::Schema;
 use crate::tuple::{decode_field, read_i64, Tuple};
 use crate::types::Datum;
@@ -37,5 +38,29 @@ pub trait RowAccessor {
         (0..self.schema().len())
             .map(|c| self.datum_at(row, c))
             .collect()
+    }
+
+    /// Appends `i64_at(row, col)` for each row in `rows` to `out`.
+    ///
+    /// This is the batched accessor behind vectorized evaluation: page
+    /// readers override it with layout-specific loops (PAX decodes the
+    /// minipage with a typed loop, NSM hoists the column offset out of
+    /// the slot walk) so the per-row virtual dispatch and type match of
+    /// the default path disappear from scan inner loops.
+    fn gather_i64_into(&self, col: usize, rows: &[u32], out: &mut Vec<i64>) {
+        out.reserve(rows.len());
+        out.extend(rows.iter().map(|&row| self.i64_at(row as usize, col)));
+    }
+
+    /// Retains in `rows` only those where `i64_at(row, col) <op> lit` (or
+    /// `lit <op> i64_at(row, col)` when `flipped`). Fuses the gather and
+    /// the compare of a column-vs-literal predicate atom into one pass so
+    /// no intermediate value vector is materialized; page readers override
+    /// it with layout-specific loops.
+    fn filter_i64_cmp(&self, col: usize, op: CmpOp, lit: i64, flipped: bool, rows: &mut Vec<u32>) {
+        rows.retain(|&row| {
+            let v = self.i64_at(row as usize, col);
+            op.matches(if flipped { lit.cmp(&v) } else { v.cmp(&lit) })
+        });
     }
 }

@@ -178,9 +178,6 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(
-            sample().to_string(),
-            "(a int32, b int64, c char(10))"
-        );
+        assert_eq!(sample().to_string(), "(a int32, b int64, c char(10))");
     }
 }

@@ -129,7 +129,11 @@ mod tests {
     fn read_i64_fast_path_matches_decode() {
         let s = schema();
         let mut buf = Vec::new();
-        encode(&s, &[Datum::I32(42), Datum::I64(-9), Datum::str("x")], &mut buf);
+        encode(
+            &s,
+            &[Datum::I32(42), Datum::I64(-9), Datum::str("x")],
+            &mut buf,
+        );
         assert_eq!(read_i64(DataType::Int32, &buf[0..4]), 42);
         assert_eq!(read_i64(DataType::Int64, &buf[4..12]), -9);
     }

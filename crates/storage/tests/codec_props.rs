@@ -44,11 +44,8 @@ fn arb_datum(ty: DataType) -> BoxedStrategy<Datum> {
 }
 
 fn arb_rows(schema: Arc<Schema>, max: usize) -> impl Strategy<Value = (Arc<Schema>, Vec<Tuple>)> {
-    let per_row: Vec<BoxedStrategy<Datum>> = schema
-        .columns()
-        .iter()
-        .map(|c| arb_datum(c.ty))
-        .collect();
+    let per_row: Vec<BoxedStrategy<Datum>> =
+        schema.columns().iter().map(|c| arb_datum(c.ty)).collect();
     prop::collection::vec(per_row, 1..max).prop_map(move |rows| (Arc::clone(&schema), rows))
 }
 

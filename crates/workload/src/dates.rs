@@ -27,7 +27,10 @@ pub fn date_to_days(year: u32, month: u32, day: u32) -> i64 {
         }
     }
     let month_len = MONTH_DAYS[(month - 1) as usize] + u32::from(month == 2 && is_leap(year));
-    assert!((1..=month_len).contains(&day), "bad day {year}-{month}-{day}");
+    assert!(
+        (1..=month_len).contains(&day),
+        "bad day {year}-{month}-{day}"
+    );
     days + (day as i64 - 1)
 }
 
@@ -64,10 +67,7 @@ mod tests {
         assert_eq!(date_to_days(1994, 1, 1), 731);
         assert_eq!(date_to_days(1995, 1, 1), 1096);
         // Q14: [1995-09-01, 1995-10-01) — a 30-day window.
-        assert_eq!(
-            date_to_days(1995, 10, 1) - date_to_days(1995, 9, 1),
-            30
-        );
+        assert_eq!(date_to_days(1995, 10, 1) - date_to_days(1995, 9, 1), 30);
     }
 
     #[test]

@@ -99,10 +99,7 @@ pub fn q14() -> Query {
                 date_to_days(1995, 10, 1),
             ),
             filter_first: false,
-            output: JoinOutput::Aggregate(vec![
-                AggSpec::sum(promo_case),
-                AggSpec::sum(revenue()),
-            ]),
+            output: JoinOutput::Aggregate(vec![AggSpec::sum(promo_case), AggSpec::sum(revenue())]),
         },
         finalize: Finalize::RatioPct { num: 0, den: 1 },
     }
@@ -170,9 +167,9 @@ pub fn join_query(selectivity: f64) -> Query {
         op: OpTemplate::Join {
             probe: SYNTH_S.into(),
             build: SYNTH_R.into(),
-            build_key: 0,         // R.col_1
+            build_key: 0,           // R.col_1
             build_payload: vec![1], // R.col_2
-            probe_key: 1,         // S.col_2
+            probe_key: 1,           // S.col_2
             probe_pred: Pred::Cmp(CmpOp::Lt, Expr::col(2), Expr::lit(cutoff)),
             filter_first: true,
             output: JoinOutput::Project(vec![ColRef::Probe(0), ColRef::Build(0)]),

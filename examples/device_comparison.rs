@@ -22,12 +22,8 @@ fn build(kind: DeviceKind, layout: Layout) -> System {
         tpch::lineitem_rows(SF, 1),
     )
     .expect("load lineitem");
-    sys.load_table_rows(
-        queries::PART,
-        &tpch::part_schema(),
-        tpch::part_rows(SF, 1),
-    )
-    .expect("load part");
+    sys.load_table_rows(queries::PART, &tpch::part_schema(), tpch::part_rows(SF, 1))
+        .expect("load part");
     sys.finish_load();
     sys
 }
@@ -70,7 +66,11 @@ fn main() {
             let speedup = baseline
                 .map(|b| format!("  ({:.2}x vs SSD)", b / r.result.elapsed.as_secs_f64()))
                 .unwrap_or_default();
-            println!("  {:<9} / {layout:<3}  {}{speedup}", kind.to_string(), describe(&r));
+            println!(
+                "  {:<9} / {layout:<3}  {}{speedup}",
+                kind.to_string(),
+                describe(&r)
+            );
             if scalar {
                 if let Some(v) = r.result.scalar {
                     println!("      promo_revenue = {v:.4}%");

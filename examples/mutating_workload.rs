@@ -22,9 +22,9 @@ use smartssd_storage::{DataType, Datum, Schema, Tuple};
 
 fn main() {
     let schema = Schema::from_pairs(&[("id", DataType::Int32), ("balance", DataType::Int64)]);
-    let rows = |scale: i64| (0..100_000).map(move |k| {
-        vec![Datum::I32(k), Datum::I64(k as i64 % 1000 * scale)] as Tuple
-    });
+    let rows = |scale: i64| {
+        (0..100_000).map(move |k| vec![Datum::I32(k), Datum::I64(k as i64 % 1000 * scale)] as Tuple)
+    };
 
     let mut sys = System::new(SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax));
     sys.load_table_rows("accounts", &schema, rows(1)).unwrap();
@@ -59,7 +59,11 @@ fn main() {
     sys.mark_dirty("accounts");
     let r = sys.run(&total).unwrap();
     step("   SELECT SUM(balance) (dirty)", &r);
-    assert_eq!(r.route, smartssd::Route::Host, "stale pushdown must be refused");
+    assert_eq!(
+        r.route,
+        smartssd::Route::Host,
+        "stale pushdown must be refused"
+    );
 
     println!("\n3) checkpoint flushes to the device; pushdown resumes");
     sys.checkpoint("accounts").unwrap();

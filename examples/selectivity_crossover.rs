@@ -11,14 +11,20 @@
 
 use smartssd::{DeviceKind, Layout, Route, System, SystemConfig};
 use smartssd_query::{choose_route, PlannerConfig, PlannerInputs};
-use smartssd_workload::{join_query, queries, synthetic::synthetic_schema, synthetic64_r, synthetic64_s};
+use smartssd_workload::{
+    join_query, queries, synthetic::synthetic_schema, synthetic64_r, synthetic64_s,
+};
 
 const SCALE: f64 = 0.0002; // 80k S rows, 200 R rows
 
 fn build(kind: DeviceKind, layout: Layout) -> System {
     let mut sys = System::new(SystemConfig::new(kind, layout));
-    sys.load_table_rows(queries::SYNTH_R, &synthetic_schema(), synthetic64_r(SCALE, 3))
-        .expect("load R");
+    sys.load_table_rows(
+        queries::SYNTH_R,
+        &synthetic_schema(),
+        synthetic64_r(SCALE, 3),
+    )
+    .expect("load R");
     sys.load_table_rows(
         queries::SYNTH_S,
         &synthetic_schema(),
@@ -34,7 +40,9 @@ fn main() {
     let mut smart = build(DeviceKind::SmartSsd, Layout::Pax);
     let planner = PlannerConfig::default();
 
-    println!("selection-with-join: SELECT S.col_1, R.col_2 WHERE R.col_1 = S.col_2 AND S.col_3 < v");
+    println!(
+        "selection-with-join: SELECT S.col_1, R.col_2 WHERE R.col_1 = S.col_2 AND S.col_3 < v"
+    );
     println!();
     println!("  sel%     SSD[s]   SmartSSD[s]   speedup   planner says   rows out");
     for sel in [0.001, 0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 1.00] {
@@ -67,7 +75,11 @@ fn main() {
             r_smart.result.elapsed.as_secs_f64(),
             speedup,
             format!("{route:?}"),
-            if planner_right { "(agrees)" } else { "(differs)" },
+            if planner_right {
+                "(agrees)"
+            } else {
+                "(differs)"
+            },
             r_smart.result.rows.len(),
         );
         assert_eq!(

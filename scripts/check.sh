@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, tier-1 tests, and a benchmark smoke run.
+#
+#   scripts/check.sh          # everything
+#   scripts/check.sh fast     # skip the benchmark smoke run
+#
+# Mirrors what CI should enforce; every step fails the script.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q =="
+cargo build --release
+cargo test -q
+
+if [[ "${1:-}" != "fast" ]]; then
+    echo "== benchmark smoke (criterion --quick, kernel groups only) =="
+    cargo bench -q -p smartssd-bench --bench kernels -- --quick scan_agg
+    cargo bench -q -p smartssd-bench --bench kernels -- --quick group_agg
+    echo "== repro kernels --quick (BENCH_kernels.json) =="
+    cargo run -q --release -p smartssd-bench --bin repro -- kernels --quick
+fi
+
+echo "OK"

@@ -5,8 +5,8 @@
 use smartssd::{DeviceKind, Layout, Route, System, SystemConfig};
 use smartssd_storage::Tuple;
 use smartssd_workload::{
-    dates::date_to_days, join_query, q14, q6, queries, synthetic::synthetic_schema,
-    synthetic64_r, synthetic64_s, tpch, tpch::lineitem_cols as l,
+    dates::date_to_days, join_query, q14, q6, queries, synthetic::synthetic_schema, synthetic64_r,
+    synthetic64_s, tpch, tpch::lineitem_cols as l,
 };
 
 const SF: f64 = 0.005; // 30k LINEITEM rows

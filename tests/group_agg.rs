@@ -38,7 +38,10 @@ fn q1_reference() -> BTreeMap<Q1Key, Q1Sums> {
         if t[l::SHIPDATE].as_i64() > cutoff {
             continue;
         }
-        let key = (t[l::RETURNFLAG].as_bytes()[0], t[l::LINESTATUS].as_bytes()[0]);
+        let key = (
+            t[l::RETURNFLAG].as_bytes()[0],
+            t[l::LINESTATUS].as_bytes()[0],
+        );
         let qty = t[l::QUANTITY].as_i64();
         let base = t[l::EXTENDEDPRICE].as_i64();
         let disc = base * (100 - t[l::DISCOUNT].as_i64());

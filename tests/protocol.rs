@@ -137,7 +137,8 @@ fn memory_grant_rejection_falls_back_to_host_in_system() {
 #[test]
 fn validation_failures_surface_as_plan_or_device_errors() {
     let mut sys = smartssd::System::new(SystemConfig::new(DeviceKind::SmartSsd, Layout::Nsm));
-    sys.load_table_rows("t", &small_schema(), rows(100)).unwrap();
+    sys.load_table_rows("t", &small_schema(), rows(100))
+        .unwrap();
     sys.finish_load();
     // Unknown table.
     let q_missing = Query {

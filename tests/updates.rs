@@ -101,7 +101,8 @@ fn checkpoint_of_clean_table_is_noop() {
 #[test]
 fn dirty_join_input_forces_host_route() {
     let mut sys = System::new(SystemConfig::new(DeviceKind::SmartSsd, Layout::Nsm));
-    sys.load_table_rows("build", &schema(), rows(500, 1)).unwrap();
+    sys.load_table_rows("build", &schema(), rows(500, 1))
+        .unwrap();
     sys.load_table_rows("probe", &schema(), rows(2_000, 1))
         .unwrap();
     sys.finish_load();
