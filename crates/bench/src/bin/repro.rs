@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! repro [--quick] [fig1|tab2|fig3|fig5|fig7|tab3|plans|scan-sweep|array|cache|
-//!                  device-scaling|interface|concurrent|host-parallel|q1|kernels|all]
+//!                  device-scaling|interface|concurrent|host-parallel|q1|kernels|
+//!                  faults|all]
 //!
 //! `kernels` wall-clock-times the vectorized scan kernels against the
 //! tuple-at-a-time reference implementations and writes the results to
 //! `BENCH_kernels.json` in the current directory (stdout stays
 //! deterministic; the timings live in the JSON).
+//!
+//! `faults` (not part of `all`, so clean reproduction output stays
+//! bit-identical) runs Q6 pushdown under injected flash-fault rates and
+//! writes the per-scenario `FaultCounters` to `BENCH_faults.json`.
 //! ```
 //!
 //! Elapsed times are simulated; "projected" columns rescale them to the
@@ -15,8 +20,9 @@
 //! fixed selectivity). EXPERIMENTS.md records paper-vs-measured values.
 
 use smartssd_bench::{
-    array_exp, cache_exp, concurrent_exp, device_scaling_exp, fig1, fig3, fig5, fig7,
-    host_parallel_exp, interface_exp, plans, q1_exp, scan_sweep_exp, tab2, tab3, Bars, Scales,
+    array_exp, cache_exp, concurrent_exp, device_scaling_exp, fault_injection_exp, fig1, fig3,
+    fig5, fig7, host_parallel_exp, interface_exp, plans, q1_exp, scan_sweep_exp, tab2, tab3, Bars,
+    Scales,
 };
 
 fn print_bars(title: &str, bars: &Bars, projection: f64, paper_speedup: f64) {
@@ -225,11 +231,16 @@ fn run_interface(s: &Scales) {
 fn run_concurrent(s: &Scales) {
     println!("== Section 5: concurrent pushdown sessions on one device (Q6) ==");
     println!("  sessions   makespan[s]   vs single");
-    for p in concurrent_exp(s, &[1, 2, 4]) {
-        println!(
-            "  {:>8}   {:>10.3}   {:>7.2}x",
-            p.sessions, p.makespan_secs, p.slowdown
-        );
+    match concurrent_exp(s, &[1, 2, 4]) {
+        Ok(points) => {
+            for p in points {
+                println!(
+                    "  {:>8}   {:>10.3}   {:>7.2}x",
+                    p.sessions, p.makespan_secs, p.slowdown
+                );
+            }
+        }
+        Err(fault) => println!("  experiment aborted by device fault: {fault}"),
     }
     println!("  (sessions share the embedded CPU and flash path: concurrency");
     println!("   serializes — one of the open problems the paper lists)");
@@ -388,6 +399,47 @@ fn run_kernels(quick: bool) {
     println!();
 }
 
+fn run_faults(s: &Scales) {
+    println!("== Fault injection: Q6 pushdown under injected flash faults ==");
+    println!("  scenario            route   elapsed[s]   match   retries  escapes  fallbacks");
+    let points = fault_injection_exp(s);
+    let mut entries = String::new();
+    for p in &points {
+        println!(
+            "  {:<18} {:>6}   {:>10.3}   {:>5}   {:>7}  {:>7}  {:>9}",
+            p.label,
+            format!("{:?}", p.route),
+            p.elapsed_secs,
+            if p.matches_clean { "yes" } else { "NO" },
+            p.faults.read_retries + p.faults.ecc_retries,
+            p.faults.escapes_detected,
+            p.faults.fallbacks,
+        );
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"ecc_retry_rate\": {}, \
+             \"silent_corruption_rate\": {}, \"route\": \"{:?}\", \
+             \"elapsed_secs\": {:.9}, \"matches_clean\": {}, \"faults\": {}}}",
+            p.label,
+            p.ecc_retry_rate,
+            p.silent_corruption_rate,
+            p.route,
+            p.elapsed_secs,
+            p.matches_clean,
+            p.faults.to_json()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"generated_by\": \"repro faults\",\n  \"scenarios\": [\n{entries}\n  ]\n}}\n"
+    );
+    std::fs::write("BENCH_faults.json", json).expect("write BENCH_faults.json");
+    println!("  (results are bit-identical under faults; recovery costs time, not answers)");
+    println!("  wrote BENCH_faults.json");
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -461,5 +513,8 @@ fn main() {
     }
     if all || what == "kernels" {
         run_kernels(quick);
+    }
+    if what == "faults" {
+        run_faults(&s);
     }
 }

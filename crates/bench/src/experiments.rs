@@ -3,7 +3,7 @@
 use crate::scale::Scales;
 use smartssd::{DeviceKind, RunReport, System, SystemConfig};
 use smartssd_host::interface::{roadmap, RoadmapPoint};
-use smartssd_query::{PlannerConfig, PlannerInputs, Query, Route};
+use smartssd_query::{PlannerConfig, PlannerInputs, Query, Route, SessionFault};
 use smartssd_sim::SimTime;
 use smartssd_storage::{Layout, PAGE_SIZE};
 use smartssd_workload::{
@@ -513,57 +513,57 @@ pub struct ConcurrencyPoint {
 /// "Considering the impact of concurrent queries" is on the paper's
 /// research-opportunities list (Section 5). N identical Q6 sessions open
 /// simultaneously on one device and share its CPU and flash path.
-pub fn concurrent_exp(s: &Scales, session_counts: &[usize]) -> Vec<ConcurrencyPoint> {
-    use smartssd_device::GetResponse;
+///
+/// Sessions run through the fault-tolerant [`SessionDriver`], so an
+/// injected device fault propagates as a [`SessionFault`] report instead
+/// of crashing the experiment.
+pub fn concurrent_exp(
+    s: &Scales,
+    session_counts: &[usize],
+) -> Result<Vec<ConcurrencyPoint>, SessionFault> {
+    use smartssd_query::{SessionDriver, SessionError};
     use smartssd_workload::tpch::lineitem_schema;
+    let driver = SessionDriver::default();
     let mut single = None;
-    session_counts
-        .iter()
-        .map(|&n| {
-            let cfg = SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax);
-            let mut dev = smartssd_device::SmartSsd::new(
-                cfg.flash.clone(),
-                smartssd_device::DeviceConfig {
-                    max_sessions: n.max(4),
-                    ..cfg.smart.clone()
-                },
-            );
-            let mut b =
-                smartssd_storage::TableBuilder::new("lineitem", lineitem_schema(), Layout::Pax);
-            b.extend(tpch::lineitem_rows(s.tpch_sf, s.seed));
-            let img = b.finish();
-            let tref = dev.load_table(&img, 0).expect("load");
-            dev.reset_timing();
-            let mut catalog = smartssd_query::Catalog::new();
-            catalog.register(queries::LINEITEM, tref);
-            let op = q6().resolve(&catalog).expect("resolve");
-            let sids: Vec<_> = (0..n)
-                .map(|_| dev.open(&op, SimTime::ZERO).expect("open"))
-                .collect();
-            let mut makespan = SimTime::ZERO;
-            for sid in sids {
-                let mut t = SimTime::ZERO;
-                loop {
-                    match dev.get(sid, t).expect("get") {
-                        GetResponse::Running { ready_at } => {
-                            t = ready_at.max(t + SimTime::from_nanos(1))
-                        }
-                        GetResponse::Batch(b) => t = t.max(b.ready_at),
-                        GetResponse::Done => break,
-                    }
-                }
-                dev.close(sid).expect("close");
-                makespan = makespan.max(t);
-            }
-            let secs = makespan.as_secs_f64();
-            let base = *single.get_or_insert(secs);
-            ConcurrencyPoint {
-                sessions: n,
-                makespan_secs: secs,
-                slowdown: secs / base,
-            }
-        })
-        .collect()
+    let mut points = Vec::with_capacity(session_counts.len());
+    for &n in session_counts {
+        let cfg = SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax);
+        let mut dev = smartssd_device::SmartSsd::new(
+            cfg.flash.clone(),
+            smartssd_device::DeviceConfig {
+                max_sessions: n.max(4),
+                ..cfg.smart.clone()
+            },
+        );
+        let mut b = smartssd_storage::TableBuilder::new("lineitem", lineitem_schema(), Layout::Pax);
+        b.extend(tpch::lineitem_rows(s.tpch_sf, s.seed));
+        let img = b.finish();
+        let tref = dev.load_table(&img, 0).map_err(|e| SessionFault {
+            error: SessionError::Device(e),
+            wasted: SimTime::ZERO,
+            get_retries: 0,
+        })?;
+        dev.reset_timing();
+        let mut catalog = smartssd_query::Catalog::new();
+        catalog.register(queries::LINEITEM, tref);
+        let op = q6().resolve(&catalog).expect("resolve");
+        let sids: Vec<_> = (0..n)
+            .map(|_| driver.open(&mut dev, &op, SimTime::ZERO))
+            .collect::<Result<_, _>>()?;
+        let mut makespan = SimTime::ZERO;
+        for sid in sids {
+            let out = driver.drain_direct(&mut dev, sid, SimTime::ZERO)?;
+            makespan = makespan.max(out.finished_at);
+        }
+        let secs = makespan.as_secs_f64();
+        let base = *single.get_or_insert(secs);
+        points.push(ConcurrencyPoint {
+            sessions: n,
+            makespan_secs: secs,
+            slowdown: secs / base,
+        });
+    }
+    Ok(points)
 }
 
 /// One point of the host-parallelism ablation.
@@ -660,4 +660,66 @@ pub fn q1_exp(s: &Scales) -> Q1Result {
         scaled_secs: scaled.result.elapsed.as_secs_f64(),
         rows: dev.result.rows.clone(),
     }
+}
+
+/// One scenario row of the fault-injection observability experiment.
+#[derive(Debug, Clone)]
+pub struct FaultPoint {
+    /// Scenario label.
+    pub label: &'static str,
+    /// Injected correctable-read-error rate (per read, out of 2^32).
+    pub ecc_retry_rate: u32,
+    /// Injected silent-corruption rate (per read, out of 2^32).
+    pub silent_corruption_rate: u32,
+    /// Where the query actually ran after any fallback.
+    pub route: Route,
+    /// Simulated elapsed seconds, recovery time included.
+    pub elapsed_secs: f64,
+    /// Whether rows and aggregates are bit-identical to the clean scenario.
+    pub matches_clean: bool,
+    /// Fault counters absorbed during the run.
+    pub faults: smartssd_sim::FaultCounters,
+}
+
+/// Fault-injection observability: Q6 pushdown under increasing injected
+/// fault rates. Recovery is about *time*, never answers — every scenario
+/// must produce rows and aggregates bit-identical to the clean run, while
+/// the counters and elapsed times show what the recovery machinery paid.
+pub fn fault_injection_exp(s: &Scales) -> Vec<FaultPoint> {
+    const SCENARIOS: &[(&str, u32, u32)] = &[
+        ("clean", 0, 0),
+        ("ecc-retries", u32::MAX / 64, 0),
+        ("silent-corruption", 0, u32::MAX / 256),
+        ("mixed", u32::MAX / 64, u32::MAX / 256),
+    ];
+    let query = q6();
+    let mut clean: Option<(Vec<smartssd_storage::Tuple>, Vec<i128>)> = None;
+    SCENARIOS
+        .iter()
+        .map(|&(label, ecc_retry_rate, silent_corruption_rate)| {
+            let mut cfg = SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax);
+            cfg.flash.ecc_retry_rate = ecc_retry_rate;
+            cfg.flash.silent_corruption_rate = silent_corruption_rate;
+            let mut sys = System::new(cfg);
+            sys.load_table_rows(
+                queries::LINEITEM,
+                &tpch::lineitem_schema(),
+                tpch::lineitem_rows(s.tpch_sf, s.seed),
+            )
+            .expect("load lineitem");
+            sys.finish_load();
+            let rep = sys.run(&query).expect("q6 under injected faults");
+            let answer = (rep.result.rows.clone(), rep.result.agg_values.clone());
+            let baseline = clean.get_or_insert_with(|| answer.clone());
+            FaultPoint {
+                label,
+                ecc_retry_rate,
+                silent_corruption_rate,
+                route: rep.route,
+                elapsed_secs: rep.result.elapsed.as_secs_f64(),
+                matches_clean: answer == *baseline,
+                faults: rep.faults,
+            }
+        })
+        .collect()
 }

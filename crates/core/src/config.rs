@@ -4,6 +4,7 @@ use smartssd_device::DeviceConfig;
 use smartssd_exec::CostTable;
 use smartssd_flash::FlashConfig;
 use smartssd_host::{HddConfig, InterfaceKind};
+use smartssd_query::SessionPolicy;
 
 /// Which storage device backs the system — the paper's three test devices
 /// (Section 4.1.2).
@@ -118,6 +119,11 @@ pub struct SystemConfig {
     pub host_costs: CostTable,
     /// Wall-plug power model.
     pub power: PowerParams,
+    /// Session recovery policy for device-routed queries: `GET` retry
+    /// budget and backoff, per-session timeout, and whether a fallback run
+    /// carries the wasted device time into its elapsed time. Defaults
+    /// preserve the fault-free protocol bit-for-bit.
+    pub session_policy: SessionPolicy,
 }
 
 impl SystemConfig {
@@ -136,6 +142,7 @@ impl SystemConfig {
             host_dop: 1,
             host_costs: CostTable::host(),
             power: PowerParams::default(),
+            session_policy: SessionPolicy::default(),
         }
     }
 }

@@ -2,7 +2,7 @@
 //! machinery to run a query on either side and meter it.
 
 use crate::config::{DeviceKind, SystemConfig};
-use smartssd_device::{DeviceError, GetResponse, SmartSsd};
+use smartssd_device::{DeviceError, SmartSsd};
 use smartssd_exec::QueryOp;
 use smartssd_host::{
     io::IoError, BufferPool, CommandState, HddHostPath, HddModel, LinkedFlashView, PageSource,
@@ -10,13 +10,13 @@ use smartssd_host::{
 };
 use smartssd_query::{
     choose_route, plan::PlanError, Catalog, HostEngine, PlannerConfig, PlannerInputs, Query,
-    QueryResult, Route,
+    QueryResult, Route, SessionDriver, SessionError, SessionFault,
 };
 use smartssd_sim::energy::{ComponentDraw, Subsystem};
 use smartssd_sim::{
-    mb_per_sec, Bus, CpuModel, EnergyBreakdown, PowerModel, SimTime, UtilizationReport,
+    mb_per_sec, Bus, CpuModel, EnergyBreakdown, FaultCounters, PowerModel, SimTime,
+    UtilizationReport,
 };
-use smartssd_storage::expr::AggState;
 use smartssd_storage::{Layout, Schema, TableBuilder, TableImage, Tuple};
 use std::fmt;
 use std::sync::Arc;
@@ -39,6 +39,9 @@ pub struct RunReport {
     pub energy: EnergyBreakdown,
     /// Per-component utilization (why this configuration is fast or slow).
     pub util: UtilizationReport,
+    /// Faults absorbed along the way: ECC events, re-reads, `GET` retries,
+    /// fallbacks, and wasted simulated time. All zero on a clean run.
+    pub faults: FaultCounters,
 }
 
 impl RunReport {
@@ -64,6 +67,9 @@ pub enum RunError {
     Device(DeviceError),
     /// Host read-path failure.
     Io(IoError),
+    /// A device session failed and could not (or was not allowed to)
+    /// degrade to host execution.
+    Session(SessionFault),
     /// A table image's layout does not match the system configuration.
     LayoutMismatch {
         /// The system's configured layout.
@@ -82,6 +88,7 @@ impl fmt::Display for RunError {
             RunError::Engine(e) => write!(f, "engine: {e}"),
             RunError::Device(e) => write!(f, "device: {e}"),
             RunError::Io(e) => write!(f, "io: {e}"),
+            RunError::Session(e) => write!(f, "session: {e}"),
             RunError::LayoutMismatch { expected, got } => {
                 write!(f, "layout mismatch: system uses {expected}, image is {got}")
             }
@@ -113,6 +120,9 @@ enum Backend {
         link: Bus,
         pool: BufferPool,
         cmd: CommandState,
+        /// Recoveries performed by the host-route read path over the
+        /// shared flash device (the device's own counters live in `dev`).
+        host_faults: FaultCounters,
     },
 }
 
@@ -126,6 +136,10 @@ pub struct System {
     /// Tables with buffer-pool updates not yet checkpointed to the device.
     /// Pushdown against them would read stale data (paper Section 4.3).
     dirty: std::collections::HashSet<String>,
+    /// Run-scoped fault accounting that must survive the timing reset a
+    /// fallback performs (fallbacks taken, wasted time, `GET` retries, and
+    /// the device counters snapshotted before the reset wiped them).
+    run_faults: FaultCounters,
 }
 
 impl System {
@@ -150,6 +164,7 @@ impl System {
                 ),
                 pool: BufferPool::new(cfg.bufferpool_pages),
                 cmd: CommandState::default(),
+                host_faults: FaultCounters::default(),
             },
         };
         let host_cpu = CpuModel::new("host-cpu", cfg.host_cpu_cores, cfg.host_cpu_hz);
@@ -159,6 +174,7 @@ impl System {
             catalog: Catalog::new(),
             next_lba: 0,
             dirty: std::collections::HashSet::new(),
+            run_faults: FaultCounters::default(),
             cfg,
         }
     }
@@ -243,10 +259,17 @@ impl System {
         match &mut self.backend {
             Backend::Hdd(p) => p.reset_timing(),
             Backend::Ssd(p) => p.reset_timing(),
-            Backend::Smart { dev, link, cmd, .. } => {
+            Backend::Smart {
+                dev,
+                link,
+                cmd,
+                host_faults,
+                ..
+            } => {
                 dev.reset_timing();
                 link.reset();
                 cmd.reset();
+                *host_faults = FaultCounters::default();
             }
         }
     }
@@ -283,6 +306,7 @@ impl System {
                     link,
                     pool,
                     cmd,
+                    host_faults,
                 } => {
                     let mut view = LinkedFlashView {
                         ssd: &mut dev.flash,
@@ -290,6 +314,7 @@ impl System {
                         pool,
                         cmd,
                         cmd_latency_ns: self.cfg.interface.command_latency_ns(),
+                        faults: host_faults,
                     };
                     view.read_page(lba, SimTime::ZERO).map_err(RunError::Io)?;
                 }
@@ -463,21 +488,60 @@ impl System {
             route
         };
         self.reset_run_timing();
+        self.run_faults = FaultCounters::default();
         let (result, route) = match route {
             Route::Host => (self.run_host(&op, query)?, Route::Host),
             Route::Device => match self.run_device(&op, query) {
                 Ok(r) => (r, Route::Device),
-                // Resource rejection: fall back to the host path (the
-                // paper's Discussion expects the DBMS to keep a host plan).
-                Err(RunError::Device(DeviceError::MemoryGrantExceeded { .. }))
-                | Err(RunError::Device(DeviceError::TooManySessions)) => {
+                // Graceful degradation: on a resource rejection or an
+                // unrecoverable mid-run fault (uncorrectable flash,
+                // checksum escape, session loss, hang, timeout), the
+                // session is already CLOSEd — re-run transparently on the
+                // host (the paper's Discussion expects the DBMS to keep a
+                // host plan). The wasted device time is accounted in the
+                // fault counters and, when the policy asks for it, carried
+                // into the run's elapsed time instead of being discarded
+                // by the timing reset.
+                Err(RunError::Session(fault)) if Self::fault_is_recoverable(&fault.error) => {
+                    self.note_fallback(&fault);
                     self.reset_run_timing();
-                    (self.run_host(&op, query)?, Route::Host)
+                    let mut r = self.run_host(&op, query)?;
+                    if self.cfg.session_policy.carry_wasted_time {
+                        r.elapsed += fault.wasted;
+                    }
+                    (r, Route::Host)
                 }
                 Err(e) => return Err(e),
             },
         };
         Ok(self.finish_report(query, route, result))
+    }
+
+    /// Whether a session failure may be recovered by re-running on the
+    /// host. Malformed payloads and invalid operators would fail on the
+    /// host too, so they propagate.
+    fn fault_is_recoverable(error: &SessionError) -> bool {
+        match error {
+            SessionError::Device(e) => {
+                !matches!(e, DeviceError::Wire(_) | DeviceError::Validation(_))
+            }
+            SessionError::Timeout { .. } | SessionError::Hung { .. } => true,
+        }
+    }
+
+    /// Books a failed device attempt into the run's fault counters before
+    /// the timing reset wipes the device-side view of it.
+    fn note_fallback(&mut self, fault: &SessionFault) {
+        if let Backend::Smart {
+            dev, host_faults, ..
+        } = &self.backend
+        {
+            self.run_faults.absorb(&dev.fault_counters());
+            self.run_faults.absorb(host_faults);
+        }
+        self.run_faults.fallbacks += 1;
+        self.run_faults.get_retries += fault.get_retries;
+        self.run_faults.wasted_ns += fault.wasted.as_nanos();
     }
 
     /// Runs a query letting the planner pick the route (Smart SSD systems
@@ -528,6 +592,7 @@ impl System {
                 link,
                 pool,
                 cmd,
+                host_faults,
             } => {
                 let mut view = LinkedFlashView {
                     ssd: &mut dev.flash,
@@ -535,6 +600,7 @@ impl System {
                     pool,
                     cmd,
                     cmd_latency_ns: self.cfg.interface.command_latency_ns(),
+                    faults: host_faults,
                 };
                 HostEngine::new(&mut view, &mut self.host_cpu, costs)
                     .run_with_dop(op, &query.finalize, SimTime::ZERO, dop)
@@ -543,67 +609,32 @@ impl System {
         }
     }
 
-    /// Device-route execution: drive the OPEN/GET/CLOSE protocol.
+    /// Device-route execution: the [`SessionDriver`] drives OPEN/GET/CLOSE
+    /// under the configured recovery policy. On failure the driver has
+    /// already closed the session and the returned [`SessionFault`]
+    /// carries the wasted simulated time.
     fn run_device(&mut self, op: &QueryOp, query: &Query) -> Result<QueryResult, RunError> {
         let Backend::Smart { dev, link, .. } = &mut self.backend else {
             return Err(RunError::NotSmart);
         };
-        // The operator crosses the host interface as a marshalled OPEN
-        // payload (paper Section 3); the device unmarshals and validates.
-        let payload = smartssd_exec::encode_op(op);
-        let open_done = link
-            .transfer_with_setup(
-                SimTime::ZERO,
-                payload.len() as u64,
+        let driver = SessionDriver::new(self.cfg.session_policy.clone());
+        let out = driver
+            .run_linked(
+                dev,
+                link,
+                &mut self.host_cpu,
                 self.cfg.interface.command_latency_ns(),
+                op,
             )
-            .end;
-        let sid = dev
-            .open_raw(&payload, open_done)
-            .map_err(RunError::Device)?;
-        let mut rows: Vec<Tuple> = Vec::new();
-        let mut agg_states: Option<Vec<AggState>> = None;
-        let mut t = SimTime::ZERO;
-        loop {
-            match dev.get(sid, t).map_err(RunError::Device)? {
-                GetResponse::Running { ready_at } => {
-                    // The host polls; the successful poll lands at
-                    // readiness (intermediate polls are folded into the
-                    // host-wait power term).
-                    t = ready_at.max(t + SimTime::from_nanos(1));
-                }
-                GetResponse::Batch(batch) => {
-                    // Results cross the host interface; even an empty
-                    // completion batch costs one status transfer.
-                    let iv = link.transfer(t.max(batch.ready_at), batch.bytes.max(64));
-                    t = iv.end;
-                    // Host-side receive + merge cost.
-                    let cycles = 20_000 + batch.bytes / 2;
-                    t = self.host_cpu.execute(t, cycles).end;
-                    rows.extend(batch.rows);
-                    if let Some(parts) = batch.aggs {
-                        match &mut agg_states {
-                            None => agg_states = Some(parts),
-                            Some(acc) => {
-                                for (a, p) in acc.iter_mut().zip(parts.iter()) {
-                                    a.merge(p);
-                                }
-                            }
-                        }
-                    }
-                }
-                GetResponse::Done => break,
-            }
-        }
-        let work = dev.session_work(sid).copied().unwrap_or_default();
-        dev.close(sid).map_err(RunError::Device)?;
-        let (agg_values, scalar) = query.finalize.apply(agg_states.as_deref().unwrap_or(&[]));
+            .map_err(RunError::Session)?;
+        self.run_faults.get_retries += out.get_retries;
+        let (agg_values, scalar) = query.finalize.apply(out.aggs.as_deref().unwrap_or(&[]));
         Ok(QueryResult {
-            rows,
+            rows: out.rows,
             agg_values,
             scalar,
-            elapsed: t,
-            work,
+            elapsed: out.finished_at,
+            work: out.work,
         })
     }
 
@@ -655,6 +686,20 @@ impl System {
         if let Some(cpu) = device_cpu {
             util.record("device-cpu", cpu.busy_total_ns(), cpu.cores());
         }
+        // Fault accounting: whatever the fallback path banked before the
+        // timing reset, plus the backend's live counters from the run that
+        // actually produced the result.
+        let mut faults = self.run_faults;
+        match &self.backend {
+            Backend::Hdd(_) => {}
+            Backend::Ssd(p) => faults.absorb(&p.fault_counters()),
+            Backend::Smart {
+                dev, host_faults, ..
+            } => {
+                faults.absorb(&dev.fault_counters());
+                faults.absorb(host_faults);
+            }
+        }
         RunReport {
             query: query.name.clone(),
             device: self.cfg.device,
@@ -663,6 +708,7 @@ impl System {
             result,
             energy,
             util,
+            faults,
         }
     }
 }

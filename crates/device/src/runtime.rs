@@ -25,7 +25,7 @@ use smartssd_exec::{
     GroupTable, QueryOp, TableRef, WorkCounts,
 };
 use smartssd_flash::{FlashConfig, FlashError, FlashSsd};
-use smartssd_sim::{CpuModel, SimTime};
+use smartssd_sim::{CpuModel, FaultCounters, SimTime};
 use smartssd_storage::expr::{AggState, ExprError};
 use smartssd_storage::page::PageError;
 use smartssd_storage::{PageBuf, TableImage, Tuple};
@@ -86,6 +86,19 @@ pub enum DeviceError {
     Flash(FlashError),
     /// A page failed integrity validation after the flash read.
     Page(PageError),
+    /// The firmware's bounded read-retry policy ran out of budget; the
+    /// session is dead and the host should degrade to host-side execution.
+    RetriesExhausted {
+        /// Logical address of the failing page.
+        lba: u64,
+        /// Retries spent before giving up.
+        attempts: u32,
+        /// Simulated time at which the final attempt completed — the
+        /// earliest moment a host-side fallback can start.
+        at: SimTime,
+        /// The error the final attempt failed with.
+        cause: Box<DeviceError>,
+    },
 }
 
 impl fmt::Display for DeviceError {
@@ -100,6 +113,15 @@ impl fmt::Display for DeviceError {
             DeviceError::Validation(e) => write!(f, "invalid operator: {e}"),
             DeviceError::Flash(e) => write!(f, "flash: {e}"),
             DeviceError::Page(e) => write!(f, "page: {e}"),
+            DeviceError::RetriesExhausted {
+                lba,
+                attempts,
+                at,
+                cause,
+            } => write!(
+                f,
+                "read retries exhausted at LBA {lba} after {attempts} retries (at {at}): {cause}"
+            ),
         }
     }
 }
@@ -120,6 +142,7 @@ pub struct SmartSsd {
     sessions: HashMap<u32, Session>,
     next_id: u32,
     total_work: WorkCounts,
+    faults: FaultCounters,
 }
 
 impl SmartSsd {
@@ -133,6 +156,7 @@ impl SmartSsd {
             sessions: HashMap::new(),
             next_id: 1,
             total_work: WorkCounts::default(),
+            faults: FaultCounters::default(),
             cfg,
         }
     }
@@ -150,6 +174,18 @@ impl SmartSsd {
     /// Aggregate operator work performed since the last timing reset.
     pub fn total_work(&self) -> &WorkCounts {
         &self.total_work
+    }
+
+    /// Fault/recovery counters since the last timing reset: the flash
+    /// emulator's ECC events merged with the firmware's own retry and
+    /// escape-detection counts.
+    pub fn fault_counters(&self) -> FaultCounters {
+        let stats = self.flash.stats();
+        FaultCounters {
+            ecc_retries: stats.ecc_retries,
+            ecc_failures: stats.ecc_failures,
+            ..self.faults
+        }
     }
 
     /// Loads a table image onto the device starting at `first_lba`,
@@ -178,6 +214,7 @@ impl SmartSsd {
         self.flash.reset_timing();
         self.cpu.reset();
         self.total_work = WorkCounts::default();
+        self.faults = FaultCounters::default();
     }
 
     /// `OPEN`: validates the operator, grants session resources, and starts
@@ -233,26 +270,52 @@ impl SmartSsd {
         self.sessions.get(&sid.0).map(|s| &s.work)
     }
 
-    /// Reads one page through the internal data path with one firmware
-    /// retry each for uncorrectable errors and for checksum mismatches
-    /// (silent ECC escapes), returning the validated page and its
-    /// availability time.
+    /// Reads one page through the internal data path under a single bounded
+    /// retry policy covering both uncorrectable errors and checksum
+    /// mismatches (silent ECC escapes), returning the validated page and
+    /// its availability time.
+    ///
+    /// Every retry is posted at the *failed attempt's completion time* —
+    /// an uncorrectable read still occupied the channel/chip until
+    /// `failed_at`, and an escape is only detected once the page has fully
+    /// arrived in device DRAM — so recovery latency and energy are charged
+    /// to the run. On budget exhaustion the typed
+    /// [`DeviceError::RetriesExhausted`] is returned; there is no panic
+    /// path.
     fn read_page(&mut self, lba: u64, now: SimTime) -> Result<(PageBuf, SimTime), DeviceError> {
-        let mut last_err = None;
-        for _ in 0..2 {
-            let (data, iv) = match self.flash.read(lba, now) {
-                Ok(ok) => ok,
-                Err(FlashError::Uncorrectable(_)) => {
-                    self.flash.read(lba, now).map_err(DeviceError::Flash)?
+        let mut t = now;
+        let mut attempts = 0u32;
+        loop {
+            let cause = match self.flash.read(lba, t) {
+                Ok((data, iv)) => match PageBuf::from_bytes(data) {
+                    Ok(page) => return Ok((page, iv.end)),
+                    Err(e) => {
+                        // The escape is caught by the page checksum only
+                        // after the transfer finished: re-read from iv.end.
+                        self.faults.escapes_detected += 1;
+                        t = iv.end;
+                        DeviceError::Page(e)
+                    }
+                },
+                Err(FlashError::Uncorrectable { lba, failed_at }) => {
+                    // The failed attempt held the flash path until
+                    // failed_at; the firmware retry starts there.
+                    t = failed_at;
+                    DeviceError::Flash(FlashError::Uncorrectable { lba, failed_at })
                 }
                 Err(e) => return Err(DeviceError::Flash(e)),
             };
-            match PageBuf::from_bytes(data) {
-                Ok(page) => return Ok((page, iv.end)),
-                Err(e) => last_err = Some(DeviceError::Page(e)),
+            if attempts >= self.cfg.read_retry_limit {
+                return Err(DeviceError::RetriesExhausted {
+                    lba,
+                    attempts,
+                    at: t,
+                    cause: Box::new(cause),
+                });
             }
+            attempts += 1;
+            self.faults.read_retries += 1;
         }
-        Err(last_err.expect("loop ran"))
     }
 
     /// Executes an operator, producing the session's batch queue. Execution

@@ -23,7 +23,15 @@ pub enum FlashError {
     /// No free space even after garbage collection.
     DeviceFull,
     /// Injected uncorrectable media error; a retry re-reads the page.
-    Uncorrectable(u64),
+    /// `failed_at` is the simulated completion time of the failed read —
+    /// retries must be issued no earlier than this, so recovery latency is
+    /// charged to the run instead of replaying at the original issue time.
+    Uncorrectable {
+        /// Logical address of the failed read.
+        lba: u64,
+        /// Completion time of the failed read attempt.
+        failed_at: SimTime,
+    },
     /// Internal NAND rule violation — indicates an emulator bug.
     Nand(NandError),
 }
@@ -34,7 +42,12 @@ impl fmt::Display for FlashError {
             FlashError::LbaOutOfRange(l) => write!(f, "LBA {l} out of range"),
             FlashError::Unmapped(l) => write!(f, "LBA {l} is unmapped"),
             FlashError::DeviceFull => write!(f, "device full (GC reclaimed nothing)"),
-            FlashError::Uncorrectable(l) => write!(f, "uncorrectable read error at LBA {l}"),
+            FlashError::Uncorrectable { lba, failed_at } => {
+                write!(
+                    f,
+                    "uncorrectable read error at LBA {lba} (failed at {failed_at})"
+                )
+            }
             FlashError::Nand(e) => write!(f, "NAND error: {e}"),
         }
     }
@@ -227,7 +240,13 @@ impl FlashSsd {
             if self.cfg.ecc_fail_rate > 0 && draw < self.cfg.ecc_fail_rate {
                 self.stats.ecc_failures += 1;
                 self.pending_retry = Some(lba);
-                return Err(FlashError::Uncorrectable(lba));
+                // The failed attempt still occupied the channel and chip:
+                // report its completion time so the caller's retry starts
+                // after it, not in parallel with it.
+                return Err(FlashError::Uncorrectable {
+                    lba,
+                    failed_at: iv.end,
+                });
             }
             if self.cfg.ecc_retry_rate > 0 && draw < self.cfg.ecc_retry_rate {
                 self.stats.ecc_retries += 1;
@@ -440,10 +459,14 @@ mod tests {
         };
         let mut ssd = FlashSsd::new(cfg.clone());
         ssd.write(0, page(&cfg, 7), SimTime::ZERO).unwrap();
-        assert_eq!(
-            ssd.read(0, SimTime::ZERO).unwrap_err(),
-            FlashError::Uncorrectable(0)
-        );
+        let err = ssd.read(0, SimTime::ZERO).unwrap_err();
+        let failed_at = match err {
+            FlashError::Uncorrectable { lba: 0, failed_at } => failed_at,
+            other => panic!("expected Uncorrectable at LBA 0, got {other:?}"),
+        };
+        // The failed attempt was still charged to the channel/chip, so the
+        // reported completion time is strictly after issue.
+        assert!(failed_at > SimTime::ZERO);
         let (data, _) = ssd.read(0, SimTime::ZERO).unwrap();
         assert_eq!(&data[..8], &7u64.to_le_bytes());
         assert_eq!(ssd.stats().ecc_failures, 1);

@@ -13,12 +13,17 @@ use crate::bufferpool::BufferPool;
 use crate::hdd::HddModel;
 use crate::interface::InterfaceKind;
 use smartssd_flash::{FlashError, FlashSsd};
-use smartssd_sim::{mb_per_sec, Bus, SimTime};
+use smartssd_sim::{mb_per_sec, Bus, FaultCounters, SimTime};
 use smartssd_storage::{page::PageError, PageBuf, PAGE_SIZE};
 use std::fmt;
 
 /// Pages per host I/O command (the paper's 32-page / 256 KB unit).
 pub const PAGES_PER_COMMAND: u64 = 32;
+
+/// Driver-level page-read retries before the error is surfaced to the DBMS
+/// as [`IoError::RetriesExhausted`]. The emulated media always recovers on
+/// the first retry, so this bound is never hit in normal operation.
+pub const HOST_READ_RETRY_LIMIT: u32 = 2;
 
 /// Errors surfaced by a host read path.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +34,15 @@ pub enum IoError {
     Page(PageError),
     /// The HDD has no data at this address.
     HddUnmapped(u64),
+    /// The driver's bounded retry policy ran out of budget.
+    RetriesExhausted {
+        /// Logical address of the failing page.
+        lba: u64,
+        /// Retries spent before giving up.
+        attempts: u32,
+        /// The error the final attempt failed with.
+        cause: Box<IoError>,
+    },
 }
 
 impl fmt::Display for IoError {
@@ -37,6 +51,14 @@ impl fmt::Display for IoError {
             IoError::Flash(e) => write!(f, "flash: {e}"),
             IoError::Page(e) => write!(f, "page: {e}"),
             IoError::HddUnmapped(l) => write!(f, "hdd: LBA {l} unwritten"),
+            IoError::RetriesExhausted {
+                lba,
+                attempts,
+                cause,
+            } => write!(
+                f,
+                "read retries exhausted at LBA {lba} after {attempts} retries: {cause}"
+            ),
         }
     }
 }
@@ -85,41 +107,68 @@ impl CommandState {
     }
 }
 
-/// Shared host read logic: pool hit, flash read with one transparent retry,
-/// interface transfer with batched command setup, pool insert.
+/// Shared host read logic: pool hit, flash read under a bounded transparent
+/// retry policy, interface transfer with batched command setup, pool insert.
+///
+/// Retries cover both uncorrectable device errors and checksum mismatches
+/// after transfer (silent corruption that escaped the device ECC), as a
+/// real driver + DBMS pair would. Each retry is issued at the *failed
+/// attempt's completion time* — an uncorrectable read held the device until
+/// `failed_at`, and a checksum mismatch is only seen once the page crossed
+/// the link — so recovery latency is charged to the run.
+#[allow(clippy::too_many_arguments)]
 fn read_via_link(
     ssd: &mut FlashSsd,
     link: &mut Bus,
     pool: &mut BufferPool,
     cmd: &mut CommandState,
     cmd_latency_ns: u64,
+    faults: &mut FaultCounters,
     lba: u64,
     now: SimTime,
 ) -> Result<(PageBuf, SimTime), IoError> {
     if let Some(page) = pool.get(lba) {
         return Ok((page, now));
     }
-    // Up to one transparent retry each for (a) an uncorrectable device
-    // error and (b) a checksum mismatch after transfer (silent corruption
-    // that escaped the device ECC), as a real driver + DBMS pair would.
-    let mut last_err = None;
-    for _ in 0..2 {
-        let (data, iv) = match ssd.read(lba, now) {
-            Ok(ok) => ok,
-            Err(FlashError::Uncorrectable(_)) => ssd.read(lba, now).map_err(IoError::Flash)?,
+    let mut t = now;
+    let mut attempts = 0u32;
+    loop {
+        let cause = match ssd.read(lba, t) {
+            Ok((data, iv)) => {
+                let setup = cmd.setup_ns(lba, cmd_latency_ns);
+                let link_iv = link.transfer_with_setup(iv.end, PAGE_SIZE as u64, setup);
+                match PageBuf::from_bytes(data) {
+                    Ok(page) => {
+                        pool.insert(lba, page.clone());
+                        return Ok((page, link_iv.end));
+                    }
+                    Err(e) => {
+                        // The DBMS checksum catches the escape only after
+                        // the transfer: re-read from the link completion.
+                        faults.escapes_detected += 1;
+                        t = link_iv.end;
+                        IoError::Page(e)
+                    }
+                }
+            }
+            Err(FlashError::Uncorrectable { lba, failed_at }) => {
+                // The failed device attempt completed at failed_at; the
+                // driver retry starts there, not at the original `now`.
+                t = failed_at;
+                IoError::Flash(FlashError::Uncorrectable { lba, failed_at })
+            }
             Err(e) => return Err(IoError::Flash(e)),
         };
-        let setup = cmd.setup_ns(lba, cmd_latency_ns);
-        let link_iv = link.transfer_with_setup(iv.end, PAGE_SIZE as u64, setup);
-        match PageBuf::from_bytes(data) {
-            Ok(page) => {
-                pool.insert(lba, page.clone());
-                return Ok((page, link_iv.end));
-            }
-            Err(e) => last_err = Some(IoError::Page(e)),
+        if attempts >= HOST_READ_RETRY_LIMIT {
+            return Err(IoError::RetriesExhausted {
+                lba,
+                attempts,
+                cause: Box::new(cause),
+            });
         }
+        attempts += 1;
+        faults.read_retries += 1;
     }
-    Err(last_err.expect("loop ran"))
 }
 
 /// SSD behind a host interface with a buffer pool — the paper's "regular
@@ -132,6 +181,7 @@ pub struct SsdHostPath {
     /// The DBMS buffer pool.
     pub pool: BufferPool,
     cmd: CommandState,
+    faults: FaultCounters,
 }
 
 impl SsdHostPath {
@@ -143,6 +193,7 @@ impl SsdHostPath {
             cmd_latency_ns: interface.command_latency_ns(),
             pool: BufferPool::new(pool_pages),
             cmd: CommandState::default(),
+            faults: FaultCounters::default(),
         }
     }
 
@@ -151,6 +202,19 @@ impl SsdHostPath {
         self.ssd.reset_timing();
         self.link.reset();
         self.cmd.reset();
+        self.faults = FaultCounters::default();
+    }
+
+    /// Fault/recovery counters since the last timing reset: the flash
+    /// device's ECC events merged with the driver's retry and
+    /// escape-detection counts.
+    pub fn fault_counters(&self) -> FaultCounters {
+        let stats = self.ssd.stats();
+        FaultCounters {
+            ecc_retries: stats.ecc_retries,
+            ecc_failures: stats.ecc_failures,
+            ..self.faults
+        }
     }
 }
 
@@ -162,6 +226,7 @@ impl PageSource for SsdHostPath {
             &mut self.pool,
             &mut self.cmd,
             self.cmd_latency_ns,
+            &mut self.faults,
             lba,
             now,
         )
@@ -191,6 +256,8 @@ pub struct LinkedFlashView<'a> {
     pub cmd: &'a mut CommandState,
     /// Per-command setup latency.
     pub cmd_latency_ns: u64,
+    /// Fault counters the borrowed path reports recoveries into.
+    pub faults: &'a mut FaultCounters,
 }
 
 impl PageSource for LinkedFlashView<'_> {
@@ -201,6 +268,7 @@ impl PageSource for LinkedFlashView<'_> {
             self.pool,
             self.cmd,
             self.cmd_latency_ns,
+            self.faults,
             lba,
             now,
         )

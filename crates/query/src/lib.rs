@@ -22,12 +22,18 @@
 //!   is cached in the buffer pool, don't push updates or data newer than the
 //!   on-device copy, weigh device-CPU saturation. The planner implements
 //!   those rules with an analytic cost model over the same cost tables the
-//!   engines use.
+//!   engines use;
+//! * [`session`] — the fault-tolerant OPEN/GET/CLOSE driver: bounded `GET`
+//!   retries with backoff, a per-session timeout, and typed faults carrying
+//!   the simulated time a failed device attempt burned, so callers can
+//!   degrade to host execution without losing the cost of the detour.
 
 pub mod engine;
 pub mod plan;
 pub mod planner;
+pub mod session;
 
 pub use engine::{EngineError, HostEngine, QueryResult};
 pub use plan::{Catalog, Finalize, OpTemplate, Query};
 pub use planner::{choose_route, CostEstimate, PlannerConfig, PlannerInputs, Route};
+pub use session::{SessionDriver, SessionError, SessionFault, SessionOutcome, SessionPolicy};

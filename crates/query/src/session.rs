@@ -1,0 +1,506 @@
+//! Fault-tolerant host-side driver for the Smart SSD session protocol.
+//!
+//! The paper's API is host-initiated: the DBMS issues `OPEN`, polls with
+//! `GET`, and `CLOSE`s the session (Section 3). A production DBMS cannot
+//! assume those calls succeed — sessions are rejected when thread or memory
+//! grants run out, and a mid-scan flash failure kills the session outright.
+//! [`SessionDriver`] wraps the protocol with the recovery discipline the
+//! paper's Discussion expects the host to keep: bounded `GET` retries with
+//! exponential backoff, a per-session simulated-time budget, and a typed
+//! [`SessionFault`] on failure that carries the simulated time the failed
+//! attempt burned, so the caller can degrade to host execution without
+//! losing the cost of the detour.
+//!
+//! With the default [`SessionPolicy`] the driver's happy path is
+//! *bit-identical* to the inline protocol loops it replaced: the first poll
+//! after a `Running { ready_at }` hint is posted at
+//! `ready_at.max(t + 1ns)`, backoff only engages on consecutive stalled
+//! polls (which a healthy device never produces), and the timeout defaults
+//! to infinity.
+
+use smartssd_device::{DeviceError, GetResponse, SessionId, SmartSsd};
+use smartssd_exec::{QueryOp, WorkCounts};
+use smartssd_sim::{Bus, CpuModel, SimTime};
+use smartssd_storage::expr::AggState;
+use smartssd_storage::Tuple;
+use std::fmt;
+
+/// Recovery knobs for one session. Defaults preserve the protocol's
+/// original timing exactly; they only change behavior when the device
+/// misbehaves.
+#[derive(Debug, Clone)]
+pub struct SessionPolicy {
+    /// Consecutive `GET` polls that may come back `Running` *after* the
+    /// device's own readiness hint before the driver declares the session
+    /// hung. A healthy device never stalls a poll posted at its hint, so
+    /// this bound is never reached in normal operation.
+    pub max_get_retries: u32,
+    /// Minimum spacing between a poll and the previous response. Doubles
+    /// on every consecutive stalled poll (exponential backoff), capped at
+    /// [`SessionPolicy::backoff_cap`]. The 1 ns default reproduces the
+    /// original inline loops bit-for-bit.
+    pub poll_backoff: SimTime,
+    /// Upper bound on the backoff step.
+    pub backoff_cap: SimTime,
+    /// Simulated-time budget from `OPEN` to the final `Done`. Exceeding it
+    /// abandons the session with [`SessionError::Timeout`].
+    pub session_timeout: SimTime,
+    /// When a device-route run degrades to the host, carry the simulated
+    /// time wasted on the failed device attempt into the run's elapsed
+    /// time instead of discarding it. Off by default so all reproduced
+    /// figures stay bit-identical to the fault-free protocol.
+    pub carry_wasted_time: bool,
+}
+
+impl Default for SessionPolicy {
+    fn default() -> Self {
+        Self {
+            max_get_retries: 64,
+            poll_backoff: SimTime::from_nanos(1),
+            backoff_cap: SimTime::from_millis(1),
+            session_timeout: SimTime::MAX,
+            carry_wasted_time: false,
+        }
+    }
+}
+
+/// Why a session was abandoned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The device rejected or failed the session.
+    Device(DeviceError),
+    /// The session exceeded its simulated-time budget.
+    Timeout {
+        /// Simulated time at which the budget ran out.
+        at: SimTime,
+    },
+    /// `GET` stalled past the retry budget: the device kept answering
+    /// `Running` at its own readiness hints.
+    Hung {
+        /// Stalled polls spent before giving up.
+        stalled_polls: u32,
+        /// Simulated time of the final stalled poll.
+        at: SimTime,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Device(e) => write!(f, "device: {e}"),
+            SessionError::Timeout { at } => write!(f, "session timed out at {at}"),
+            SessionError::Hung { stalled_polls, at } => {
+                write!(
+                    f,
+                    "session hung after {stalled_polls} stalled GETs (at {at})"
+                )
+            }
+        }
+    }
+}
+
+/// A failed session, with the accounting the caller needs to degrade
+/// gracefully: the simulated time the attempt burned and the `GET` retries
+/// it spent before giving up. The driver has already `CLOSE`d the session
+/// (best-effort) by the time this is returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionFault {
+    /// What went wrong.
+    pub error: SessionError,
+    /// Simulated time burned on the failed attempt — the earliest moment a
+    /// host-side fallback can start.
+    pub wasted: SimTime,
+    /// Stalled `GET` polls repeated before the failure.
+    pub get_retries: u64,
+}
+
+impl fmt::Display for SessionFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (wasted {}, {} GET retries)",
+            self.error, self.wasted, self.get_retries
+        )
+    }
+}
+
+impl std::error::Error for SessionFault {}
+
+/// Everything a completed session produced.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// Materialized output rows.
+    pub rows: Vec<Tuple>,
+    /// Merged aggregate states, if the operator aggregates.
+    pub aggs: Option<Vec<AggState>>,
+    /// Operator work receipt from the device.
+    pub work: WorkCounts,
+    /// Simulated time at which the host finished consuming the results.
+    pub finished_at: SimTime,
+    /// Stalled `GET` polls absorbed along the way (0 on a healthy device).
+    pub get_retries: u64,
+}
+
+/// Drives OPEN/GET/CLOSE against a [`SmartSsd`] under a [`SessionPolicy`].
+#[derive(Debug, Clone, Default)]
+pub struct SessionDriver {
+    /// The recovery policy applied to every session this driver runs.
+    pub policy: SessionPolicy,
+}
+
+impl SessionDriver {
+    /// A driver with the given policy.
+    pub fn new(policy: SessionPolicy) -> Self {
+        Self { policy }
+    }
+
+    /// Backoff step for the given number of consecutive stalled polls.
+    fn backoff_step(&self, stalls: u32) -> SimTime {
+        let base = self.policy.poll_backoff.as_nanos().max(1);
+        let step = base.saturating_mul(1u64 << stalls.min(20));
+        SimTime::from_nanos(step).min(self.policy.backoff_cap.max(self.policy.poll_backoff))
+    }
+
+    /// Best-effort CLOSE on the abandon path: the session may already be
+    /// gone (e.g. the OPEN itself failed), which is fine.
+    fn abandon(
+        &self,
+        dev: &mut SmartSsd,
+        sid: Option<SessionId>,
+        error: SessionError,
+        wasted: SimTime,
+        get_retries: u64,
+    ) -> SessionFault {
+        if let Some(sid) = sid {
+            let _ = dev.close(sid);
+        }
+        SessionFault {
+            error,
+            wasted,
+            get_retries,
+        }
+    }
+
+    /// Runs one full session over the host interface: the `OPEN` payload
+    /// and every result batch cross `link`, and the host pays a per-batch
+    /// receive/merge cost on `host_cpu`. This is the protocol loop the
+    /// system façade uses for device-routed queries.
+    pub fn run_linked(
+        &self,
+        dev: &mut SmartSsd,
+        link: &mut Bus,
+        host_cpu: &mut CpuModel,
+        cmd_latency_ns: u64,
+        op: &QueryOp,
+    ) -> Result<SessionOutcome, SessionFault> {
+        // The operator crosses the host interface as a marshalled OPEN
+        // payload (paper Section 3); the device unmarshals and validates.
+        let payload = smartssd_exec::encode_op(op);
+        let open_done = link
+            .transfer_with_setup(SimTime::ZERO, payload.len() as u64, cmd_latency_ns)
+            .end;
+        let sid = match dev.open_raw(&payload, open_done) {
+            Ok(sid) => sid,
+            Err(e) => {
+                let wasted = open_done.max(Self::error_time(&e));
+                return Err(self.abandon(dev, None, SessionError::Device(e), wasted, 0));
+            }
+        };
+        let deadline = open_done + self.policy.session_timeout;
+        let mut rows: Vec<Tuple> = Vec::new();
+        let mut aggs: Option<Vec<AggState>> = None;
+        let mut t = SimTime::ZERO;
+        let mut stalls: u32 = 0;
+        let mut get_retries: u64 = 0;
+        loop {
+            match dev.get(sid, t) {
+                Ok(GetResponse::Running { ready_at }) => {
+                    if stalls > 0 {
+                        // The device's own hint did not pan out: a genuine
+                        // retry, spaced by exponential backoff.
+                        get_retries += 1;
+                        if stalls > self.policy.max_get_retries {
+                            let err = SessionError::Hung {
+                                stalled_polls: stalls,
+                                at: t,
+                            };
+                            return Err(self.abandon(dev, Some(sid), err, t, get_retries));
+                        }
+                    }
+                    t = ready_at.max(t + self.backoff_step(stalls));
+                    stalls += 1;
+                    if t > deadline {
+                        let err = SessionError::Timeout { at: t };
+                        return Err(self.abandon(dev, Some(sid), err, t, get_retries));
+                    }
+                }
+                Ok(GetResponse::Batch(batch)) => {
+                    stalls = 0;
+                    // Results cross the host interface; even an empty
+                    // completion batch costs one status transfer.
+                    let iv = link.transfer(t.max(batch.ready_at), batch.bytes.max(64));
+                    t = iv.end;
+                    // Host-side receive + merge cost.
+                    let cycles = 20_000 + batch.bytes / 2;
+                    t = host_cpu.execute(t, cycles).end;
+                    rows.extend(batch.rows);
+                    if let Some(parts) = batch.aggs {
+                        merge_aggs(&mut aggs, parts);
+                    }
+                    if t > deadline {
+                        let err = SessionError::Timeout { at: t };
+                        return Err(self.abandon(dev, Some(sid), err, t, get_retries));
+                    }
+                }
+                Ok(GetResponse::Done) => break,
+                Err(e) => {
+                    let wasted = t.max(Self::error_time(&e));
+                    let err = SessionError::Device(e);
+                    return Err(self.abandon(dev, Some(sid), err, wasted, get_retries));
+                }
+            }
+        }
+        let work = dev.session_work(sid).copied().unwrap_or_default();
+        if let Err(e) = dev.close(sid) {
+            return Err(self.abandon(dev, None, SessionError::Device(e), t, get_retries));
+        }
+        Ok(SessionOutcome {
+            rows,
+            aggs,
+            work,
+            finished_at: t,
+            get_retries,
+        })
+    }
+
+    /// `OPEN`s a session directly on the device (no interface modelling) —
+    /// the shape multi-session experiments use, where N sessions open
+    /// before any is drained.
+    pub fn open(
+        &self,
+        dev: &mut SmartSsd,
+        op: &QueryOp,
+        now: SimTime,
+    ) -> Result<SessionId, SessionFault> {
+        dev.open(op, now).map_err(|e| {
+            let wasted = now.max(Self::error_time(&e));
+            self.abandon(dev, None, SessionError::Device(e), wasted, 0)
+        })
+    }
+
+    /// Polls a session opened with [`SessionDriver::open`] to completion
+    /// and `CLOSE`s it, without interface modelling (batch consumption is
+    /// instantaneous at `ready_at`).
+    pub fn drain_direct(
+        &self,
+        dev: &mut SmartSsd,
+        sid: SessionId,
+        opened_at: SimTime,
+    ) -> Result<SessionOutcome, SessionFault> {
+        let deadline = opened_at + self.policy.session_timeout;
+        let mut rows: Vec<Tuple> = Vec::new();
+        let mut aggs: Option<Vec<AggState>> = None;
+        let mut t = opened_at;
+        let mut stalls: u32 = 0;
+        let mut get_retries: u64 = 0;
+        loop {
+            match dev.get(sid, t) {
+                Ok(GetResponse::Running { ready_at }) => {
+                    if stalls > 0 {
+                        get_retries += 1;
+                        if stalls > self.policy.max_get_retries {
+                            let err = SessionError::Hung {
+                                stalled_polls: stalls,
+                                at: t,
+                            };
+                            return Err(self.abandon(dev, Some(sid), err, t, get_retries));
+                        }
+                    }
+                    t = ready_at.max(t + self.backoff_step(stalls));
+                    stalls += 1;
+                    if t > deadline {
+                        let err = SessionError::Timeout { at: t };
+                        return Err(self.abandon(dev, Some(sid), err, t, get_retries));
+                    }
+                }
+                Ok(GetResponse::Batch(batch)) => {
+                    stalls = 0;
+                    t = t.max(batch.ready_at);
+                    rows.extend(batch.rows);
+                    if let Some(parts) = batch.aggs {
+                        merge_aggs(&mut aggs, parts);
+                    }
+                }
+                Ok(GetResponse::Done) => break,
+                Err(e) => {
+                    let wasted = t.max(Self::error_time(&e));
+                    let err = SessionError::Device(e);
+                    return Err(self.abandon(dev, Some(sid), err, wasted, get_retries));
+                }
+            }
+        }
+        let work = dev.session_work(sid).copied().unwrap_or_default();
+        if let Err(e) = dev.close(sid) {
+            return Err(self.abandon(dev, None, SessionError::Device(e), t, get_retries));
+        }
+        Ok(SessionOutcome {
+            rows,
+            aggs,
+            work,
+            finished_at: t,
+            get_retries,
+        })
+    }
+
+    /// Simulated time embedded in an error, if the device reported one —
+    /// lets the fault carry how long the failed attempt actually took.
+    fn error_time(e: &DeviceError) -> SimTime {
+        match e {
+            DeviceError::RetriesExhausted { at, .. } => *at,
+            _ => SimTime::ZERO,
+        }
+    }
+}
+
+fn merge_aggs(acc: &mut Option<Vec<AggState>>, parts: Vec<AggState>) {
+    match acc {
+        None => *acc = Some(parts),
+        Some(states) => {
+            for (a, p) in states.iter_mut().zip(parts.iter()) {
+                a.merge(p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartssd_device::DeviceConfig;
+    use smartssd_exec::spec::ScanAggSpec;
+    use smartssd_flash::FlashConfig;
+    use smartssd_sim::mb_per_sec;
+    use smartssd_storage::expr::{AggSpec, Pred};
+    use smartssd_storage::{DataType, Datum, Layout, Schema, TableBuilder};
+
+    fn loaded(
+        flash: FlashConfig,
+        cfg: DeviceConfig,
+        n: i32,
+    ) -> (SmartSsd, smartssd_exec::TableRef) {
+        let s = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)]);
+        let mut b = TableBuilder::new("t", s, Layout::Pax);
+        b.extend((0..n).map(|k| vec![Datum::I32(k), Datum::I64(k as i64)] as Tuple));
+        let img = b.finish();
+        let mut dev = SmartSsd::new(flash, cfg);
+        let tref = dev.load_table(&img, 0).unwrap();
+        dev.reset_timing();
+        (dev, tref)
+    }
+
+    fn count_op(tref: smartssd_exec::TableRef) -> QueryOp {
+        QueryOp::ScanAgg {
+            table: tref,
+            spec: ScanAggSpec {
+                pred: Pred::Const(true),
+                aggs: vec![AggSpec::count()],
+            },
+        }
+    }
+
+    #[test]
+    fn linked_run_completes_and_counts_no_retries_when_healthy() {
+        let (mut dev, tref) = loaded(FlashConfig::default(), DeviceConfig::default(), 20_000);
+        let mut link = Bus::new("host-interface", mb_per_sec(550), 0);
+        let mut cpu = CpuModel::new("host-cpu", 8, 2_260_000_000);
+        let driver = SessionDriver::default();
+        let out = driver
+            .run_linked(&mut dev, &mut link, &mut cpu, 20_000, &count_op(tref))
+            .unwrap();
+        assert_eq!(out.aggs.unwrap()[0].finish(), 20_000);
+        assert_eq!(out.get_retries, 0, "healthy device must not stall polls");
+        assert!(out.finished_at > SimTime::ZERO);
+    }
+
+    #[test]
+    fn direct_run_matches_linked_answer() {
+        let (mut dev, tref) = loaded(FlashConfig::default(), DeviceConfig::default(), 10_000);
+        let driver = SessionDriver::default();
+        let sid = driver
+            .open(&mut dev, &count_op(tref), SimTime::ZERO)
+            .unwrap();
+        let out = driver.drain_direct(&mut dev, sid, SimTime::ZERO).unwrap();
+        assert_eq!(out.aggs.unwrap()[0].finish(), 10_000);
+    }
+
+    #[test]
+    fn timeout_abandons_and_closes_session() {
+        let (mut dev, tref) = loaded(FlashConfig::default(), DeviceConfig::default(), 50_000);
+        let mut link = Bus::new("host-interface", mb_per_sec(550), 0);
+        let mut cpu = CpuModel::new("host-cpu", 8, 2_260_000_000);
+        let driver = SessionDriver::new(SessionPolicy {
+            session_timeout: SimTime::from_nanos(1),
+            ..SessionPolicy::default()
+        });
+        let fault = driver
+            .run_linked(&mut dev, &mut link, &mut cpu, 20_000, &count_op(tref))
+            .unwrap_err();
+        assert!(matches!(fault.error, SessionError::Timeout { .. }));
+        // The abandoned session was closed: a fresh one can open even on a
+        // single-slot device.
+        let (mut dev1, tref1) = loaded(
+            FlashConfig::default(),
+            DeviceConfig {
+                max_sessions: 1,
+                ..DeviceConfig::default()
+            },
+            1_000,
+        );
+        let strict = SessionDriver::new(SessionPolicy {
+            session_timeout: SimTime::from_nanos(1),
+            ..SessionPolicy::default()
+        });
+        let op = count_op(tref1);
+        assert!(strict
+            .run_linked(&mut dev1, &mut link, &mut cpu, 20_000, &op)
+            .is_err());
+        let relaxed = SessionDriver::default();
+        relaxed
+            .run_linked(&mut dev1, &mut link, &mut cpu, 20_000, &op)
+            .unwrap();
+    }
+
+    #[test]
+    fn open_rejection_surfaces_as_device_fault() {
+        let (mut dev, tref) = loaded(
+            FlashConfig::default(),
+            DeviceConfig {
+                max_sessions: 1,
+                ..DeviceConfig::default()
+            },
+            1_000,
+        );
+        let driver = SessionDriver::default();
+        let op = count_op(tref);
+        let _held = driver.open(&mut dev, &op, SimTime::ZERO).unwrap();
+        let fault = driver.open(&mut dev, &op, SimTime::ZERO).unwrap_err();
+        assert_eq!(
+            fault.error,
+            SessionError::Device(DeviceError::TooManySessions)
+        );
+        assert_eq!(fault.get_retries, 0);
+    }
+
+    #[test]
+    fn backoff_steps_double_and_cap() {
+        let driver = SessionDriver::new(SessionPolicy {
+            poll_backoff: SimTime::from_nanos(4),
+            backoff_cap: SimTime::from_nanos(10),
+            ..SessionPolicy::default()
+        });
+        assert_eq!(driver.backoff_step(0), SimTime::from_nanos(4));
+        assert_eq!(driver.backoff_step(1), SimTime::from_nanos(8));
+        assert_eq!(driver.backoff_step(2), SimTime::from_nanos(10)); // capped
+        assert_eq!(driver.backoff_step(63), SimTime::from_nanos(10));
+    }
+}

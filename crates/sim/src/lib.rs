@@ -32,7 +32,7 @@ pub mod timeline;
 pub use bus::Bus;
 pub use cpu::CpuModel;
 pub use energy::{EnergyBreakdown, PowerModel};
-pub use report::UtilizationReport;
+pub use report::{FaultCounters, UtilizationReport};
 pub use time::SimTime;
 pub use timeline::{Interval, Timeline};
 

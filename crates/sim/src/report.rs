@@ -1,8 +1,95 @@
-//! Run-level utilization reporting.
+//! Run-level utilization and fault reporting.
 
 use crate::time::SimTime;
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// End-to-end fault observability for one run: every recovery action taken
+/// between the NAND cells and the query result, so a "clean" figure can be
+/// distinguished from one that silently absorbed retries.
+///
+/// Counters are additive across layers — the flash emulator contributes the
+/// ECC events, the device/host read paths contribute re-reads and detected
+/// escapes, the session driver contributes `GET` retries, and the system
+/// façade contributes fallbacks and the simulated time wasted on failed
+/// device attempts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Correctable read errors recovered by the device's own ECC re-read.
+    pub ecc_retries: u64,
+    /// Uncorrectable read errors surfaced past the device ECC.
+    pub ecc_failures: u64,
+    /// Silent corruptions (ECC escapes) caught by a consumer's page
+    /// checksum after the fact.
+    pub escapes_detected: u64,
+    /// Page re-reads issued by the device firmware or host driver to
+    /// recover from a surfaced error or a detected escape.
+    pub read_retries: u64,
+    /// `GET` polls the session driver had to repeat before a batch arrived.
+    pub get_retries: u64,
+    /// Device-route runs that degraded to host-side execution.
+    pub fallbacks: u64,
+    /// Simulated time burned on failed device attempts before a fallback,
+    /// in nanoseconds.
+    pub wasted_ns: u64,
+}
+
+impl FaultCounters {
+    /// Accumulates another layer's counters into this one.
+    pub fn absorb(&mut self, other: &FaultCounters) {
+        self.ecc_retries += other.ecc_retries;
+        self.ecc_failures += other.ecc_failures;
+        self.escapes_detected += other.escapes_detected;
+        self.read_retries += other.read_retries;
+        self.get_retries += other.get_retries;
+        self.fallbacks += other.fallbacks;
+        self.wasted_ns += other.wasted_ns;
+    }
+
+    /// Whether any fault or recovery action was recorded at all.
+    pub fn any(&self) -> bool {
+        *self != FaultCounters::default()
+    }
+
+    /// Total recovery actions taken (retries of any kind plus fallbacks).
+    pub fn recoveries(&self) -> u64 {
+        self.ecc_retries + self.read_retries + self.get_retries + self.fallbacks
+    }
+
+    /// Renders the counters as a JSON object (the schema documented in
+    /// README/EXPERIMENTS: every field a non-negative integer).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"ecc_retries\": {}, \"ecc_failures\": {}, \"escapes_detected\": {}, \
+             \"read_retries\": {}, \"get_retries\": {}, \"fallbacks\": {}, \
+             \"wasted_ns\": {}}}",
+            self.ecc_retries,
+            self.ecc_failures,
+            self.escapes_detected,
+            self.read_retries,
+            self.get_retries,
+            self.fallbacks,
+            self.wasted_ns
+        )
+    }
+}
+
+impl fmt::Display for FaultCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ecc retries {}, ecc failures {}, escapes detected {}, read retries {}, \
+             get retries {}, fallbacks {}, wasted {}",
+            self.ecc_retries,
+            self.ecc_failures,
+            self.escapes_detected,
+            self.read_retries,
+            self.get_retries,
+            self.fallbacks,
+            SimTime::from_nanos(self.wasted_ns)
+        )
+    }
+}
 
 /// Per-component utilization summary for one simulated run.
 ///

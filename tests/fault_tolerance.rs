@@ -1,0 +1,232 @@
+//! Differential fault-injection tests.
+//!
+//! The contract of the recovery machinery (device `read_page`, host
+//! `read_via_link`, and the query-layer `SessionDriver`): injected flash
+//! faults may cost *simulated time*, and are counted in [`FaultCounters`],
+//! but they never change query answers and never break determinism.
+
+use proptest::prelude::*;
+use smartssd::{DeviceKind, Layout, Route, RunReport, System, SystemConfig};
+use smartssd_exec::spec::ScanAggSpec;
+use smartssd_flash::FlashConfig;
+use smartssd_query::{Finalize, OpTemplate, Query};
+use smartssd_sim::SimTime;
+use smartssd_storage::expr::{AggSpec, Expr, Pred};
+use smartssd_storage::{DataType, Datum, Schema, Tuple};
+use std::sync::Arc;
+
+const N_ROWS: i32 = 20_000;
+
+fn small_schema() -> Arc<Schema> {
+    Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)])
+}
+
+fn rows(n: i32) -> impl Iterator<Item = Tuple> {
+    (0..n).map(|k| vec![Datum::I32(k), Datum::I64(k as i64)])
+}
+
+fn sum_query() -> Query {
+    Query {
+        name: "fault sum".into(),
+        op: OpTemplate::ScanAgg {
+            table: "t".into(),
+            spec: ScanAggSpec {
+                pred: Pred::Const(true),
+                aggs: vec![AggSpec::sum(Expr::col(1)), AggSpec::count()],
+            },
+        },
+        finalize: Finalize::AggRow,
+    }
+}
+
+/// Builds the standard single-table system with the given flash fault
+/// rates, applies `tweak` to the config, and runs the sum query on `route`.
+fn run_case(
+    flash: FlashConfig,
+    route: Route,
+    tweak: impl FnOnce(&mut SystemConfig),
+) -> Result<RunReport, smartssd::RunError> {
+    let mut cfg = SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax);
+    cfg.flash = flash;
+    tweak(&mut cfg);
+    let mut sys = System::new(cfg);
+    sys.load_table_rows("t", &small_schema(), rows(N_ROWS))
+        .unwrap();
+    sys.finish_load();
+    sys.run_routed(&sum_query(), route)
+}
+
+fn expected_sum() -> i128 {
+    (0..N_ROWS as i128).sum()
+}
+
+/// Shared assertion for both read paths (device `read_page` under
+/// `Route::Device`, host `read_via_link` under `Route::Host`): when every
+/// read suffers one recoverable uncorrectable error, the retries are posted
+/// at the failed reads' completion times, so recovery shows up as strictly
+/// more simulated elapsed time — never as a changed answer.
+fn assert_recovery_is_charged(route: Route) {
+    let clean = run_case(FlashConfig::default(), route, |_| {}).unwrap();
+    let faulty = run_case(
+        FlashConfig {
+            ecc_fail_rate: u32::MAX,
+            ..FlashConfig::default()
+        },
+        route,
+        |_| {},
+    )
+    .unwrap();
+    assert_eq!(clean.result.agg_values[0], expected_sum());
+    assert_eq!(
+        clean.result.agg_values, faulty.result.agg_values,
+        "route {route:?}: answers must survive injected faults"
+    );
+    assert_eq!(faulty.route, route, "retries recover in place, no fallback");
+    assert!(
+        faulty.faults.read_retries > 0,
+        "route {route:?}: retries must be counted"
+    );
+    assert!(!clean.faults.any(), "clean run must report zero faults");
+    assert!(
+        faulty.result.elapsed > clean.result.elapsed,
+        "route {route:?}: recovery must cost simulated time \
+         (clean {:?}, faulty {:?})",
+        clean.result.elapsed,
+        faulty.result.elapsed
+    );
+}
+
+#[test]
+fn device_read_retries_are_charged_at_failure_time() {
+    assert_recovery_is_charged(Route::Device);
+}
+
+#[test]
+fn host_read_retries_are_charged_at_failure_time() {
+    assert_recovery_is_charged(Route::Host);
+}
+
+#[test]
+fn retry_exhaustion_falls_back_to_host() {
+    // A zero retry budget turns the first uncorrectable error into
+    // `RetriesExhausted`; the session driver closes the session and the
+    // system transparently re-runs on the host (whose own retry budget is
+    // fixed and nonzero, so it succeeds).
+    let faulty = FlashConfig {
+        ecc_fail_rate: u32::MAX,
+        ..FlashConfig::default()
+    };
+    let r = run_case(faulty.clone(), Route::Device, |cfg| {
+        cfg.smart.read_retry_limit = 0;
+    })
+    .unwrap();
+    assert_eq!(r.route, Route::Host, "run must degrade to the host");
+    assert_eq!(r.result.agg_values[0], expected_sum());
+    assert_eq!(r.faults.fallbacks, 1);
+    assert!(
+        r.faults.wasted_ns > 0,
+        "the failed device attempt cost time"
+    );
+
+    // With `carry_wasted_time`, the wasted device time is added to the
+    // fallback run's elapsed instead of being silently discarded.
+    let carried = run_case(faulty, Route::Device, |cfg| {
+        cfg.smart.read_retry_limit = 0;
+        cfg.session_policy.carry_wasted_time = true;
+    })
+    .unwrap();
+    assert_eq!(carried.route, Route::Host);
+    assert_eq!(carried.result.agg_values, r.result.agg_values);
+    assert_eq!(
+        carried.result.elapsed,
+        r.result.elapsed + SimTime::from_nanos(r.faults.wasted_ns),
+        "carried elapsed = plain fallback elapsed + wasted device time"
+    );
+}
+
+#[test]
+fn session_timeout_falls_back_to_host() {
+    let r = run_case(FlashConfig::default(), Route::Device, |cfg| {
+        cfg.session_policy.session_timeout = SimTime::from_nanos(1);
+    })
+    .unwrap();
+    assert_eq!(r.route, Route::Host);
+    assert_eq!(r.result.agg_values[0], expected_sum());
+    assert_eq!(r.faults.fallbacks, 1);
+}
+
+#[test]
+fn fault_counters_json_has_every_field() {
+    let faulty = FlashConfig {
+        silent_corruption_rate: u32::MAX / 8,
+        ..FlashConfig::default()
+    };
+    let r = run_case(faulty, Route::Device, |_| {}).unwrap();
+    assert!(r.faults.escapes_detected > 0);
+    let json = r.faults.to_json();
+    for key in [
+        "ecc_retries",
+        "ecc_failures",
+        "escapes_detected",
+        "read_retries",
+        "get_retries",
+        "fallbacks",
+        "wasted_ns",
+    ] {
+        assert!(
+            json.contains(&format!("\"{key}\": ")),
+            "missing {key}: {json}"
+        );
+    }
+    assert!(json.contains(&format!(
+        "\"escapes_detected\": {}",
+        r.faults.escapes_detected
+    )));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Under *any* injected fault rates, on either route: answers are
+    /// bit-identical to a fault-free run, execution is deterministic
+    /// (identically-built systems agree on elapsed time and counters), and
+    /// recovery never makes the run faster than the clean one.
+    #[test]
+    fn faults_never_change_answers(
+        ecc_retry_rate in prop_oneof![Just(0u32), any::<u32>()],
+        ecc_fail_rate in prop_oneof![Just(0u32), Just(u32::MAX), any::<u32>()],
+        silent_corruption_rate in prop_oneof![Just(0u32), any::<u32>()],
+        device_route in any::<bool>(),
+    ) {
+        let route = if device_route { Route::Device } else { Route::Host };
+        let faulty_cfg = FlashConfig {
+            ecc_retry_rate,
+            ecc_fail_rate,
+            silent_corruption_rate,
+            ..FlashConfig::default()
+        };
+        let clean = run_case(FlashConfig::default(), route, |_| {}).unwrap();
+        let a = run_case(faulty_cfg.clone(), route, |_| {}).unwrap();
+        let b = run_case(faulty_cfg, route, |_| {}).unwrap();
+
+        // Answers: bit-identical to the fault-free run.
+        prop_assert_eq!(&a.result.rows, &clean.result.rows);
+        prop_assert_eq!(&a.result.agg_values, &clean.result.agg_values);
+        prop_assert_eq!(a.result.agg_values[0], expected_sum());
+
+        // Determinism: two identically-built systems agree exactly.
+        prop_assert_eq!(a.result.elapsed, b.result.elapsed);
+        prop_assert_eq!(a.faults, b.faults);
+        prop_assert_eq!(a.route, b.route);
+
+        // Recovery costs time (or nothing, when a sparse retry hides in
+        // the slack of a non-critical resource) — it never saves time.
+        prop_assert!(a.result.elapsed >= clean.result.elapsed);
+        // At saturation every read fails once; that much recovery cannot
+        // hide in resource slack on either route.
+        if ecc_fail_rate == u32::MAX {
+            prop_assert!(a.faults.read_retries > 0);
+            prop_assert!(a.result.elapsed > clean.result.elapsed);
+        }
+    }
+}

@@ -272,3 +272,146 @@ fn silent_corruption_is_caught_and_retried_on_both_routes() {
         assert_eq!(r.result.agg_values[1], 40_000);
     }
 }
+
+#[test]
+fn open_rejects_when_all_session_slots_taken() {
+    // The paper's device grants one thread per session; an OPEN beyond the
+    // thread pool must fail crisply and a CLOSE must free the slot.
+    let mut dev = SmartSsd::new(
+        FlashConfig::default(),
+        DeviceConfig {
+            max_sessions: 2,
+            ..DeviceConfig::default()
+        },
+    );
+    let mut b = smartssd_storage::TableBuilder::new("t", small_schema(), Layout::Pax);
+    b.extend(rows(1_000));
+    let tref = dev.load_table(&b.finish(), 0).unwrap();
+    dev.reset_timing();
+    let op = QueryOp::ScanAgg {
+        table: tref,
+        spec: ScanAggSpec {
+            pred: Pred::Const(true),
+            aggs: vec![AggSpec::count()],
+        },
+    };
+    let s1 = dev.open(&op, SimTime::ZERO).unwrap();
+    let s2 = dev.open(&op, SimTime::ZERO).unwrap();
+    assert_eq!(
+        dev.open(&op, SimTime::ZERO).unwrap_err(),
+        DeviceError::TooManySessions
+    );
+    dev.close(s1).unwrap();
+    // A freed slot is immediately reusable.
+    let s3 = dev.open(&op, SimTime::ZERO).unwrap();
+    dev.close(s2).unwrap();
+    dev.close(s3).unwrap();
+}
+
+#[test]
+fn get_and_close_on_unknown_or_closed_sessions() {
+    let (mut dev, tref) = loaded_device();
+    let op = QueryOp::ScanAgg {
+        table: tref,
+        spec: ScanAggSpec {
+            pred: Pred::Const(true),
+            aggs: vec![AggSpec::count()],
+        },
+    };
+    // A session id the device never issued.
+    let bogus = smartssd_device::SessionId(7_777);
+    assert_eq!(
+        dev.get(bogus, SimTime::ZERO).unwrap_err(),
+        DeviceError::UnknownSession(7_777)
+    );
+    assert_eq!(
+        dev.close(bogus).unwrap_err(),
+        DeviceError::UnknownSession(7_777)
+    );
+    // Double CLOSE: the second one targets a dead id.
+    let sid = dev.open(&op, SimTime::ZERO).unwrap();
+    dev.close(sid).unwrap();
+    assert_eq!(
+        dev.close(sid).unwrap_err(),
+        DeviceError::UnknownSession(sid.0)
+    );
+    // GET on the closed session is equally dead — the host must not be
+    // able to confuse it with an idempotent post-Done poll.
+    assert_eq!(
+        dev.get(sid, SimTime::ZERO).unwrap_err(),
+        DeviceError::UnknownSession(sid.0)
+    );
+}
+
+#[test]
+fn get_after_done_stays_done_until_close() {
+    let (mut dev, tref) = loaded_device();
+    let op = QueryOp::ScanAgg {
+        table: tref,
+        spec: ScanAggSpec {
+            pred: Pred::Const(true),
+            aggs: vec![AggSpec::count()],
+        },
+    };
+    let sid = dev.open(&op, SimTime::ZERO).unwrap();
+    let t = SimTime::from_secs(100);
+    assert!(matches!(dev.get(sid, t).unwrap(), GetResponse::Batch(_)));
+    // Done is idempotent for as long as the session stays open.
+    for _ in 0..3 {
+        assert!(matches!(dev.get(sid, t).unwrap(), GetResponse::Done));
+    }
+    dev.close(sid).unwrap();
+    assert_eq!(
+        dev.get(sid, t).unwrap_err(),
+        DeviceError::UnknownSession(sid.0)
+    );
+}
+
+#[test]
+fn retry_exhaustion_surfaces_as_typed_error_not_panic() {
+    // With a zero retry budget every injected uncorrectable error becomes
+    // `RetriesExhausted` carrying the failure's LBA, budget, and completion
+    // time — the host-visible contract the fallback path is built on.
+    let mut dev = SmartSsd::new(
+        FlashConfig {
+            ecc_fail_rate: u32::MAX,
+            ..FlashConfig::default()
+        },
+        DeviceConfig {
+            read_retry_limit: 0,
+            ..DeviceConfig::default()
+        },
+    );
+    let mut b = smartssd_storage::TableBuilder::new("t", small_schema(), Layout::Pax);
+    b.extend(rows(1_000));
+    let tref = dev.load_table(&b.finish(), 0).unwrap();
+    dev.reset_timing();
+    let op = QueryOp::ScanAgg {
+        table: tref,
+        spec: ScanAggSpec {
+            pred: Pred::Const(true),
+            aggs: vec![AggSpec::count()],
+        },
+    };
+    // The device schedules the scan eagerly, so the exhausted retry budget
+    // surfaces at OPEN already — typed, not a panic.
+    let err = dev.open(&op, SimTime::ZERO).unwrap_err();
+    match err {
+        DeviceError::RetriesExhausted {
+            attempts,
+            at,
+            cause,
+            ..
+        } => {
+            assert_eq!(attempts, 0);
+            assert!(at > SimTime::ZERO, "failure time must be charged");
+            assert!(matches!(
+                *cause,
+                DeviceError::Flash(smartssd_flash::FlashError::Uncorrectable { .. })
+            ));
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+    // The failed OPEN left no session behind; all slots stay available.
+    assert!(dev.session_work(smartssd_device::SessionId(0)).is_none());
+}
