@@ -9,7 +9,7 @@
 //! itself are caught.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use smartssd::{DeviceKind, Layout};
+use smartssd::{DeviceKind, Layout, RunOptions};
 use smartssd_bench::{synth_system, tab2, tpch_system, Scales};
 use smartssd_workload::{join_query, q14, q6};
 
@@ -41,7 +41,7 @@ fn bench_fig3(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| {
                 sys.clear_cache();
-                sys.run(&query).expect("q6")
+                sys.run(&query, RunOptions::default()).expect("q6")
             })
         });
     }
@@ -63,7 +63,7 @@ fn bench_fig7(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| {
                 sys.clear_cache();
-                sys.run(&query).expect("q14")
+                sys.run(&query, RunOptions::default()).expect("q14")
             })
         });
     }
@@ -81,14 +81,14 @@ fn bench_fig5(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("ssd", format!("sel{sel}")), |b| {
             b.iter(|| {
                 ssd.clear_cache();
-                ssd.run(&query).expect("join")
+                ssd.run(&query, RunOptions::default()).expect("join")
             })
         });
         let mut smart = synth_system(DeviceKind::SmartSsd, Layout::Pax, &s);
         group.bench_function(BenchmarkId::new("smart_pax", format!("sel{sel}")), |b| {
             b.iter(|| {
                 smart.clear_cache();
-                smart.run(&query).expect("join")
+                smart.run(&query, RunOptions::default()).expect("join")
             })
         });
     }
@@ -110,7 +110,7 @@ fn bench_tab3(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| {
                 sys.clear_cache();
-                let r = sys.run(&query).expect("q6");
+                let r = sys.run(&query, RunOptions::default()).expect("q6");
                 r.energy.system_kj()
             })
         });

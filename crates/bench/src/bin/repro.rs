@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--quick] [fig1|tab2|fig3|fig5|fig7|tab3|plans|scan-sweep|array|cache|
 //!                  device-scaling|interface|concurrent|host-parallel|q1|kernels|
-//!                  faults|all]
+//!                  faults|trace|all]
 //!
 //! `kernels` wall-clock-times the vectorized scan kernels against the
 //! tuple-at-a-time reference implementations and writes the results to
@@ -13,6 +13,13 @@
 //! `faults` (not part of `all`, so clean reproduction output stays
 //! bit-identical) runs Q6 pushdown under injected flash-fault rates and
 //! writes the per-scenario `FaultCounters` to `BENCH_faults.json`.
+//!
+//! `trace` (not part of `all`, for the same reason) runs Q6 on the Smart
+//! SSD twice — forced onto the device route and onto the host route — with
+//! the simulated-time tracer attached, and writes one Chrome `trace_event`
+//! file per run (`trace_<query>_<route>.json`, open in Perfetto or
+//! `chrome://tracing`) plus `BENCH_trace.json` with per-resource busy
+//! fractions.
 //! ```
 //!
 //! Elapsed times are simulated; "projected" columns rescale them to the
@@ -21,8 +28,8 @@
 
 use smartssd_bench::{
     array_exp, cache_exp, concurrent_exp, device_scaling_exp, fault_injection_exp, fig1, fig3,
-    fig5, fig7, host_parallel_exp, interface_exp, plans, q1_exp, scan_sweep_exp, tab2, tab3, Bars,
-    Scales,
+    fig5, fig7, host_parallel_exp, interface_exp, plans, q1_exp, scan_sweep_exp, tab2, tab3,
+    trace_exp, Bars, Scales,
 };
 
 fn print_bars(title: &str, bars: &Bars, projection: f64, paper_speedup: f64) {
@@ -440,6 +447,51 @@ fn run_faults(s: &Scales) {
     println!();
 }
 
+fn run_trace(s: &Scales) {
+    println!("== Observability: traced Q6 run pair (device vs host route) ==");
+    println!("  route    elapsed[s]   trace file");
+    let points = trace_exp(s);
+    let mut entries = String::new();
+    for p in &points {
+        let route = format!("{:?}", p.route).to_lowercase();
+        let slug: String = p
+            .query
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        let file = format!("trace_{slug}_{route}.json");
+        std::fs::write(&file, &p.chrome_json).unwrap_or_else(|e| panic!("write {file}: {e}"));
+        println!("  {:<7}  {:>9.3}   {file}", route, p.elapsed_secs);
+        let mut busy = String::new();
+        for (name, frac) in &p.busy_fractions {
+            if !busy.is_empty() {
+                busy.push_str(", ");
+            }
+            busy.push_str(&format!("\"{name}\": {frac:.6}"));
+        }
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"query\": \"{}\", \"route\": \"{route}\", \"elapsed_secs\": {:.9}, \
+             \"trace_file\": \"{file}\", \"busy_fractions\": {{{busy}}}}}",
+            p.query, p.elapsed_secs
+        ));
+    }
+    let json =
+        format!("{{\n  \"generated_by\": \"repro trace\",\n  \"runs\": [\n{entries}\n  ]\n}}\n");
+    std::fs::write("BENCH_trace.json", json).expect("write BENCH_trace.json");
+    println!("  (per-resource busy fractions in BENCH_trace.json; open the trace");
+    println!("   files in https://ui.perfetto.dev or chrome://tracing)");
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -516,5 +568,8 @@ fn main() {
     }
     if what == "faults" {
         run_faults(&s);
+    }
+    if what == "trace" {
+        run_trace(&s);
     }
 }

@@ -1,9 +1,12 @@
 //! One function per paper artifact.
 
 use crate::scale::Scales;
-use smartssd::{DeviceKind, RunReport, System, SystemConfig};
+use smartssd::{
+    ChromeTraceSink, CounterSink, DeviceKind, RunError, RunOptions, RunReport, System,
+    SystemBuilder, SystemConfig, TraceSink,
+};
 use smartssd_host::interface::{roadmap, RoadmapPoint};
-use smartssd_query::{PlannerConfig, PlannerInputs, Query, Route, SessionFault};
+use smartssd_query::{PlannerConfig, PlannerInputs, Query, Route};
 use smartssd_sim::SimTime;
 use smartssd_storage::{Layout, PAGE_SIZE};
 use smartssd_workload::{
@@ -11,9 +14,8 @@ use smartssd_workload::{
     tpch,
 };
 
-/// Builds a system with LINEITEM (and PART) loaded, cold.
-pub fn tpch_system(kind: DeviceKind, layout: Layout, s: &Scales) -> System {
-    let mut sys = System::new(SystemConfig::new(kind, layout));
+/// Loads LINEITEM and PART into a freshly built system, cold.
+fn load_tpch(mut sys: System, s: &Scales) -> System {
     sys.load_table_rows(
         queries::LINEITEM,
         &tpch::lineitem_schema(),
@@ -30,9 +32,24 @@ pub fn tpch_system(kind: DeviceKind, layout: Layout, s: &Scales) -> System {
     sys
 }
 
+/// Builds a system with LINEITEM (and PART) loaded, cold.
+pub fn tpch_system(kind: DeviceKind, layout: Layout, s: &Scales) -> System {
+    load_tpch(SystemBuilder::new(kind, layout).build(), s)
+}
+
+/// [`tpch_system`] with a trace sink attached at build time.
+pub fn tpch_system_traced(
+    kind: DeviceKind,
+    layout: Layout,
+    s: &Scales,
+    sink: impl TraceSink + 'static,
+) -> System {
+    load_tpch(SystemBuilder::new(kind, layout).trace(sink).build(), s)
+}
+
 /// Builds a system with the synthetic join tables loaded, cold.
 pub fn synth_system(kind: DeviceKind, layout: Layout, s: &Scales) -> System {
-    let mut sys = System::new(SystemConfig::new(kind, layout));
+    let mut sys = SystemBuilder::new(kind, layout).build();
     sys.load_table_rows(
         queries::SYNTH_R,
         &synthetic_schema(),
@@ -151,11 +168,15 @@ where
     F: Fn(DeviceKind, Layout) -> System,
 {
     let mut ssd_sys = build(DeviceKind::Ssd, Layout::Nsm);
-    let ssd = ssd_sys.run(query).expect("ssd run");
+    let ssd = ssd_sys.run(query, RunOptions::default()).expect("ssd run");
     let mut nsm_sys = build(DeviceKind::SmartSsd, Layout::Nsm);
-    let smart_nsm = nsm_sys.run(query).expect("smart nsm run");
+    let smart_nsm = nsm_sys
+        .run(query, RunOptions::default())
+        .expect("smart nsm run");
     let mut pax_sys = build(DeviceKind::SmartSsd, Layout::Pax);
-    let smart_pax = pax_sys.run(query).expect("smart pax run");
+    let smart_pax = pax_sys
+        .run(query, RunOptions::default())
+        .expect("smart pax run");
     Bars {
         ssd,
         smart_nsm,
@@ -201,9 +222,9 @@ pub fn fig5(s: &Scales, selectivities: &[f64]) -> Vec<Fig5Point> {
             Fig5Point {
                 selectivity: sel,
                 bars: Bars {
-                    ssd: ssd_sys.run(&query).expect("ssd run"),
-                    smart_nsm: nsm_sys.run(&query).expect("nsm run"),
-                    smart_pax: pax_sys.run(&query).expect("pax run"),
+                    ssd: ssd_sys.run(&query, RunOptions::default()).expect("ssd run"),
+                    smart_nsm: nsm_sys.run(&query, RunOptions::default()).expect("nsm run"),
+                    smart_pax: pax_sys.run(&query, RunOptions::default()).expect("pax run"),
                 },
             }
         })
@@ -235,7 +256,7 @@ pub fn tab3(s: &Scales) -> Vec<Tab3Row> {
             let mut sys = tpch_system(kind, layout, s);
             Tab3Row {
                 config: label.into(),
-                report: sys.run(&query).expect("tab3 run"),
+                report: sys.run(&query, RunOptions::default()).expect("tab3 run"),
             }
         })
         .collect()
@@ -262,7 +283,7 @@ pub struct ScanSweepPoint {
     pub bars: Bars,
 }
 
-/// The companion paper [7]'s single-table-scan sweeps: selectivity x
+/// The companion paper \[7\]'s single-table-scan sweeps: selectivity x
 /// {row-returning, aggregating}.
 pub fn scan_sweep_exp(s: &Scales, selectivities: &[f64]) -> Vec<ScanSweepPoint> {
     let mut out = Vec::new();
@@ -279,9 +300,9 @@ pub fn scan_sweep_exp(s: &Scales, selectivities: &[f64]) -> Vec<ScanSweepPoint> 
                 selectivity: sel,
                 with_agg,
                 bars: Bars {
-                    ssd: ssd_sys.run(&query).expect("ssd"),
-                    smart_nsm: nsm_sys.run(&query).expect("nsm"),
-                    smart_pax: pax_sys.run(&query).expect("pax"),
+                    ssd: ssd_sys.run(&query, RunOptions::default()).expect("ssd"),
+                    smart_nsm: nsm_sys.run(&query, RunOptions::default()).expect("nsm"),
+                    smart_pax: pax_sys.run(&query, RunOptions::default()).expect("pax"),
                 },
             });
         }
@@ -350,7 +371,7 @@ pub fn cache_exp(s: &Scales, fractions: &[f64]) -> Vec<CachePoint> {
                 ..PlannerInputs::default()
             };
             let report = sys
-                .run_with_planner(&q6(), &planner, inputs)
+                .run(&q6(), RunOptions::planned(planner.clone(), inputs))
                 .expect("cache run");
             CachePoint {
                 resident: f,
@@ -389,7 +410,11 @@ pub fn device_scaling_exp(s: &Scales) -> Vec<DeviceScalingPoint> {
     let query = q6();
     // Fixed baseline: the paper's regular SSD, host execution.
     let mut base_sys = tpch_system(DeviceKind::Ssd, Layout::Nsm, s);
-    let base = base_sys.run(&query).expect("baseline").result.elapsed;
+    let base = base_sys
+        .run(&query, RunOptions::default())
+        .expect("baseline")
+        .result
+        .elapsed;
     // (label, cores, MHz, channels, channel MB/s, dram MB/s)
     let configs: [(&'static str, usize, u64, usize, u64, u64); 5] = [
         ("paper prototype", 2, 400, 8, 400, 1_600),
@@ -401,13 +426,15 @@ pub fn device_scaling_exp(s: &Scales) -> Vec<DeviceScalingPoint> {
     configs
         .iter()
         .map(|&(label, cores, mhz, channels, ch_mbps, dram_mbps)| {
-            let mut cfg = SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax);
-            cfg.smart.cpu_cores = cores;
-            cfg.smart.cpu_hz = mhz * 1_000_000;
-            cfg.flash.channels = channels;
-            cfg.flash.channel_bw = ch_mbps * 1_000_000;
-            cfg.flash.dram_bw = dram_mbps * 1_000_000;
-            let mut sys = System::new(cfg);
+            let mut sys = SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax)
+                .tweak(|cfg| {
+                    cfg.smart.cpu_cores = cores;
+                    cfg.smart.cpu_hz = mhz * 1_000_000;
+                    cfg.flash.channels = channels;
+                    cfg.flash.channel_bw = ch_mbps * 1_000_000;
+                    cfg.flash.dram_bw = dram_mbps * 1_000_000;
+                })
+                .build();
             sys.load_table_rows(
                 queries::LINEITEM,
                 &tpch::lineitem_schema(),
@@ -415,7 +442,11 @@ pub fn device_scaling_exp(s: &Scales) -> Vec<DeviceScalingPoint> {
             )
             .expect("load");
             sys.finish_load();
-            let elapsed = sys.run(&query).expect("smart").result.elapsed;
+            let elapsed = sys
+                .run(&query, RunOptions::default())
+                .expect("smart")
+                .result
+                .elapsed;
             DeviceScalingPoint {
                 label,
                 cores,
@@ -465,9 +496,9 @@ pub fn interface_exp(s: &Scales) -> Vec<InterfacePoint> {
     .iter()
     .map(|&interface| {
         let build = |kind: DeviceKind, layout: Layout| {
-            let mut cfg = SystemConfig::new(kind, layout);
-            cfg.interface = interface;
-            let mut sys = System::new(cfg);
+            let mut sys = SystemBuilder::new(kind, layout)
+                .interface(interface)
+                .build();
             sys.load_table_rows(
                 queries::SYNTH_R,
                 &synthetic_schema(),
@@ -487,9 +518,14 @@ pub fn interface_exp(s: &Scales) -> Vec<InterfacePoint> {
         let mut smart = build(DeviceKind::SmartSsd, Layout::Pax);
         InterfacePoint {
             interface,
-            ssd_secs: ssd.run(&query).expect("ssd").result.elapsed.as_secs_f64(),
+            ssd_secs: ssd
+                .run(&query, RunOptions::default())
+                .expect("ssd")
+                .result
+                .elapsed
+                .as_secs_f64(),
             smart_secs: smart
-                .run(&query)
+                .run(&query, RunOptions::default())
                 .expect("smart")
                 .result
                 .elapsed
@@ -514,14 +550,14 @@ pub struct ConcurrencyPoint {
 /// research-opportunities list (Section 5). N identical Q6 sessions open
 /// simultaneously on one device and share its CPU and flash path.
 ///
-/// Sessions run through the fault-tolerant [`SessionDriver`], so an
-/// injected device fault propagates as a [`SessionFault`] report instead
-/// of crashing the experiment.
+/// Sessions run through the fault-tolerant
+/// [`smartssd_query::SessionDriver`], so an injected device fault
+/// propagates as a [`RunError`] instead of crashing the experiment.
 pub fn concurrent_exp(
     s: &Scales,
     session_counts: &[usize],
-) -> Result<Vec<ConcurrencyPoint>, SessionFault> {
-    use smartssd_query::{SessionDriver, SessionError};
+) -> Result<Vec<ConcurrencyPoint>, RunError> {
+    use smartssd_query::SessionDriver;
     use smartssd_workload::tpch::lineitem_schema;
     let driver = SessionDriver::default();
     let mut single = None;
@@ -538,11 +574,7 @@ pub fn concurrent_exp(
         let mut b = smartssd_storage::TableBuilder::new("lineitem", lineitem_schema(), Layout::Pax);
         b.extend(tpch::lineitem_rows(s.tpch_sf, s.seed));
         let img = b.finish();
-        let tref = dev.load_table(&img, 0).map_err(|e| SessionFault {
-            error: SessionError::Device(e),
-            wasted: SimTime::ZERO,
-            get_retries: 0,
-        })?;
+        let tref = dev.load_table(&img, 0).map_err(RunError::from)?;
         dev.reset_timing();
         let mut catalog = smartssd_query::Catalog::new();
         catalog.register(queries::LINEITEM, tref);
@@ -585,16 +617,16 @@ pub fn host_parallel_exp(s: &Scales, dops: &[usize]) -> Vec<HostParallelPoint> {
     // Fixed pushdown reference.
     let mut smart = tpch_system(DeviceKind::SmartSsd, Layout::Pax, s);
     let smart_secs = smart
-        .run(&q6())
+        .run(&q6(), RunOptions::default())
         .expect("smart q6")
         .result
         .elapsed
         .as_secs_f64();
     dops.iter()
         .map(|&dop| {
-            let mut cfg = SystemConfig::new(DeviceKind::Ssd, Layout::Nsm);
-            cfg.host_dop = dop;
-            let mut sys = System::new(cfg);
+            let mut sys = SystemBuilder::new(DeviceKind::Ssd, Layout::Nsm)
+                .host_dop(dop)
+                .build();
             sys.load_table_rows(
                 queries::LINEITEM,
                 &tpch::lineitem_schema(),
@@ -603,7 +635,7 @@ pub fn host_parallel_exp(s: &Scales, dops: &[usize]) -> Vec<HostParallelPoint> {
             .expect("load");
             sys.finish_load();
             let ssd_secs = sys
-                .run(&q6())
+                .run(&q6(), RunOptions::default())
                 .expect("host q6")
                 .result
                 .elapsed
@@ -637,15 +669,17 @@ pub struct Q1Result {
 pub fn q1_exp(s: &Scales) -> Q1Result {
     let query = q1();
     let mut ssd = tpch_system(DeviceKind::Ssd, Layout::Nsm, s);
-    let host = ssd.run(&query).expect("ssd q1");
+    let host = ssd.run(&query, RunOptions::default()).expect("ssd q1");
     let mut smart = tpch_system(DeviceKind::SmartSsd, Layout::Pax, s);
-    let dev = smart.run(&query).expect("smart q1");
-    let mut cfg = SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax);
-    cfg.smart.cpu_cores = 8;
-    cfg.smart.cpu_hz = 1_000_000_000;
-    cfg.flash.channels = 16;
-    cfg.flash.dram_bw = 6_400_000_000;
-    let mut big = System::new(cfg);
+    let dev = smart.run(&query, RunOptions::default()).expect("smart q1");
+    let mut big = SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax)
+        .tweak(|cfg| {
+            cfg.smart.cpu_cores = 8;
+            cfg.smart.cpu_hz = 1_000_000_000;
+            cfg.flash.channels = 16;
+            cfg.flash.dram_bw = 6_400_000_000;
+        })
+        .build();
     big.load_table_rows(
         queries::LINEITEM,
         &tpch::lineitem_schema(),
@@ -653,7 +687,7 @@ pub fn q1_exp(s: &Scales) -> Q1Result {
     )
     .expect("load");
     big.finish_load();
-    let scaled = big.run(&query).expect("scaled q1");
+    let scaled = big.run(&query, RunOptions::default()).expect("scaled q1");
     Q1Result {
         ssd_secs: host.result.elapsed.as_secs_f64(),
         smart_secs: dev.result.elapsed.as_secs_f64(),
@@ -697,10 +731,9 @@ pub fn fault_injection_exp(s: &Scales) -> Vec<FaultPoint> {
     SCENARIOS
         .iter()
         .map(|&(label, ecc_retry_rate, silent_corruption_rate)| {
-            let mut cfg = SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax);
-            cfg.flash.ecc_retry_rate = ecc_retry_rate;
-            cfg.flash.silent_corruption_rate = silent_corruption_rate;
-            let mut sys = System::new(cfg);
+            let mut sys = SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax)
+                .fault_rates(ecc_retry_rate, 0, silent_corruption_rate)
+                .build();
             sys.load_table_rows(
                 queries::LINEITEM,
                 &tpch::lineitem_schema(),
@@ -708,7 +741,9 @@ pub fn fault_injection_exp(s: &Scales) -> Vec<FaultPoint> {
             )
             .expect("load lineitem");
             sys.finish_load();
-            let rep = sys.run(&query).expect("q6 under injected faults");
+            let rep = sys
+                .run(&query, RunOptions::default())
+                .expect("q6 under injected faults");
             let answer = (rep.result.rows.clone(), rep.result.agg_values.clone());
             let baseline = clean.get_or_insert_with(|| answer.clone());
             FaultPoint {
@@ -719,6 +754,71 @@ pub fn fault_injection_exp(s: &Scales) -> Vec<FaultPoint> {
                 elapsed_secs: rep.result.elapsed.as_secs_f64(),
                 matches_clean: answer == *baseline,
                 faults: rep.faults,
+            }
+        })
+        .collect()
+}
+
+/// One route of the trace experiment: the same query on the host or device
+/// path, with the full simulated-time trace captured.
+#[derive(Debug, Clone)]
+pub struct TracePoint {
+    /// Query name.
+    pub query: String,
+    /// Route this run was forced onto.
+    pub route: Route,
+    /// Simulated elapsed seconds.
+    pub elapsed_secs: f64,
+    /// Chrome `trace_event` JSON for the run (one pid per subsystem, one
+    /// tid per channel/core). Open in Perfetto or `chrome://tracing`.
+    pub chrome_json: String,
+    /// Per-resource busy fraction (busy-ns over elapsed-ns), sorted by
+    /// resource name. Fed by the same occupancy intervals as the trace.
+    pub busy_fractions: Vec<(String, f64)>,
+}
+
+/// Traced run pair: Q6 on the Smart SSD (PAX), once forced onto the device
+/// route and once onto the host route. Each route runs twice — once under a
+/// [`ChromeTraceSink`] for the timeline and once under a [`CounterSink`]
+/// for the busy-ns totals; the simulation is deterministic, so both runs
+/// see identical timing.
+pub fn trace_exp(s: &Scales) -> Vec<TracePoint> {
+    let query = q6();
+    [Route::Device, Route::Host]
+        .iter()
+        .map(|&route| {
+            let mut sys =
+                tpch_system_traced(DeviceKind::SmartSsd, Layout::Pax, s, ChromeTraceSink::new());
+            let rep = sys
+                .run(&query, RunOptions::routed(route))
+                .expect("traced run");
+            let chrome_json = rep
+                .trace
+                .chrome_json()
+                .expect("chrome sink yields json")
+                .to_string();
+            let mut counted =
+                tpch_system_traced(DeviceKind::SmartSsd, Layout::Pax, s, CounterSink::new());
+            let crep = counted
+                .run(&query, RunOptions::routed(route))
+                .expect("counted run");
+            assert_eq!(
+                rep.result.elapsed, crep.result.elapsed,
+                "deterministic sim: sink choice must not change timing"
+            );
+            let elapsed_ns = crep.result.elapsed.as_nanos();
+            let snap = crep.trace.counters().expect("counter sink yields metrics");
+            let busy_fractions = snap
+                .busy_ns
+                .iter()
+                .map(|(name, &ns)| (name.clone(), ns as f64 / elapsed_ns as f64))
+                .collect();
+            TracePoint {
+                query: query.name.clone(),
+                route,
+                elapsed_secs: rep.result.elapsed.as_secs_f64(),
+                chrome_json,
+                busy_fractions,
             }
         })
         .collect()

@@ -1,0 +1,37 @@
+//! Golden test: `repro --quick all` must stay bit-identical.
+//!
+//! The reproduction binary runs with the default no-op tracer, so the entire
+//! observability layer must not shift a single simulated nanosecond. The
+//! golden file is the seed output; regenerate it only for an intentional
+//! model change (`cargo run --bin repro -- --quick all > golden_...txt`)
+//! and say so in the commit message.
+
+use std::process::Command;
+
+#[test]
+fn repro_quick_all_is_bit_identical_to_golden() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--quick", "all"])
+        .output()
+        .expect("run repro binary");
+    assert!(
+        out.status.success(),
+        "repro exited with {:?}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let got = String::from_utf8(out.stdout).expect("repro output is UTF-8");
+    let want = include_str!("golden_repro_quick_all.txt");
+    if got != want {
+        // Pinpoint the first diverging line to make regressions readable.
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            assert_eq!(g, w, "first divergence at line {}", i + 1);
+        }
+        assert_eq!(
+            got.lines().count(),
+            want.lines().count(),
+            "line count differs"
+        );
+        panic!("output differs from golden (whitespace-only change?)");
+    }
+}

@@ -95,7 +95,7 @@ impl SmartSsdArray {
             max_pages = max_pages.max(img.num_pages() as u64);
             let tref = self.devices[d]
                 .load_table(&img, first_lba)
-                .map_err(RunError::Device)?;
+                .map_err(RunError::from)?;
             self.catalogs[d].register(name, tref);
         }
         self.next_lba = first_lba + max_pages;
@@ -140,9 +140,9 @@ impl SmartSsdArray {
         let mut merged: Option<Vec<AggState>> = None;
         let mut t = SimTime::ZERO;
         for (dev, sid) in self.devices.iter_mut().zip(sids) {
-            let sid = sid.map_err(RunError::Device)?;
+            let sid = sid.map_err(RunError::from)?;
             loop {
-                match dev.get(sid, t).map_err(RunError::Device)? {
+                match dev.get(sid, t).map_err(RunError::from)? {
                     GetResponse::Running { ready_at } => {
                         t = ready_at.max(t + SimTime::from_nanos(1));
                     }
@@ -163,7 +163,7 @@ impl SmartSsdArray {
                     GetResponse::Done => break,
                 }
             }
-            dev.close(sid).map_err(RunError::Device)?;
+            dev.close(sid).map_err(RunError::from)?;
         }
         let (agg_values, scalar) = query.finalize.apply(merged.as_deref().unwrap_or(&[]));
         Ok(QueryResult {

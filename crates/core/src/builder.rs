@@ -1,0 +1,246 @@
+//! Fluent construction of a [`System`] and the per-run options accepted by
+//! [`System::run`].
+//!
+//! [`SystemBuilder`] is the one front door for assembling a test bed: device
+//! kind, page layout, component scales, session recovery policy, injected
+//! fault rates, and — new in this layer — the trace sink that observes the
+//! run. [`RunOptions`] carries everything that varies per run: the route
+//! policy, a host degree-of-parallelism override, and the trace verbosity.
+
+use crate::config::{DeviceKind, SystemConfig};
+use crate::system::System;
+use smartssd_device::DeviceConfig;
+use smartssd_flash::FlashConfig;
+use smartssd_host::{HddConfig, InterfaceKind};
+use smartssd_query::{PlannerConfig, PlannerInputs, Route, SessionPolicy};
+use smartssd_sim::{TraceLevel, TraceSink, Tracer};
+use smartssd_storage::Layout;
+
+/// How [`System::run`] picks the execution route.
+#[derive(Debug, Clone, Default)]
+#[allow(clippy::large_enum_variant)] // Planned is rare and short-lived; boxing would clutter the API
+pub enum RoutePolicy {
+    /// The system's natural route: pushdown on a Smart SSD, host execution
+    /// otherwise.
+    #[default]
+    Natural,
+    /// Force a specific route. [`Route::Device`] requires a Smart SSD
+    /// system and still yields to the dirty-data correctness rule.
+    Force(Route),
+    /// Let the cost-based planner decide (Smart SSD systems only; others
+    /// always run on the host). Residency is measured from the live buffer
+    /// pool, overriding whatever the inputs carry.
+    Planned {
+        /// Machine description for the estimator.
+        planner: PlannerConfig,
+        /// Per-query statistics (residency is overwritten from the pool).
+        inputs: PlannerInputs,
+    },
+}
+
+/// Per-run knobs for [`System::run`]: route policy, host parallelism, and
+/// trace verbosity.
+///
+/// `RunOptions::default()` reproduces the old `System::run(&query)`
+/// behavior exactly: natural route, configured host DOP, full trace
+/// verbosity (which records nothing unless a sink was attached at build
+/// time).
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// How to pick the execution route.
+    pub route: RoutePolicy,
+    /// Host degree of parallelism for this run; `None` uses the system's
+    /// configured `host_dop`.
+    pub dop: Option<usize>,
+    /// Trace verbosity for this run. Ignored without an attached sink.
+    pub verbosity: TraceLevel,
+}
+
+impl RunOptions {
+    /// Force an explicit route (the old `run_routed`).
+    pub fn routed(route: Route) -> Self {
+        Self {
+            route: RoutePolicy::Force(route),
+            ..Self::default()
+        }
+    }
+
+    /// Let the planner pick the route (the old `run_with_planner`).
+    pub fn planned(planner: PlannerConfig, inputs: PlannerInputs) -> Self {
+        Self {
+            route: RoutePolicy::Planned { planner, inputs },
+            ..Self::default()
+        }
+    }
+
+    /// Override the host degree of parallelism for this run.
+    pub fn with_dop(mut self, dop: usize) -> Self {
+        self.dop = Some(dop);
+        self
+    }
+
+    /// Set the trace verbosity for this run.
+    pub fn with_verbosity(mut self, level: TraceLevel) -> Self {
+        self.verbosity = level;
+        self
+    }
+}
+
+/// Builder for a [`System`]: configuration knobs plus the trace sink.
+///
+/// ```
+/// use smartssd::{DeviceKind, SystemBuilder};
+/// use smartssd_storage::Layout;
+///
+/// let sys = SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax)
+///     .host_dop(4)
+///     .build();
+/// assert_eq!(sys.config().host_dop, 4);
+/// ```
+#[derive(Debug)]
+pub struct SystemBuilder {
+    cfg: SystemConfig,
+    tracer: Tracer,
+}
+
+impl SystemBuilder {
+    /// Starts from the paper's test bed with the given device and layout.
+    pub fn new(device: DeviceKind, layout: Layout) -> Self {
+        Self::from_config(SystemConfig::new(device, layout))
+    }
+
+    /// Starts from an existing configuration.
+    pub fn from_config(cfg: SystemConfig) -> Self {
+        Self {
+            cfg,
+            tracer: Tracer::none(),
+        }
+    }
+
+    /// Replaces the flash geometry/timing (SSD and Smart SSD systems).
+    pub fn flash(mut self, flash: FlashConfig) -> Self {
+        self.cfg.flash = flash;
+        self
+    }
+
+    /// Replaces the Smart SSD runtime resources.
+    pub fn smart(mut self, smart: DeviceConfig) -> Self {
+        self.cfg.smart = smart;
+        self
+    }
+
+    /// Replaces the HDD parameters.
+    pub fn hdd(mut self, hdd: HddConfig) -> Self {
+        self.cfg.hdd = hdd;
+        self
+    }
+
+    /// Sets the host interface generation.
+    pub fn interface(mut self, interface: InterfaceKind) -> Self {
+        self.cfg.interface = interface;
+        self
+    }
+
+    /// Sets the host CPU core count and clock.
+    pub fn host_cpu(mut self, cores: usize, hz: u64) -> Self {
+        self.cfg.host_cpu_cores = cores;
+        self.cfg.host_cpu_hz = hz;
+        self
+    }
+
+    /// Sets the default host degree of parallelism.
+    pub fn host_dop(mut self, dop: usize) -> Self {
+        self.cfg.host_dop = dop;
+        self
+    }
+
+    /// Sets the buffer pool capacity, in pages.
+    pub fn bufferpool_pages(mut self, pages: usize) -> Self {
+        self.cfg.bufferpool_pages = pages;
+        self
+    }
+
+    /// Sets the session recovery policy for device-routed queries.
+    pub fn session_policy(mut self, policy: SessionPolicy) -> Self {
+        self.cfg.session_policy = policy;
+        self
+    }
+
+    /// Sets the injected flash fault rates (each per read, out of 2^32):
+    /// correctable ECC retries, uncorrectable failures, and silent
+    /// corruption.
+    pub fn fault_rates(mut self, ecc_retry: u32, ecc_fail: u32, silent: u32) -> Self {
+        self.cfg.flash.ecc_retry_rate = ecc_retry;
+        self.cfg.flash.ecc_fail_rate = ecc_fail;
+        self.cfg.flash.silent_corruption_rate = silent;
+        self
+    }
+
+    /// Attaches a trace sink. Every timeline-owning component reports its
+    /// occupancy intervals to it during runs; the collected trace comes
+    /// back in [`crate::RunReport::trace`]. Without this call the system
+    /// carries a no-op tracer with zero overhead.
+    pub fn trace(mut self, sink: impl TraceSink + 'static) -> Self {
+        self.tracer = Tracer::new(sink);
+        self
+    }
+
+    /// Applies an arbitrary edit to the configuration — the escape hatch
+    /// for knobs without a dedicated setter (cost tables, power params,
+    /// flash scaling sweeps).
+    pub fn tweak(mut self, f: impl FnOnce(&mut SystemConfig)) -> Self {
+        f(&mut self.cfg);
+        self
+    }
+
+    /// Assembles the system and wires the tracer into every
+    /// timeline-owning component.
+    pub fn build(self) -> System {
+        System::assemble(self.cfg, self.tracer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartssd_sim::NullSink;
+
+    #[test]
+    fn builder_setters_land_in_config() {
+        let sys = SystemBuilder::new(DeviceKind::Ssd, Layout::Nsm)
+            .interface(InterfaceKind::Sas12)
+            .host_cpu(4, 3_000_000_000)
+            .host_dop(8)
+            .bufferpool_pages(1024)
+            .fault_rates(1, 2, 3)
+            .tweak(|c| c.power.system_idle_w = 200.0)
+            .build();
+        let c = sys.config();
+        assert_eq!(c.device, DeviceKind::Ssd);
+        assert_eq!(c.layout, Layout::Nsm);
+        assert_eq!(c.interface, InterfaceKind::Sas12);
+        assert_eq!(c.host_cpu_cores, 4);
+        assert_eq!(c.host_dop, 8);
+        assert_eq!(c.bufferpool_pages, 1024);
+        assert_eq!(c.flash.ecc_retry_rate, 1);
+        assert_eq!(c.flash.ecc_fail_rate, 2);
+        assert_eq!(c.flash.silent_corruption_rate, 3);
+        assert!((c.power.system_idle_w - 200.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn default_run_options_are_natural_full() {
+        let opts = RunOptions::default();
+        assert!(matches!(opts.route, RoutePolicy::Natural));
+        assert!(opts.dop.is_none());
+        assert_eq!(opts.verbosity, smartssd_sim::TraceLevel::Full);
+    }
+
+    #[test]
+    fn trace_sink_can_be_attached() {
+        let sys = SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax)
+            .trace(NullSink)
+            .build();
+        assert_eq!(sys.config().device, DeviceKind::SmartSsd);
+    }
+}

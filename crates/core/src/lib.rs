@@ -10,38 +10,67 @@
 //! (interface bus, buffer pool, single-threaded DBMS scan path) needed to
 //! rerun the paper's entire evaluation.
 //!
-//! The entry point is [`System`]: pick a device ([`DeviceKind::Hdd`],
+//! The entry point is [`SystemBuilder`]: pick a device ([`DeviceKind::Hdd`],
 //! [`DeviceKind::Ssd`], or [`DeviceKind::SmartSsd`]) and a page layout (NSM
-//! or PAX), load tables, and run queries. Results carry simulated elapsed
-//! time, per-component utilization, and wall-plug energy, calibrated so the
-//! paper's headline ratios reproduce (Table 2's 2.8x internal bandwidth,
-//! Figure 3's 1.7x on Q6, Figure 5's 2.2x -> 1x selectivity sweep, Figure
-//! 7's 1.3x on Q14, Table 3's energy ratios).
+//! or PAX), optionally attach a trace sink, then load tables and run
+//! queries via [`System::run`] with per-run [`RunOptions`]. Results carry
+//! simulated elapsed time, per-component utilization, wall-plug energy, and
+//! the run's trace, calibrated so the paper's headline ratios reproduce
+//! (Table 2's 2.8x internal bandwidth, Figure 3's 1.7x on Q6, Figure 5's
+//! 2.2x -> 1x selectivity sweep, Figure 7's 1.3x on Q14, Table 3's energy
+//! ratios).
 //!
 //! ```
-//! use smartssd::{System, SystemConfig, DeviceKind};
+//! use smartssd::{DeviceKind, RunOptions, SystemBuilder};
 //! use smartssd_storage::Layout;
 //! use smartssd_workload::{q6, tpch};
 //!
-//! let mut sys = System::new(SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax));
+//! let mut sys = SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax).build();
 //! sys.load_table_rows(
 //!     "lineitem",
 //!     &tpch::lineitem_schema(),
 //!     tpch::lineitem_rows(0.001, 42),
 //! ).unwrap();
 //! sys.finish_load();
-//! let report = sys.run(&q6()).unwrap();
+//! let report = sys.run(&q6(), RunOptions::default()).unwrap();
 //! println!("Q6 on the Smart SSD: {}", report.result.elapsed);
+//! ```
+//!
+//! To watch where the simulated time goes, attach a sink:
+//!
+//! ```
+//! use smartssd::{DeviceKind, RunOptions, SystemBuilder};
+//! use smartssd_sim::ChromeTraceSink;
+//! use smartssd_storage::Layout;
+//! use smartssd_workload::{q6, tpch};
+//!
+//! let mut sys = SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax)
+//!     .trace(ChromeTraceSink::new())
+//!     .build();
+//! sys.load_table_rows(
+//!     "lineitem",
+//!     &tpch::lineitem_schema(),
+//!     tpch::lineitem_rows(0.001, 42),
+//! ).unwrap();
+//! sys.finish_load();
+//! let report = sys.run(&q6(), RunOptions::default()).unwrap();
+//! let json = report.trace.chrome_json().unwrap();
+//! assert!(json.contains("traceEvents"));
 //! ```
 
 pub mod array;
+pub mod builder;
 pub mod config;
 pub mod system;
 
 pub use array::SmartSsdArray;
+pub use builder::{RoutePolicy, RunOptions, SystemBuilder};
 pub use config::{DeviceKind, PowerParams, SystemConfig};
-pub use system::{RunError, RunReport, System};
+pub use system::{RunError, RunErrorKind, RunReport, System};
 
 pub use smartssd_query::{Finalize, Query, QueryResult, Route};
-pub use smartssd_sim::{EnergyBreakdown, SimTime, UtilizationReport};
+pub use smartssd_sim::{
+    ChromeTraceSink, CounterSink, EnergyBreakdown, MetricsSnapshot, NullSink, RunTrace, SimTime,
+    TraceLevel, TraceSink, Tracer, UtilizationReport,
+};
 pub use smartssd_storage::Layout;

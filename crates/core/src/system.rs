@@ -1,6 +1,7 @@
 //! The assembled test bed: one storage device, a host, a catalog, and the
 //! machinery to run a query on either side and meter it.
 
+use crate::builder::{RoutePolicy, RunOptions};
 use crate::config::{DeviceKind, SystemConfig};
 use smartssd_device::{DeviceError, SmartSsd};
 use smartssd_exec::QueryOp;
@@ -9,13 +10,14 @@ use smartssd_host::{
     SsdHostPath,
 };
 use smartssd_query::{
-    choose_route, plan::PlanError, Catalog, HostEngine, PlannerConfig, PlannerInputs, Query,
-    QueryResult, Route, SessionDriver, SessionError, SessionFault,
+    choose_route_traced, plan::PlanError, Catalog, EngineError, HostEngine, PlannerConfig,
+    PlannerInputs, Query, QueryResult, Route, SessionDriver, SessionError, SessionFault,
 };
 use smartssd_sim::energy::{ComponentDraw, Subsystem};
+use smartssd_sim::trace::pid;
 use smartssd_sim::{
-    mb_per_sec, Bus, CpuModel, EnergyBreakdown, FaultCounters, PowerModel, SimTime,
-    UtilizationReport,
+    mb_per_sec, Bus, CpuModel, EnergyBreakdown, FaultCounters, Interval, PowerModel, RunTrace,
+    SimTime, TraceLevel, Tracer, UtilizationReport,
 };
 use smartssd_storage::{Layout, Schema, TableBuilder, TableImage, Tuple};
 use std::fmt;
@@ -42,27 +44,30 @@ pub struct RunReport {
     /// Faults absorbed along the way: ECC events, re-reads, `GET` retries,
     /// fallbacks, and wasted simulated time. All zero on a clean run.
     pub faults: FaultCounters,
+    /// The run's trace, as produced by the sink attached at build time:
+    /// [`RunTrace::None`] without a sink, counters from a
+    /// [`smartssd_sim::CounterSink`], or Chrome `trace_event` JSON from a
+    /// [`smartssd_sim::ChromeTraceSink`].
+    pub trace: RunTrace,
 }
 
 impl RunReport {
-    /// Effective scan bandwidth over the operator's input, MB/s.
-    pub fn effective_mbps(&self, input_bytes: u64) -> f64 {
+    /// Effective scan bandwidth over the operator's input, MB/s. `None`
+    /// when the run finished in zero simulated time (nothing was read), so
+    /// a bandwidth is undefined rather than silently `0.0`.
+    pub fn effective_mbps(&self, input_bytes: u64) -> Option<f64> {
         let s = self.result.elapsed.as_secs_f64();
-        if s <= 0.0 {
-            0.0
-        } else {
-            input_bytes as f64 / s / 1e6
-        }
+        (s > 0.0).then(|| input_bytes as f64 / s / 1e6)
     }
 }
 
-/// Failures while running a query on a [`System`].
+/// What went wrong while running a query on a [`System`].
 #[derive(Debug)]
-pub enum RunError {
+pub enum RunErrorKind {
     /// The query did not resolve against the catalog.
     Plan(PlanError),
     /// The host engine failed.
-    Engine(smartssd_query::EngineError),
+    Engine(EngineError),
     /// The device rejected or failed the session.
     Device(DeviceError),
     /// Host read-path failure.
@@ -81,33 +86,113 @@ pub enum RunError {
     NotSmart,
 }
 
-impl fmt::Display for RunError {
+impl fmt::Display for RunErrorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RunError::Plan(e) => write!(f, "plan: {e}"),
-            RunError::Engine(e) => write!(f, "engine: {e}"),
-            RunError::Device(e) => write!(f, "device: {e}"),
-            RunError::Io(e) => write!(f, "io: {e}"),
-            RunError::Session(e) => write!(f, "session: {e}"),
-            RunError::LayoutMismatch { expected, got } => {
+            RunErrorKind::Plan(e) => write!(f, "plan: {e}"),
+            RunErrorKind::Engine(e) => write!(f, "engine: {e}"),
+            RunErrorKind::Device(e) => write!(f, "device: {e}"),
+            RunErrorKind::Io(e) => write!(f, "io: {e}"),
+            RunErrorKind::Session(e) => write!(f, "session: {e}"),
+            RunErrorKind::LayoutMismatch { expected, got } => {
                 write!(f, "layout mismatch: system uses {expected}, image is {got}")
             }
-            RunError::NotSmart => write!(f, "device route requires a Smart SSD system"),
+            RunErrorKind::NotSmart => write!(f, "device route requires a Smart SSD system"),
         }
+    }
+}
+
+/// Failure while running a query on a [`System`]: one error type for the
+/// whole run path (planning, host engine, device session, host I/O), with
+/// the fault counters accumulated up to the failure attached.
+#[derive(Debug)]
+pub struct RunError {
+    kind: RunErrorKind,
+    faults: FaultCounters,
+}
+
+impl RunError {
+    pub(crate) fn from_kind(kind: RunErrorKind) -> Self {
+        Self {
+            kind,
+            faults: FaultCounters::default(),
+        }
+    }
+
+    /// Which stage failed, and how.
+    pub fn kind(&self) -> &RunErrorKind {
+        &self.kind
+    }
+
+    /// Consumes the error, returning the failure kind.
+    pub fn into_kind(self) -> RunErrorKind {
+        self.kind
+    }
+
+    /// Faults absorbed before the failure: ECC events, re-reads, `GET`
+    /// retries, and the simulated time wasted on abandoned attempts.
+    pub fn fault_counters(&self) -> &FaultCounters {
+        &self.faults
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.kind.fmt(f)
     }
 }
 
 impl std::error::Error for RunError {}
 
+impl From<RunErrorKind> for RunError {
+    fn from(kind: RunErrorKind) -> Self {
+        Self::from_kind(kind)
+    }
+}
+
 impl From<PlanError> for RunError {
     fn from(e: PlanError) -> Self {
-        RunError::Plan(e)
+        Self::from_kind(RunErrorKind::Plan(e))
+    }
+}
+
+impl From<EngineError> for RunError {
+    fn from(e: EngineError) -> Self {
+        Self::from_kind(RunErrorKind::Engine(e))
     }
 }
 
 impl From<DeviceError> for RunError {
     fn from(e: DeviceError) -> Self {
-        RunError::Device(e)
+        Self::from_kind(RunErrorKind::Device(e))
+    }
+}
+
+impl From<IoError> for RunError {
+    fn from(e: IoError) -> Self {
+        Self::from_kind(RunErrorKind::Io(e))
+    }
+}
+
+impl From<SessionFault> for RunError {
+    fn from(fault: SessionFault) -> Self {
+        let mut faults = FaultCounters::default();
+        faults.get_retries += fault.get_retries;
+        faults.wasted_ns += fault.wasted.as_nanos();
+        Self {
+            kind: RunErrorKind::Session(fault),
+            faults,
+        }
+    }
+}
+
+impl From<SessionError> for RunError {
+    fn from(e: SessionError) -> Self {
+        Self::from(SessionFault {
+            error: e,
+            wasted: SimTime::ZERO,
+            get_retries: 0,
+        })
     }
 }
 
@@ -127,6 +212,8 @@ enum Backend {
 }
 
 /// One complete test bed: device + host + catalog.
+///
+/// Build with [`crate::SystemBuilder`]; run queries with [`System::run`].
 pub struct System {
     cfg: SystemConfig,
     backend: Backend,
@@ -140,12 +227,22 @@ pub struct System {
     /// fallback performs (fallbacks taken, wasted time, `GET` retries, and
     /// the device counters snapshotted before the reset wiped them).
     run_faults: FaultCounters,
+    /// Shared handle to the trace sink attached at build time (a no-op
+    /// handle when none was).
+    tracer: Tracer,
 }
 
 impl System {
     /// Builds an empty system per the configuration.
+    #[deprecated(since = "0.3.0", note = "use `SystemBuilder` (attachable trace sink)")]
     pub fn new(cfg: SystemConfig) -> Self {
-        let backend = match cfg.device {
+        Self::assemble(cfg, Tracer::none())
+    }
+
+    /// Assembles the system and threads the tracer through every
+    /// timeline-owning component.
+    pub(crate) fn assemble(cfg: SystemConfig, tracer: Tracer) -> Self {
+        let mut backend = match cfg.device {
             DeviceKind::Hdd => Backend::Hdd(HddHostPath::new(
                 HddModel::new(cfg.hdd.clone()),
                 cfg.bufferpool_pages,
@@ -167,7 +264,16 @@ impl System {
                 host_faults: FaultCounters::default(),
             },
         };
-        let host_cpu = CpuModel::new("host-cpu", cfg.host_cpu_cores, cfg.host_cpu_hz);
+        match &mut backend {
+            Backend::Hdd(_) => {}
+            Backend::Ssd(path) => path.set_tracer(tracer.clone()),
+            Backend::Smart { dev, link, .. } => {
+                dev.set_tracer(tracer.clone());
+                link.set_tracer(tracer.clone(), pid::INTERFACE, 0);
+            }
+        }
+        let mut host_cpu = CpuModel::new("host-cpu", cfg.host_cpu_cores, cfg.host_cpu_hz);
+        host_cpu.set_tracer(tracer.clone(), pid::HOST_CPU);
         Self {
             backend,
             host_cpu,
@@ -175,6 +281,7 @@ impl System {
             next_lba: 0,
             dirty: std::collections::HashSet::new(),
             run_faults: FaultCounters::default(),
+            tracer,
             cfg,
         }
     }
@@ -192,10 +299,10 @@ impl System {
     /// Loads a prebuilt table image onto the device and registers it.
     pub fn load_table(&mut self, name: &str, img: &TableImage) -> Result<(), RunError> {
         if img.layout() != self.cfg.layout {
-            return Err(RunError::LayoutMismatch {
+            return Err(RunError::from_kind(RunErrorKind::LayoutMismatch {
                 expected: self.cfg.layout,
                 got: img.layout(),
-            });
+            }));
         }
         let first_lba = self.next_lba;
         match &mut self.backend {
@@ -209,7 +316,7 @@ impl System {
                 for (i, page) in img.pages().iter().enumerate() {
                     path.ssd
                         .write(first_lba + i as u64, page.raw().clone(), SimTime::ZERO)
-                        .map_err(|e| RunError::Io(IoError::Flash(e)))?;
+                        .map_err(|e| RunError::from(IoError::Flash(e)))?;
                 }
             }
             Backend::Smart { dev, .. } => {
@@ -291,15 +398,15 @@ impl System {
             .catalog
             .get(table)
             .cloned()
-            .ok_or_else(|| RunError::Plan(PlanError::UnknownTable(table.into())))?;
+            .ok_or_else(|| RunError::from(PlanError::UnknownTable(table.into())))?;
         let n = (tref.num_pages as f64 * fraction.clamp(0.0, 1.0)) as u64;
         for lba in tref.first_lba..tref.first_lba + n {
             match &mut self.backend {
                 Backend::Hdd(p) => {
-                    p.read_page(lba, SimTime::ZERO).map_err(RunError::Io)?;
+                    p.read_page(lba, SimTime::ZERO)?;
                 }
                 Backend::Ssd(p) => {
-                    p.read_page(lba, SimTime::ZERO).map_err(RunError::Io)?;
+                    p.read_page(lba, SimTime::ZERO)?;
                 }
                 Backend::Smart {
                     dev,
@@ -316,7 +423,7 @@ impl System {
                         cmd_latency_ns: self.cfg.interface.command_latency_ns(),
                         faults: host_faults,
                     };
-                    view.read_page(lba, SimTime::ZERO).map_err(RunError::Io)?;
+                    view.read_page(lba, SimTime::ZERO)?;
                 }
             }
         }
@@ -350,7 +457,7 @@ impl System {
             .catalog
             .get(name)
             .cloned()
-            .ok_or_else(|| RunError::Plan(PlanError::UnknownTable(name.into())))?;
+            .ok_or_else(|| RunError::from(PlanError::UnknownTable(name.into())))?;
         let schema = old.schema.clone();
         self.load_table_rows(name, &schema, rows)?;
         // Invalidate the old extent.
@@ -358,13 +465,13 @@ impl System {
             for lba in old.first_lba..old.first_lba + old.num_pages {
                 path.ssd
                     .trim(lba)
-                    .map_err(|e| RunError::Io(IoError::Flash(e)))?;
+                    .map_err(|e| RunError::from(IoError::Flash(e)))?;
             }
         } else if let Backend::Smart { dev, .. } = &mut self.backend {
             for lba in old.first_lba..old.first_lba + old.num_pages {
                 dev.flash
                     .trim(lba)
-                    .map_err(|e| RunError::Io(IoError::Flash(e)))?;
+                    .map_err(|e| RunError::from(IoError::Flash(e)))?;
             }
         }
         // Cached pages of the old extent are stale now.
@@ -376,7 +483,7 @@ impl System {
     /// Marks a table as having uncheckpointed buffer-pool updates. While
     /// dirty, the on-device copy is stale: pushdown is *incorrect*, not
     /// merely slow, so every run is forced onto the host (paper Section
-    /// 4.3: "pushing the query processing to the S[S]D may not be
+    /// 4.3: "pushing the query processing to the S\[S\]D may not be
     /// feasible" when the buffer pool holds a fresher copy).
     pub fn mark_dirty(&mut self, table: &str) {
         self.dirty.insert(table.to_string());
@@ -392,7 +499,7 @@ impl System {
             .catalog
             .get(table)
             .cloned()
-            .ok_or_else(|| RunError::Plan(PlanError::UnknownTable(table.into())))?;
+            .ok_or_else(|| RunError::from(PlanError::UnknownTable(table.into())))?;
         // Re-write the extent through the device's write path (the data is
         // unchanged in this model; the cost is what matters).
         match &mut self.backend {
@@ -408,10 +515,10 @@ impl System {
                     let (data, _) = path
                         .ssd
                         .read(lba, SimTime::ZERO)
-                        .map_err(|e| RunError::Io(IoError::Flash(e)))?;
+                        .map_err(|e| RunError::from(IoError::Flash(e)))?;
                     path.ssd
                         .write(lba, data, SimTime::ZERO)
-                        .map_err(|e| RunError::Io(IoError::Flash(e)))?;
+                        .map_err(|e| RunError::from(IoError::Flash(e)))?;
                 }
             }
             Backend::Smart { dev, .. } => {
@@ -419,10 +526,10 @@ impl System {
                     let (data, _) = dev
                         .flash
                         .read(lba, SimTime::ZERO)
-                        .map_err(|e| RunError::Io(IoError::Flash(e)))?;
+                        .map_err(|e| RunError::from(IoError::Flash(e)))?;
                     dev.flash
                         .write(lba, data, SimTime::ZERO)
-                        .map_err(|e| RunError::Io(IoError::Flash(e)))?;
+                        .map_err(|e| RunError::from(IoError::Flash(e)))?;
                 }
             }
         }
@@ -463,34 +570,49 @@ impl System {
         })
     }
 
-    /// Runs a query on this system's natural route: pushdown on a Smart
-    /// SSD, host execution otherwise. If the device rejects the session
-    /// (e.g. the hash table exceeds its memory grant), the run transparently
-    /// falls back to the host, as a production DBMS would.
-    pub fn run(&mut self, query: &Query) -> Result<RunReport, RunError> {
-        let route = match self.cfg.device {
-            DeviceKind::SmartSsd => Route::Device,
-            _ => Route::Host,
-        };
-        self.run_routed(query, route)
+    /// Runs a query under the given options: the route policy picks the
+    /// side (natural, forced, or planner-decided), `dop` optionally
+    /// overrides the host degree of parallelism, and `verbosity` gates what
+    /// the attached trace sink records.
+    ///
+    /// Correctness always wins over routing: a dirty input forces the host
+    /// route (Section 4.3). If the device rejects the session or an
+    /// unrecoverable mid-run fault abandons it, the run transparently falls
+    /// back to the host, as a production DBMS would. The collected trace
+    /// comes back in [`RunReport::trace`]; on failure the returned
+    /// [`RunError`] carries the fault counters accumulated so far.
+    pub fn run(&mut self, query: &Query, opts: RunOptions) -> Result<RunReport, RunError> {
+        self.run_inner(query, &opts).map_err(|mut e| {
+            e.faults.absorb(&self.current_faults());
+            e
+        })
     }
 
-    /// Runs a query on an explicit route. `Route::Device` requires a Smart
-    /// SSD system.
-    pub fn run_routed(&mut self, query: &Query, route: Route) -> Result<RunReport, RunError> {
+    fn run_inner(&mut self, query: &Query, opts: &RunOptions) -> Result<RunReport, RunError> {
         let op = query.resolve(&self.catalog)?;
+        self.tracer.set_level(opts.verbosity);
+        self.tracer.begin_run();
+        let requested = match &opts.route {
+            RoutePolicy::Natural => match self.cfg.device {
+                DeviceKind::SmartSsd => Route::Device,
+                _ => Route::Host,
+            },
+            RoutePolicy::Force(r) => *r,
+            RoutePolicy::Planned { planner, inputs } => self.plan_route(&op, planner, inputs),
+        };
         // Correctness rule before any cost consideration: a dirty input
         // means the on-device copy is stale, so the device route is not
         // available (Section 4.3).
-        let route = if route == Route::Device && self.op_touches_dirty(&op) {
+        let route = if requested == Route::Device && self.op_touches_dirty(&op) {
             Route::Host
         } else {
-            route
+            requested
         };
+        let dop = opts.dop.unwrap_or(self.cfg.host_dop);
         self.reset_run_timing();
         self.run_faults = FaultCounters::default();
         let (result, route) = match route {
-            Route::Host => (self.run_host(&op, query)?, Route::Host),
+            Route::Host => (self.run_host(&op, query, dop)?, Route::Host),
             Route::Device => match self.run_device(&op, query) {
                 Ok(r) => (r, Route::Device),
                 // Graceful degradation: on a resource rejection or an
@@ -502,19 +624,75 @@ impl System {
                 // fault counters and, when the policy asks for it, carried
                 // into the run's elapsed time instead of being discarded
                 // by the timing reset.
-                Err(RunError::Session(fault)) if Self::fault_is_recoverable(&fault.error) => {
-                    self.note_fallback(&fault);
-                    self.reset_run_timing();
-                    let mut r = self.run_host(&op, query)?;
-                    if self.cfg.session_policy.carry_wasted_time {
-                        r.elapsed += fault.wasted;
+                Err(e) => match e.into_kind() {
+                    RunErrorKind::Session(fault) if Self::fault_is_recoverable(&fault.error) => {
+                        self.note_fallback(&fault);
+                        self.reset_run_timing();
+                        let mut r = self.run_host(&op, query, dop)?;
+                        if self.cfg.session_policy.carry_wasted_time {
+                            r.elapsed += fault.wasted;
+                        }
+                        (r, Route::Host)
                     }
-                    (r, Route::Host)
-                }
-                Err(e) => return Err(e),
+                    kind => return Err(RunError::from_kind(kind)),
+                },
             },
         };
-        Ok(self.finish_report(query, route, result))
+        // The run's single top-level span: the whole query on the RUN
+        // track, so the trace's root covers exactly `elapsed`.
+        self.tracer.span(
+            TraceLevel::Protocol,
+            pid::RUN,
+            0,
+            "run",
+            "run",
+            Interval {
+                start: SimTime::ZERO,
+                end: result.elapsed,
+            },
+            &[],
+        );
+        let trace = self.tracer.finish_run();
+        Ok(self.finish_report(query, route, result, trace))
+    }
+
+    /// Planner-decided routing (Smart SSD systems only consult the
+    /// planner; others always use the host). Residency comes from the
+    /// actual buffer pool, not the caller.
+    fn plan_route(&self, op: &QueryOp, planner: &PlannerConfig, inputs: &PlannerInputs) -> Route {
+        if self.cfg.device != DeviceKind::SmartSsd {
+            return Route::Host;
+        }
+        let mut inputs = inputs.clone();
+        inputs.residency = match op {
+            QueryOp::Scan { table, .. }
+            | QueryOp::ScanAgg { table, .. }
+            | QueryOp::GroupAgg { table, .. } => self.residency_of(table),
+            QueryOp::Join { probe, .. } => self.residency_of(probe),
+        };
+        let (route, _est) = choose_route_traced(op, planner, &inputs, &self.tracer);
+        route
+    }
+
+    /// Runs a query on an explicit route. `Route::Device` requires a Smart
+    /// SSD system.
+    #[deprecated(since = "0.3.0", note = "use `run` with `RunOptions::routed(route)`")]
+    pub fn run_routed(&mut self, query: &Query, route: Route) -> Result<RunReport, RunError> {
+        self.run(query, RunOptions::routed(route))
+    }
+
+    /// Runs a query letting the planner pick the route.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `run` with `RunOptions::planned(planner, inputs)`"
+    )]
+    pub fn run_with_planner(
+        &mut self,
+        query: &Query,
+        planner: &PlannerConfig,
+        inputs: PlannerInputs,
+    ) -> Result<RunReport, RunError> {
+        self.run(query, RunOptions::planned(planner.clone(), inputs))
     }
 
     /// Whether a session failure may be recovered by re-running on the
@@ -544,29 +722,6 @@ impl System {
         self.run_faults.wasted_ns += fault.wasted.as_nanos();
     }
 
-    /// Runs a query letting the planner pick the route (Smart SSD systems
-    /// only consult the planner; others always use the host).
-    pub fn run_with_planner(
-        &mut self,
-        query: &Query,
-        planner: &PlannerConfig,
-        mut inputs: PlannerInputs,
-    ) -> Result<RunReport, RunError> {
-        if self.cfg.device != DeviceKind::SmartSsd {
-            return self.run_routed(query, Route::Host);
-        }
-        let op = query.resolve(&self.catalog)?;
-        // Residency comes from the actual buffer pool, not the caller.
-        inputs.residency = match &op {
-            QueryOp::Scan { table, .. }
-            | QueryOp::ScanAgg { table, .. }
-            | QueryOp::GroupAgg { table, .. } => self.residency_of(table),
-            QueryOp::Join { probe, .. } => self.residency_of(probe),
-        };
-        let (route, _est) = choose_route(&op, planner, &inputs);
-        self.run_routed(query, route)
-    }
-
     fn residency_of(&self, tref: &smartssd_exec::TableRef) -> f64 {
         let pool = match &self.backend {
             Backend::Hdd(p) => &p.pool,
@@ -577,16 +732,23 @@ impl System {
     }
 
     /// Host-route execution on whatever device backs the system.
-    fn run_host(&mut self, op: &QueryOp, query: &Query) -> Result<QueryResult, RunError> {
+    fn run_host(
+        &mut self,
+        op: &QueryOp,
+        query: &Query,
+        dop: usize,
+    ) -> Result<QueryResult, RunError> {
         let costs = self.cfg.host_costs;
-        let dop = self.cfg.host_dop;
+        let tracer = self.tracer.clone();
         match &mut self.backend {
             Backend::Hdd(path) => HostEngine::new(path, &mut self.host_cpu, costs)
-                .run_with_dop(op, &query.finalize, SimTime::ZERO, dop)
-                .map_err(RunError::Engine),
+                .with_tracer(tracer)
+                .run(op, &query.finalize, SimTime::ZERO, dop)
+                .map_err(RunError::from),
             Backend::Ssd(path) => HostEngine::new(path, &mut self.host_cpu, costs)
-                .run_with_dop(op, &query.finalize, SimTime::ZERO, dop)
-                .map_err(RunError::Engine),
+                .with_tracer(tracer)
+                .run(op, &query.finalize, SimTime::ZERO, dop)
+                .map_err(RunError::from),
             Backend::Smart {
                 dev,
                 link,
@@ -603,8 +765,9 @@ impl System {
                     faults: host_faults,
                 };
                 HostEngine::new(&mut view, &mut self.host_cpu, costs)
-                    .run_with_dop(op, &query.finalize, SimTime::ZERO, dop)
-                    .map_err(RunError::Engine)
+                    .with_tracer(tracer)
+                    .run(op, &query.finalize, SimTime::ZERO, dop)
+                    .map_err(RunError::from)
             }
         }
     }
@@ -615,18 +778,17 @@ impl System {
     /// carries the wasted simulated time.
     fn run_device(&mut self, op: &QueryOp, query: &Query) -> Result<QueryResult, RunError> {
         let Backend::Smart { dev, link, .. } = &mut self.backend else {
-            return Err(RunError::NotSmart);
+            return Err(RunError::from_kind(RunErrorKind::NotSmart));
         };
-        let driver = SessionDriver::new(self.cfg.session_policy.clone());
-        let out = driver
-            .run_linked(
-                dev,
-                link,
-                &mut self.host_cpu,
-                self.cfg.interface.command_latency_ns(),
-                op,
-            )
-            .map_err(RunError::Session)?;
+        let driver =
+            SessionDriver::new(self.cfg.session_policy.clone()).with_tracer(self.tracer.clone());
+        let out = driver.run_linked(
+            dev,
+            link,
+            &mut self.host_cpu,
+            self.cfg.interface.command_latency_ns(),
+            op,
+        )?;
         self.run_faults.get_retries += out.get_retries;
         let (agg_values, scalar) = query.finalize.apply(out.aggs.as_deref().unwrap_or(&[]));
         Ok(QueryResult {
@@ -638,8 +800,31 @@ impl System {
         })
     }
 
+    /// Fault counters as of right now: what the run banked plus the
+    /// backend's live view.
+    fn current_faults(&self) -> FaultCounters {
+        let mut faults = self.run_faults;
+        match &self.backend {
+            Backend::Hdd(_) => {}
+            Backend::Ssd(p) => faults.absorb(&p.fault_counters()),
+            Backend::Smart {
+                dev, host_faults, ..
+            } => {
+                faults.absorb(&dev.fault_counters());
+                faults.absorb(host_faults);
+            }
+        }
+        faults
+    }
+
     /// Assembles energy and utilization accounting for a finished run.
-    fn finish_report(&self, query: &Query, route: Route, result: QueryResult) -> RunReport {
+    fn finish_report(
+        &self,
+        query: &Query,
+        route: Route,
+        result: QueryResult,
+        trace: RunTrace,
+    ) -> RunReport {
         let elapsed = result.elapsed;
         let host_busy = self.host_cpu.busy_total_ns();
         let (device_busy, link_busy, device_cpu) = match &self.backend {
@@ -689,17 +874,7 @@ impl System {
         // Fault accounting: whatever the fallback path banked before the
         // timing reset, plus the backend's live counters from the run that
         // actually produced the result.
-        let mut faults = self.run_faults;
-        match &self.backend {
-            Backend::Hdd(_) => {}
-            Backend::Ssd(p) => faults.absorb(&p.fault_counters()),
-            Backend::Smart {
-                dev, host_faults, ..
-            } => {
-                faults.absorb(&dev.fault_counters());
-                faults.absorb(host_faults);
-            }
-        }
+        let faults = self.current_faults();
         RunReport {
             query: query.name.clone(),
             device: self.cfg.device,
@@ -709,6 +884,7 @@ impl System {
             energy,
             util,
             faults,
+            trace,
         }
     }
 }
@@ -716,6 +892,7 @@ impl System {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::SystemBuilder;
     use crate::config::DeviceKind;
     use smartssd_exec::spec::ScanAggSpec;
     use smartssd_query::{Finalize, OpTemplate};
@@ -725,7 +902,7 @@ mod tests {
     fn sys_with_rows(kind: DeviceKind, n: i32) -> System {
         let schema =
             smartssd_storage::Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)]);
-        let mut sys = System::new(SystemConfig::new(kind, Layout::Pax));
+        let mut sys = SystemBuilder::new(kind, Layout::Pax).build();
         sys.load_table_rows(
             "t",
             &schema,
@@ -753,23 +930,32 @@ mod tests {
     #[test]
     fn report_carries_device_layout_and_route() {
         let mut sys = sys_with_rows(DeviceKind::SmartSsd, 5_000);
-        let r = sys.run(&count_query()).unwrap();
+        let r = sys.run(&count_query(), RunOptions::default()).unwrap();
         assert_eq!(r.device, DeviceKind::SmartSsd);
         assert_eq!(r.layout, Layout::Pax);
         assert_eq!(r.route, Route::Device);
         assert_eq!(r.query, "count");
+        assert!(r.trace.is_none(), "no sink attached => no trace");
     }
 
     #[test]
     fn effective_mbps_is_bytes_over_elapsed() {
         let mut sys = sys_with_rows(DeviceKind::Ssd, 50_000);
-        let r = sys.run(&count_query()).unwrap();
+        let r = sys.run(&count_query(), RunOptions::default()).unwrap();
         let pages = sys.catalog().get("t").unwrap().num_pages;
         let bytes = pages * smartssd_storage::PAGE_SIZE as u64;
-        let mbps = r.effective_mbps(bytes);
+        let mbps = r.effective_mbps(bytes).expect("non-zero elapsed");
         let manual = bytes as f64 / r.result.elapsed.as_secs_f64() / 1e6;
         assert!((mbps - manual).abs() < 1e-6);
         assert!(mbps > 0.0);
+    }
+
+    #[test]
+    fn effective_mbps_of_zero_elapsed_is_none() {
+        let mut sys = sys_with_rows(DeviceKind::Ssd, 1_000);
+        let mut r = sys.run(&count_query(), RunOptions::default()).unwrap();
+        r.result.elapsed = SimTime::ZERO;
+        assert_eq!(r.effective_mbps(1_000_000), None);
     }
 
     #[test]
@@ -778,29 +964,47 @@ mod tests {
         let mut b = TableBuilder::new("t", schema, Layout::Nsm);
         b.push(vec![Datum::I32(1)]);
         let img = b.finish();
-        let mut sys = System::new(SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax));
+        let mut sys = SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax).build();
         assert!(matches!(
-            sys.load_table("t", &img).unwrap_err(),
-            RunError::LayoutMismatch { .. }
+            sys.load_table("t", &img).unwrap_err().kind(),
+            RunErrorKind::LayoutMismatch { .. }
         ));
     }
 
     #[test]
     fn device_route_on_plain_ssd_is_rejected() {
         let mut sys = sys_with_rows(DeviceKind::Ssd, 100);
-        assert!(matches!(
-            sys.run_routed(&count_query(), Route::Device).unwrap_err(),
-            RunError::NotSmart
-        ));
+        let err = sys
+            .run(&count_query(), RunOptions::routed(Route::Device))
+            .unwrap_err();
+        assert!(matches!(err.kind(), RunErrorKind::NotSmart));
+        assert_eq!(err.fault_counters().fallbacks, 0);
     }
 
     #[test]
     fn energy_meters_are_ordered_system_over_io() {
         for kind in [DeviceKind::Hdd, DeviceKind::Ssd, DeviceKind::SmartSsd] {
             let mut sys = sys_with_rows(kind, 20_000);
-            let r = sys.run(&count_query()).unwrap();
+            let r = sys.run(&count_query(), RunOptions::default()).unwrap();
             assert!(r.energy.system_kj() > r.energy.io_kj(), "{kind:?}");
             assert!(r.energy.over_idle_kj() > 0.0, "{kind:?}");
         }
+    }
+
+    #[test]
+    fn run_error_converts_from_component_errors() {
+        let e = RunError::from(PlanError::UnknownTable("missing".into()));
+        assert!(matches!(e.kind(), RunErrorKind::Plan(_)));
+        let fault = SessionFault {
+            error: SessionError::Timeout {
+                at: SimTime::from_nanos(7),
+            },
+            wasted: SimTime::from_nanos(42),
+            get_retries: 3,
+        };
+        let e = RunError::from(fault);
+        assert!(matches!(e.kind(), RunErrorKind::Session(_)));
+        assert_eq!(e.fault_counters().get_retries, 3);
+        assert_eq!(e.fault_counters().wasted_ns, 42);
     }
 }

@@ -171,6 +171,14 @@ impl SmartSsd {
         &self.cpu
     }
 
+    /// Attaches a tracer to the device's internal resources: flash channels,
+    /// the shared DRAM bus, and the device CPU cores.
+    pub fn set_tracer(&mut self, tracer: smartssd_sim::Tracer) {
+        self.flash.set_tracer(tracer.clone());
+        self.cpu
+            .set_tracer(tracer, smartssd_sim::trace::pid::DEVICE_CPU);
+    }
+
     /// Aggregate operator work performed since the last timing reset.
     pub fn total_work(&self) -> &WorkCounts {
         &self.total_work

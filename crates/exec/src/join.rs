@@ -1,7 +1,7 @@
 //! Simple hash join: build table, joined-row view, and the probe kernel.
 //!
 //! The paper uses "a simple hash join algorithm that builds a hash table on
-//! the [small] table" (Section 4.2.2.1). The build side's payload columns
+//! the \[small\] table" (Section 4.2.2.1). The build side's payload columns
 //! are materialized as fixed-width records so the joined row can expose raw
 //! field bytes without re-encoding per probe.
 

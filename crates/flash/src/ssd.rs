@@ -164,6 +164,12 @@ impl FlashSsd {
         self.timing.dram_busy_ns()
     }
 
+    /// Attaches a tracer to the flash data path (channel occupancy and DRAM
+    /// bus transfers).
+    pub fn set_tracer(&mut self, tracer: smartssd_sim::Tracer) {
+        self.timing.set_tracer(tracer);
+    }
+
     /// DRAM bus utilization over `[0, elapsed]`.
     pub fn dram_utilization(&self, elapsed: SimTime) -> f64 {
         self.timing.dram_utilization(elapsed)

@@ -11,7 +11,8 @@
 //! Table 2 reports 1,560 MB/s instead of the NAND aggregate.
 
 use crate::config::FlashConfig;
-use smartssd_sim::{Bus, Interval, SimTime, Timeline};
+use smartssd_sim::trace::pid;
+use smartssd_sim::{Bus, Interval, SimTime, Timeline, TraceLevel, Tracer};
 
 /// Timelines for every timing-relevant controller resource.
 pub struct FlashTiming {
@@ -22,6 +23,7 @@ pub struct FlashTiming {
     channels: Vec<Timeline>,
     /// The single shared DRAM DMA bus.
     dram: Bus,
+    tracer: Tracer,
 }
 
 impl FlashTiming {
@@ -32,7 +34,16 @@ impl FlashTiming {
             chips: vec![Timeline::new(); cfg.channels * cfg.chips_per_channel],
             channels: vec![Timeline::new(); cfg.channels],
             dram: Bus::new("flash-dram", cfg.dram_bw, cfg.dram_latency_ns),
+            tracer: Tracer::none(),
         }
+    }
+
+    /// Attaches a tracer: channel occupancy is emitted per page transfer
+    /// (tid `1 + channel` under the flash pid) and the shared DRAM bus
+    /// emits its transfers on tid 0.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.dram.set_tracer(tracer.clone(), pid::FLASH, 0);
+        self.tracer = tracer;
     }
 
     #[inline]
@@ -53,6 +64,15 @@ impl FlashTiming {
         let svc = self.channel_service_ns();
         let cell = self.chips[ci].occupy(now, self.cfg.t_read_ns);
         let xfer = self.channels[channel as usize].occupy(cell.end, svc);
+        self.tracer.span(
+            TraceLevel::Full,
+            pid::FLASH,
+            1 + channel as u32,
+            "read",
+            "flash-chan",
+            xfer,
+            &[("bytes", self.cfg.page_size as f64)],
+        );
         let dma = self.dram.transfer(xfer.end, self.cfg.page_size as u64);
         Interval {
             start: cell.start,
@@ -65,6 +85,15 @@ impl FlashTiming {
         let svc = self.channel_service_ns();
         let dma = self.dram.transfer(now, self.cfg.page_size as u64);
         let xfer = self.channels[channel as usize].occupy(dma.end, svc);
+        self.tracer.span(
+            TraceLevel::Full,
+            pid::FLASH,
+            1 + channel as u32,
+            "program",
+            "flash-chan",
+            xfer,
+            &[("bytes", self.cfg.page_size as f64)],
+        );
         let ci = self.chip_idx(channel, chip);
         let prog = self.chips[ci].occupy(xfer.end, self.cfg.t_program_ns);
         Interval {

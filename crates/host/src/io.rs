@@ -205,6 +205,13 @@ impl SsdHostPath {
         self.faults = FaultCounters::default();
     }
 
+    /// Attaches a tracer to the flash data path and the host interface link.
+    pub fn set_tracer(&mut self, tracer: smartssd_sim::Tracer) {
+        self.ssd.set_tracer(tracer.clone());
+        self.link
+            .set_tracer(tracer, smartssd_sim::trace::pid::INTERFACE, 0);
+    }
+
     /// Fault/recovery counters since the last timing reset: the flash
     /// device's ECC events merged with the driver's retry and
     /// escape-detection counts.

@@ -16,7 +16,8 @@ use smartssd_exec::{
     CostTable, GroupTable, QueryOp, WorkCounts,
 };
 use smartssd_host::{io::IoError, PageSource};
-use smartssd_sim::{CpuModel, SimTime};
+use smartssd_sim::trace::pid;
+use smartssd_sim::{CpuModel, Interval, SimTime, TraceLevel, Tracer};
 use smartssd_storage::expr::{AggState, ExprError};
 use smartssd_storage::Tuple;
 use std::fmt;
@@ -82,32 +83,36 @@ pub struct HostEngine<'a, S: PageSource> {
     pub cpu: &'a mut CpuModel,
     /// Host cycle prices.
     pub costs: CostTable,
+    tracer: Tracer,
 }
 
 impl<'a, S: PageSource> HostEngine<'a, S> {
     /// Creates an engine.
     pub fn new(source: &'a mut S, cpu: &'a mut CpuModel, costs: CostTable) -> Self {
-        Self { source, cpu, costs }
+        Self {
+            source,
+            cpu,
+            costs,
+            tracer: Tracer::none(),
+        }
+    }
+
+    /// Attaches a tracer: the engine emits one operator-level span per run
+    /// under the host-cpu pid (per-kernel charges are emitted by the
+    /// [`CpuModel`] itself, if it carries the same tracer).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Executes `op` starting at simulated time `now`, applying `finalize`
-    /// to aggregates. Runs on a single query thread — the paper's special
-    /// SQL Server scan path.
-    pub fn run(
-        &mut self,
-        op: &QueryOp,
-        finalize: &Finalize,
-        now: SimTime,
-    ) -> Result<QueryResult, EngineError> {
-        self.run_with_dop(op, finalize, now, 1)
-    }
-
-    /// Executes `op` with `dop` parallel worker threads sharing the page
+    /// to aggregates, with `dop` parallel worker threads sharing the page
     /// stream round-robin. The paper's prototype path is single-threaded
-    /// (`dop = 1`); higher degrees model the "what if the host DBMS
-    /// parallelized its scan" ablation — see the `host-parallel`
-    /// experiment. Results are identical at any degree; only timing moves.
-    pub fn run_with_dop(
+    /// (`dop = 1`, the special SQL Server scan path); higher degrees model
+    /// the "what if the host DBMS parallelized its scan" ablation — see the
+    /// `host-parallel` experiment. Results are identical at any degree;
+    /// only timing moves.
+    pub fn run(
         &mut self,
         op: &QueryOp,
         finalize: &Finalize,
@@ -252,6 +257,21 @@ impl<'a, S: PageSource> HostEngine<'a, S> {
             }
         };
         let (agg_values, scalar) = finalize.apply(&aggs);
+        let opname = match op {
+            QueryOp::Scan { .. } => "host-scan",
+            QueryOp::ScanAgg { .. } => "host-scan-agg",
+            QueryOp::GroupAgg { .. } => "host-group-agg",
+            QueryOp::Join { .. } => "host-join",
+        };
+        self.tracer.span(
+            TraceLevel::Protocol,
+            pid::HOST_CPU,
+            99,
+            opname,
+            "host-operator",
+            Interval { start: now, end },
+            &[("dop", dop as f64)],
+        );
         Ok(QueryResult {
             rows,
             agg_values,
@@ -259,6 +279,19 @@ impl<'a, S: PageSource> HostEngine<'a, S> {
             elapsed: end.saturating_sub(now),
             work: total,
         })
+    }
+
+    /// Former parallel entry point, superseded by [`Self::run`], which now
+    /// takes the degree of parallelism directly.
+    #[deprecated(since = "0.2.0", note = "use `run`, which now takes `dop` directly")]
+    pub fn run_with_dop(
+        &mut self,
+        op: &QueryOp,
+        finalize: &Finalize,
+        now: SimTime,
+        dop: usize,
+    ) -> Result<QueryResult, EngineError> {
+        self.run(op, finalize, now, dop)
     }
 }
 
@@ -308,7 +341,7 @@ mod tests {
                 aggs: vec![AggSpec::sum(Expr::col(1)), AggSpec::count()],
             },
         };
-        let r = eng.run(&op, &Finalize::AggRow, SimTime::ZERO).unwrap();
+        let r = eng.run(&op, &Finalize::AggRow, SimTime::ZERO, 1).unwrap();
         assert_eq!(r.agg_values[0], (0..1000i128).map(|k| k * 2).sum::<i128>());
         assert_eq!(r.agg_values[1], 1000);
         assert!(r.elapsed > SimTime::ZERO);
@@ -327,7 +360,7 @@ mod tests {
                 project: vec![1],
             },
         };
-        let r = eng.run(&op, &Finalize::Rows, SimTime::ZERO).unwrap();
+        let r = eng.run(&op, &Finalize::Rows, SimTime::ZERO, 1).unwrap();
         assert_eq!(r.rows.len(), 10);
         assert_eq!(r.rows[0], vec![Datum::I64(4_990 * 2)]);
     }
@@ -345,7 +378,7 @@ mod tests {
             },
         };
         let r = HostEngine::new(&mut path, &mut cpu, CostTable::host())
-            .run(&op, &Finalize::AggRow, SimTime::ZERO)
+            .run(&op, &Finalize::AggRow, SimTime::ZERO, 1)
             .unwrap();
         // All work chained on one thread: total busy equals the busy time of
         // the busiest lane, i.e. utilization <= 1/8 of the bank.
@@ -379,7 +412,7 @@ mod tests {
             },
         };
         let r = HostEngine::new(&mut path, &mut cpu, CostTable::host())
-            .run(&op, &Finalize::AggRow, SimTime::ZERO)
+            .run(&op, &Finalize::AggRow, SimTime::ZERO, 1)
             .unwrap();
         let mbps = (tref.num_pages * PAGE_SIZE as u64) as f64 / r.elapsed.as_secs_f64() / 1e6;
         assert!(
@@ -401,12 +434,12 @@ mod tests {
         let (mut p1, t1) = loaded_path(&img);
         let mut cpu1 = CpuModel::new("host-cpu", 8, 2_260_000_000);
         let serial = HostEngine::new(&mut p1, &mut cpu1, CostTable::host())
-            .run_with_dop(&op(t1), &Finalize::AggRow, SimTime::ZERO, 1)
+            .run(&op(t1), &Finalize::AggRow, SimTime::ZERO, 1)
             .unwrap();
         let (mut p4, t4) = loaded_path(&img);
         let mut cpu4 = CpuModel::new("host-cpu", 8, 2_260_000_000);
         let parallel = HostEngine::new(&mut p4, &mut cpu4, CostTable::host())
-            .run_with_dop(&op(t4), &Finalize::AggRow, SimTime::ZERO, 4)
+            .run(&op(t4), &Finalize::AggRow, SimTime::ZERO, 4)
             .unwrap();
         assert_eq!(serial.agg_values, parallel.agg_values);
         // This narrow-tuple scan is CPU-bound serially, so parallelism
@@ -432,7 +465,7 @@ mod tests {
             },
         };
         let err = HostEngine::new(&mut path, &mut cpu, CostTable::host())
-            .run(&op, &Finalize::AggRow, SimTime::ZERO)
+            .run(&op, &Finalize::AggRow, SimTime::ZERO, 1)
             .unwrap_err();
         assert!(matches!(err, EngineError::Validation(_)));
     }

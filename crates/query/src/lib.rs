@@ -35,5 +35,7 @@ pub mod session;
 
 pub use engine::{EngineError, HostEngine, QueryResult};
 pub use plan::{Catalog, Finalize, OpTemplate, Query};
-pub use planner::{choose_route, CostEstimate, PlannerConfig, PlannerInputs, Route};
+pub use planner::{
+    choose_route, choose_route_traced, CostEstimate, PlannerConfig, PlannerInputs, Route,
+};
 pub use session::{SessionDriver, SessionError, SessionFault, SessionOutcome, SessionPolicy};

@@ -12,6 +12,8 @@
 
 use smartssd_exec::spec::JoinOutput;
 use smartssd_exec::{CostTable, QueryOp};
+use smartssd_sim::trace::pid;
+use smartssd_sim::{SimTime, TraceLevel, Tracer};
 use smartssd_storage::PAGE_SIZE;
 
 /// Where the operator should run.
@@ -224,6 +226,36 @@ pub fn choose_route(
     } else {
         (Route::Host, est)
     }
+}
+
+/// Like [`choose_route`], additionally emitting the decision and both cost
+/// estimates as an instant trace event under the planner pid.
+pub fn choose_route_traced(
+    op: &QueryOp,
+    cfg: &PlannerConfig,
+    inputs: &PlannerInputs,
+    tracer: &Tracer,
+) -> (Route, CostEstimate) {
+    let (route, est) = choose_route(op, cfg, inputs);
+    let name = match route {
+        Route::Device => "route=Device",
+        Route::Host => "route=Host",
+    };
+    tracer.instant(
+        TraceLevel::Protocol,
+        pid::PLANNER,
+        0,
+        name,
+        "planner",
+        SimTime::ZERO,
+        &[
+            ("device_secs", est.device_secs),
+            ("host_secs", est.host_secs),
+            ("residency", inputs.residency),
+            ("selectivity", inputs.selectivity),
+        ],
+    );
+    (route, est)
 }
 
 #[cfg(test)]

@@ -20,7 +20,8 @@
 
 use smartssd_device::{DeviceError, GetResponse, SessionId, SmartSsd};
 use smartssd_exec::{QueryOp, WorkCounts};
-use smartssd_sim::{Bus, CpuModel, SimTime};
+use smartssd_sim::trace::pid;
+use smartssd_sim::{Bus, CpuModel, Interval, SimTime, TraceLevel, Tracer};
 use smartssd_storage::expr::AggState;
 use smartssd_storage::Tuple;
 use std::fmt;
@@ -146,12 +147,37 @@ pub struct SessionOutcome {
 pub struct SessionDriver {
     /// The recovery policy applied to every session this driver runs.
     pub policy: SessionPolicy,
+    tracer: Tracer,
 }
 
 impl SessionDriver {
     /// A driver with the given policy.
     pub fn new(policy: SessionPolicy) -> Self {
-        Self { policy }
+        Self {
+            policy,
+            tracer: Tracer::none(),
+        }
+    }
+
+    /// Attaches a tracer: protocol phases (OPEN, per-batch GET, CLOSE),
+    /// stalled-poll retries and backoff waits are emitted under the session
+    /// pid.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Emits one protocol-phase span `[start, end)`.
+    fn phase(&self, name: &str, start: SimTime, end: SimTime, args: &[(&str, f64)]) {
+        self.tracer.span(
+            TraceLevel::Protocol,
+            pid::SESSION,
+            0,
+            name,
+            "session",
+            Interval { start, end },
+            args,
+        );
     }
 
     /// Backoff step for the given number of consecutive stalled polls.
@@ -174,6 +200,15 @@ impl SessionDriver {
         if let Some(sid) = sid {
             let _ = dev.close(sid);
         }
+        self.tracer.instant(
+            TraceLevel::Protocol,
+            pid::SESSION,
+            0,
+            "session-fault",
+            "session",
+            wasted,
+            &[("get_retries", get_retries as f64)],
+        );
         SessionFault {
             error,
             wasted,
@@ -199,6 +234,12 @@ impl SessionDriver {
         let open_done = link
             .transfer_with_setup(SimTime::ZERO, payload.len() as u64, cmd_latency_ns)
             .end;
+        self.phase(
+            "OPEN",
+            SimTime::ZERO,
+            open_done,
+            &[("payload_bytes", payload.len() as f64)],
+        );
         let sid = match dev.open_raw(&payload, open_done) {
             Ok(sid) => sid,
             Err(e) => {
@@ -219,6 +260,15 @@ impl SessionDriver {
                         // The device's own hint did not pan out: a genuine
                         // retry, spaced by exponential backoff.
                         get_retries += 1;
+                        self.tracer.instant(
+                            TraceLevel::Protocol,
+                            pid::SESSION,
+                            0,
+                            "get-retry",
+                            "session",
+                            t,
+                            &[("stalls", stalls as f64)],
+                        );
                         if stalls > self.policy.max_get_retries {
                             let err = SessionError::Hung {
                                 stalled_polls: stalls,
@@ -227,7 +277,9 @@ impl SessionDriver {
                             return Err(self.abandon(dev, Some(sid), err, t, get_retries));
                         }
                     }
-                    t = ready_at.max(t + self.backoff_step(stalls));
+                    let next = ready_at.max(t + self.backoff_step(stalls));
+                    self.phase("GET-wait", t, next, &[("stalls", stalls as f64)]);
+                    t = next;
                     stalls += 1;
                     if t > deadline {
                         let err = SessionError::Timeout { at: t };
@@ -243,6 +295,7 @@ impl SessionDriver {
                     // Host-side receive + merge cost.
                     let cycles = 20_000 + batch.bytes / 2;
                     t = host_cpu.execute(t, cycles).end;
+                    self.phase("GET", iv.start, t, &[("bytes", batch.bytes as f64)]);
                     rows.extend(batch.rows);
                     if let Some(parts) = batch.aggs {
                         merge_aggs(&mut aggs, parts);
@@ -264,6 +317,15 @@ impl SessionDriver {
         if let Err(e) = dev.close(sid) {
             return Err(self.abandon(dev, None, SessionError::Device(e), t, get_retries));
         }
+        self.tracer.instant(
+            TraceLevel::Protocol,
+            pid::SESSION,
+            0,
+            "CLOSE",
+            "session",
+            t,
+            &[],
+        );
         Ok(SessionOutcome {
             rows,
             aggs,

@@ -3,6 +3,7 @@
 
 use crate::time::{transfer_ns, SimTime};
 use crate::timeline::{Interval, Timeline};
+use crate::trace::{TraceLevel, Tracer};
 
 /// A FIFO link with fixed per-request latency and fixed bandwidth.
 ///
@@ -17,6 +18,9 @@ pub struct Bus {
     latency_ns: u64,
     timeline: Timeline,
     bytes_moved: u64,
+    tracer: Tracer,
+    trace_pid: u32,
+    trace_tid: u32,
 }
 
 impl Bus {
@@ -30,7 +34,18 @@ impl Bus {
             latency_ns,
             timeline: Timeline::new(),
             bytes_moved: 0,
+            tracer: Tracer::none(),
+            trace_pid: 0,
+            trace_tid: 0,
         }
+    }
+
+    /// Attaches a tracer; every subsequent transfer emits a span on track
+    /// `(pid, tid)` with the bus name as its resource category.
+    pub fn set_tracer(&mut self, tracer: Tracer, pid: u32, tid: u32) {
+        self.tracer = tracer;
+        self.trace_pid = pid;
+        self.trace_tid = tid;
     }
 
     /// Transfers `bytes` over the bus, starting no earlier than `earliest`.
@@ -55,7 +70,17 @@ impl Bus {
             .saturating_add(setup_ns)
             .saturating_add(transfer_ns(bytes, self.bytes_per_sec));
         self.bytes_moved = self.bytes_moved.saturating_add(bytes);
-        self.timeline.occupy(earliest, service)
+        let iv = self.timeline.occupy(earliest, service);
+        self.tracer.span(
+            TraceLevel::Full,
+            self.trace_pid,
+            self.trace_tid,
+            "xfer",
+            self.name,
+            iv,
+            &[("bytes", bytes as f64)],
+        );
+        iv
     }
 
     /// Name used in utilization/energy reports.

@@ -2,6 +2,7 @@
 
 use crate::time::{cycles_ns, SimTime};
 use crate::timeline::{Interval, TimelineBank};
+use crate::trace::{TraceLevel, Tracer};
 
 /// A bank of identical cores at a fixed clock frequency.
 ///
@@ -19,6 +20,8 @@ pub struct CpuModel {
     hz: u64,
     cores: TimelineBank,
     cycles_total: u64,
+    tracer: Tracer,
+    trace_pid: u32,
 }
 
 impl CpuModel {
@@ -30,14 +33,36 @@ impl CpuModel {
             hz,
             cores: TimelineBank::new(cores),
             cycles_total: 0,
+            tracer: Tracer::none(),
+            trace_pid: 0,
         }
+    }
+
+    /// Attaches a tracer; every subsequent kernel charge emits a span under
+    /// `pid` with the serving core index as its tid and the CPU name as its
+    /// resource category.
+    pub fn set_tracer(&mut self, tracer: Tracer, pid: u32) {
+        self.tracer = tracer;
+        self.trace_pid = pid;
     }
 
     /// Executes `cycles` of work on the earliest-available core, starting no
     /// earlier than `earliest`.
     pub fn execute(&mut self, earliest: SimTime, cycles: u64) -> Interval {
         self.cycles_total = self.cycles_total.saturating_add(cycles);
-        self.cores.occupy(earliest, cycles_ns(cycles, self.hz))
+        let (core, iv) = self
+            .cores
+            .occupy_indexed(earliest, cycles_ns(cycles, self.hz));
+        self.tracer.span(
+            TraceLevel::Full,
+            self.trace_pid,
+            core as u32,
+            "exec",
+            self.name,
+            iv,
+            &[("cycles", cycles as f64)],
+        );
+        iv
     }
 
     /// Name used in utilization/energy reports.

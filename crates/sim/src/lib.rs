@@ -28,6 +28,7 @@ pub mod energy;
 pub mod report;
 pub mod time;
 pub mod timeline;
+pub mod trace;
 
 pub use bus::Bus;
 pub use cpu::CpuModel;
@@ -35,6 +36,10 @@ pub use energy::{EnergyBreakdown, PowerModel};
 pub use report::{FaultCounters, UtilizationReport};
 pub use time::SimTime;
 pub use timeline::{Interval, Timeline};
+pub use trace::{
+    ChromeTraceSink, CounterSink, MetricsSnapshot, NullSink, RunTrace, TraceLevel, TraceSink,
+    Tracer,
+};
 
 /// Bandwidths in this workspace are quoted in MB/s using the drive-vendor
 /// convention of 10^6 bytes, matching the paper's "550 MB/s" / "1,560 MB/s"

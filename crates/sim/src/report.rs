@@ -100,7 +100,7 @@ impl fmt::Display for FaultCounters {
 pub struct UtilizationReport {
     /// Simulated elapsed time of the run.
     pub elapsed: SimTime,
-    /// Component name -> (busy nanoseconds, utilization in [0,1]).
+    /// Component name -> (busy nanoseconds, utilization in \[0,1\]).
     pub components: BTreeMap<String, (u64, f64)>,
 }
 

@@ -112,12 +112,20 @@ impl TimelineBank {
 
     /// Dispatches a request to the lane that frees up soonest.
     pub fn occupy(&mut self, earliest: SimTime, service_ns: u64) -> Interval {
-        let lane = self
+        self.occupy_indexed(earliest, service_ns).1
+    }
+
+    /// Like [`Self::occupy`], additionally returning the index of the lane
+    /// that served the request (used to attribute trace spans to a specific
+    /// core/unit). Ties pick the lowest-indexed lane, same as `occupy`.
+    pub fn occupy_indexed(&mut self, earliest: SimTime, service_ns: u64) -> (usize, Interval) {
+        let (idx, lane) = self
             .lanes
             .iter_mut()
-            .min_by_key(|l| l.busy_until())
+            .enumerate()
+            .min_by_key(|(_, l)| l.busy_until())
             .expect("bank is non-empty");
-        lane.occupy(earliest, service_ns)
+        (idx, lane.occupy(earliest, service_ns))
     }
 
     /// Sum of busy time across all lanes, in nanoseconds.

@@ -11,7 +11,7 @@
 //!
 //! This crate is purely functional — no timing. It provides:
 //!
-//! * [`schema`] / [`types`] / [`tuple`]: fixed-width relational types
+//! * [`schema`] / [`types`] / [`mod@tuple`]: fixed-width relational types
 //!   (the paper's workload modifications make every column fixed width:
 //!   fixed-length chars, decimals stored as scaled integers, dates as day
 //!   numbers);

@@ -10,7 +10,7 @@
 //!   integer columns each, `R.col_1` the primary key, `S.col_2` a foreign
 //!   key into R, `S.col_3` the selection column for the Figure 5 sweep;
 //! * [`queries`] — TPC-H Q6, TPC-H Q14, the selection-with-join query, and
-//!   the single-table-scan sweep family from the companion paper [7],
+//!   the single-table-scan sweep family from the companion paper \[7\],
 //!   expressed as [`smartssd_query::Query`] templates;
 //! * [`dates`] — the day-number calendar helpers.
 //!

@@ -178,7 +178,7 @@ pub fn join_query(selectivity: f64) -> Query {
     }
 }
 
-/// The single-table-scan family from the companion paper [7]: scan
+/// The single-table-scan family from the companion paper \[7\]: scan
 /// Synthetic64_S with a selectivity knob, either returning matching rows
 /// (projected to `project_cols` columns) or aggregating them.
 pub fn scan_sweep(selectivity: f64, with_agg: bool, project_cols: usize) -> Query {

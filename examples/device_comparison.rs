@@ -9,13 +9,13 @@
 //! cargo run --release --example device_comparison
 //! ```
 
-use smartssd::{DeviceKind, Layout, RunReport, System, SystemConfig};
+use smartssd::{DeviceKind, Layout, RunOptions, RunReport, System, SystemBuilder};
 use smartssd_workload::{q14, q6, queries, tpch};
 
 const SF: f64 = 0.02;
 
 fn build(kind: DeviceKind, layout: Layout) -> System {
-    let mut sys = System::new(SystemConfig::new(kind, layout));
+    let mut sys = SystemBuilder::new(kind, layout).build();
     sys.load_table_rows(
         queries::LINEITEM,
         &tpch::lineitem_schema(),
@@ -59,7 +59,7 @@ fn main() {
                 continue; // the paper's Q14 figure has no HDD bar
             }
             let mut sys = build(kind, layout);
-            let r = sys.run(&query).expect("run");
+            let r = sys.run(&query, RunOptions::default()).expect("run");
             if kind == DeviceKind::Ssd {
                 baseline = Some(r.result.elapsed.as_secs_f64());
             }

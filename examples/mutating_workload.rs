@@ -14,7 +14,7 @@
 //! cargo run --release --example mutating_workload
 //! ```
 
-use smartssd::{DeviceKind, Layout, System, SystemConfig};
+use smartssd::{DeviceKind, Layout, RunOptions, SystemBuilder};
 use smartssd_exec::spec::ScanAggSpec;
 use smartssd_query::{Finalize, OpTemplate, Query};
 use smartssd_storage::expr::{AggSpec, Expr, Pred};
@@ -26,7 +26,7 @@ fn main() {
         (0..100_000).map(move |k| vec![Datum::I32(k), Datum::I64(k as i64 % 1000 * scale)] as Tuple)
     };
 
-    let mut sys = System::new(SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax));
+    let mut sys = SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax).build();
     sys.load_table_rows("accounts", &schema, rows(1)).unwrap();
     sys.finish_load();
 
@@ -52,12 +52,12 @@ fn main() {
     };
 
     println!("1) cold analytic query: pushdown is legal and wins");
-    let r = sys.run(&total).unwrap();
+    let r = sys.run(&total, RunOptions::default()).unwrap();
     step("   SELECT SUM(balance)", &r);
 
     println!("\n2) a transaction updates accounts in the buffer pool");
     sys.mark_dirty("accounts");
-    let r = sys.run(&total).unwrap();
+    let r = sys.run(&total, RunOptions::default()).unwrap();
     step("   SELECT SUM(balance) (dirty)", &r);
     assert_eq!(
         r.route,
@@ -67,13 +67,13 @@ fn main() {
 
     println!("\n3) checkpoint flushes to the device; pushdown resumes");
     sys.checkpoint("accounts").unwrap();
-    let r = sys.run(&total).unwrap();
+    let r = sys.run(&total, RunOptions::default()).unwrap();
     step("   SELECT SUM(balance)", &r);
     assert_eq!(r.route, smartssd::Route::Device);
 
     println!("\n4) bulk reload (10x balances): new extent written, old trimmed");
     sys.update_table_rows("accounts", rows(10)).unwrap();
-    let r = sys.run(&total).unwrap();
+    let r = sys.run(&total, RunOptions::default()).unwrap();
     step("   SELECT SUM(balance)", &r);
 
     println!("\nThe planner's other rules (cached data, result volume, device");

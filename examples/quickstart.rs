@@ -5,13 +5,13 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use smartssd::{DeviceKind, Layout, System, SystemConfig};
+use smartssd::{DeviceKind, Layout, RunOptions, SystemBuilder};
 use smartssd_workload::{q6, queries, tpch};
 
 fn main() {
     // A Smart SSD system with tables stored in the PAX layout — the
     // configuration the paper found best for in-device processing.
-    let mut sys = System::new(SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax));
+    let mut sys = SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax).build();
 
     // Generate and load LINEITEM at a laptop-friendly scale factor (the
     // paper uses SF 100 = 600M rows; timing ratios are scale-invariant).
@@ -26,7 +26,7 @@ fn main() {
 
     // Run TPC-H Q6. On this system the operator ships to the device as
     // OPEN parameters; the host collects the aggregate via GET.
-    let report = sys.run(&q6()).expect("run q6");
+    let report = sys.run(&q6(), RunOptions::default()).expect("run q6");
 
     println!("query   : {}", report.query);
     println!("device  : {} ({} layout)", report.device, report.layout);

@@ -9,7 +9,7 @@
 //! cargo run --release --example selectivity_crossover
 //! ```
 
-use smartssd::{DeviceKind, Layout, Route, System, SystemConfig};
+use smartssd::{DeviceKind, Layout, Route, RunOptions, System, SystemBuilder};
 use smartssd_query::{choose_route, PlannerConfig, PlannerInputs};
 use smartssd_workload::{
     join_query, queries, synthetic::synthetic_schema, synthetic64_r, synthetic64_s,
@@ -18,7 +18,7 @@ use smartssd_workload::{
 const SCALE: f64 = 0.0002; // 80k S rows, 200 R rows
 
 fn build(kind: DeviceKind, layout: Layout) -> System {
-    let mut sys = System::new(SystemConfig::new(kind, layout));
+    let mut sys = SystemBuilder::new(kind, layout).build();
     sys.load_table_rows(
         queries::SYNTH_R,
         &synthetic_schema(),
@@ -49,8 +49,8 @@ fn main() {
         let query = join_query(sel);
         ssd.clear_cache();
         smart.clear_cache();
-        let r_ssd = ssd.run(&query).expect("ssd");
-        let r_smart = smart.run(&query).expect("smart");
+        let r_ssd = ssd.run(&query, RunOptions::default()).expect("ssd");
+        let r_smart = smart.run(&query, RunOptions::default()).expect("smart");
         // Ask the planner what it would have chosen, given an oracle
         // selectivity estimate.
         let op = query.resolve(smart.catalog()).expect("resolve");

@@ -15,6 +15,9 @@ cargo fmt --all -- --check
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc --no-deps (-D warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
@@ -25,6 +28,8 @@ if [[ "${1:-}" != "fast" ]]; then
     cargo bench -q -p smartssd-bench --bench kernels -- --quick group_agg
     echo "== repro kernels --quick (BENCH_kernels.json) =="
     cargo run -q --release -p smartssd-bench --bin repro -- kernels --quick
+    echo "== repro trace --quick (trace_*.json + BENCH_trace.json) =="
+    cargo run -q --release -p smartssd-bench --bin repro -- trace --quick
 fi
 
 echo "OK"

@@ -2,7 +2,7 @@
 //! configuration, with results cross-checked against an in-memory reference
 //! executor.
 
-use smartssd::{DeviceKind, Layout, Route, System, SystemConfig};
+use smartssd::{DeviceKind, Layout, Route, RunOptions, System, SystemBuilder};
 use smartssd_storage::Tuple;
 use smartssd_workload::{
     dates::date_to_days, join_query, q14, q6, queries, synthetic::synthetic_schema, synthetic64_r,
@@ -14,7 +14,7 @@ const SYNTH: f64 = 0.0001; // 40k S rows, 100 R rows
 const SEED: u64 = 7;
 
 fn tpch_system(kind: DeviceKind, layout: Layout) -> System {
-    let mut sys = System::new(SystemConfig::new(kind, layout));
+    let mut sys = SystemBuilder::new(kind, layout).build();
     sys.load_table_rows(
         queries::LINEITEM,
         &tpch::lineitem_schema(),
@@ -32,7 +32,7 @@ fn tpch_system(kind: DeviceKind, layout: Layout) -> System {
 }
 
 fn synth_system(kind: DeviceKind, layout: Layout) -> System {
-    let mut sys = System::new(SystemConfig::new(kind, layout));
+    let mut sys = SystemBuilder::new(kind, layout).build();
     sys.load_table_rows(
         queries::SYNTH_R,
         &synthetic_schema(),
@@ -71,7 +71,7 @@ fn q6_identical_on_all_configurations() {
     for kind in [DeviceKind::Hdd, DeviceKind::Ssd, DeviceKind::SmartSsd] {
         for layout in [Layout::Nsm, Layout::Pax] {
             let mut sys = tpch_system(kind, layout);
-            let r = sys.run(&q6()).unwrap();
+            let r = sys.run(&q6(), RunOptions::default()).unwrap();
             assert_eq!(
                 r.result.agg_values[0], expected,
                 "Q6 mismatch on {kind:?}/{layout}"
@@ -83,9 +83,9 @@ fn q6_identical_on_all_configurations() {
 #[test]
 fn q6_device_route_equals_host_route_on_same_system() {
     let mut sys = tpch_system(DeviceKind::SmartSsd, Layout::Pax);
-    let dev = sys.run_routed(&q6(), Route::Device).unwrap();
+    let dev = sys.run(&q6(), RunOptions::routed(Route::Device)).unwrap();
     sys.clear_cache();
-    let host = sys.run_routed(&q6(), Route::Host).unwrap();
+    let host = sys.run(&q6(), RunOptions::routed(Route::Host)).unwrap();
     assert_eq!(dev.result.agg_values, host.result.agg_values);
     assert_eq!(dev.route, Route::Device);
     assert_eq!(host.route, Route::Host);
@@ -132,7 +132,7 @@ fn q14_identical_on_all_configurations_and_sane() {
     for kind in [DeviceKind::Ssd, DeviceKind::SmartSsd] {
         for layout in [Layout::Nsm, Layout::Pax] {
             let mut sys = tpch_system(kind, layout);
-            let r = sys.run(&q14()).unwrap();
+            let r = sys.run(&q14(), RunOptions::default()).unwrap();
             let got = r.result.scalar.expect("q14 produces a scalar");
             assert!(
                 (got - expected).abs() < 1e-9,
@@ -169,7 +169,7 @@ fn join_rows_identical_on_all_configurations() {
         for kind in [DeviceKind::Ssd, DeviceKind::SmartSsd] {
             for layout in [Layout::Nsm, Layout::Pax] {
                 let mut sys = synth_system(kind, layout);
-                let r = sys.run(&join_query(sel)).unwrap();
+                let r = sys.run(&join_query(sel), RunOptions::default()).unwrap();
                 let got: Vec<(i64, i64)> = r
                     .result
                     .rows
@@ -185,7 +185,7 @@ fn join_rows_identical_on_all_configurations() {
 #[test]
 fn elapsed_and_energy_are_positive_and_consistent() {
     let mut sys = tpch_system(DeviceKind::SmartSsd, Layout::Pax);
-    let r = sys.run(&q6()).unwrap();
+    let r = sys.run(&q6(), RunOptions::default()).unwrap();
     assert!(r.result.elapsed.as_nanos() > 0);
     assert!(r.energy.system_kj() > 0.0);
     assert!(r.energy.io_kj() > 0.0);
@@ -203,8 +203,8 @@ fn hdd_is_much_slower_than_both_ssds() {
     let q = q6();
     let mut hdd = tpch_system(DeviceKind::Hdd, Layout::Nsm);
     let mut ssd = tpch_system(DeviceKind::Ssd, Layout::Nsm);
-    let t_hdd = hdd.run(&q).unwrap().result.elapsed;
-    let t_ssd = ssd.run(&q).unwrap().result.elapsed;
+    let t_hdd = hdd.run(&q, RunOptions::default()).unwrap().result.elapsed;
+    let t_ssd = ssd.run(&q, RunOptions::default()).unwrap().result.elapsed;
     let ratio = t_hdd.as_secs_f64() / t_ssd.as_secs_f64();
     assert!(ratio > 4.0, "HDD/SSD ratio {ratio:.1}");
 }
@@ -212,11 +212,11 @@ fn hdd_is_much_slower_than_both_ssds() {
 #[test]
 fn warm_cache_removes_device_traffic() {
     let mut sys = tpch_system(DeviceKind::Ssd, Layout::Nsm);
-    let cold = sys.run(&q6()).unwrap();
+    let cold = sys.run(&q6(), RunOptions::default()).unwrap();
     assert!(cold.util.utilization("io-device").unwrap_or(0.0) > 0.0);
     sys.warm_cache(queries::LINEITEM, 1.0).unwrap();
     assert!(sys.residency(queries::LINEITEM) > 0.99);
-    let warm = sys.run(&q6()).unwrap();
+    let warm = sys.run(&q6(), RunOptions::default()).unwrap();
     // Fully cached: the device is never touched, and the run is no slower
     // (the paper's host Q6 is CPU-bound, so elapsed barely moves — that is
     // precisely why the Discussion says cached data kills pushdown's

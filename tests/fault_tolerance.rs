@@ -6,7 +6,7 @@
 //! but they never change query answers and never break determinism.
 
 use proptest::prelude::*;
-use smartssd::{DeviceKind, Layout, Route, RunReport, System, SystemConfig};
+use smartssd::{DeviceKind, Layout, Route, RunOptions, RunReport, SystemBuilder, SystemConfig};
 use smartssd_exec::spec::ScanAggSpec;
 use smartssd_flash::FlashConfig;
 use smartssd_query::{Finalize, OpTemplate, Query};
@@ -49,11 +49,11 @@ fn run_case(
     let mut cfg = SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax);
     cfg.flash = flash;
     tweak(&mut cfg);
-    let mut sys = System::new(cfg);
+    let mut sys = SystemBuilder::from_config(cfg).build();
     sys.load_table_rows("t", &small_schema(), rows(N_ROWS))
         .unwrap();
     sys.finish_load();
-    sys.run_routed(&sum_query(), route)
+    sys.run(&sum_query(), RunOptions::routed(route))
 }
 
 fn expected_sum() -> i128 {

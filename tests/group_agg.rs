@@ -2,7 +2,7 @@
 //! pushdown == host == reference, memory-grant enforcement, and the repro
 //! experiment path.
 
-use smartssd::{DeviceKind, Layout, Route, System, SystemConfig};
+use smartssd::{DeviceKind, Layout, Route, RunOptions, System, SystemBuilder, SystemConfig};
 use smartssd_exec::spec::GroupAggSpec;
 use smartssd_query::{Finalize, OpTemplate, Query};
 use smartssd_storage::expr::{AggSpec, Expr, Pred};
@@ -14,7 +14,7 @@ const SF: f64 = 0.005;
 const SEED: u64 = 11;
 
 fn tpch_system(kind: DeviceKind, layout: Layout) -> System {
-    let mut sys = System::new(SystemConfig::new(kind, layout));
+    let mut sys = SystemBuilder::new(kind, layout).build();
     sys.load_table_rows(
         queries::LINEITEM,
         &tpch::lineitem_schema(),
@@ -64,7 +64,7 @@ fn q1_identical_on_all_routes_and_matches_reference() {
         let mut sys = tpch_system(DeviceKind::SmartSsd, layout);
         for route in [Route::Device, Route::Host] {
             sys.clear_cache();
-            let r = sys.run_routed(&q1(), route).unwrap();
+            let r = sys.run(&q1(), RunOptions::routed(route)).unwrap();
             assert_eq!(r.result.rows.len(), expected.len(), "{layout}/{route:?}");
             for row in &r.result.rows {
                 let key = (row[0].as_bytes()[0], row[1].as_bytes()[0]);
@@ -86,9 +86,9 @@ fn q1_breaks_even_on_prototype_but_wins_on_scaled_device() {
     // breaks even — consistent with Section 5's call for more device
     // hardware before heavier operators pay off.
     let mut sys = tpch_system(DeviceKind::SmartSsd, Layout::Pax);
-    let dev = sys.run_routed(&q1(), Route::Device).unwrap();
+    let dev = sys.run(&q1(), RunOptions::routed(Route::Device)).unwrap();
     sys.clear_cache();
-    let host = sys.run_routed(&q1(), Route::Host).unwrap();
+    let host = sys.run(&q1(), RunOptions::routed(Route::Host)).unwrap();
     assert_eq!(dev.result.rows, host.result.rows);
     let ratio = host.result.elapsed.as_secs_f64() / dev.result.elapsed.as_secs_f64();
     assert!(
@@ -101,7 +101,7 @@ fn q1_breaks_even_on_prototype_but_wins_on_scaled_device() {
     cfg.smart.cpu_hz = 1_000_000_000;
     cfg.flash.channels = 16;
     cfg.flash.dram_bw = 6_400_000_000;
-    let mut big = System::new(cfg);
+    let mut big = SystemBuilder::from_config(cfg).build();
     big.load_table_rows(
         queries::LINEITEM,
         &tpch::lineitem_schema(),
@@ -109,7 +109,7 @@ fn q1_breaks_even_on_prototype_but_wins_on_scaled_device() {
     )
     .unwrap();
     big.finish_load();
-    let scaled = big.run_routed(&q1(), Route::Device).unwrap();
+    let scaled = big.run(&q1(), RunOptions::routed(Route::Device)).unwrap();
     assert_eq!(scaled.result.rows, host.result.rows);
     let speedup = host.result.elapsed.as_secs_f64() / scaled.result.elapsed.as_secs_f64();
     assert!(speedup > 2.0, "scaled-device Q1 speedup {speedup:.2}x");
@@ -122,7 +122,7 @@ fn high_cardinality_grouping_exceeds_grant_and_falls_back() {
     let schema = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)]);
     let mut cfg = SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax);
     cfg.smart.session_memory_bytes = 8 * 1024;
-    let mut sys = System::new(cfg);
+    let mut sys = SystemBuilder::from_config(cfg).build();
     let rows: Vec<Tuple> = (0..50_000)
         .map(|k| vec![Datum::I32(k), Datum::I64(k as i64)])
         .collect();
@@ -140,7 +140,7 @@ fn high_cardinality_grouping_exceeds_grant_and_falls_back() {
         },
         finalize: Finalize::Rows,
     };
-    let r = sys.run(&query).unwrap();
+    let r = sys.run(&query, RunOptions::default()).unwrap();
     assert_eq!(r.route, Route::Host, "device must reject the grant");
     assert_eq!(r.result.rows.len(), 50_000);
 }
@@ -148,8 +148,8 @@ fn high_cardinality_grouping_exceeds_grant_and_falls_back() {
 #[test]
 fn group_rows_are_deterministically_ordered() {
     let mut sys = tpch_system(DeviceKind::SmartSsd, Layout::Pax);
-    let a = sys.run(&q1()).unwrap();
-    let b = sys.run(&q1()).unwrap();
+    let a = sys.run(&q1(), RunOptions::default()).unwrap();
+    let b = sys.run(&q1(), RunOptions::default()).unwrap();
     assert_eq!(a.result.rows, b.result.rows);
     // BTreeMap ordering: keys ascend byte-wise.
     let keys: Vec<Vec<u8>> = a

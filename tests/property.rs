@@ -7,7 +7,7 @@
 //! results, only timing.
 
 use proptest::prelude::*;
-use smartssd::{DeviceKind, Layout, Route, System, SystemConfig};
+use smartssd::{DeviceKind, Layout, Route, RunOptions, System, SystemBuilder};
 use smartssd_exec::spec::{ColRef, JoinOutput, ScanAggSpec, ScanSpec};
 use smartssd_query::{Finalize, OpTemplate, Query};
 use smartssd_storage::expr::{AggSpec, CmpOp, Expr, Pred};
@@ -63,12 +63,12 @@ prop_compose! {
 fn assert_all_routes_agree(rows: &[Tuple], query: &Query) -> (Vec<i128>, Vec<Tuple>) {
     let mut reference: Option<(Vec<i128>, Vec<Tuple>)> = None;
     for layout in [Layout::Nsm, Layout::Pax] {
-        let mut sys = System::new(SystemConfig::new(DeviceKind::SmartSsd, layout));
+        let mut sys = SystemBuilder::new(DeviceKind::SmartSsd, layout).build();
         sys.load_table_rows("t", &schema(), rows.to_vec()).unwrap();
         sys.finish_load();
         for route in [Route::Device, Route::Host] {
             sys.clear_cache();
-            let r = sys.run_routed(query, route).unwrap();
+            let r = sys.run(query, RunOptions::routed(route)).unwrap();
             let got = (r.result.agg_values.clone(), r.result.rows.clone());
             match &reference {
                 None => reference = Some(got),
@@ -158,7 +158,7 @@ proptest! {
 
 /// Join property: pushdown == host == nested-loop reference.
 fn join_systems(build_rows: &[Tuple], probe_rows: &[Tuple], layout: Layout) -> System {
-    let mut sys = System::new(SystemConfig::new(DeviceKind::SmartSsd, layout));
+    let mut sys = SystemBuilder::new(DeviceKind::SmartSsd, layout).build();
     sys.load_table_rows("build", &schema(), build_rows.to_vec())
         .unwrap();
     sys.load_table_rows("probe", &schema(), probe_rows.to_vec())
@@ -205,7 +205,7 @@ proptest! {
             let mut sys = join_systems(&build, &probe, layout);
             for route in [Route::Device, Route::Host] {
                 sys.clear_cache();
-                let r = sys.run_routed(&query, route).unwrap();
+                let r = sys.run(&query, RunOptions::routed(route)).unwrap();
                 let mut got: Vec<(i64, i64)> = r.result.rows.iter()
                     .map(|t| (t[0].as_i64(), t[1].as_i64()))
                     .collect();
@@ -234,10 +234,10 @@ proptest! {
             finalize: Finalize::AggRow,
         };
         let run = || {
-            let mut sys = System::new(SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax));
+            let mut sys = SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax).build();
             sys.load_table_rows("t", &schema(), rows.clone()).unwrap();
             sys.finish_load();
-            sys.run(&query).unwrap().result.elapsed
+            sys.run(&query, RunOptions::default()).unwrap().result.elapsed
         };
         prop_assert_eq!(run(), run());
     }

@@ -1,7 +1,7 @@
 //! Integration tests of the session protocol and failure handling across
 //! the device/host boundary.
 
-use smartssd::{DeviceKind, Layout, Route, SystemConfig};
+use smartssd::{DeviceKind, Layout, Route, RunOptions, SystemConfig};
 use smartssd_device::{DeviceConfig, DeviceError, GetResponse, SmartSsd};
 use smartssd_exec::spec::{ScanAggSpec, ScanSpec};
 use smartssd_exec::QueryOp;
@@ -105,7 +105,7 @@ fn memory_grant_rejection_falls_back_to_host_in_system() {
     // transparently rerun on the host and still produce correct rows.
     let mut cfg = SystemConfig::new(DeviceKind::SmartSsd, Layout::Nsm);
     cfg.smart.session_memory_bytes = 2048;
-    let mut sys = smartssd::System::new(cfg);
+    let mut sys = smartssd::SystemBuilder::from_config(cfg).build();
     sys.load_table_rows("build", &small_schema(), rows(20_000))
         .unwrap();
     sys.load_table_rows("probe", &small_schema(), rows(5_000))
@@ -128,7 +128,7 @@ fn memory_grant_rejection_falls_back_to_host_in_system() {
         },
         finalize: Finalize::Rows,
     };
-    let report = sys.run(&query).unwrap();
+    let report = sys.run(&query, RunOptions::default()).unwrap();
     // It ran — on the host.
     assert_eq!(report.route, Route::Host);
     assert_eq!(report.result.rows.len(), 5_000);
@@ -136,7 +136,7 @@ fn memory_grant_rejection_falls_back_to_host_in_system() {
 
 #[test]
 fn validation_failures_surface_as_plan_or_device_errors() {
-    let mut sys = smartssd::System::new(SystemConfig::new(DeviceKind::SmartSsd, Layout::Nsm));
+    let mut sys = smartssd::SystemBuilder::new(DeviceKind::SmartSsd, Layout::Nsm).build();
     sys.load_table_rows("t", &small_schema(), rows(100))
         .unwrap();
     sys.finish_load();
@@ -152,7 +152,7 @@ fn validation_failures_surface_as_plan_or_device_errors() {
         },
         finalize: Finalize::Rows,
     };
-    assert!(sys.run(&q_missing).is_err());
+    assert!(sys.run(&q_missing, RunOptions::default()).is_err());
     // Bad column index.
     let q_bad_col = Query {
         name: "bad col".into(),
@@ -165,12 +165,12 @@ fn validation_failures_surface_as_plan_or_device_errors() {
         },
         finalize: Finalize::Rows,
     };
-    assert!(sys.run(&q_bad_col).is_err());
+    assert!(sys.run(&q_bad_col, RunOptions::default()).is_err());
 }
 
 #[test]
 fn planner_routes_by_residency_end_to_end() {
-    let mut sys = smartssd::System::new(SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax));
+    let mut sys = smartssd::SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax).build();
     sys.load_table_rows("t", &small_schema(), rows(200_000))
         .unwrap();
     sys.finish_load();
@@ -193,12 +193,14 @@ fn planner_routes_by_residency_end_to_end() {
     };
     // Cold: pushdown.
     let cold = sys
-        .run_with_planner(&query, &planner, inputs.clone())
+        .run(&query, RunOptions::planned(planner.clone(), inputs.clone()))
         .unwrap();
     assert_eq!(cold.route, Route::Device);
     // Fully cached: the planner must refuse to push down.
     sys.warm_cache("t", 1.0).unwrap();
-    let warm = sys.run_with_planner(&query, &planner, inputs).unwrap();
+    let warm = sys
+        .run(&query, RunOptions::planned(planner, inputs))
+        .unwrap();
     assert_eq!(warm.route, Route::Host);
     assert_eq!(cold.result.agg_values, warm.result.agg_values);
 }
@@ -249,7 +251,7 @@ fn silent_corruption_is_caught_and_retried_on_both_routes() {
     };
     let mut cfg = SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax);
     cfg.flash = flash;
-    let mut sys = smartssd::System::new(cfg);
+    let mut sys = smartssd::SystemBuilder::from_config(cfg).build();
     sys.load_table_rows("t", &small_schema(), rows(40_000))
         .unwrap();
     sys.finish_load();
@@ -267,7 +269,7 @@ fn silent_corruption_is_caught_and_retried_on_both_routes() {
     let expected_sum: i128 = (0..40_000i128).sum();
     for route in [Route::Device, Route::Host] {
         sys.clear_cache();
-        let r = sys.run_routed(&query, route).unwrap();
+        let r = sys.run(&query, RunOptions::routed(route)).unwrap();
         assert_eq!(r.result.agg_values[0], expected_sum, "route {route:?}");
         assert_eq!(r.result.agg_values[1], 40_000);
     }

@@ -2,7 +2,7 @@
 //! Discussion section: in-place table replacement (with trim of the old
 //! extent), dirty tracking, and the pushdown-forbidden-while-dirty rule.
 
-use smartssd::{DeviceKind, Layout, Route, System, SystemConfig};
+use smartssd::{DeviceKind, Layout, Route, RunOptions, System, SystemBuilder};
 use smartssd_exec::spec::ScanAggSpec;
 use smartssd_query::{Finalize, OpTemplate, Query};
 use smartssd_storage::expr::{AggSpec, Expr, Pred};
@@ -32,7 +32,7 @@ fn sum_query() -> Query {
 }
 
 fn smart_system(n: i32) -> System {
-    let mut sys = System::new(SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax));
+    let mut sys = SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax).build();
     sys.load_table_rows("t", &schema(), rows(n, 1)).unwrap();
     sys.finish_load();
     sys
@@ -41,13 +41,13 @@ fn smart_system(n: i32) -> System {
 #[test]
 fn update_replaces_contents_on_both_routes() {
     let mut sys = smart_system(10_000);
-    let before = sys.run(&sum_query()).unwrap();
+    let before = sys.run(&sum_query(), RunOptions::default()).unwrap();
     assert_eq!(before.result.agg_values[0], (0..10_000i128).sum::<i128>());
     // Replace with scaled values and fewer rows.
     sys.update_table_rows("t", rows(5_000, 10)).unwrap();
     for route in [Route::Device, Route::Host] {
         sys.clear_cache();
-        let after = sys.run_routed(&sum_query(), route).unwrap();
+        let after = sys.run(&sum_query(), RunOptions::routed(route)).unwrap();
         assert_eq!(
             after.result.agg_values[0],
             (0..5_000i128).map(|k| k * 10).sum::<i128>(),
@@ -64,7 +64,7 @@ fn update_trims_old_extent_for_gc() {
     // the device must not leak space (GC reclaims trimmed extents).
     for round in 1..=4 {
         sys.update_table_rows("t", rows(50_000, round)).unwrap();
-        let r = sys.run(&sum_query()).unwrap();
+        let r = sys.run(&sum_query(), RunOptions::default()).unwrap();
         assert_eq!(
             r.result.agg_values[0],
             (0..50_000i128).map(|k| k * round as i128).sum::<i128>()
@@ -75,18 +75,22 @@ fn update_trims_old_extent_for_gc() {
 #[test]
 fn dirty_table_forces_host_route() {
     let mut sys = smart_system(20_000);
-    let clean = sys.run(&sum_query()).unwrap();
+    let clean = sys.run(&sum_query(), RunOptions::default()).unwrap();
     assert_eq!(clean.route, Route::Device);
     // Mark dirty: even an explicit device request must be rerouted.
     sys.mark_dirty("t");
     assert!(sys.is_dirty("t"));
-    let dirty = sys.run_routed(&sum_query(), Route::Device).unwrap();
+    let dirty = sys
+        .run(&sum_query(), RunOptions::routed(Route::Device))
+        .unwrap();
     assert_eq!(dirty.route, Route::Host, "stale pushdown must be refused");
     assert_eq!(dirty.result.agg_values, clean.result.agg_values);
     // Checkpoint restores pushdown eligibility.
     sys.checkpoint("t").unwrap();
     assert!(!sys.is_dirty("t"));
-    let again = sys.run_routed(&sum_query(), Route::Device).unwrap();
+    let again = sys
+        .run(&sum_query(), RunOptions::routed(Route::Device))
+        .unwrap();
     assert_eq!(again.route, Route::Device);
 }
 
@@ -94,13 +98,13 @@ fn dirty_table_forces_host_route() {
 fn checkpoint_of_clean_table_is_noop() {
     let mut sys = smart_system(1_000);
     sys.checkpoint("t").unwrap();
-    let r = sys.run(&sum_query()).unwrap();
+    let r = sys.run(&sum_query(), RunOptions::default()).unwrap();
     assert_eq!(r.route, Route::Device);
 }
 
 #[test]
 fn dirty_join_input_forces_host_route() {
-    let mut sys = System::new(SystemConfig::new(DeviceKind::SmartSsd, Layout::Nsm));
+    let mut sys = SystemBuilder::new(DeviceKind::SmartSsd, Layout::Nsm).build();
     sys.load_table_rows("build", &schema(), rows(500, 1))
         .unwrap();
     sys.load_table_rows("probe", &schema(), rows(2_000, 1))
@@ -123,22 +127,22 @@ fn dirty_join_input_forces_host_route() {
         },
         finalize: Finalize::Rows,
     };
-    let clean = sys.run(&query).unwrap();
+    let clean = sys.run(&query, RunOptions::default()).unwrap();
     assert_eq!(clean.route, Route::Device);
     // Dirtying the *build side* must also block pushdown.
     sys.mark_dirty("build");
-    let dirty = sys.run(&query).unwrap();
+    let dirty = sys.run(&query, RunOptions::default()).unwrap();
     assert_eq!(dirty.route, Route::Host);
     assert_eq!(dirty.result.rows, clean.result.rows);
 }
 
 #[test]
 fn updates_work_on_plain_ssd_too() {
-    let mut sys = System::new(SystemConfig::new(DeviceKind::Ssd, Layout::Nsm));
+    let mut sys = SystemBuilder::new(DeviceKind::Ssd, Layout::Nsm).build();
     sys.load_table_rows("t", &schema(), rows(3_000, 2)).unwrap();
     sys.finish_load();
     sys.update_table_rows("t", rows(1_000, 7)).unwrap();
-    let r = sys.run(&sum_query()).unwrap();
+    let r = sys.run(&sum_query(), RunOptions::default()).unwrap();
     assert_eq!(
         r.result.agg_values[0],
         (0..1_000i128).map(|k| k * 7).sum::<i128>()
