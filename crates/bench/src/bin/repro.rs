@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--quick] [fig1|tab2|fig3|fig5|fig7|tab3|plans|scan-sweep|array|cache|
 //!                  device-scaling|interface|concurrent|host-parallel|q1|kernels|
-//!                  faults|trace|all]
+//!                  faults|trace|concurrency|all]
 //!
 //! `kernels` wall-clock-times the vectorized scan kernels against the
 //! tuple-at-a-time reference implementations and writes the results to
@@ -19,7 +19,15 @@
 //! the simulated-time tracer attached, and writes one Chrome `trace_event`
 //! file per run (`trace_<query>_<route>.json`, open in Perfetto or
 //! `chrome://tracing`) plus `BENCH_trace.json` with per-resource busy
-//! fractions.
+//! fractions. It also traces a four-query concurrent Q6 workload
+//! (`trace_q6_workload.json`) — the session track carries one lane per
+//! in-flight query, so the overlap is visible directly.
+//!
+//! `concurrency` (not part of `all`, for the same reason) sweeps N
+//! simultaneous Q6 pushdown sessions with device-side scan sharing off vs
+//! on, on the paper-era prototype and on a Section 5 scaled device, and
+//! writes the slowdown curves plus latency percentiles to
+//! `BENCH_concurrency.json`.
 //! ```
 //!
 //! Elapsed times are simulated; "projected" columns rescale them to the
@@ -27,9 +35,9 @@
 //! fixed selectivity). EXPERIMENTS.md records paper-vs-measured values.
 
 use smartssd_bench::{
-    array_exp, cache_exp, concurrent_exp, device_scaling_exp, fault_injection_exp, fig1, fig3,
-    fig5, fig7, host_parallel_exp, interface_exp, plans, q1_exp, scan_sweep_exp, tab2, tab3,
-    trace_exp, Bars, Scales,
+    array_exp, cache_exp, concurrency_exp, concurrent_exp, device_scaling_exp, fault_injection_exp,
+    fig1, fig3, fig5, fig7, host_parallel_exp, interface_exp, plans, q1_exp, scan_sweep_exp, tab2,
+    tab3, trace_exp, workload_trace_exp, Bars, Scales,
 };
 
 fn print_bars(title: &str, bars: &Bars, projection: f64, paper_speedup: f64) {
@@ -447,6 +455,72 @@ fn run_faults(s: &Scales) {
     println!();
 }
 
+fn run_concurrency(s: &Scales) {
+    println!("== Workload: N concurrent Q6 streams, scan sharing off vs on ==");
+    println!("  config            sharing  sessions  makespan[s]  slowdown  p95[ms]  flash-reads  shared-hits");
+    let curves = match concurrency_exp(s, &[1, 2, 4, 8]) {
+        Ok(curves) => curves,
+        Err(fault) => {
+            println!("  experiment aborted by device fault: {fault}");
+            return;
+        }
+    };
+    let mut entries = String::new();
+    for c in &curves {
+        for p in &c.points {
+            println!(
+                "  {:<17} {:>7}  {:>8}  {:>11.3}  {:>7.2}x  {:>7.2}  {:>11}  {:>11}",
+                c.config,
+                if c.shared_scans { "on" } else { "off" },
+                p.sessions,
+                p.makespan_secs,
+                p.slowdown,
+                p.p95_ms,
+                p.flash_reads,
+                p.shared_hits
+            );
+        }
+        let mut points = String::new();
+        for p in &c.points {
+            if !points.is_empty() {
+                points.push_str(",\n");
+            }
+            points.push_str(&format!(
+                "        {{\"sessions\": {}, \"makespan_secs\": {:.9}, \"slowdown\": {:.4}, \
+                 \"throughput_qps\": {:.3}, \"p50_ms\": {:.6}, \"p95_ms\": {:.6}, \
+                 \"p99_ms\": {:.6}, \"flash_reads\": {}, \"shared_hits\": {}}}",
+                p.sessions,
+                p.makespan_secs,
+                p.slowdown,
+                p.throughput_qps,
+                p.p50_ms,
+                p.p95_ms,
+                p.p99_ms,
+                p.flash_reads,
+                p.shared_hits
+            ));
+        }
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"config\": \"{}\", \"cores\": {}, \"mhz\": {}, \"shared_scans\": {}, \
+             \"points\": [\n{points}\n      ]}}",
+            c.config, c.cores, c.mhz, c.shared_scans
+        ));
+    }
+    let json = format!(
+        "{{\n  \"generated_by\": \"repro concurrency\",\n  \"query\": \"q6\",\n  \
+         \"interface_mode\": \"direct\",\n  \"curves\": [\n{entries}\n  ]\n}}\n"
+    );
+    std::fs::write("BENCH_concurrency.json", json).expect("write BENCH_concurrency.json");
+    println!("  (on the prototype the embedded CPU serializes sessions with or without");
+    println!("   sharing; on the scaled device the flash path dominates, and sharing");
+    println!("   the scan collapses N sessions to ~1x flash traffic)");
+    println!("  wrote BENCH_concurrency.json");
+    println!();
+}
+
 fn run_trace(s: &Scales) {
     println!("== Observability: traced Q6 run pair (device vs host route) ==");
     println!("  route    elapsed[s]   trace file");
@@ -484,6 +558,18 @@ fn run_trace(s: &Scales) {
             p.query, p.elapsed_secs
         ));
     }
+    let wl = workload_trace_exp(s);
+    let wl_file = "trace_q6_workload.json";
+    std::fs::write(wl_file, &wl.chrome_json).unwrap_or_else(|e| panic!("write {wl_file}: {e}"));
+    println!(
+        "  {:<7}  {:>9.3}   {wl_file} ({} concurrent queries, one lane each)",
+        "both", wl.makespan_secs, wl.sessions
+    );
+    entries.push_str(&format!(
+        ",\n    {{\"query\": \"q6 workload\", \"route\": \"both\", \"sessions\": {}, \
+         \"makespan_secs\": {:.9}, \"trace_file\": \"{wl_file}\"}}",
+        wl.sessions, wl.makespan_secs
+    ));
     let json =
         format!("{{\n  \"generated_by\": \"repro trace\",\n  \"runs\": [\n{entries}\n  ]\n}}\n");
     std::fs::write("BENCH_trace.json", json).expect("write BENCH_trace.json");
@@ -571,5 +657,8 @@ fn main() {
     }
     if what == "trace" {
         run_trace(&s);
+    }
+    if what == "concurrency" {
+        run_concurrency(&s);
     }
 }

@@ -2,8 +2,8 @@
 
 use crate::scale::Scales;
 use smartssd::{
-    ChromeTraceSink, CounterSink, DeviceKind, RunError, RunOptions, RunReport, System,
-    SystemBuilder, SystemConfig, TraceSink,
+    ChromeTraceSink, CounterSink, DeviceKind, InterfaceMode, RunError, RunOptions, RunReport,
+    System, SystemBuilder, SystemConfig, TraceSink, Workload, WorkloadOptions, WorkloadReport,
 };
 use smartssd_host::interface::{roadmap, RoadmapPoint};
 use smartssd_query::{PlannerConfig, PlannerInputs, Query, Route};
@@ -546,56 +546,170 @@ pub struct ConcurrencyPoint {
     pub slowdown: f64,
 }
 
+/// Builds a Smart SSD system with only LINEITEM loaded, cold, after
+/// applying `f` to the builder — the shape all workload-level concurrency
+/// experiments share (PART would only add unread pages).
+fn lineitem_system(s: &Scales, f: impl FnOnce(SystemBuilder) -> SystemBuilder) -> System {
+    let mut sys = f(SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax)).build();
+    sys.load_table_rows(
+        queries::LINEITEM,
+        &tpch::lineitem_schema(),
+        tpch::lineitem_rows(s.tpch_sf, s.seed),
+    )
+    .expect("load lineitem");
+    sys.finish_load();
+    sys
+}
+
+/// N simultaneous Q6 pushdown sessions under device-only timing: the
+/// makespan of a [`Workload::burst`] with the interface taken out of the
+/// picture, so the curve isolates device-internal contention (embedded
+/// CPU and flash path), with scan sharing on or off and optionally a
+/// scaled device CPU (`cores_mhz`).
+fn q6_burst_makespan(
+    s: &Scales,
+    n: usize,
+    shared: bool,
+    cores_mhz: Option<(usize, u64)>,
+) -> Result<WorkloadReport, RunError> {
+    let mut sys = lineitem_system(s, |b| {
+        b.shared_scans(shared).tweak(|cfg| {
+            cfg.smart.max_sessions = n.max(4);
+            if let Some((cores, mhz)) = cores_mhz {
+                cfg.smart.cpu_cores = cores;
+                cfg.smart.cpu_hz = mhz * 1_000_000;
+            }
+        })
+    });
+    sys.run_workload(
+        &Workload::burst(&q6(), n),
+        WorkloadOptions {
+            interface: InterfaceMode::Direct,
+            ..WorkloadOptions::default()
+        },
+    )
+}
+
 /// "Considering the impact of concurrent queries" is on the paper's
 /// research-opportunities list (Section 5). N identical Q6 sessions open
-/// simultaneously on one device and share its CPU and flash path.
+/// simultaneously on one device and share its CPU and flash path; the
+/// slowdown is always normalized against the true single-session makespan,
+/// whatever range the sweep covers.
 ///
-/// Sessions run through the fault-tolerant
-/// [`smartssd_query::SessionDriver`], so an injected device fault
-/// propagates as a [`RunError`] instead of crashing the experiment.
+/// Queries run through [`smartssd::System::run_workload`] and its
+/// fault-tolerant session machinery, so an injected device fault propagates
+/// as a [`RunError`] instead of crashing the experiment.
 pub fn concurrent_exp(
     s: &Scales,
     session_counts: &[usize],
 ) -> Result<Vec<ConcurrencyPoint>, RunError> {
-    use smartssd_query::SessionDriver;
-    use smartssd_workload::tpch::lineitem_schema;
-    let driver = SessionDriver::default();
-    let mut single = None;
-    let mut points = Vec::with_capacity(session_counts.len());
-    for &n in session_counts {
-        let cfg = SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax);
-        let mut dev = smartssd_device::SmartSsd::new(
-            cfg.flash.clone(),
-            smartssd_device::DeviceConfig {
-                max_sessions: n.max(4),
-                ..cfg.smart.clone()
-            },
-        );
-        let mut b = smartssd_storage::TableBuilder::new("lineitem", lineitem_schema(), Layout::Pax);
-        b.extend(tpch::lineitem_rows(s.tpch_sf, s.seed));
-        let img = b.finish();
-        let tref = dev.load_table(&img, 0).map_err(RunError::from)?;
-        dev.reset_timing();
-        let mut catalog = smartssd_query::Catalog::new();
-        catalog.register(queries::LINEITEM, tref);
-        let op = q6().resolve(&catalog).expect("resolve");
-        let sids: Vec<_> = (0..n)
-            .map(|_| driver.open(&mut dev, &op, SimTime::ZERO))
-            .collect::<Result<_, _>>()?;
-        let mut makespan = SimTime::ZERO;
-        for sid in sids {
-            let out = driver.drain_direct(&mut dev, sid, SimTime::ZERO)?;
-            makespan = makespan.max(out.finished_at);
+    let base = q6_burst_makespan(s, 1, false, None)?.makespan.as_secs_f64();
+    session_counts
+        .iter()
+        .map(|&n| {
+            let secs = if n == 1 {
+                base
+            } else {
+                q6_burst_makespan(s, n, false, None)?.makespan.as_secs_f64()
+            };
+            Ok(ConcurrencyPoint {
+                sessions: n,
+                makespan_secs: secs,
+                slowdown: secs / base,
+            })
+        })
+        .collect()
+}
+
+/// One point of a workload-level concurrency curve.
+#[derive(Debug, Clone)]
+pub struct WorkloadCurvePoint {
+    /// Number of concurrent sessions in the burst.
+    pub sessions: usize,
+    /// Time until the last session finishes, seconds.
+    pub makespan_secs: f64,
+    /// Makespan over the single-session makespan on the same device.
+    pub slowdown: f64,
+    /// Queries per second of simulated time.
+    pub throughput_qps: f64,
+    /// Median query latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile query latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile query latency, milliseconds.
+    pub p99_ms: f64,
+    /// Flash page reads the workload issued.
+    pub flash_reads: u64,
+    /// Page reads served by the device's shared-scan window instead of
+    /// flash.
+    pub shared_hits: u64,
+}
+
+/// One curve of the concurrency experiment: a device configuration with
+/// scan sharing on or off, swept over session counts.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyCurve {
+    /// Device configuration label.
+    pub config: &'static str,
+    /// Embedded CPU cores.
+    pub cores: usize,
+    /// Embedded CPU clock, MHz.
+    pub mhz: u64,
+    /// Whether device-side scan sharing was enabled.
+    pub shared_scans: bool,
+    /// One point per session count.
+    pub points: Vec<WorkloadCurvePoint>,
+}
+
+/// The workload-level concurrency experiment: N simultaneous Q6 pushdown
+/// sessions, with device-side scan sharing off vs on, on two devices.
+///
+/// On the paper-era prototype (2 cores at 400 MHz) the embedded CPU is the
+/// bottleneck at ~99% utilization, so sharing the flash reads barely bends
+/// the curve — the serialization the paper's Section 5 worries about is
+/// real. On a Section 5 scaled device (8 cores at 1 GHz, same flash) the
+/// flash path dominates instead, and scan sharing collapses the N-session
+/// flash traffic to ~1x: the slowdown curve flattens well below N.
+pub fn concurrency_exp(
+    s: &Scales,
+    session_counts: &[usize],
+) -> Result<Vec<ConcurrencyCurve>, RunError> {
+    let configs: [(&'static str, usize, u64); 2] =
+        [("paper prototype", 2, 400), ("scaled device", 8, 1_000)];
+    let mut curves = Vec::new();
+    for &(config, cores, mhz) in &configs {
+        for shared in [false, true] {
+            let base = q6_burst_makespan(s, 1, shared, Some((cores, mhz)))?
+                .makespan
+                .as_secs_f64();
+            let points = session_counts
+                .iter()
+                .map(|&n| {
+                    let rep = q6_burst_makespan(s, n, shared, Some((cores, mhz)))?;
+                    let secs = rep.makespan.as_secs_f64();
+                    Ok(WorkloadCurvePoint {
+                        sessions: n,
+                        makespan_secs: secs,
+                        slowdown: secs / base,
+                        throughput_qps: rep.throughput_qps,
+                        p50_ms: rep.latency.p50.as_secs_f64() * 1e3,
+                        p95_ms: rep.latency.p95.as_secs_f64() * 1e3,
+                        p99_ms: rep.latency.p99.as_secs_f64() * 1e3,
+                        flash_reads: rep.flash_reads,
+                        shared_hits: rep.shared_hits,
+                    })
+                })
+                .collect::<Result<Vec<_>, RunError>>()?;
+            curves.push(ConcurrencyCurve {
+                config,
+                cores,
+                mhz,
+                shared_scans: shared,
+                points,
+            });
         }
-        let secs = makespan.as_secs_f64();
-        let base = *single.get_or_insert(secs);
-        points.push(ConcurrencyPoint {
-            sessions: n,
-            makespan_secs: secs,
-            slowdown: secs / base,
-        });
     }
-    Ok(points)
+    Ok(curves)
 }
 
 /// One point of the host-parallelism ablation.
@@ -822,4 +936,39 @@ pub fn trace_exp(s: &Scales) -> Vec<TracePoint> {
             }
         })
         .collect()
+}
+
+/// Traced concurrent workload: what the timeline of overlapping queries
+/// looks like.
+#[derive(Debug, Clone)]
+pub struct WorkloadTracePoint {
+    /// Number of queries in the workload.
+    pub sessions: usize,
+    /// Workload makespan, seconds.
+    pub makespan_secs: f64,
+    /// Chrome `trace_event` JSON: the session track carries one lane per
+    /// in-flight query, so overlap is visible directly in Perfetto.
+    pub chrome_json: String,
+}
+
+/// A traced four-query Q6 workload on the Smart SSD (PAX) with scan
+/// sharing on: queries arrive as a seeded open stream over the full linked
+/// protocol, and every session's OPEN/GET/CLOSE phases land on that
+/// query's own lane of the session track.
+pub fn workload_trace_exp(s: &Scales) -> WorkloadTracePoint {
+    let n = 4;
+    let mut sys = lineitem_system(s, |b| b.shared_scans(true).trace(ChromeTraceSink::new()));
+    let workload = Workload::open_stream(&q6(), n, SimTime::from_nanos(2_000_000), s.seed);
+    let rep = sys
+        .run_workload(&workload, WorkloadOptions::default())
+        .expect("traced workload");
+    WorkloadTracePoint {
+        sessions: n,
+        makespan_secs: rep.makespan.as_secs_f64(),
+        chrome_json: rep
+            .trace
+            .chrome_json()
+            .expect("chrome sink yields json")
+            .to_string(),
+    }
 }

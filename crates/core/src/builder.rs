@@ -166,6 +166,15 @@ impl SystemBuilder {
         self
     }
 
+    /// Enables or disables device-side scan sharing: with it on, concurrent
+    /// pushdown scans over the same table fan each flash page read out to
+    /// every attached session instead of re-reading it per session. Off by
+    /// default, so single-query figures are unaffected.
+    pub fn shared_scans(mut self, on: bool) -> Self {
+        self.cfg.smart.shared_scans = on;
+        self
+    }
+
     /// Sets the injected flash fault rates (each per read, out of 2^32):
     /// correctable ECC retries, uncorrectable failures, and silent
     /// corruption.

@@ -62,11 +62,17 @@ pub mod array;
 pub mod builder;
 pub mod config;
 pub mod system;
+pub mod workload;
 
 pub use array::SmartSsdArray;
 pub use builder::{RoutePolicy, RunOptions, SystemBuilder};
 pub use config::{DeviceKind, PowerParams, SystemConfig};
 pub use system::{RunError, RunErrorKind, RunReport, System};
+pub use workload::{
+    InterfaceMode, QueryCompletion, Workload, WorkloadItem, WorkloadOptions, WorkloadReport,
+};
+
+pub use smartssd_sim::LatencyStats;
 
 pub use smartssd_query::{Finalize, Query, QueryResult, Route};
 pub use smartssd_sim::{

@@ -108,7 +108,7 @@ impl fmt::Display for RunErrorKind {
 #[derive(Debug)]
 pub struct RunError {
     kind: RunErrorKind,
-    faults: FaultCounters,
+    pub(crate) faults: FaultCounters,
 }
 
 impl RunError {
@@ -197,7 +197,7 @@ impl From<SessionError> for RunError {
 }
 
 #[allow(clippy::large_enum_variant)] // one backend exists per System; no dense collections of these
-enum Backend {
+pub(crate) enum Backend {
     Hdd(HddHostPath),
     Ssd(SsdHostPath),
     Smart {
@@ -213,12 +213,14 @@ enum Backend {
 
 /// One complete test bed: device + host + catalog.
 ///
-/// Build with [`crate::SystemBuilder`]; run queries with [`System::run`].
+/// Build with [`crate::SystemBuilder`]; run single queries with
+/// [`System::run`] and concurrent streams with
+/// [`System::run_workload`](crate::workload).
 pub struct System {
-    cfg: SystemConfig,
-    backend: Backend,
-    host_cpu: CpuModel,
-    catalog: Catalog,
+    pub(crate) cfg: SystemConfig,
+    pub(crate) backend: Backend,
+    pub(crate) host_cpu: CpuModel,
+    pub(crate) catalog: Catalog,
     next_lba: u64,
     /// Tables with buffer-pool updates not yet checkpointed to the device.
     /// Pushdown against them would read stale data (paper Section 4.3).
@@ -226,19 +228,13 @@ pub struct System {
     /// Run-scoped fault accounting that must survive the timing reset a
     /// fallback performs (fallbacks taken, wasted time, `GET` retries, and
     /// the device counters snapshotted before the reset wiped them).
-    run_faults: FaultCounters,
+    pub(crate) run_faults: FaultCounters,
     /// Shared handle to the trace sink attached at build time (a no-op
     /// handle when none was).
-    tracer: Tracer,
+    pub(crate) tracer: Tracer,
 }
 
 impl System {
-    /// Builds an empty system per the configuration.
-    #[deprecated(since = "0.3.0", note = "use `SystemBuilder` (attachable trace sink)")]
-    pub fn new(cfg: SystemConfig) -> Self {
-        Self::assemble(cfg, Tracer::none())
-    }
-
     /// Assembles the system and threads the tracer through every
     /// timeline-owning component.
     pub(crate) fn assemble(cfg: SystemConfig, tracer: Tracer) -> Self {
@@ -361,7 +357,7 @@ impl System {
     }
 
     /// Clears all timelines and counters (between runs).
-    fn reset_run_timing(&mut self) {
+    pub(crate) fn reset_run_timing(&mut self) {
         self.host_cpu.reset();
         match &mut self.backend {
             Backend::Hdd(p) => p.reset_timing(),
@@ -588,31 +584,36 @@ impl System {
         })
     }
 
-    fn run_inner(&mut self, query: &Query, opts: &RunOptions) -> Result<RunReport, RunError> {
-        let op = query.resolve(&self.catalog)?;
-        self.tracer.set_level(opts.verbosity);
-        self.tracer.begin_run();
-        let requested = match &opts.route {
+    /// Resolves the route a policy picks for an operator, applying the
+    /// dirty-data correctness rule: a dirty input means the on-device copy
+    /// is stale, so the device route is not available (Section 4.3) —
+    /// before any cost consideration.
+    pub(crate) fn resolve_route(&self, op: &QueryOp, policy: &RoutePolicy) -> Route {
+        let requested = match policy {
             RoutePolicy::Natural => match self.cfg.device {
                 DeviceKind::SmartSsd => Route::Device,
                 _ => Route::Host,
             },
             RoutePolicy::Force(r) => *r,
-            RoutePolicy::Planned { planner, inputs } => self.plan_route(&op, planner, inputs),
+            RoutePolicy::Planned { planner, inputs } => self.plan_route(op, planner, inputs),
         };
-        // Correctness rule before any cost consideration: a dirty input
-        // means the on-device copy is stale, so the device route is not
-        // available (Section 4.3).
-        let route = if requested == Route::Device && self.op_touches_dirty(&op) {
+        if requested == Route::Device && self.op_touches_dirty(op) {
             Route::Host
         } else {
             requested
-        };
+        }
+    }
+
+    fn run_inner(&mut self, query: &Query, opts: &RunOptions) -> Result<RunReport, RunError> {
+        let op = query.resolve(&self.catalog)?;
+        self.tracer.set_level(opts.verbosity);
+        self.tracer.begin_run();
+        let route = self.resolve_route(&op, &opts.route);
         let dop = opts.dop.unwrap_or(self.cfg.host_dop);
         self.reset_run_timing();
         self.run_faults = FaultCounters::default();
         let (result, route) = match route {
-            Route::Host => (self.run_host(&op, query, dop)?, Route::Host),
+            Route::Host => (self.run_host(&op, query, dop, SimTime::ZERO)?, Route::Host),
             Route::Device => match self.run_device(&op, query) {
                 Ok(r) => (r, Route::Device),
                 // Graceful degradation: on a resource rejection or an
@@ -628,7 +629,7 @@ impl System {
                     RunErrorKind::Session(fault) if Self::fault_is_recoverable(&fault.error) => {
                         self.note_fallback(&fault);
                         self.reset_run_timing();
-                        let mut r = self.run_host(&op, query, dop)?;
+                        let mut r = self.run_host(&op, query, dop, SimTime::ZERO)?;
                         if self.cfg.session_policy.carry_wasted_time {
                             r.elapsed += fault.wasted;
                         }
@@ -674,31 +675,10 @@ impl System {
         route
     }
 
-    /// Runs a query on an explicit route. `Route::Device` requires a Smart
-    /// SSD system.
-    #[deprecated(since = "0.3.0", note = "use `run` with `RunOptions::routed(route)`")]
-    pub fn run_routed(&mut self, query: &Query, route: Route) -> Result<RunReport, RunError> {
-        self.run(query, RunOptions::routed(route))
-    }
-
-    /// Runs a query letting the planner pick the route.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `run` with `RunOptions::planned(planner, inputs)`"
-    )]
-    pub fn run_with_planner(
-        &mut self,
-        query: &Query,
-        planner: &PlannerConfig,
-        inputs: PlannerInputs,
-    ) -> Result<RunReport, RunError> {
-        self.run(query, RunOptions::planned(planner.clone(), inputs))
-    }
-
     /// Whether a session failure may be recovered by re-running on the
     /// host. Malformed payloads and invalid operators would fail on the
     /// host too, so they propagate.
-    fn fault_is_recoverable(error: &SessionError) -> bool {
+    pub(crate) fn fault_is_recoverable(error: &SessionError) -> bool {
         match error {
             SessionError::Device(e) => {
                 !matches!(e, DeviceError::Wire(_) | DeviceError::Validation(_))
@@ -709,7 +689,7 @@ impl System {
 
     /// Books a failed device attempt into the run's fault counters before
     /// the timing reset wipes the device-side view of it.
-    fn note_fallback(&mut self, fault: &SessionFault) {
+    pub(crate) fn note_fallback(&mut self, fault: &SessionFault) {
         if let Backend::Smart {
             dev, host_faults, ..
         } = &self.backend
@@ -731,23 +711,27 @@ impl System {
         pool.residency(tref.first_lba, tref.num_pages)
     }
 
-    /// Host-route execution on whatever device backs the system.
-    fn run_host(
+    /// Host-route execution on whatever device backs the system, started
+    /// at simulated time `now` (single-query runs start at zero; a
+    /// workload starts each query at its arrival). The returned
+    /// [`QueryResult::elapsed`] is a duration from `now`.
+    pub(crate) fn run_host(
         &mut self,
         op: &QueryOp,
         query: &Query,
         dop: usize,
+        now: SimTime,
     ) -> Result<QueryResult, RunError> {
         let costs = self.cfg.host_costs;
         let tracer = self.tracer.clone();
         match &mut self.backend {
             Backend::Hdd(path) => HostEngine::new(path, &mut self.host_cpu, costs)
                 .with_tracer(tracer)
-                .run(op, &query.finalize, SimTime::ZERO, dop)
+                .run(op, &query.finalize, now, dop)
                 .map_err(RunError::from),
             Backend::Ssd(path) => HostEngine::new(path, &mut self.host_cpu, costs)
                 .with_tracer(tracer)
-                .run(op, &query.finalize, SimTime::ZERO, dop)
+                .run(op, &query.finalize, now, dop)
                 .map_err(RunError::from),
             Backend::Smart {
                 dev,
@@ -766,7 +750,7 @@ impl System {
                 };
                 HostEngine::new(&mut view, &mut self.host_cpu, costs)
                     .with_tracer(tracer)
-                    .run(op, &query.finalize, SimTime::ZERO, dop)
+                    .run(op, &query.finalize, now, dop)
                     .map_err(RunError::from)
             }
         }
@@ -802,7 +786,7 @@ impl System {
 
     /// Fault counters as of right now: what the run banked plus the
     /// backend's live view.
-    fn current_faults(&self) -> FaultCounters {
+    pub(crate) fn current_faults(&self) -> FaultCounters {
         let mut faults = self.run_faults;
         match &self.backend {
             Backend::Hdd(_) => {}

@@ -1,0 +1,702 @@
+//! Concurrent workloads: many in-flight queries on one [`System`].
+//!
+//! The paper's Section 5 research-opportunities list calls out
+//! "considering the impact of concurrent queries" — a single
+//! [`System::run`] cannot answer that, because it resets every timeline
+//! before the query starts. [`System::run_workload`] keeps the machine hot
+//! across a whole arrival stream instead: queries arrive on a deterministic
+//! schedule, contend for the shared resource timelines (flash channels,
+//! device CPU, host interface, host CPUs, buffer pool), queue for session
+//! slots when the device is full, and the report carries the workload-level
+//! metrics a single run cannot produce — makespan, throughput, and the
+//! latency distribution.
+//!
+//! Two sharing effects make a concurrent stream cheaper than N isolated
+//! runs:
+//!
+//! * **Device-side shared scans** (enable with
+//!   [`DeviceConfig::shared_scans`](smartssd_device::DeviceConfig)):
+//!   concurrent pushdown scans of the same table fan each flash page read
+//!   out to every attached session, so N concurrent Q6 sessions cost ~1x
+//!   flash traffic instead of Nx.
+//! * **The host buffer pool**, which persists across the workload's
+//!   queries: host-routed queries over a shared working set hit pages their
+//!   predecessors faulted in. Single-query experiments reset around each
+//!   run, so this effect only becomes observable under a multi-query
+//!   stream.
+//!
+//! Everything is simulated time: a fixed seed replays the identical
+//! schedule, and answers are bit-identical to isolated runs regardless of
+//! interleaving or sharing.
+
+use crate::builder::RoutePolicy;
+use crate::system::{Backend, RunError, RunErrorKind, System};
+use smartssd_device::DeviceError;
+use smartssd_exec::QueryOp;
+use smartssd_query::{Query, QueryResult, Route, SessionDriver, SessionFault, SessionOutcome};
+use smartssd_sim::trace::pid;
+use smartssd_sim::{
+    ArrivalGen, EventQueue, FaultCounters, Interval, LatencyStats, RunTrace, SimTime, TraceLevel,
+};
+use std::collections::VecDeque;
+
+/// One query of a workload: what to run, how to route it, and when it
+/// arrives.
+#[derive(Debug, Clone)]
+pub struct WorkloadItem {
+    /// The query to run.
+    pub query: Query,
+    /// Route policy for this query (natural, forced, or planner-decided).
+    pub route: RoutePolicy,
+    /// Simulated arrival time.
+    pub arrival: SimTime,
+}
+
+/// A deterministic stream of queries submitted to one [`System`].
+///
+/// Build one explicitly with [`Workload::push`], as a burst of simultaneous
+/// arrivals with [`Workload::burst`], or as a seeded open-arrival stream
+/// with [`Workload::open_stream`]. Arrival times need not be sorted — the
+/// scheduler orders events itself — but same-instant arrivals are served in
+/// item order, so the stream is reproducible either way.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    items: Vec<WorkloadItem>,
+}
+
+impl Workload {
+    /// An empty workload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one query with an explicit route policy and arrival time.
+    pub fn push(&mut self, query: Query, route: RoutePolicy, arrival: SimTime) {
+        self.items.push(WorkloadItem {
+            query,
+            route,
+            arrival,
+        });
+    }
+
+    /// `n` copies of one query, all arriving at time zero on the natural
+    /// route — the closed "N concurrent sessions" shape of the
+    /// concurrent-sessions experiment.
+    pub fn burst(query: &Query, n: usize) -> Self {
+        let mut w = Self::new();
+        for _ in 0..n {
+            w.push(query.clone(), RoutePolicy::Natural, SimTime::ZERO);
+        }
+        w
+    }
+
+    /// `n` copies of one query arriving as an open stream: inter-arrival
+    /// gaps are drawn uniformly from `[0, 2 * mean_gap)` by a seeded
+    /// deterministic generator (see [`ArrivalGen`]), so the mean gap is
+    /// `mean_gap` and a fixed seed reproduces the schedule exactly.
+    pub fn open_stream(query: &Query, n: usize, mean_gap: SimTime, seed: u64) -> Self {
+        let mut w = Self::new();
+        for arrival in ArrivalGen::new(mean_gap, seed).arrivals(n) {
+            w.push(query.clone(), RoutePolicy::Natural, arrival);
+        }
+        w
+    }
+
+    /// The workload's items, in submission order.
+    pub fn items(&self) -> &[WorkloadItem] {
+        &self.items
+    }
+
+    /// Number of queries in the workload.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// How device-routed queries cross the host boundary during a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InterfaceMode {
+    /// Full protocol: the `OPEN` payload and every result batch cross the
+    /// host interface, and the host pays per-batch receive/merge CPU — the
+    /// same path [`System::run`] takes for device-routed queries.
+    #[default]
+    Linked,
+    /// Device-only timing: sessions open directly on the device and batch
+    /// consumption is instantaneous at `ready_at`. This isolates
+    /// *device-internal* contention (flash path + embedded CPU), the shape
+    /// the concurrent-sessions experiment measures.
+    Direct,
+}
+
+/// Per-workload knobs for [`System::run_workload`].
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadOptions {
+    /// Interface model for device-routed queries.
+    pub interface: InterfaceMode,
+    /// Host degree of parallelism for host-routed queries; `None` uses the
+    /// system's configured `host_dop`.
+    pub dop: Option<usize>,
+    /// Trace verbosity for the workload. Ignored without an attached sink.
+    pub verbosity: TraceLevel,
+}
+
+/// One finished query of a workload.
+#[derive(Debug, Clone)]
+pub struct QueryCompletion {
+    /// Index of the query in the workload's submission order.
+    pub index: usize,
+    /// Query name.
+    pub query: String,
+    /// Where the query actually ran (after any dirty-rule override or
+    /// mid-run fallback).
+    pub route: Route,
+    /// When the query arrived.
+    pub arrival: SimTime,
+    /// When its last result was consumed.
+    pub finished_at: SimTime,
+    /// `finished_at - arrival`: queueing delay included.
+    pub latency: SimTime,
+    /// Rows, aggregates, and work receipt. `result.elapsed` equals
+    /// `latency` (a workload query's cost is measured from its arrival).
+    pub result: QueryResult,
+}
+
+/// Everything measured about one workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Per-query completions, in submission order.
+    pub completions: Vec<QueryCompletion>,
+    /// Simulated time from zero until the last completion.
+    pub makespan: SimTime,
+    /// Queries per second of simulated time (`len / makespan`).
+    pub throughput_qps: f64,
+    /// Latency distribution over the completions.
+    pub latency: LatencyStats,
+    /// Flash page reads issued during the workload (Smart SSD and SSD
+    /// systems; zero on HDD).
+    pub flash_reads: u64,
+    /// Page reads served by device-side scan sharing instead of flash
+    /// (zero unless `shared_scans` is enabled).
+    pub shared_hits: u64,
+    /// Host buffer-pool hits across the workload.
+    pub pool_hits: u64,
+    /// Host buffer-pool misses across the workload.
+    pub pool_misses: u64,
+    /// Faults absorbed along the way (all zero on a clean run).
+    pub faults: FaultCounters,
+    /// The workload's trace, as produced by the sink attached at build
+    /// time — one lane per in-flight query under the session track.
+    pub trace: RunTrace,
+}
+
+/// Scheduler events: a query arrives, or a device session's slot frees.
+enum Ev {
+    Arrive(usize),
+    Close(smartssd_device::SessionId),
+}
+
+/// What one device-route dispatch attempt produced.
+enum DevAttempt {
+    /// No session slot free: the query queues for the next close.
+    Deferred,
+    /// The session ran; its slot stays held until `out.finished_at`.
+    Done(smartssd_device::SessionId, SessionOutcome),
+    /// The session failed; it has already been closed.
+    Fault(SessionFault),
+}
+
+impl System {
+    /// Runs a workload of concurrent queries, interleaving them across the
+    /// system's shared resource timelines.
+    ///
+    /// Timing state is reset **once**, before the first arrival — not
+    /// between queries — so in-flight queries contend for flash channels,
+    /// the device CPU, the host interface, and host cores, and the buffer
+    /// pool carries state across queries. Device-routed queries occupy one
+    /// of the device's `max_sessions` slots from open to close; arrivals
+    /// that find every slot taken queue FIFO and are admitted as slots
+    /// free. A recoverable mid-run session fault degrades that one query to
+    /// the host route (its latency absorbs the wasted device time);
+    /// unrecoverable failures abort the workload with a [`RunError`].
+    ///
+    /// The simulation is deterministic: the same workload on the same
+    /// system produces a bit-identical report, and each query's rows and
+    /// aggregates are bit-identical to an isolated [`System::run`] of the
+    /// same query.
+    pub fn run_workload(
+        &mut self,
+        workload: &Workload,
+        opts: WorkloadOptions,
+    ) -> Result<WorkloadReport, RunError> {
+        self.run_workload_inner(workload, &opts).map_err(|mut e| {
+            e.faults.absorb(&self.current_faults());
+            e
+        })
+    }
+
+    fn run_workload_inner(
+        &mut self,
+        workload: &Workload,
+        opts: &WorkloadOptions,
+    ) -> Result<WorkloadReport, RunError> {
+        self.tracer.set_level(opts.verbosity);
+        self.tracer.begin_run();
+        self.reset_run_timing();
+        self.run_faults = FaultCounters::default();
+        let dop = opts.dop.unwrap_or(self.cfg.host_dop);
+        let n = workload.len();
+        let mut events: EventQueue<Ev> = EventQueue::new();
+        for (i, item) in workload.items().iter().enumerate() {
+            events.push(item.arrival, Ev::Arrive(i));
+        }
+        let mut deferred: VecDeque<usize> = VecDeque::new();
+        let mut completions: Vec<Option<QueryCompletion>> = (0..n).map(|_| None).collect();
+        while let Some((t, ev)) = events.pop() {
+            match ev {
+                Ev::Arrive(i) => {
+                    self.dispatch(workload, i, t, opts, dop, &mut events, &mut deferred)
+                        .map(|done| completions[i] = done)?;
+                }
+                Ev::Close(sid) => {
+                    let Backend::Smart { dev, .. } = &mut self.backend else {
+                        unreachable!("close events only exist for smart systems");
+                    };
+                    dev.close(sid).map_err(RunError::from)?;
+                    // The freed slot admits the longest-waiting query, which
+                    // re-arrives now.
+                    if let Some(j) = deferred.pop_front() {
+                        self.dispatch(workload, j, t, opts, dop, &mut events, &mut deferred)
+                            .map(|done| completions[j] = done)?;
+                    }
+                }
+            }
+        }
+        debug_assert!(deferred.is_empty(), "every close admits a waiter");
+        let completions: Vec<QueryCompletion> = completions
+            .into_iter()
+            .map(|c| c.expect("every arrival completes or errors out"))
+            .collect();
+        let makespan = completions
+            .iter()
+            .map(|c| c.finished_at)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let latencies: Vec<SimTime> = completions.iter().map(|c| c.latency).collect();
+        let throughput_qps = if makespan > SimTime::ZERO {
+            n as f64 / makespan.as_secs_f64()
+        } else {
+            0.0
+        };
+        let (flash_reads, shared_hits, pool_hits, pool_misses) = match &self.backend {
+            Backend::Hdd(p) => (0, 0, p.pool.hits(), p.pool.misses()),
+            Backend::Ssd(p) => (p.ssd.stats().reads, 0, p.pool.hits(), p.pool.misses()),
+            Backend::Smart { dev, pool, .. } => (
+                dev.flash.stats().reads,
+                dev.shared_hits(),
+                pool.hits(),
+                pool.misses(),
+            ),
+        };
+        // One top-level span so the trace's root covers the whole workload.
+        self.tracer.span(
+            TraceLevel::Protocol,
+            pid::RUN,
+            0,
+            "workload",
+            "run",
+            Interval {
+                start: SimTime::ZERO,
+                end: makespan,
+            },
+            &[("queries", n as f64)],
+        );
+        let trace = self.tracer.finish_run();
+        Ok(WorkloadReport {
+            makespan,
+            throughput_qps,
+            latency: LatencyStats::from_sample(&latencies),
+            flash_reads,
+            shared_hits,
+            pool_hits,
+            pool_misses,
+            faults: self.current_faults(),
+            completions,
+            trace,
+        })
+    }
+
+    /// Dispatches one query at simulated time `now`. Returns the completion
+    /// (`None` when the query was deferred on a full device — it will be
+    /// re-dispatched by a close event).
+    #[allow(clippy::too_many_arguments)] // internal scheduler plumbing, not API
+    fn dispatch(
+        &mut self,
+        workload: &Workload,
+        idx: usize,
+        now: SimTime,
+        opts: &WorkloadOptions,
+        dop: usize,
+        events: &mut EventQueue<Ev>,
+        deferred: &mut VecDeque<usize>,
+    ) -> Result<Option<QueryCompletion>, RunError> {
+        let item = &workload.items()[idx];
+        let op = item.query.resolve(&self.catalog)?;
+        let route = self.resolve_route(&op, &item.route);
+        match route {
+            Route::Host => self.host_completion(item, &op, idx, now, dop).map(Some),
+            Route::Device => {
+                match self.device_attempt(&op, idx, now, opts)? {
+                    DevAttempt::Deferred => {
+                        deferred.push_back(idx);
+                        Ok(None)
+                    }
+                    DevAttempt::Done(sid, out) => {
+                        // Hold the session slot until its simulated finish.
+                        events.push(out.finished_at, Ev::Close(sid));
+                        self.run_faults.get_retries += out.get_retries;
+                        let (agg_values, scalar) = item
+                            .query
+                            .finalize
+                            .apply(out.aggs.as_deref().unwrap_or(&[]));
+                        let latency = out.finished_at.saturating_sub(item.arrival);
+                        self.query_span(idx, item.arrival, out.finished_at, Route::Device);
+                        Ok(Some(QueryCompletion {
+                            index: idx,
+                            query: item.query.name.clone(),
+                            route: Route::Device,
+                            arrival: item.arrival,
+                            finished_at: out.finished_at,
+                            latency,
+                            result: QueryResult {
+                                rows: out.rows,
+                                agg_values,
+                                scalar,
+                                elapsed: latency,
+                                work: out.work,
+                            },
+                        }))
+                    }
+                    DevAttempt::Fault(fault) => {
+                        if !Self::fault_is_recoverable(&fault.error) {
+                            return Err(RunError::from(fault));
+                        }
+                        // Degrade this one query to the host. Unlike the
+                        // single-query path there is no timing reset — the
+                        // rest of the workload keeps its timelines — so the
+                        // wasted device time is charged where it belongs:
+                        // the fallback starts no earlier than the fault.
+                        self.run_faults.fallbacks += 1;
+                        self.run_faults.get_retries += fault.get_retries;
+                        self.run_faults.wasted_ns += fault.wasted.as_nanos();
+                        let start = now.max(fault.wasted);
+                        self.host_completion(item, &op, idx, start, dop).map(Some)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs one workload query on the host route starting at `start`,
+    /// producing its completion record.
+    fn host_completion(
+        &mut self,
+        item: &WorkloadItem,
+        op: &QueryOp,
+        idx: usize,
+        start: SimTime,
+        dop: usize,
+    ) -> Result<QueryCompletion, RunError> {
+        let mut result = self.run_host(op, &item.query, dop, start)?;
+        let finished_at = start + result.elapsed;
+        let latency = finished_at.saturating_sub(item.arrival);
+        result.elapsed = latency;
+        self.query_span(idx, item.arrival, finished_at, Route::Host);
+        Ok(QueryCompletion {
+            index: idx,
+            query: item.query.name.clone(),
+            route: Route::Host,
+            arrival: item.arrival,
+            finished_at,
+            latency,
+            result,
+        })
+    }
+
+    /// One device-route attempt at `now`, under the workload's interface
+    /// model. A full device is reported as [`DevAttempt::Deferred`], not an
+    /// error — the scheduler queues the query for the next free slot.
+    fn device_attempt(
+        &mut self,
+        op: &QueryOp,
+        idx: usize,
+        now: SimTime,
+        opts: &WorkloadOptions,
+    ) -> Result<DevAttempt, RunError> {
+        let driver = SessionDriver::new(self.cfg.session_policy.clone())
+            .with_tracer(self.tracer.clone())
+            .with_lane(idx as u32);
+        let timeout = self.cfg.session_policy.session_timeout;
+        let cmd_latency_ns = self.cfg.interface.command_latency_ns();
+        let Backend::Smart { dev, link, .. } = &mut self.backend else {
+            return Err(RunError::from_kind(RunErrorKind::NotSmart));
+        };
+        match opts.interface {
+            InterfaceMode::Direct => match dev.open(op, now) {
+                Err(DeviceError::TooManySessions) => Ok(DevAttempt::Deferred),
+                Err(e) => Ok(DevAttempt::Fault(SessionFault {
+                    error: smartssd_query::SessionError::Device(e),
+                    wasted: now,
+                    get_retries: 0,
+                })),
+                Ok(sid) => match driver.collect_direct(dev, sid, now, now + timeout) {
+                    Ok(out) => Ok(DevAttempt::Done(sid, out)),
+                    Err(fault) => Ok(DevAttempt::Fault(fault)),
+                },
+            },
+            InterfaceMode::Linked => match driver.open_linked(dev, link, cmd_latency_ns, op, now) {
+                Err(fault)
+                    if matches!(
+                        fault.error,
+                        smartssd_query::SessionError::Device(DeviceError::TooManySessions)
+                    ) =>
+                {
+                    Ok(DevAttempt::Deferred)
+                }
+                Err(fault) => Ok(DevAttempt::Fault(fault)),
+                Ok((sid, open_done)) => {
+                    match driver.collect_linked(
+                        dev,
+                        link,
+                        &mut self.host_cpu,
+                        sid,
+                        now,
+                        open_done + timeout,
+                    ) {
+                        Ok(out) => Ok(DevAttempt::Done(sid, out)),
+                        Err(fault) => Ok(DevAttempt::Fault(fault)),
+                    }
+                }
+            },
+        }
+    }
+
+    /// Emits one per-query lifetime span on the query's session lane, so
+    /// overlapped queries render as parallel lanes in Perfetto.
+    fn query_span(&self, idx: usize, arrival: SimTime, finished: SimTime, route: Route) {
+        self.tracer.span(
+            TraceLevel::Protocol,
+            pid::SESSION,
+            idx as u32,
+            "query",
+            "session",
+            Interval {
+                start: arrival,
+                end: finished,
+            },
+            &[(
+                "device_route",
+                if route == Route::Device { 1.0 } else { 0.0 },
+            )],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{RunOptions, SystemBuilder};
+    use crate::config::DeviceKind;
+    use smartssd_exec::spec::ScanAggSpec;
+    use smartssd_query::{Finalize, OpTemplate};
+    use smartssd_storage::expr::{AggSpec, Expr, Pred};
+    use smartssd_storage::{DataType, Datum, Layout};
+
+    fn build_sys(kind: DeviceKind, f: impl FnOnce(SystemBuilder) -> SystemBuilder) -> System {
+        let schema =
+            smartssd_storage::Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)]);
+        let mut sys = f(SystemBuilder::new(kind, Layout::Pax)).build();
+        sys.load_table_rows(
+            "t",
+            &schema,
+            (0..20_000).map(|k| vec![Datum::I32(k), Datum::I64(k as i64)]),
+        )
+        .unwrap();
+        sys.finish_load();
+        sys
+    }
+
+    fn sum_query() -> Query {
+        Query {
+            name: "sum".into(),
+            op: OpTemplate::ScanAgg {
+                table: "t".into(),
+                spec: ScanAggSpec {
+                    pred: Pred::Const(true),
+                    aggs: vec![AggSpec::sum(Expr::col(1))],
+                },
+            },
+            finalize: Finalize::AggRow,
+        }
+    }
+
+    #[test]
+    fn workload_answers_match_isolated_runs() {
+        let q = sum_query();
+        let mut iso = build_sys(DeviceKind::SmartSsd, |b| b);
+        let expected = iso.run(&q, RunOptions::default()).unwrap().result;
+        for interface in [InterfaceMode::Linked, InterfaceMode::Direct] {
+            let mut sys = build_sys(DeviceKind::SmartSsd, |b| b);
+            let rep = sys
+                .run_workload(
+                    &Workload::burst(&q, 4),
+                    WorkloadOptions {
+                        interface,
+                        ..WorkloadOptions::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(rep.completions.len(), 4);
+            for c in &rep.completions {
+                assert_eq!(c.route, Route::Device);
+                assert_eq!(c.result.agg_values, expected.agg_values, "{interface:?}");
+                assert_eq!(c.result.scalar, expected.scalar, "{interface:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_query_linked_workload_matches_isolated_timing() {
+        let q = sum_query();
+        let mut iso = build_sys(DeviceKind::SmartSsd, |b| b);
+        let expected = iso.run(&q, RunOptions::default()).unwrap().result.elapsed;
+        let mut sys = build_sys(DeviceKind::SmartSsd, |b| b);
+        let rep = sys
+            .run_workload(&Workload::burst(&q, 1), WorkloadOptions::default())
+            .unwrap();
+        assert_eq!(rep.makespan, expected);
+        assert_eq!(rep.latency.p50, expected);
+        assert_eq!(rep.completions[0].latency, expected);
+    }
+
+    #[test]
+    fn full_device_defers_until_slots_free() {
+        let q = sum_query();
+        let mut sys = build_sys(DeviceKind::SmartSsd, |b| {
+            b.tweak(|c| c.smart.max_sessions = 2)
+        });
+        let rep = sys
+            .run_workload(&Workload::burst(&q, 6), WorkloadOptions::default())
+            .unwrap();
+        assert_eq!(rep.completions.len(), 6);
+        // With only two slots the burst runs in waves: the last completions
+        // start strictly after the first finish.
+        let first_done = rep.completions.iter().map(|c| c.finished_at).min().unwrap();
+        assert!(rep.makespan > first_done);
+        assert!(rep.latency.max > rep.latency.min);
+        assert!(rep.throughput_qps > 0.0);
+    }
+
+    #[test]
+    fn host_routed_workload_completes_on_any_device() {
+        let q = sum_query();
+        for kind in [DeviceKind::Hdd, DeviceKind::Ssd, DeviceKind::SmartSsd] {
+            let mut sys = build_sys(kind, |b| b);
+            let mut w = Workload::new();
+            for i in 0..3 {
+                w.push(
+                    q.clone(),
+                    RoutePolicy::Force(Route::Host),
+                    SimTime::from_nanos(i * 1_000),
+                );
+            }
+            let rep = sys.run_workload(&w, WorkloadOptions::default()).unwrap();
+            assert_eq!(rep.completions.len(), 3, "{kind:?}");
+            for c in &rep.completions {
+                assert_eq!(c.route, Route::Host, "{kind:?}");
+                assert!(c.finished_at > c.arrival, "{kind:?}");
+                assert_eq!(c.latency, c.finished_at.saturating_sub(c.arrival));
+            }
+            // Later arrivals queue behind earlier ones on the shared host
+            // path, so completions are ordered too.
+            assert!(rep
+                .completions
+                .windows(2)
+                .all(|w| w[0].finished_at <= w[1].finished_at));
+        }
+    }
+
+    #[test]
+    fn workload_report_is_deterministic_for_a_fixed_seed() {
+        let q = sum_query();
+        let run = || {
+            let mut sys = build_sys(DeviceKind::SmartSsd, |b| b.shared_scans(true));
+            let w = Workload::open_stream(&q, 8, SimTime::from_nanos(200_000), 7);
+            sys.run_workload(&w, WorkloadOptions::default()).unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.flash_reads, b.flash_reads);
+        assert_eq!(a.shared_hits, b.shared_hits);
+        let fa: Vec<SimTime> = a.completions.iter().map(|c| c.finished_at).collect();
+        let fb: Vec<SimTime> = b.completions.iter().map(|c| c.finished_at).collect();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn shared_scans_reduce_flash_reads_in_a_burst() {
+        let q = sum_query();
+        let report = |shared: bool| {
+            let mut sys = build_sys(DeviceKind::SmartSsd, |b| {
+                b.shared_scans(shared).tweak(|c| c.smart.max_sessions = 8)
+            });
+            sys.run_workload(
+                &Workload::burst(&q, 8),
+                WorkloadOptions {
+                    interface: InterfaceMode::Direct,
+                    ..WorkloadOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let (off, on) = (report(false), report(true));
+        assert_eq!(off.shared_hits, 0);
+        assert!(on.shared_hits > 0);
+        assert!(on.flash_reads < off.flash_reads);
+        assert!(on.makespan <= off.makespan);
+        // Answers are unchanged by sharing.
+        for (a, b) in off.completions.iter().zip(on.completions.iter()) {
+            assert_eq!(a.result.agg_values, b.result.agg_values);
+        }
+    }
+
+    #[test]
+    fn empty_workload_yields_zero_report() {
+        let mut sys = build_sys(DeviceKind::SmartSsd, |b| b);
+        let rep = sys
+            .run_workload(&Workload::new(), WorkloadOptions::default())
+            .unwrap();
+        assert!(rep.completions.is_empty());
+        assert_eq!(rep.makespan, SimTime::ZERO);
+        assert_eq!(rep.throughput_qps, 0.0);
+        assert_eq!(rep.latency, LatencyStats::default());
+    }
+
+    #[test]
+    fn open_stream_arrivals_are_seed_reproducible() {
+        let q = sum_query();
+        let a = Workload::open_stream(&q, 16, SimTime::from_nanos(50_000), 3);
+        let b = Workload::open_stream(&q, 16, SimTime::from_nanos(50_000), 3);
+        let c = Workload::open_stream(&q, 16, SimTime::from_nanos(50_000), 4);
+        let at = |w: &Workload| w.items().iter().map(|i| i.arrival).collect::<Vec<_>>();
+        assert_eq!(at(&a), at(&b));
+        assert_ne!(at(&a), at(&c));
+        assert_eq!(a.len(), 16);
+        assert!(!a.is_empty());
+    }
+}

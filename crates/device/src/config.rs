@@ -32,6 +32,15 @@ pub struct DeviceConfig {
     /// is charged. The emulated media always recovers on the first retry,
     /// so the default suffices; set to 0 in tests to force exhaustion.
     pub read_retry_limit: u32,
+    /// Device-side shared scans (MQO-style fan-out): when enabled,
+    /// concurrent scan sessions over the same extent reuse each other's
+    /// page reads — each flash page is fetched once and fanned out from
+    /// device DRAM to every attached session, so N concurrent scans of one
+    /// table cost ~1x flash traffic instead of Nx. Only the scan-shaped
+    /// operators (`Scan`, `ScanAgg`) participate; answers are unchanged,
+    /// only timing and flash traffic shift. Off by default so every
+    /// single-query figure stays bit-identical.
+    pub shared_scans: bool,
     /// Cycle prices for the embedded CPU.
     pub costs: CostTable,
 }
@@ -45,6 +54,7 @@ impl Default for DeviceConfig {
             max_sessions: 4,
             result_buffer_bytes: 8 * 1024 * 1024,
             read_retry_limit: 2,
+            shared_scans: false,
             costs: CostTable::device(),
         }
     }

@@ -133,6 +133,16 @@ struct Session {
     work: WorkCounts,
 }
 
+/// One page held in device DRAM for shared-scan fan-out: the validated
+/// page, the time its (single) flash read completed, and the sessions
+/// currently entitled to it. The entry is evicted when the last owner
+/// closes — the model is a scan-sharing window, not a general device cache.
+struct SharedScanEntry {
+    page: PageBuf,
+    ready_at: SimTime,
+    owners: Vec<u32>,
+}
+
 /// The Smart SSD: flash device + embedded CPU + session runtime.
 pub struct SmartSsd {
     cfg: DeviceConfig,
@@ -143,6 +153,10 @@ pub struct SmartSsd {
     next_id: u32,
     total_work: WorkCounts,
     faults: FaultCounters,
+    /// Shared-scan window, keyed by LBA. Populated only when
+    /// [`DeviceConfig::shared_scans`] is on.
+    share_cache: HashMap<u64, SharedScanEntry>,
+    shared_hits: u64,
 }
 
 impl SmartSsd {
@@ -157,6 +171,8 @@ impl SmartSsd {
             next_id: 1,
             total_work: WorkCounts::default(),
             faults: FaultCounters::default(),
+            share_cache: HashMap::new(),
+            shared_hits: 0,
             cfg,
         }
     }
@@ -216,13 +232,23 @@ impl SmartSsd {
         })
     }
 
-    /// Resets timing state (flash timelines, CPU, work counters) between the
-    /// load phase and a timed experiment. Sessions survive.
+    /// Page reads served out of the shared-scan window since the last
+    /// timing reset — flash reads that concurrent sessions did *not* pay
+    /// for because a peer's read was fanned out to them.
+    pub fn shared_hits(&self) -> u64 {
+        self.shared_hits
+    }
+
+    /// Resets timing state (flash timelines, CPU, work counters, the
+    /// shared-scan window) between the load phase and a timed experiment.
+    /// Sessions survive.
     pub fn reset_timing(&mut self) {
         self.flash.reset_timing();
         self.cpu.reset();
         self.total_work = WorkCounts::default();
         self.faults = FaultCounters::default();
+        self.share_cache.clear();
+        self.shared_hits = 0;
     }
 
     /// `OPEN`: validates the operator, grants session resources, and starts
@@ -232,12 +258,23 @@ impl SmartSsd {
             return Err(DeviceError::TooManySessions);
         }
         op.validate().map_err(DeviceError::Validation)?;
-        let (queue, work) = self.execute(op, now)?;
+        // The id is reserved before execution so shared-scan entries can be
+        // tagged with their owner; it is only consumed on success.
         let id = self.next_id;
-        self.next_id += 1;
-        self.total_work.absorb(&work);
-        self.sessions.insert(id, Session { queue, work });
-        Ok(SessionId(id))
+        match self.execute(op, now, id) {
+            Ok((queue, work)) => {
+                self.next_id += 1;
+                self.total_work.absorb(&work);
+                self.sessions.insert(id, Session { queue, work });
+                Ok(SessionId(id))
+            }
+            Err(e) => {
+                // A failed OPEN holds no grants: drop any shared-scan
+                // ownership the partial execution registered.
+                self.release_shared(id);
+                Err(e)
+            }
+        }
     }
 
     /// `OPEN`, from the raw command payload as it crosses the SAS link:
@@ -265,12 +302,27 @@ impl SmartSsd {
         }
     }
 
-    /// `CLOSE`: releases the session's grants and clears its state.
+    /// `CLOSE`: releases the session's grants (including its shared-scan
+    /// ownership) and clears its state.
     pub fn close(&mut self, sid: SessionId) -> Result<(), DeviceError> {
         self.sessions
             .remove(&sid.0)
             .map(|_| ())
-            .ok_or(DeviceError::UnknownSession(sid.0))
+            .ok_or(DeviceError::UnknownSession(sid.0))?;
+        self.release_shared(sid.0);
+        Ok(())
+    }
+
+    /// Drops one session's ownership of shared-scan pages, evicting entries
+    /// nobody holds anymore.
+    fn release_shared(&mut self, owner: u32) {
+        if self.share_cache.is_empty() {
+            return;
+        }
+        self.share_cache.retain(|_, e| {
+            e.owners.retain(|&o| o != owner);
+            !e.owners.is_empty()
+        });
     }
 
     /// Work receipt of a live session (diagnostics).
@@ -326,13 +378,51 @@ impl SmartSsd {
         }
     }
 
+    /// [`Self::read_page`] with shared-scan fan-out: if a concurrent scan
+    /// session already fetched this LBA, the page is served from device
+    /// DRAM at `max(peer's completion, now)` — no flash traffic, no
+    /// channel/bus occupancy — and `owner` joins the entry's owner list.
+    /// Otherwise the page is read normally and published for peers. With
+    /// [`DeviceConfig::shared_scans`] off this is exactly `read_page`.
+    fn read_page_shared(
+        &mut self,
+        lba: u64,
+        now: SimTime,
+        owner: u32,
+    ) -> Result<(PageBuf, SimTime), DeviceError> {
+        if !self.cfg.shared_scans {
+            return self.read_page(lba, now);
+        }
+        if let Some(entry) = self.share_cache.get_mut(&lba) {
+            self.shared_hits += 1;
+            if !entry.owners.contains(&owner) {
+                entry.owners.push(owner);
+            }
+            // An in-flight read is joined (available at its completion); a
+            // finished one is available immediately.
+            return Ok((entry.page.clone(), entry.ready_at.max(now)));
+        }
+        let (page, at) = self.read_page(lba, now)?;
+        self.share_cache.insert(
+            lba,
+            SharedScanEntry {
+                page: page.clone(),
+                ready_at: at,
+                owners: vec![owner],
+            },
+        );
+        Ok((page, at))
+    }
+
     /// Executes an operator, producing the session's batch queue. Execution
     /// is computed eagerly with simulated timestamps; the protocol replays
-    /// it to the host through `GET` polls.
+    /// it to the host through `GET` polls. `owner` is the session id the
+    /// OPEN reserved, used to tag shared-scan pages.
     fn execute(
         &mut self,
         op: &QueryOp,
         now: SimTime,
+        owner: u32,
     ) -> Result<(VecDeque<ResultBatch>, WorkCounts), DeviceError> {
         // Scan, ScanAgg, and the Join probe run in two phases: every page
         // is first read through the flash path serially in LBA order (all
@@ -350,7 +440,7 @@ impl SmartSsd {
                 let out_width = spec.output_schema(&table.schema).tuple_width() as u64;
                 let mut pages = Vec::with_capacity(table.num_pages as usize);
                 for lba in table.lbas() {
-                    pages.push(self.read_page(lba, now)?);
+                    pages.push(self.read_page_shared(lba, now, owner)?);
                 }
                 let results = parallel_map(&pages, workers, |(page, _)| {
                     let mut rows = Vec::new();
@@ -390,7 +480,7 @@ impl SmartSsd {
                 let mut total = WorkCounts::default();
                 let mut pages = Vec::with_capacity(table.num_pages as usize);
                 for lba in table.lbas() {
-                    pages.push(self.read_page(lba, now)?);
+                    pages.push(self.read_page_shared(lba, now, owner)?);
                 }
                 let results = parallel_map(&pages, workers, |(page, _)| {
                     let mut states: Vec<AggState> =
@@ -424,7 +514,11 @@ impl SmartSsd {
                 // every page and aborts mid-scan, so later pages must not
                 // be read (or even fetched) once the grant is blown —
                 // two-phasing would over-read flash and diverge the
-                // simulated device state on the abort path.
+                // simulated device state on the abort path. It also stays
+                // off the shared-scan window for the same reason: which
+                // pages this session reads depends on where (or whether)
+                // the grant aborts, so its reads are not a clean prefix a
+                // peer could safely fan out.
                 let mut total = WorkCounts::default();
                 let mut acc = GroupTable::new();
                 let mut last_done = now;
@@ -879,6 +973,121 @@ mod tests {
         let (_, _, ta) = drain(&mut dev2, sa);
         let (_, _, tb) = drain(&mut dev2, sb);
         assert!(ta.max(tb) > t1, "contended {} vs lone {}", ta.max(tb), t1);
+    }
+
+    fn count_op(tref: TableRef) -> QueryOp {
+        QueryOp::ScanAgg {
+            table: tref,
+            spec: ScanAggSpec {
+                pred: Pred::Const(true),
+                aggs: vec![AggSpec::count()],
+            },
+        }
+    }
+
+    #[test]
+    fn shared_scans_issue_each_page_once() {
+        let mut dev = SmartSsd::new(
+            FlashConfig::default(),
+            DeviceConfig {
+                shared_scans: true,
+                ..DeviceConfig::default()
+            },
+        );
+        let img = small_table(Layout::Pax, 50_000);
+        let pages = img.num_pages() as u64;
+        let tref = dev.load_table(&img, 0).unwrap();
+        dev.reset_timing();
+        let op = count_op(tref);
+        let s1 = dev.open(&op, SimTime::ZERO).unwrap();
+        let s2 = dev.open(&op, SimTime::ZERO).unwrap();
+        assert_eq!(dev.flash.stats().reads, pages, "pages fetched once");
+        assert_eq!(dev.shared_hits(), pages, "second scan rode the first");
+        let (_, a1, t1) = drain(&mut dev, s1);
+        let (_, a2, t2) = drain(&mut dev, s2);
+        assert_eq!(a1.unwrap()[0].finish(), 50_000);
+        assert_eq!(a2.unwrap()[0].finish(), 50_000);
+        assert!(t1 > SimTime::ZERO && t2 > SimTime::ZERO);
+        dev.close(s1).unwrap();
+        dev.close(s2).unwrap();
+        // Both owners gone: the window is empty and a fresh scan re-reads.
+        let s3 = dev.open(&op, SimTime::ZERO).unwrap();
+        assert_eq!(dev.flash.stats().reads, 2 * pages, "window was evicted");
+        dev.close(s3).unwrap();
+    }
+
+    #[test]
+    fn shared_scans_off_reads_per_session() {
+        let mut dev = device();
+        let img = small_table(Layout::Pax, 50_000);
+        let pages = img.num_pages() as u64;
+        let tref = dev.load_table(&img, 0).unwrap();
+        dev.reset_timing();
+        let op = count_op(tref);
+        let s1 = dev.open(&op, SimTime::ZERO).unwrap();
+        let s2 = dev.open(&op, SimTime::ZERO).unwrap();
+        assert_eq!(dev.flash.stats().reads, 2 * pages);
+        assert_eq!(dev.shared_hits(), 0);
+        dev.close(s1).unwrap();
+        dev.close(s2).unwrap();
+    }
+
+    #[test]
+    fn shared_scans_do_not_change_answers_or_lone_session_timing() {
+        let build = |shared| {
+            let mut dev = SmartSsd::new(
+                FlashConfig::default(),
+                DeviceConfig {
+                    shared_scans: shared,
+                    ..DeviceConfig::default()
+                },
+            );
+            let img = small_table(Layout::Pax, 30_000);
+            let tref = dev.load_table(&img, 0).unwrap();
+            dev.reset_timing();
+            (dev, tref)
+        };
+        let (mut off, tref_off) = build(false);
+        let (mut on, tref_on) = build(true);
+        let s_off = off.open(&count_op(tref_off), SimTime::ZERO).unwrap();
+        let s_on = on.open(&count_op(tref_on), SimTime::ZERO).unwrap();
+        let (r1, a1, t1) = drain(&mut off, s_off);
+        let (r2, a2, t2) = drain(&mut on, s_on);
+        assert_eq!(r1, r2);
+        assert_eq!(
+            a1.unwrap()[0].finish(),
+            a2.unwrap()[0].finish(),
+            "answers identical"
+        );
+        assert_eq!(t1, t2, "a lone session is untouched by sharing");
+    }
+
+    #[test]
+    fn shared_scan_makespan_not_worse_for_concurrent_sessions() {
+        let run = |shared: bool| {
+            let mut dev = SmartSsd::new(
+                FlashConfig::default(),
+                DeviceConfig {
+                    shared_scans: shared,
+                    ..DeviceConfig::default()
+                },
+            );
+            let img = small_table(Layout::Pax, 100_000);
+            let tref = dev.load_table(&img, 0).unwrap();
+            dev.reset_timing();
+            let op = count_op(tref);
+            let sids: Vec<_> = (0..4)
+                .map(|_| dev.open(&op, SimTime::ZERO).unwrap())
+                .collect();
+            let mut makespan = SimTime::ZERO;
+            for sid in sids {
+                let (_, _, t) = drain(&mut dev, sid);
+                makespan = makespan.max(t);
+                dev.close(sid).unwrap();
+            }
+            makespan
+        };
+        assert!(run(true) <= run(false));
     }
 
     #[test]

@@ -148,6 +148,7 @@ pub struct SessionDriver {
     /// The recovery policy applied to every session this driver runs.
     pub policy: SessionPolicy,
     tracer: Tracer,
+    lane: u32,
 }
 
 impl SessionDriver {
@@ -156,6 +157,7 @@ impl SessionDriver {
         Self {
             policy,
             tracer: Tracer::none(),
+            lane: 0,
         }
     }
 
@@ -167,12 +169,21 @@ impl SessionDriver {
         self
     }
 
+    /// Assigns this driver's trace lane (the `tid` under the session pid).
+    /// Concurrent workloads give each in-flight query its own lane so
+    /// overlapped sessions render side by side in Perfetto; the default
+    /// lane 0 keeps single-query traces unchanged.
+    pub fn with_lane(mut self, lane: u32) -> Self {
+        self.lane = lane;
+        self
+    }
+
     /// Emits one protocol-phase span `[start, end)`.
     fn phase(&self, name: &str, start: SimTime, end: SimTime, args: &[(&str, f64)]) {
         self.tracer.span(
             TraceLevel::Protocol,
             pid::SESSION,
-            0,
+            self.lane,
             name,
             "session",
             Interval { start, end },
@@ -203,7 +214,7 @@ impl SessionDriver {
         self.tracer.instant(
             TraceLevel::Protocol,
             pid::SESSION,
-            0,
+            self.lane,
             "session-fault",
             "session",
             wasted,
@@ -228,29 +239,64 @@ impl SessionDriver {
         cmd_latency_ns: u64,
         op: &QueryOp,
     ) -> Result<SessionOutcome, SessionFault> {
-        // The operator crosses the host interface as a marshalled OPEN
-        // payload (paper Section 3); the device unmarshals and validates.
+        let (sid, open_done) = self.open_linked(dev, link, cmd_latency_ns, op, SimTime::ZERO)?;
+        let deadline = open_done + self.policy.session_timeout;
+        // Polling starts at time zero (not at `open_done`): the first poll
+        // comes back `Running` with the device's readiness hint and the
+        // clock jumps there, exactly as the original inline loop did.
+        let out = self.collect_linked(dev, link, host_cpu, sid, SimTime::ZERO, deadline)?;
+        self.close(dev, sid, &out)?;
+        Ok(out)
+    }
+
+    /// `OPEN` over the host interface at simulated time `at`: the
+    /// marshalled operator crosses `link` (paper Section 3), then the
+    /// device unmarshals, validates, and starts executing. Returns the
+    /// session and the time the `OPEN` completed.
+    pub fn open_linked(
+        &self,
+        dev: &mut SmartSsd,
+        link: &mut Bus,
+        cmd_latency_ns: u64,
+        op: &QueryOp,
+        at: SimTime,
+    ) -> Result<(SessionId, SimTime), SessionFault> {
         let payload = smartssd_exec::encode_op(op);
         let open_done = link
-            .transfer_with_setup(SimTime::ZERO, payload.len() as u64, cmd_latency_ns)
+            .transfer_with_setup(at, payload.len() as u64, cmd_latency_ns)
             .end;
         self.phase(
             "OPEN",
-            SimTime::ZERO,
+            at,
             open_done,
             &[("payload_bytes", payload.len() as f64)],
         );
-        let sid = match dev.open_raw(&payload, open_done) {
-            Ok(sid) => sid,
+        match dev.open_raw(&payload, open_done) {
+            Ok(sid) => Ok((sid, open_done)),
             Err(e) => {
                 let wasted = open_done.max(Self::error_time(&e));
-                return Err(self.abandon(dev, None, SessionError::Device(e), wasted, 0));
+                Err(self.abandon(dev, None, SessionError::Device(e), wasted, 0))
             }
-        };
-        let deadline = open_done + self.policy.session_timeout;
+        }
+    }
+
+    /// Polls a linked session to completion from simulated time `from`,
+    /// charging every batch to the interface and the host CPU. The session
+    /// is left **open** on success (so a concurrent scheduler can hold its
+    /// slot until the simulated close time); on failure it has been
+    /// abandoned and closed. `deadline` is the absolute timeout instant.
+    pub fn collect_linked(
+        &self,
+        dev: &mut SmartSsd,
+        link: &mut Bus,
+        host_cpu: &mut CpuModel,
+        sid: SessionId,
+        from: SimTime,
+        deadline: SimTime,
+    ) -> Result<SessionOutcome, SessionFault> {
         let mut rows: Vec<Tuple> = Vec::new();
         let mut aggs: Option<Vec<AggState>> = None;
-        let mut t = SimTime::ZERO;
+        let mut t = from;
         let mut stalls: u32 = 0;
         let mut get_retries: u64 = 0;
         loop {
@@ -263,7 +309,7 @@ impl SessionDriver {
                         self.tracer.instant(
                             TraceLevel::Protocol,
                             pid::SESSION,
-                            0,
+                            self.lane,
                             "get-retry",
                             "session",
                             t,
@@ -314,18 +360,6 @@ impl SessionDriver {
             }
         }
         let work = dev.session_work(sid).copied().unwrap_or_default();
-        if let Err(e) = dev.close(sid) {
-            return Err(self.abandon(dev, None, SessionError::Device(e), t, get_retries));
-        }
-        self.tracer.instant(
-            TraceLevel::Protocol,
-            pid::SESSION,
-            0,
-            "CLOSE",
-            "session",
-            t,
-            &[],
-        );
         Ok(SessionOutcome {
             rows,
             aggs,
@@ -333,6 +367,35 @@ impl SessionDriver {
             finished_at: t,
             get_retries,
         })
+    }
+
+    /// `CLOSE`s a successfully collected session, emitting the protocol
+    /// instant at the outcome's finish time.
+    pub fn close(
+        &self,
+        dev: &mut SmartSsd,
+        sid: SessionId,
+        out: &SessionOutcome,
+    ) -> Result<(), SessionFault> {
+        if let Err(e) = dev.close(sid) {
+            return Err(self.abandon(
+                dev,
+                None,
+                SessionError::Device(e),
+                out.finished_at,
+                out.get_retries,
+            ));
+        }
+        self.tracer.instant(
+            TraceLevel::Protocol,
+            pid::SESSION,
+            self.lane,
+            "CLOSE",
+            "session",
+            out.finished_at,
+            &[],
+        );
+        Ok(())
     }
 
     /// `OPEN`s a session directly on the device (no interface modelling) —
@@ -360,9 +423,26 @@ impl SessionDriver {
         opened_at: SimTime,
     ) -> Result<SessionOutcome, SessionFault> {
         let deadline = opened_at + self.policy.session_timeout;
+        let out = self.collect_direct(dev, sid, opened_at, deadline)?;
+        self.close(dev, sid, &out)?;
+        Ok(out)
+    }
+
+    /// Polls a session to completion from simulated time `from` without
+    /// interface modelling: batch consumption is instantaneous at
+    /// `ready_at`. Like [`SessionDriver::collect_linked`], the session is
+    /// left open on success so a scheduler can hold its slot until the
+    /// simulated close; on failure it has been abandoned and closed.
+    pub fn collect_direct(
+        &self,
+        dev: &mut SmartSsd,
+        sid: SessionId,
+        from: SimTime,
+        deadline: SimTime,
+    ) -> Result<SessionOutcome, SessionFault> {
         let mut rows: Vec<Tuple> = Vec::new();
         let mut aggs: Option<Vec<AggState>> = None;
-        let mut t = opened_at;
+        let mut t = from;
         let mut stalls: u32 = 0;
         let mut get_retries: u64 = 0;
         loop {
@@ -402,9 +482,6 @@ impl SessionDriver {
             }
         }
         let work = dev.session_work(sid).copied().unwrap_or_default();
-        if let Err(e) = dev.close(sid) {
-            return Err(self.abandon(dev, None, SessionError::Device(e), t, get_retries));
-        }
         Ok(SessionOutcome {
             rows,
             aggs,

@@ -26,6 +26,7 @@ pub mod bus;
 pub mod cpu;
 pub mod energy;
 pub mod report;
+pub mod sched;
 pub mod time;
 pub mod timeline;
 pub mod trace;
@@ -34,6 +35,7 @@ pub use bus::Bus;
 pub use cpu::CpuModel;
 pub use energy::{EnergyBreakdown, PowerModel};
 pub use report::{FaultCounters, UtilizationReport};
+pub use sched::{ArrivalGen, EventQueue, LatencyStats};
 pub use time::SimTime;
 pub use timeline::{Interval, Timeline};
 pub use trace::{

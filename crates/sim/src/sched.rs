@@ -1,0 +1,267 @@
+//! Deterministic event scheduling and latency statistics for concurrent
+//! workloads.
+//!
+//! Single-query experiments get away with pure timeline arithmetic: every
+//! resource serves in FIFO order, so posting occupancy intervals in program
+//! order is enough. A *workload* of overlapping queries needs one more
+//! ingredient — a global ordering of arrivals, completions, and session
+//! closes — which is what [`EventQueue`] provides: a simulated-time priority
+//! queue with strict FIFO tie-breaking, so two events at the same
+//! nanosecond always fire in insertion order and a fixed seed replays the
+//! exact same schedule.
+//!
+//! The module also carries the workload-level metrics the paper's Section 5
+//! asks about ("considering the impact of concurrent queries"):
+//! [`LatencyStats`] summarizes a latency sample as nearest-rank
+//! p50/p95/p99, and [`ArrivalGen`] produces seeded, deterministic
+//! inter-arrival gaps for open-arrival streams.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry: fire time, insertion sequence, payload.
+struct Entry<T> {
+    at: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first, and
+        // among equal times the lowest sequence number (FIFO).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A simulated-time event queue: pops events in `(time, insertion order)`
+/// order, so simultaneous events fire FIFO and the schedule is fully
+/// deterministic.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at simulated time `at`.
+    pub fn push(&mut self, at: SimTime, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, FIFO among ties.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|e| (e.at, e.payload))
+    }
+
+    /// Fire time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Summary statistics over a latency sample: count, min/mean/max, and
+/// nearest-rank percentiles. All times are simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest latency.
+    pub min: SimTime,
+    /// Largest latency.
+    pub max: SimTime,
+    /// Arithmetic mean (integer nanoseconds, rounded down).
+    pub mean: SimTime,
+    /// Median (nearest-rank).
+    pub p50: SimTime,
+    /// 95th percentile (nearest-rank).
+    pub p95: SimTime,
+    /// 99th percentile (nearest-rank).
+    pub p99: SimTime,
+}
+
+impl LatencyStats {
+    /// Computes the summary from a latency sample. The input order does not
+    /// matter; an empty sample yields all-zero statistics.
+    pub fn from_sample(sample: &[SimTime]) -> Self {
+        if sample.is_empty() {
+            return Self::default();
+        }
+        let mut sorted: Vec<SimTime> = sample.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        // Nearest-rank percentile: the smallest value with at least q*n
+        // samples at or below it.
+        let rank = |q_num: usize, q_den: usize| {
+            let r = (n * q_num).div_ceil(q_den);
+            sorted[r.max(1) - 1]
+        };
+        let total: u128 = sorted.iter().map(|t| t.as_nanos() as u128).sum();
+        Self {
+            count: n,
+            min: sorted[0],
+            max: sorted[n - 1],
+            mean: SimTime::from_nanos((total / n as u128) as u64),
+            p50: rank(50, 100),
+            p95: rank(95, 100),
+            p99: rank(99, 100),
+        }
+    }
+}
+
+/// Deterministic inter-arrival generator for open-arrival workloads.
+///
+/// Gaps are drawn uniformly from `[0, 2 * mean_gap)` with a seeded
+/// xorshift64* generator, so the mean inter-arrival time is `mean_gap` and
+/// the stream is bit-reproducible for a fixed seed. Integer arithmetic only
+/// — no floating point touches the schedule.
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    state: u64,
+    mean_gap: SimTime,
+}
+
+impl ArrivalGen {
+    /// A generator with the given mean inter-arrival gap and seed.
+    pub fn new(mean_gap: SimTime, seed: u64) -> Self {
+        // One splitmix64 step scrambles the seed so nearby seeds diverge
+        // and the xorshift state is never zero.
+        let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        Self {
+            state: if z == 0 { 0x9E3779B97F4A7C15 } else { z },
+            mean_gap,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Draws the next inter-arrival gap, uniform in `[0, 2 * mean_gap)`.
+    pub fn next_gap(&mut self) -> SimTime {
+        let span = self.mean_gap.as_nanos().saturating_mul(2);
+        if span == 0 {
+            return SimTime::ZERO;
+        }
+        // A 64-bit draw reduced mod the span; the modulo bias is < 2^-32
+        // for any realistic gap and the result is deterministic.
+        SimTime::from_nanos(self.next_u64() % span)
+    }
+
+    /// Absolute arrival times of `n` queries: a cumulative sum of gaps,
+    /// starting with the first gap (the stream is open — nothing arrives at
+    /// exactly time zero unless the gap draws zero).
+    pub fn arrivals(&mut self, n: usize) -> Vec<SimTime> {
+        let mut t = SimTime::ZERO;
+        (0..n)
+            .map(|_| {
+                t += self.next_gap();
+                t
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order_fifo_on_ties() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(5), "b");
+        q.push(SimTime::from_nanos(1), "a");
+        q.push(SimTime::from_nanos(5), "c");
+        q.push(SimTime::ZERO, "z");
+        assert_eq!(q.peek_time(), Some(SimTime::ZERO));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, ["z", "a", "b", "c"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn latency_stats_nearest_rank() {
+        let sample: Vec<SimTime> = (1..=100).map(SimTime::from_nanos).collect();
+        let s = LatencyStats::from_sample(&sample);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, SimTime::from_nanos(1));
+        assert_eq!(s.max, SimTime::from_nanos(100));
+        assert_eq!(s.p50, SimTime::from_nanos(50));
+        assert_eq!(s.p95, SimTime::from_nanos(95));
+        assert_eq!(s.p99, SimTime::from_nanos(99));
+        assert_eq!(s.mean, SimTime::from_nanos(50)); // 50.5 rounded down
+    }
+
+    #[test]
+    fn latency_stats_small_and_empty_samples() {
+        assert_eq!(LatencyStats::from_sample(&[]), LatencyStats::default());
+        let one = LatencyStats::from_sample(&[SimTime::from_nanos(7)]);
+        assert_eq!(one.p50, SimTime::from_nanos(7));
+        assert_eq!(one.p99, SimTime::from_nanos(7));
+        assert_eq!(one.mean, SimTime::from_nanos(7));
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_and_ordered() {
+        let mut a = ArrivalGen::new(SimTime::from_nanos(1_000), 42);
+        let mut b = ArrivalGen::new(SimTime::from_nanos(1_000), 42);
+        let xs = a.arrivals(64);
+        assert_eq!(xs, b.arrivals(64));
+        assert!(xs.windows(2).all(|w| w[0] <= w[1]), "cumulative sum");
+        // Mean gap lands near the requested one (uniform over [0, 2m)).
+        let mean = xs.last().unwrap().as_nanos() / 64;
+        assert!((400..1_600).contains(&mean), "mean gap {mean}");
+        // A different seed yields a different schedule.
+        let ys = ArrivalGen::new(SimTime::from_nanos(1_000), 43).arrivals(64);
+        assert_ne!(xs, ys);
+    }
+}

@@ -30,6 +30,8 @@ if [[ "${1:-}" != "fast" ]]; then
     cargo run -q --release -p smartssd-bench --bin repro -- kernels --quick
     echo "== repro trace --quick (trace_*.json + BENCH_trace.json) =="
     cargo run -q --release -p smartssd-bench --bin repro -- trace --quick
+    echo "== repro concurrency --quick (BENCH_concurrency.json) =="
+    cargo run -q --release -p smartssd-bench --bin repro -- concurrency --quick
 fi
 
 echo "OK"
