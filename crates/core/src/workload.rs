@@ -194,10 +194,13 @@ pub struct WorkloadReport {
     pub trace: RunTrace,
 }
 
-/// Scheduler events: a query arrives, or a device session's slot frees.
+/// Scheduler events: a query arrives, or a device session's slot frees —
+/// either by closing a completed session or because a faulted session was
+/// already closed by the driver on the abandon path.
 enum Ev {
     Arrive(usize),
     Close(smartssd_device::SessionId),
+    SlotFreed,
 }
 
 /// What one device-route dispatch attempt produced.
@@ -274,9 +277,17 @@ impl System {
                             .map(|done| completions[j] = done)?;
                     }
                 }
+                Ev::SlotFreed => {
+                    // A faulted session's slot: the driver already closed it
+                    // on the abandon path, so only the admission remains.
+                    if let Some(j) = deferred.pop_front() {
+                        self.dispatch(workload, j, t, opts, dop, &mut events, &mut deferred)
+                            .map(|done| completions[j] = done)?;
+                    }
+                }
             }
         }
-        debug_assert!(deferred.is_empty(), "every close admits a waiter");
+        debug_assert!(deferred.is_empty(), "every freed slot admits a waiter");
         let completions: Vec<QueryCompletion> = completions
             .into_iter()
             .map(|c| c.expect("every arrival completes or errors out"))
@@ -390,10 +401,18 @@ impl System {
                         // rest of the workload keeps its timelines — so the
                         // wasted device time is charged where it belongs:
                         // the fallback starts no earlier than the fault.
+                        // `fault.wasted` is an absolute instant (the earliest
+                        // moment a fallback can start); only the time past
+                        // this attempt's start was actually burned.
                         self.run_faults.fallbacks += 1;
                         self.run_faults.get_retries += fault.get_retries;
-                        self.run_faults.wasted_ns += fault.wasted.as_nanos();
+                        self.run_faults.wasted_ns += fault.wasted.saturating_sub(now).as_nanos();
                         let start = now.max(fault.wasted);
+                        // The driver closed the failed session on the abandon
+                        // path, so its slot is free again at `start` — admit
+                        // the next waiter, or it would be stranded and the
+                        // workload could never drain.
+                        events.push(start, Ev::SlotFreed);
                         self.host_completion(item, &op, idx, start, dop).map(Some)
                     }
                 }
@@ -446,13 +465,16 @@ impl System {
             return Err(RunError::from_kind(RunErrorKind::NotSmart));
         };
         match opts.interface {
-            InterfaceMode::Direct => match dev.open(op, now) {
-                Err(DeviceError::TooManySessions) => Ok(DevAttempt::Deferred),
-                Err(e) => Ok(DevAttempt::Fault(SessionFault {
-                    error: smartssd_query::SessionError::Device(e),
-                    wasted: now,
-                    get_retries: 0,
-                })),
+            InterfaceMode::Direct => match driver.open(dev, op, now) {
+                Err(fault)
+                    if matches!(
+                        fault.error,
+                        smartssd_query::SessionError::Device(DeviceError::TooManySessions)
+                    ) =>
+                {
+                    Ok(DevAttempt::Deferred)
+                }
+                Err(fault) => Ok(DevAttempt::Fault(fault)),
                 Ok(sid) => match driver.collect_direct(dev, sid, now, now + timeout) {
                     Ok(out) => Ok(DevAttempt::Done(sid, out)),
                     Err(fault) => Ok(DevAttempt::Fault(fault)),
@@ -511,7 +533,7 @@ mod tests {
     use super::*;
     use crate::builder::{RunOptions, SystemBuilder};
     use crate::config::DeviceKind;
-    use smartssd_exec::spec::ScanAggSpec;
+    use smartssd_exec::spec::{GroupAggSpec, ScanAggSpec};
     use smartssd_query::{Finalize, OpTemplate};
     use smartssd_storage::expr::{AggSpec, Expr, Pred};
     use smartssd_storage::{DataType, Datum, Layout};
@@ -672,6 +694,66 @@ mod tests {
         // Answers are unchanged by sharing.
         for (a, b) in off.completions.iter().zip(on.completions.iter()) {
             assert_eq!(a.result.agg_values, b.result.agg_values);
+        }
+    }
+
+    #[test]
+    fn faulted_session_frees_its_slot_for_deferred_waiters() {
+        // One slot, three simultaneous arrivals: the first holds the slot,
+        // deferring the other two. The second is a high-cardinality group-by
+        // that blows its device memory grant — a recoverable fault that
+        // degrades to the host. Its freed slot must still admit the third
+        // waiter, or the workload can never drain.
+        let group = Query {
+            name: "group".into(),
+            op: OpTemplate::GroupAgg {
+                table: "t".into(),
+                spec: GroupAggSpec {
+                    pred: Pred::Const(true),
+                    group_by: vec![0],
+                    aggs: vec![AggSpec::sum(Expr::col(1))],
+                },
+            },
+            finalize: Finalize::Rows,
+        };
+        let q = sum_query();
+        for interface in [InterfaceMode::Linked, InterfaceMode::Direct] {
+            let mut sys = build_sys(DeviceKind::SmartSsd, |b| {
+                b.tweak(|c| {
+                    c.smart.max_sessions = 1;
+                    c.smart.session_memory_bytes = 4 * 1024;
+                })
+            });
+            let mut w = Workload::new();
+            w.push(q.clone(), RoutePolicy::Natural, SimTime::ZERO);
+            w.push(group.clone(), RoutePolicy::Natural, SimTime::ZERO);
+            w.push(q.clone(), RoutePolicy::Natural, SimTime::ZERO);
+            let rep = sys
+                .run_workload(
+                    &w,
+                    WorkloadOptions {
+                        interface,
+                        ..WorkloadOptions::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(rep.completions.len(), 3, "{interface:?}");
+            assert_eq!(rep.completions[0].route, Route::Device, "{interface:?}");
+            assert_eq!(rep.completions[1].route, Route::Host, "{interface:?}");
+            assert_eq!(rep.completions[2].route, Route::Device, "{interface:?}");
+            assert_eq!(rep.faults.fallbacks, 1, "{interface:?}");
+            // Wasted time is the duration the failed attempt burned (it
+            // started only after the first query's close), not the absolute
+            // simulated timestamp of the fault. Direct mode detects the
+            // grant failure eagerly at OPEN, burning no modeled time; the
+            // linked OPEN transfer always costs some.
+            if interface == InterfaceMode::Linked {
+                assert!(rep.faults.wasted_ns > 0);
+            }
+            assert!(
+                SimTime::from_nanos(rep.faults.wasted_ns) < rep.completions[0].finished_at,
+                "{interface:?}: wasted_ns must be a duration, not a timestamp"
+            );
         }
     }
 
