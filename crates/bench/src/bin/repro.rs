@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--quick] [fig1|tab2|fig3|fig5|fig7|tab3|plans|scan-sweep|array|cache|
 //!                  device-scaling|interface|concurrent|host-parallel|q1|kernels|
-//!                  faults|trace|concurrency|all]
+//!                  faults|trace|concurrency|degrade|all]
 //!
 //! `kernels` wall-clock-times the vectorized scan kernels against the
 //! tuple-at-a-time reference implementations and writes the results to
@@ -28,6 +28,13 @@
 //! on, on the paper-era prototype and on a Section 5 scaled device, and
 //! writes the slowdown curves plus latency percentiles to
 //! `BENCH_concurrency.json`.
+//!
+//! `degrade` (not part of `all`, for the same reason) runs a Q6 open
+//! stream under swept device-crash/ECC fault rates with the circuit
+//! breaker off vs on, and writes the throughput/shedding curves to
+//! `BENCH_degrade.json` — with the breaker on, throughput degrades
+//! smoothly as the device fails; with it off, every arrival keeps paying
+//! the crashing firmware's reset latency.
 //! ```
 //!
 //! Elapsed times are simulated; "projected" columns rescale them to the
@@ -35,9 +42,9 @@
 //! fixed selectivity). EXPERIMENTS.md records paper-vs-measured values.
 
 use smartssd_bench::{
-    array_exp, cache_exp, concurrency_exp, concurrent_exp, device_scaling_exp, fault_injection_exp,
-    fig1, fig3, fig5, fig7, host_parallel_exp, interface_exp, plans, q1_exp, scan_sweep_exp, tab2,
-    tab3, trace_exp, workload_trace_exp, Bars, Scales,
+    array_exp, cache_exp, concurrency_exp, concurrent_exp, degrade_exp, device_scaling_exp,
+    fault_injection_exp, fig1, fig3, fig5, fig7, host_parallel_exp, interface_exp, plans, q1_exp,
+    scan_sweep_exp, tab2, tab3, trace_exp, workload_trace_exp, Bars, Scales,
 };
 
 fn print_bars(title: &str, bars: &Bars, projection: f64, paper_speedup: f64) {
@@ -521,6 +528,68 @@ fn run_concurrency(s: &Scales) {
     println!();
 }
 
+fn run_degrade(s: &Scales) {
+    println!("== Graceful degradation: Q6 stream under sustained device faults ==");
+    println!("  scenario     breaker  done  rej  late  thruput[qps]  makespan[s]  p95[ms]  fallbacks  trips  match");
+    let points = match degrade_exp(s) {
+        Ok(points) => points,
+        Err(fault) => {
+            println!("  experiment aborted by device fault: {fault}");
+            return;
+        }
+    };
+    let mut entries = String::new();
+    for p in &points {
+        println!(
+            "  {:<11} {:>7}  {:>4}  {:>3}  {:>4}  {:>12.3}  {:>11.3}  {:>7.2}  {:>9}  {:>5}  {:>5}",
+            p.label,
+            if p.breaker { "on" } else { "off" },
+            p.completed,
+            p.rejected,
+            p.deadline_missed,
+            p.throughput_qps,
+            p.makespan_secs,
+            p.p95_ms,
+            p.fallbacks,
+            p.breaker_transitions,
+            if p.matches_clean { "yes" } else { "NO" },
+        );
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"crash_rate\": {}, \"ecc_retry_rate\": {}, \
+             \"breaker\": {}, \"completed\": {}, \"rejected\": {}, \"deadline_missed\": {}, \
+             \"throughput_qps\": {:.6}, \"makespan_secs\": {:.9}, \"p95_ms\": {:.6}, \
+             \"fallbacks\": {}, \"breaker_transitions\": {}, \"matches_clean\": {}, \
+             \"faults\": {}}}",
+            p.label,
+            p.crash_rate,
+            p.ecc_retry_rate,
+            p.breaker,
+            p.completed,
+            p.rejected,
+            p.deadline_missed,
+            p.throughput_qps,
+            p.makespan_secs,
+            p.p95_ms,
+            p.fallbacks,
+            p.breaker_transitions,
+            p.matches_clean,
+            p.faults.to_json()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"generated_by\": \"repro degrade\",\n  \"query\": \"q6\",\n  \
+         \"scenarios\": [\n{entries}\n  ]\n}}\n"
+    );
+    std::fs::write("BENCH_degrade.json", json).expect("write BENCH_degrade.json");
+    println!("  (completed answers stay bit-identical in every cell; the breaker trades");
+    println!("   wasted device probes for straight-to-host routing once the device is sick)");
+    println!("  wrote BENCH_degrade.json");
+    println!();
+}
+
 fn run_trace(s: &Scales) {
     println!("== Observability: traced Q6 run pair (device vs host route) ==");
     println!("  route    elapsed[s]   trace file");
@@ -657,6 +726,9 @@ fn main() {
     }
     if what == "trace" {
         run_trace(&s);
+    }
+    if what == "degrade" {
+        run_degrade(&s);
     }
     if what == "concurrency" {
         run_concurrency(&s);

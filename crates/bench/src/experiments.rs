@@ -972,3 +972,134 @@ pub fn workload_trace_exp(s: &Scales) -> WorkloadTracePoint {
             .to_string(),
     }
 }
+
+/// One point of the graceful-degradation sweep: a fault scenario crossed
+/// with the circuit breaker on or off.
+#[derive(Debug, Clone)]
+pub struct DegradePoint {
+    /// Scenario label.
+    pub label: &'static str,
+    /// Injected whole-device crash rate (per session open, out of 2^32).
+    pub crash_rate: u32,
+    /// Injected correctable flash-read-error rate (per read, out of 2^32).
+    pub ecc_retry_rate: u32,
+    /// Whether health-aware routing (the circuit breaker) was enabled.
+    pub breaker: bool,
+    /// Queries that completed (on either route).
+    pub completed: u64,
+    /// Arrivals shed at the admission-queue bound.
+    pub rejected: u64,
+    /// Waiters shed past their start-of-service deadline.
+    pub deadline_missed: u64,
+    /// Completed queries per simulated second.
+    pub throughput_qps: f64,
+    /// Simulated time until the last completion, seconds.
+    pub makespan_secs: f64,
+    /// 95th-percentile completed-query latency, milliseconds.
+    pub p95_ms: f64,
+    /// Device-route attempts that fell back to the host mid-run.
+    pub fallbacks: u64,
+    /// Breaker state changes during the workload.
+    pub breaker_transitions: u64,
+    /// Whether every completed answer is bit-identical to the clean run's.
+    pub matches_clean: bool,
+    /// Fault counters absorbed during the workload.
+    pub faults: smartssd_sim::FaultCounters,
+}
+
+/// Graceful degradation under sustained device faults (robustness
+/// extension; not a paper figure): a 16-query Q6 open stream over the
+/// linked protocol, swept across crash/ECC fault rates with the circuit
+/// breaker off and on. With the breaker off every arrival still probes the
+/// crashing firmware, pays the wasted `OPEN` transfer plus reset downtime,
+/// and only then falls back to the host; with it on, sustained failures
+/// trip the breaker and later arrivals route straight to the host-side
+/// block path (a separate failure domain), so throughput degrades smoothly
+/// instead of cliff-collapsing. Completed answers stay bit-identical to
+/// the clean run in every cell.
+pub fn degrade_exp(s: &Scales) -> Result<Vec<DegradePoint>, RunError> {
+    const SCENARIOS: &[(&str, u32, u32)] = &[
+        ("clean", 0, 0),
+        ("light", u32::MAX / 16, u32::MAX / 256),
+        ("moderate", u32::MAX / 4, u32::MAX / 128),
+        ("sustained", u32::MAX, u32::MAX / 128),
+    ];
+    let query = q6();
+    // Size the arrival stream, firmware reset latency, deadline, and
+    // breaker windows in units of one clean host-route run, so the sweep's
+    // shape is scale-invariant: the host path is the degradation target,
+    // and "hopelessly late" means several host-runs of queueing.
+    let host_run = {
+        let mut probe = lineitem_system(s, |b| b);
+        probe
+            .run(&query, RunOptions::routed(Route::Host))?
+            .result
+            .elapsed
+    };
+    let scaled = |mult_num: u64, mult_den: u64| {
+        SimTime::from_nanos(host_run.as_nanos() * mult_num / mult_den)
+    };
+    let n = 16;
+    let reset_latency = scaled(2, 1);
+    let policy = smartssd::BreakerPolicy {
+        enabled: true,
+        failure_threshold: 3,
+        // The cooldown spans several inter-arrival gaps: once tripped, the
+        // breaker probes the device only a few times over the whole
+        // stream, so the tail of the workload routes straight to the host
+        // instead of waiting out one more firmware reset.
+        window: scaled(8, 1),
+        cooldown: scaled(6, 1),
+    };
+    let opts = WorkloadOptions {
+        queue_bound: Some(n),
+        deadline: Some(scaled(24, 1)),
+        ..WorkloadOptions::default()
+    };
+    let mut clean_answer: Option<Vec<i128>> = None;
+    let mut points = Vec::new();
+    for &(label, crash_rate, ecc_retry_rate) in SCENARIOS {
+        for breaker in [false, true] {
+            let mut sys = lineitem_system(s, |b| {
+                let b = b
+                    .fault_rates(ecc_retry_rate, 0, 0)
+                    .crash_faults(crash_rate, reset_latency);
+                if breaker {
+                    b.breaker(policy)
+                } else {
+                    b
+                }
+            });
+            let workload = Workload::open_stream(&query, n, scaled(5, 4), s.seed);
+            let rep = sys.run_workload(&workload, opts.clone())?;
+            let baseline = clean_answer.get_or_insert_with(|| {
+                rep.completions
+                    .first()
+                    .map(|c| c.result.agg_values.clone())
+                    .unwrap_or_default()
+            });
+            let matches_clean = !rep.completions.is_empty()
+                && rep
+                    .completions
+                    .iter()
+                    .all(|c| c.result.agg_values == *baseline);
+            points.push(DegradePoint {
+                label,
+                crash_rate,
+                ecc_retry_rate,
+                breaker,
+                completed: rep.completions.len() as u64,
+                rejected: rep.rejected,
+                deadline_missed: rep.deadline_missed,
+                throughput_qps: rep.throughput_qps,
+                makespan_secs: rep.makespan.as_secs_f64(),
+                p95_ms: rep.latency.p95.as_secs_f64() * 1e3,
+                fallbacks: rep.faults.fallbacks,
+                breaker_transitions: rep.breaker_transitions.len() as u64,
+                matches_clean,
+                faults: rep.faults,
+            });
+        }
+    }
+    Ok(points)
+}

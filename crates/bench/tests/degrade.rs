@@ -1,0 +1,60 @@
+//! Acceptance shape of the graceful-degradation experiment: throughput
+//! must fall smoothly (no cliff) as the crash rate rises with the breaker
+//! on, the breaker must strictly beat breaker-off at the highest swept
+//! rate, and answers must stay bit-identical in every cell.
+
+use smartssd_bench::{degrade_exp, Scales};
+
+#[test]
+fn degradation_is_smooth_with_the_breaker_and_worse_without() {
+    let points = degrade_exp(&Scales::quick()).expect("degrade experiment");
+    let on: Vec<_> = points.iter().filter(|p| p.breaker).collect();
+    let off: Vec<_> = points.iter().filter(|p| !p.breaker).collect();
+    assert_eq!(on.len(), off.len());
+    assert!(on.len() >= 3, "sweep needs enough rates to show a shape");
+
+    // Monotone degradation with the breaker: each swept rate's throughput
+    // is no better than the previous (cleaner) one, and never collapses
+    // to zero — the host keeps serving.
+    for w in on.windows(2) {
+        assert!(
+            w[1].throughput_qps <= w[0].throughput_qps + f64::EPSILON,
+            "breaker-on throughput must degrade monotonically: {} ({}) -> {} ({})",
+            w[0].throughput_qps,
+            w[0].label,
+            w[1].throughput_qps,
+            w[1].label
+        );
+    }
+    assert!(on.last().unwrap().throughput_qps > 0.0);
+
+    // At the highest swept crash rate, routing around the sick device
+    // strictly beats hammering it.
+    let (last_on, last_off) = (on.last().unwrap(), off.last().unwrap());
+    assert_eq!(last_on.label, last_off.label);
+    assert!(
+        last_on.makespan_secs < last_off.makespan_secs,
+        "breaker off must be strictly worse at the highest rate: on {} vs off {}",
+        last_on.makespan_secs,
+        last_off.makespan_secs
+    );
+    assert!(last_on.fallbacks < last_off.fallbacks);
+    assert!(last_on.breaker_transitions > 0);
+
+    // Robustness changes timing and routing, never answers, and every
+    // arrival is accounted for.
+    for p in &points {
+        assert!(
+            p.matches_clean,
+            "{} (breaker {}) diverged",
+            p.label, p.breaker
+        );
+        assert_eq!(p.completed + p.rejected + p.deadline_missed, 16);
+    }
+    // The clean cells shed nothing and never trip the breaker.
+    for p in points.iter().filter(|p| p.crash_rate == 0) {
+        assert_eq!(p.completed, 16);
+        assert_eq!(p.breaker_transitions, 0);
+        assert_eq!(p.fallbacks, 0);
+    }
+}

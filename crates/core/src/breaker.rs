@@ -1,0 +1,354 @@
+//! Health-aware device routing: a deterministic circuit breaker.
+//!
+//! The Smart SSD's session protocol has a failure domain the block path does
+//! not share: a firmware crash kills every open session and takes the smart
+//! runtime offline for a whole reset window, while plain block reads (and
+//! thus host-side execution) keep working. Without health tracking, every
+//! arrival during sustained faults still pays for a doomed `OPEN` (and, in
+//! linked mode, the command transfer) before falling back to the host — the
+//! throughput cliff the `degrade` experiment measures.
+//!
+//! The breaker is the classic three-state machine, made fully deterministic
+//! so fixed-seed runs replay bit-exactly:
+//!
+//! - **Closed** — device route allowed. Recoverable session faults are
+//!   counted in a sliding window; once [`BreakerPolicy::failure_threshold`]
+//!   faults land within [`BreakerPolicy::window`], the breaker trips.
+//! - **Open** — arrivals route straight to the host with no device traffic
+//!   at all. After [`BreakerPolicy::cooldown`] of simulated time the next
+//!   arrival is admitted as a probe.
+//! - **HalfOpen** — exactly one probe session is in flight; everyone else
+//!   still routes to the host. The probe's outcome decides: success closes
+//!   the breaker, another fault re-trips it for a fresh cooldown.
+//!
+//! Every transition is recorded with its simulated timestamp; the system
+//! façade emits them as trace instants and surfaces them in
+//! [`crate::WorkloadReport::breaker_transitions`].
+
+use smartssd_sim::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Tuning knobs for the circuit breaker, validated at
+/// [`crate::SystemBuilder::try_build`] time (nonzero window and threshold,
+/// finite cooldown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Master switch. Off by default so every existing figure (and the
+    /// golden `repro` output) is bit-identical: a disabled breaker never
+    /// changes routing and records nothing.
+    pub enabled: bool,
+    /// Recoverable device faults within `window` that trip the breaker.
+    pub failure_threshold: u32,
+    /// Sliding window over which failures are counted.
+    pub window: SimTime,
+    /// Simulated time the breaker stays Open before admitting one probe.
+    pub cooldown: SimTime,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            failure_threshold: 3,
+            window: SimTime::from_millis(50),
+            // Slightly longer than the default device reset latency (5 ms),
+            // so a probe admitted after one cooldown finds a healthy device.
+            cooldown: SimTime::from_millis(8),
+        }
+    }
+}
+
+impl BreakerPolicy {
+    /// An enabled breaker with the default thresholds.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// The breaker's routing state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Device route allowed; failures are being counted.
+    Closed,
+    /// Device route denied; arrivals go straight to the host.
+    Open,
+    /// One probe session decides whether to close or re-trip.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name, used for trace instants and JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+impl fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One breaker state change, timestamped in the run's simulated timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerTransition {
+    /// When the transition happened.
+    pub at: SimTime,
+    /// The state entered.
+    pub to: BreakerState,
+}
+
+/// The deterministic breaker state machine owned by [`crate::System`].
+///
+/// All decisions depend only on the policy and the simulated timestamps fed
+/// in — there is no wall-clock or randomness, so replays are bit-exact.
+/// Timestamps must be non-decreasing across calls; the event-driven
+/// scheduler guarantees that by consulting the breaker in event order.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    state: BreakerState,
+    /// Timestamps of recent recoverable faults, pruned to the window.
+    failures: VecDeque<SimTime>,
+    /// When the breaker last tripped (valid while Open).
+    opened_at: SimTime,
+    /// Whether the single HalfOpen probe has been handed out.
+    probe_in_flight: bool,
+    transitions: Vec<BreakerTransition>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given policy.
+    pub fn new(policy: BreakerPolicy) -> Self {
+        Self {
+            policy,
+            state: BreakerState::Closed,
+            failures: VecDeque::new(),
+            opened_at: SimTime::ZERO,
+            probe_in_flight: false,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether a device-routed attempt may start at `now`. A disabled
+    /// breaker always says yes. While Open, says no until the cooldown
+    /// elapses, then transitions to HalfOpen and admits exactly one probe;
+    /// further callers are denied until the probe's outcome is recorded.
+    pub fn allows_device(&mut self, now: SimTime) -> bool {
+        if !self.policy.enabled {
+            return true;
+        }
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now >= self.opened_at + self.policy.cooldown {
+                    self.transition(now, BreakerState::HalfOpen);
+                    self.probe_in_flight = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probe_in_flight {
+                    false
+                } else {
+                    self.probe_in_flight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Records a device attempt that delivered its answer. Closes the
+    /// breaker if this was the HalfOpen probe.
+    pub fn record_success(&mut self, now: SimTime) {
+        if !self.policy.enabled {
+            return;
+        }
+        if self.state == BreakerState::HalfOpen {
+            self.failures.clear();
+            self.probe_in_flight = false;
+            self.transition(now, BreakerState::Closed);
+        }
+    }
+
+    /// Records a recoverable device fault (crash, timeout, hang — anything
+    /// the host recovers from by rerouting). Trips the breaker when the
+    /// windowed count reaches the threshold, or immediately if the fault
+    /// was the HalfOpen probe.
+    pub fn record_failure(&mut self, now: SimTime) {
+        if !self.policy.enabled {
+            return;
+        }
+        match self.state {
+            BreakerState::HalfOpen => self.trip(now),
+            BreakerState::Closed => {
+                self.failures.push_back(now);
+                let horizon = now.as_nanos().saturating_sub(self.policy.window.as_nanos());
+                while self
+                    .failures
+                    .front()
+                    .is_some_and(|t| t.as_nanos() < horizon)
+                {
+                    self.failures.pop_front();
+                }
+                if self.failures.len() as u64 >= u64::from(self.policy.failure_threshold) {
+                    self.trip(now);
+                }
+            }
+            // No device attempts run while Open, so nothing to record.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Releases the HalfOpen probe slot without deciding: the admitted
+    /// attempt never reached the device (e.g. it was deferred on a full
+    /// session table), so its outcome says nothing about health.
+    pub fn probe_abandoned(&mut self) {
+        if self.state == BreakerState::HalfOpen {
+            self.probe_in_flight = false;
+        }
+    }
+
+    /// Drains the transitions recorded since the last call.
+    pub fn take_transitions(&mut self) -> Vec<BreakerTransition> {
+        std::mem::take(&mut self.transitions)
+    }
+
+    fn trip(&mut self, now: SimTime) {
+        self.failures.clear();
+        self.probe_in_flight = false;
+        self.opened_at = now;
+        self.transition(now, BreakerState::Open);
+    }
+
+    fn transition(&mut self, at: SimTime, to: BreakerState) {
+        self.state = to;
+        self.transitions.push(BreakerTransition { at, to });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> BreakerPolicy {
+        BreakerPolicy {
+            enabled: true,
+            failure_threshold: 3,
+            window: SimTime::from_nanos(100),
+            cooldown: SimTime::from_nanos(50),
+        }
+    }
+
+    #[test]
+    fn disabled_breaker_is_transparent() {
+        let mut b = CircuitBreaker::new(BreakerPolicy::default());
+        for t in 0..10 {
+            assert!(b.allows_device(SimTime::from_nanos(t)));
+            b.record_failure(SimTime::from_nanos(t));
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.take_transitions().is_empty());
+    }
+
+    #[test]
+    fn trips_after_threshold_within_window() {
+        let mut b = CircuitBreaker::new(policy());
+        b.record_failure(SimTime::from_nanos(10));
+        b.record_failure(SimTime::from_nanos(20));
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(SimTime::from_nanos(30));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allows_device(SimTime::from_nanos(40)));
+    }
+
+    #[test]
+    fn old_failures_age_out_of_the_window() {
+        let mut b = CircuitBreaker::new(policy());
+        b.record_failure(SimTime::from_nanos(0));
+        b.record_failure(SimTime::from_nanos(10));
+        // 200 is past the 100 ns window: both earlier failures age out.
+        b.record_failure(SimTime::from_nanos(200));
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn cooldown_admits_exactly_one_probe() {
+        let mut b = CircuitBreaker::new(policy());
+        for t in [10, 11, 12] {
+            b.record_failure(SimTime::from_nanos(t));
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allows_device(SimTime::from_nanos(20)));
+        // Cooldown (50 ns from the trip at 12) elapsed: one probe goes.
+        assert!(b.allows_device(SimTime::from_nanos(70)));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allows_device(SimTime::from_nanos(71)));
+        b.record_success(SimTime::from_nanos(80));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allows_device(SimTime::from_nanos(81)));
+    }
+
+    #[test]
+    fn failed_probe_retrips_for_a_fresh_cooldown() {
+        let mut b = CircuitBreaker::new(policy());
+        for t in [10, 11, 12] {
+            b.record_failure(SimTime::from_nanos(t));
+        }
+        assert!(b.allows_device(SimTime::from_nanos(70)));
+        b.record_failure(SimTime::from_nanos(75));
+        assert_eq!(b.state(), BreakerState::Open);
+        // The new cooldown counts from the re-trip at 75, not the first trip.
+        assert!(!b.allows_device(SimTime::from_nanos(100)));
+        assert!(b.allows_device(SimTime::from_nanos(125)));
+    }
+
+    #[test]
+    fn abandoned_probe_frees_the_slot_without_deciding() {
+        let mut b = CircuitBreaker::new(policy());
+        for t in [10, 11, 12] {
+            b.record_failure(SimTime::from_nanos(t));
+        }
+        assert!(b.allows_device(SimTime::from_nanos(70)));
+        b.probe_abandoned();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // The slot is free again for the next arrival.
+        assert!(b.allows_device(SimTime::from_nanos(72)));
+    }
+
+    #[test]
+    fn transitions_are_timestamped_in_order() {
+        let mut b = CircuitBreaker::new(policy());
+        for t in [10, 11, 12] {
+            b.record_failure(SimTime::from_nanos(t));
+        }
+        assert!(b.allows_device(SimTime::from_nanos(70)));
+        b.record_success(SimTime::from_nanos(80));
+        let trs = b.take_transitions();
+        let got: Vec<_> = trs.iter().map(|t| (t.at.as_nanos(), t.to)).collect();
+        assert_eq!(
+            got,
+            vec![
+                (12, BreakerState::Open),
+                (70, BreakerState::HalfOpen),
+                (80, BreakerState::Closed),
+            ]
+        );
+        assert!(b.take_transitions().is_empty());
+    }
+}

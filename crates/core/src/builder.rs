@@ -7,14 +7,65 @@
 //! run. [`RunOptions`] carries everything that varies per run: the route
 //! policy, a host degree-of-parallelism override, and the trace verbosity.
 
+use crate::breaker::BreakerPolicy;
 use crate::config::{DeviceKind, SystemConfig};
 use crate::system::System;
 use smartssd_device::DeviceConfig;
 use smartssd_flash::FlashConfig;
 use smartssd_host::{HddConfig, InterfaceKind};
 use smartssd_query::{PlannerConfig, PlannerInputs, Route, SessionPolicy};
-use smartssd_sim::{TraceLevel, TraceSink, Tracer};
+use smartssd_sim::{SimTime, TraceLevel, TraceSink, Tracer};
 use smartssd_storage::Layout;
+use std::fmt;
+
+/// A configuration the system refuses to assemble, caught at
+/// [`SystemBuilder::try_build`] time instead of being silently clamped (or
+/// misbehaving) deep inside a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The session policy's backoff cap is below its first backoff step, so
+    /// the exponential backoff could never take even one step.
+    BackoffCapBelowPoll {
+        /// The configured cap.
+        cap: SimTime,
+        /// The configured first step.
+        poll: SimTime,
+    },
+    /// An enabled breaker with a zero failure window can never accumulate
+    /// the failures needed to trip.
+    ZeroBreakerWindow,
+    /// An enabled breaker with a zero failure threshold would trip on
+    /// nothing at all.
+    ZeroBreakerThreshold,
+    /// An enabled breaker whose probe cooldown is the maximum representable
+    /// time would stay Open forever once tripped.
+    InfiniteBreakerCooldown,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BackoffCapBelowPoll { cap, poll } => write!(
+                f,
+                "session policy backoff_cap ({cap}) is below poll_backoff ({poll})"
+            ),
+            ConfigError::ZeroBreakerWindow => {
+                write!(f, "an enabled breaker needs a nonzero failure window")
+            }
+            ConfigError::ZeroBreakerThreshold => {
+                write!(
+                    f,
+                    "an enabled breaker needs a failure threshold of at least 1"
+                )
+            }
+            ConfigError::InfiniteBreakerCooldown => {
+                write!(f, "an enabled breaker needs a finite probe cooldown")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// How [`System::run`] picks the execution route.
 #[derive(Debug, Clone, Default)]
@@ -185,6 +236,21 @@ impl SystemBuilder {
         self
     }
 
+    /// Sets the injected whole-device crash rate (per session open, out of
+    /// 2^32) and the reset latency a crash costs before the smart runtime
+    /// accepts sessions again.
+    pub fn crash_faults(mut self, crash_rate: u32, reset_latency: SimTime) -> Self {
+        self.cfg.smart.fault_rates.crash_rate = crash_rate;
+        self.cfg.smart.fault_rates.reset_latency = reset_latency;
+        self
+    }
+
+    /// Sets the circuit-breaker policy for health-aware device routing.
+    pub fn breaker(mut self, policy: BreakerPolicy) -> Self {
+        self.cfg.breaker = policy;
+        self
+    }
+
     /// Attaches a trace sink. Every timeline-owning component reports its
     /// occupancy intervals to it during runs; the collected trace comes
     /// back in [`crate::RunReport::trace`]. Without this call the system
@@ -202,10 +268,43 @@ impl SystemBuilder {
         self
     }
 
+    /// Assembles the system after validating the configuration, wiring the
+    /// tracer into every timeline-owning component. This is the checked
+    /// front door; [`SystemBuilder::build`] panics on the same conditions.
+    pub fn try_build(self) -> Result<System, ConfigError> {
+        let sp = &self.cfg.session_policy;
+        if sp.backoff_cap < sp.poll_backoff {
+            return Err(ConfigError::BackoffCapBelowPoll {
+                cap: sp.backoff_cap,
+                poll: sp.poll_backoff,
+            });
+        }
+        let br = &self.cfg.breaker;
+        if br.enabled {
+            if br.window == SimTime::ZERO {
+                return Err(ConfigError::ZeroBreakerWindow);
+            }
+            if br.failure_threshold == 0 {
+                return Err(ConfigError::ZeroBreakerThreshold);
+            }
+            if br.cooldown == SimTime::MAX {
+                return Err(ConfigError::InfiniteBreakerCooldown);
+            }
+        }
+        Ok(System::assemble(self.cfg, self.tracer))
+    }
+
     /// Assembles the system and wires the tracer into every
     /// timeline-owning component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`ConfigError`]); use
+    /// [`SystemBuilder::try_build`] to handle that as a value. The default
+    /// configuration is always valid.
     pub fn build(self) -> System {
-        System::assemble(self.cfg, self.tracer)
+        self.try_build()
+            .unwrap_or_else(|e| panic!("invalid system configuration: {e}"))
     }
 }
 
@@ -243,6 +342,90 @@ mod tests {
         assert!(matches!(opts.route, RoutePolicy::Natural));
         assert!(opts.dop.is_none());
         assert_eq!(opts.verbosity, smartssd_sim::TraceLevel::Full);
+    }
+
+    #[test]
+    fn try_build_rejects_inverted_backoff() {
+        let err = SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax)
+            .tweak(|c| {
+                c.session_policy.poll_backoff = SimTime::from_nanos(100);
+                c.session_policy.backoff_cap = SimTime::from_nanos(10);
+            })
+            .try_build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::BackoffCapBelowPoll { .. }));
+        assert!(err.to_string().contains("backoff_cap"));
+    }
+
+    #[test]
+    fn try_build_rejects_degenerate_enabled_breaker() {
+        let cases = [
+            (
+                BreakerPolicy {
+                    window: SimTime::ZERO,
+                    ..BreakerPolicy::enabled()
+                },
+                ConfigError::ZeroBreakerWindow,
+            ),
+            (
+                BreakerPolicy {
+                    failure_threshold: 0,
+                    ..BreakerPolicy::enabled()
+                },
+                ConfigError::ZeroBreakerThreshold,
+            ),
+            (
+                BreakerPolicy {
+                    cooldown: SimTime::MAX,
+                    ..BreakerPolicy::enabled()
+                },
+                ConfigError::InfiniteBreakerCooldown,
+            ),
+        ];
+        for (policy, want) in cases {
+            let err = SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax)
+                .breaker(policy)
+                .try_build()
+                .map(|_| ())
+                .unwrap_err();
+            assert_eq!(err, want);
+        }
+
+        // The same junk on a *disabled* breaker is inert, so it builds.
+        let off = BreakerPolicy {
+            window: SimTime::ZERO,
+            ..BreakerPolicy::default()
+        };
+        assert!(SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax)
+            .breaker(off)
+            .try_build()
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid system configuration")]
+    fn build_panics_on_invalid_config() {
+        SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax)
+            .breaker(BreakerPolicy {
+                window: SimTime::ZERO,
+                ..BreakerPolicy::enabled()
+            })
+            .build();
+    }
+
+    #[test]
+    fn crash_and_breaker_setters_land_in_config() {
+        let sys = SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax)
+            .crash_faults(42, SimTime::from_micros(500))
+            .breaker(BreakerPolicy::enabled())
+            .build();
+        assert_eq!(sys.config().smart.fault_rates.crash_rate, 42);
+        assert_eq!(
+            sys.config().smart.fault_rates.reset_latency,
+            SimTime::from_micros(500)
+        );
+        assert!(sys.config().breaker.enabled);
     }
 
     #[test]

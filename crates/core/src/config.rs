@@ -1,5 +1,6 @@
 //! System-level configuration: device choice, host resources, power model.
 
+use crate::breaker::BreakerPolicy;
 use smartssd_device::DeviceConfig;
 use smartssd_exec::CostTable;
 use smartssd_flash::FlashConfig;
@@ -124,6 +125,10 @@ pub struct SystemConfig {
     /// carries the wasted device time into its elapsed time. Defaults
     /// preserve the fault-free protocol bit-for-bit.
     pub session_policy: SessionPolicy,
+    /// Health-aware routing policy: the circuit breaker that stops sending
+    /// queries to a device that keeps crashing. Disabled by default, so
+    /// routing (and every existing figure) is unchanged.
+    pub breaker: BreakerPolicy,
 }
 
 impl SystemConfig {
@@ -143,6 +148,7 @@ impl SystemConfig {
             host_costs: CostTable::host(),
             power: PowerParams::default(),
             session_policy: SessionPolicy::default(),
+            breaker: BreakerPolicy::default(),
         }
     }
 }

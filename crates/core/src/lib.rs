@@ -59,17 +59,20 @@
 //! ```
 
 pub mod array;
+pub mod breaker;
 pub mod builder;
 pub mod config;
 pub mod system;
 pub mod workload;
 
 pub use array::SmartSsdArray;
-pub use builder::{RoutePolicy, RunOptions, SystemBuilder};
+pub use breaker::{BreakerPolicy, BreakerState, BreakerTransition, CircuitBreaker};
+pub use builder::{ConfigError, RoutePolicy, RunOptions, SystemBuilder};
 pub use config::{DeviceKind, PowerParams, SystemConfig};
 pub use system::{RunError, RunErrorKind, RunReport, System};
 pub use workload::{
-    InterfaceMode, QueryCompletion, Workload, WorkloadItem, WorkloadOptions, WorkloadReport,
+    InterfaceMode, QueryCompletion, QueryOutcome, ShedQuery, Workload, WorkloadItem,
+    WorkloadOptions, WorkloadReport,
 };
 
 pub use smartssd_sim::LatencyStats;

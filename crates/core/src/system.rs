@@ -1,6 +1,7 @@
 //! The assembled test bed: one storage device, a host, a catalog, and the
 //! machinery to run a query on either side and meter it.
 
+use crate::breaker::{BreakerTransition, CircuitBreaker};
 use crate::builder::{RoutePolicy, RunOptions};
 use crate::config::{DeviceKind, SystemConfig};
 use smartssd_device::{DeviceError, SmartSsd};
@@ -84,6 +85,14 @@ pub enum RunErrorKind {
     },
     /// Requested a device route on a non-smart device.
     NotSmart,
+    /// The workload scheduler finished its event loop with a query that
+    /// neither completed, errored, nor was shed — a bug in the scheduler,
+    /// reported as a typed error instead of a panic so the caller still
+    /// gets the fault counters accumulated up to that point.
+    SchedulerInvariant {
+        /// Submission index of the query left without an outcome.
+        index: usize,
+    },
 }
 
 impl fmt::Display for RunErrorKind {
@@ -98,6 +107,10 @@ impl fmt::Display for RunErrorKind {
                 write!(f, "layout mismatch: system uses {expected}, image is {got}")
             }
             RunErrorKind::NotSmart => write!(f, "device route requires a Smart SSD system"),
+            RunErrorKind::SchedulerInvariant { index } => write!(
+                f,
+                "scheduler invariant violated: query {index} neither completed nor was shed"
+            ),
         }
     }
 }
@@ -108,14 +121,15 @@ impl fmt::Display for RunErrorKind {
 #[derive(Debug)]
 pub struct RunError {
     kind: RunErrorKind,
-    pub(crate) faults: FaultCounters,
+    // Boxed to keep `Result<_, RunError>` small on the happy path.
+    pub(crate) faults: Box<FaultCounters>,
 }
 
 impl RunError {
     pub(crate) fn from_kind(kind: RunErrorKind) -> Self {
         Self {
             kind,
-            faults: FaultCounters::default(),
+            faults: Box::default(),
         }
     }
 
@@ -181,7 +195,7 @@ impl From<SessionFault> for RunError {
         faults.wasted_ns += fault.wasted.as_nanos();
         Self {
             kind: RunErrorKind::Session(fault),
-            faults,
+            faults: Box::new(faults),
         }
     }
 }
@@ -232,6 +246,13 @@ pub struct System {
     /// Shared handle to the trace sink attached at build time (a no-op
     /// handle when none was).
     pub(crate) tracer: Tracer,
+    /// Health-aware routing state, persisted across runs so sustained
+    /// faults in one call keep the device quarantined in the next.
+    pub(crate) breaker: CircuitBreaker,
+    /// Monotone simulated clock the breaker lives on. Each run/workload
+    /// starts its own timeline at zero; this accumulates their lengths so
+    /// breaker timestamps stay comparable across calls.
+    pub(crate) breaker_clock: SimTime,
 }
 
 impl System {
@@ -278,8 +299,15 @@ impl System {
             dirty: std::collections::HashSet::new(),
             run_faults: FaultCounters::default(),
             tracer,
+            breaker: CircuitBreaker::new(cfg.breaker),
+            breaker_clock: SimTime::ZERO,
             cfg,
         }
+    }
+
+    /// The circuit breaker's current routing state.
+    pub fn breaker_state(&self) -> crate::breaker::BreakerState {
+        self.breaker.state()
     }
 
     /// System configuration.
@@ -608,14 +636,25 @@ impl System {
         let op = query.resolve(&self.catalog)?;
         self.tracer.set_level(opts.verbosity);
         self.tracer.begin_run();
-        let route = self.resolve_route(&op, &opts.route);
+        let mut route = self.resolve_route(&op, &opts.route);
+        // Health-aware routing: while the breaker is Open the device is
+        // presumed down, so the query goes straight to the host without
+        // paying for a doomed OPEN. The breaker lives on its own monotone
+        // clock so state carries across runs that each start at zero.
+        let breaker_base = self.breaker_clock;
+        if route == Route::Device && !self.breaker.allows_device(breaker_base) {
+            route = Route::Host;
+        }
         let dop = opts.dop.unwrap_or(self.cfg.host_dop);
         self.reset_run_timing();
         self.run_faults = FaultCounters::default();
         let (result, route) = match route {
             Route::Host => (self.run_host(&op, query, dop, SimTime::ZERO)?, Route::Host),
             Route::Device => match self.run_device(&op, query) {
-                Ok(r) => (r, Route::Device),
+                Ok(r) => {
+                    self.breaker.record_success(breaker_base);
+                    (r, Route::Device)
+                }
                 // Graceful degradation: on a resource rejection or an
                 // unrecoverable mid-run fault (uncorrectable flash,
                 // checksum escape, session loss, hang, timeout), the
@@ -627,6 +666,7 @@ impl System {
                 // by the timing reset.
                 Err(e) => match e.into_kind() {
                     RunErrorKind::Session(fault) if Self::fault_is_recoverable(&fault.error) => {
+                        self.breaker.record_failure(breaker_base);
                         self.note_fallback(&fault);
                         self.reset_run_timing();
                         let mut r = self.run_host(&op, query, dop, SimTime::ZERO)?;
@@ -653,6 +693,8 @@ impl System {
             },
             &[],
         );
+        self.breaker_clock = breaker_base + result.elapsed;
+        self.take_breaker_transitions(breaker_base);
         let trace = self.tracer.finish_run();
         Ok(self.finish_report(query, route, result, trace))
     }
@@ -683,8 +725,36 @@ impl System {
             SessionError::Device(e) => {
                 !matches!(e, DeviceError::Wire(_) | DeviceError::Validation(_))
             }
+            // A firmware crash killed the session, but the block path (and
+            // thus the host route) is a separate failure domain.
+            SessionError::DeviceReset { .. } => true,
             SessionError::Timeout { .. } | SessionError::Hung { .. } => true,
         }
+    }
+
+    /// Drains the breaker transitions recorded since `base` (the breaker
+    /// clock at the start of the current run), re-based onto the run's own
+    /// timeline, and emits each one as a trace instant on the run track.
+    pub(crate) fn take_breaker_transitions(&mut self, base: SimTime) -> Vec<BreakerTransition> {
+        let transitions: Vec<BreakerTransition> = self
+            .breaker
+            .take_transitions()
+            .into_iter()
+            .map(|t| BreakerTransition {
+                at: SimTime::from_nanos(t.at.as_nanos().saturating_sub(base.as_nanos())),
+                to: t.to,
+            })
+            .collect();
+        for t in &transitions {
+            let name = match t.to {
+                crate::breaker::BreakerState::Closed => "breaker-closed",
+                crate::breaker::BreakerState::Open => "breaker-open",
+                crate::breaker::BreakerState::HalfOpen => "breaker-half-open",
+            };
+            self.tracer
+                .instant(TraceLevel::Protocol, pid::RUN, 0, name, "run", t.at, &[]);
+        }
+        transitions
     }
 
     /// Books a failed device attempt into the run's fault counters before

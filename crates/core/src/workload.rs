@@ -29,6 +29,7 @@
 //! schedule, and answers are bit-identical to isolated runs regardless of
 //! interleaving or sharing.
 
+use crate::breaker::BreakerTransition;
 use crate::builder::RoutePolicy;
 use crate::system::{Backend, RunError, RunErrorKind, System};
 use smartssd_device::DeviceError;
@@ -143,6 +144,17 @@ pub struct WorkloadOptions {
     pub dop: Option<usize>,
     /// Trace verbosity for the workload. Ignored without an attached sink.
     pub verbosity: TraceLevel,
+    /// Admission control: bound on the number of queries waiting for a
+    /// device session slot. An arrival that finds the device full and the
+    /// wait queue at this bound is shed with [`QueryOutcome::Rejected`]
+    /// instead of queueing without limit. `None` (the default) waits
+    /// unbounded — the pre-admission-control behavior.
+    pub queue_bound: Option<usize>,
+    /// Start-of-service deadline, measured from each query's arrival: a
+    /// queued query whose turn comes after `arrival + deadline` is shed
+    /// with [`QueryOutcome::DeadlineMissed`] instead of starting
+    /// hopelessly late. `None` (the default) never sheds on time.
+    pub deadline: Option<SimTime>,
 }
 
 /// One finished query of a workload.
@@ -166,14 +178,77 @@ pub struct QueryCompletion {
     pub result: QueryResult,
 }
 
+/// A query shed by admission control or the deadline rule before any work
+/// was done on its behalf — it consumed no device or host time.
+#[derive(Debug, Clone)]
+pub struct ShedQuery {
+    /// Index of the query in the workload's submission order.
+    pub index: usize,
+    /// Query name.
+    pub query: String,
+    /// When the query arrived.
+    pub arrival: SimTime,
+    /// When the scheduler shed it (at arrival for a rejection; when its
+    /// turn came for a missed deadline).
+    pub shed_at: SimTime,
+}
+
+/// Terminal state of one workload arrival. Under graceful degradation not
+/// every arrival completes — but every arrival gets exactly one outcome,
+/// so `completed + rejected + deadline-missed` always equals the number of
+/// arrivals.
+#[derive(Debug, Clone)]
+pub enum QueryOutcome {
+    /// The query ran to completion (on either route, including a mid-run
+    /// fallback to the host). Its answer is bit-identical to an isolated
+    /// fault-free run of the same query.
+    Completed(QueryCompletion),
+    /// Shed at arrival: the device was full and the wait queue was at
+    /// [`WorkloadOptions::queue_bound`].
+    Rejected(ShedQuery),
+    /// Shed when its turn came: it had waited past
+    /// [`WorkloadOptions::deadline`] before service could begin.
+    DeadlineMissed(ShedQuery),
+}
+
+impl QueryOutcome {
+    /// The completion record, when the query completed.
+    pub fn completion(&self) -> Option<&QueryCompletion> {
+        match self {
+            QueryOutcome::Completed(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Submission index of the query this outcome belongs to.
+    pub fn index(&self) -> usize {
+        match self {
+            QueryOutcome::Completed(c) => c.index,
+            QueryOutcome::Rejected(s) | QueryOutcome::DeadlineMissed(s) => s.index,
+        }
+    }
+}
+
 /// Everything measured about one workload run.
 #[derive(Debug, Clone)]
 pub struct WorkloadReport {
-    /// Per-query completions, in submission order.
+    /// Per-query completions, in submission order. Under admission control
+    /// this is the completed subset; see [`WorkloadReport::outcomes`] for
+    /// every arrival's fate.
     pub completions: Vec<QueryCompletion>,
+    /// One terminal outcome per arrival, in submission order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Arrivals shed because the wait queue was at its bound.
+    pub rejected: u64,
+    /// Arrivals shed because they waited past their deadline.
+    pub deadline_missed: u64,
+    /// Circuit-breaker state changes during the workload, timestamped on
+    /// the workload's own timeline. Empty when the breaker is disabled.
+    pub breaker_transitions: Vec<BreakerTransition>,
     /// Simulated time from zero until the last completion.
     pub makespan: SimTime,
-    /// Queries per second of simulated time (`len / makespan`).
+    /// Completed queries per second of simulated time
+    /// (`completions.len() / makespan`); shed queries don't count.
     pub throughput_qps: f64,
     /// Latency distribution over the completions.
     pub latency: LatencyStats,
@@ -251,6 +326,10 @@ impl System {
         self.tracer.begin_run();
         self.reset_run_timing();
         self.run_faults = FaultCounters::default();
+        // Drop breaker transitions a previously aborted run left behind,
+        // and remember where this workload starts on the breaker's clock.
+        self.breaker.take_transitions();
+        let breaker_base = self.breaker_clock;
         let dop = opts.dop.unwrap_or(self.cfg.host_dop);
         let n = workload.len();
         let mut events: EventQueue<Ev> = EventQueue::new();
@@ -258,40 +337,74 @@ impl System {
             events.push(item.arrival, Ev::Arrive(i));
         }
         let mut deferred: VecDeque<usize> = VecDeque::new();
-        let mut completions: Vec<Option<QueryCompletion>> = (0..n).map(|_| None).collect();
+        let mut outcomes: Vec<Option<QueryOutcome>> = (0..n).map(|_| None).collect();
         while let Some((t, ev)) = events.pop() {
             match ev {
                 Ev::Arrive(i) => {
-                    self.dispatch(workload, i, t, opts, dop, &mut events, &mut deferred)
-                        .map(|done| completions[i] = done)?;
+                    let (out, _) =
+                        self.dispatch(workload, i, t, opts, dop, &mut events, &mut deferred)?;
+                    if let Some(o) = out {
+                        outcomes[i] = Some(o);
+                    }
                 }
                 Ev::Close(sid) => {
                     let Backend::Smart { dev, .. } = &mut self.backend else {
                         unreachable!("close events only exist for smart systems");
                     };
                     dev.close(sid).map_err(RunError::from)?;
-                    // The freed slot admits the longest-waiting query, which
-                    // re-arrives now.
-                    if let Some(j) = deferred.pop_front() {
-                        self.dispatch(workload, j, t, opts, dop, &mut events, &mut deferred)
-                            .map(|done| completions[j] = done)?;
-                    }
+                    self.admit_waiters(
+                        workload,
+                        t,
+                        opts,
+                        dop,
+                        &mut events,
+                        &mut deferred,
+                        &mut outcomes,
+                    )?;
                 }
                 Ev::SlotFreed => {
                     // A faulted session's slot: the driver already closed it
                     // on the abandon path, so only the admission remains.
-                    if let Some(j) = deferred.pop_front() {
-                        self.dispatch(workload, j, t, opts, dop, &mut events, &mut deferred)
-                            .map(|done| completions[j] = done)?;
-                    }
+                    self.admit_waiters(
+                        workload,
+                        t,
+                        opts,
+                        dop,
+                        &mut events,
+                        &mut deferred,
+                        &mut outcomes,
+                    )?;
                 }
             }
         }
         debug_assert!(deferred.is_empty(), "every freed slot admits a waiter");
-        let completions: Vec<QueryCompletion> = completions
-            .into_iter()
-            .map(|c| c.expect("every arrival completes or errors out"))
+        // Every arrival must have exactly one outcome by now; a hole is a
+        // scheduler bug, reported as a typed error (with the fault counters
+        // absorbed by the caller) instead of a panic.
+        let mut collected: Vec<QueryOutcome> = Vec::with_capacity(n);
+        for (i, o) in outcomes.into_iter().enumerate() {
+            match o {
+                Some(o) => collected.push(o),
+                None => {
+                    return Err(RunError::from_kind(RunErrorKind::SchedulerInvariant {
+                        index: i,
+                    }))
+                }
+            }
+        }
+        let outcomes = collected;
+        let completions: Vec<QueryCompletion> = outcomes
+            .iter()
+            .filter_map(|o| o.completion().cloned())
             .collect();
+        let rejected = outcomes
+            .iter()
+            .filter(|o| matches!(o, QueryOutcome::Rejected(_)))
+            .count() as u64;
+        let deadline_missed = outcomes
+            .iter()
+            .filter(|o| matches!(o, QueryOutcome::DeadlineMissed(_)))
+            .count() as u64;
         let makespan = completions
             .iter()
             .map(|c| c.finished_at)
@@ -299,7 +412,7 @@ impl System {
             .unwrap_or(SimTime::ZERO);
         let latencies: Vec<SimTime> = completions.iter().map(|c| c.latency).collect();
         let throughput_qps = if makespan > SimTime::ZERO {
-            n as f64 / makespan.as_secs_f64()
+            completions.len() as f64 / makespan.as_secs_f64()
         } else {
             0.0
         };
@@ -326,6 +439,11 @@ impl System {
             },
             &[("queries", n as f64)],
         );
+        // Advance the breaker's monotone clock past this workload and pull
+        // its transitions (re-based onto the workload timeline) into both
+        // the trace and the report.
+        self.breaker_clock = breaker_base + makespan;
+        let breaker_transitions = self.take_breaker_transitions(breaker_base);
         let trace = self.tracer.finish_run();
         Ok(WorkloadReport {
             makespan,
@@ -337,13 +455,70 @@ impl System {
             pool_misses,
             faults: self.current_faults(),
             completions,
+            outcomes,
+            rejected,
+            deadline_missed,
+            breaker_transitions,
             trace,
         })
     }
 
-    /// Dispatches one query at simulated time `now`. Returns the completion
-    /// (`None` when the query was deferred on a full device — it will be
-    /// re-dispatched by a close event).
+    /// Admits waiters from the deferred queue into a freed session slot:
+    /// sheds those whose start-of-service deadline has passed (the slot
+    /// stays free, so the next waiter gets its turn immediately), then
+    /// dispatches until one admission actually occupies the slot — a
+    /// breaker-rerouted waiter completes on the host without consuming it,
+    /// so stopping after one admission would strand the rest of the queue.
+    #[allow(clippy::too_many_arguments)] // internal scheduler plumbing, not API
+    fn admit_waiters(
+        &mut self,
+        workload: &Workload,
+        now: SimTime,
+        opts: &WorkloadOptions,
+        dop: usize,
+        events: &mut EventQueue<Ev>,
+        deferred: &mut VecDeque<usize>,
+        outcomes: &mut [Option<QueryOutcome>],
+    ) -> Result<(), RunError> {
+        while let Some(j) = deferred.pop_front() {
+            let item = &workload.items()[j];
+            if let Some(deadline) = opts.deadline {
+                if now > item.arrival + deadline {
+                    self.tracer.instant(
+                        TraceLevel::Protocol,
+                        pid::SESSION,
+                        j as u32,
+                        "deadline-missed",
+                        "session",
+                        now,
+                        &[],
+                    );
+                    outcomes[j] = Some(QueryOutcome::DeadlineMissed(ShedQuery {
+                        index: j,
+                        query: item.query.name.clone(),
+                        arrival: item.arrival,
+                        shed_at: now,
+                    }));
+                    continue;
+                }
+            }
+            let (out, slot_consumed) =
+                self.dispatch(workload, j, now, opts, dop, events, deferred)?;
+            if let Some(o) = out {
+                outcomes[j] = Some(o);
+            }
+            if slot_consumed {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Dispatches one query at simulated time `now`. Returns the query's
+    /// outcome (`None` when it was deferred on a full device — a close
+    /// event will re-dispatch it) and whether the dispatch tied up a
+    /// device session slot (a host-routed completion leaves the slot free
+    /// for the next waiter).
     #[allow(clippy::too_many_arguments)] // internal scheduler plumbing, not API
     fn dispatch(
         &mut self,
@@ -354,19 +529,58 @@ impl System {
         dop: usize,
         events: &mut EventQueue<Ev>,
         deferred: &mut VecDeque<usize>,
-    ) -> Result<Option<QueryCompletion>, RunError> {
+    ) -> Result<(Option<QueryOutcome>, bool), RunError> {
         let item = &workload.items()[idx];
         let op = item.query.resolve(&self.catalog)?;
-        let route = self.resolve_route(&op, &item.route);
+        let mut route = self.resolve_route(&op, &item.route);
+        // Health-aware routing: while the breaker is Open (or its one
+        // HalfOpen probe is taken), this arrival goes straight to the host
+        // without paying for a doomed OPEN. Breaker timestamps live on the
+        // monotone breaker clock so state carries across workloads.
+        let breaker_now = self.breaker_clock + now;
+        if route == Route::Device && !self.breaker.allows_device(breaker_now) {
+            route = Route::Host;
+        }
         match route {
-            Route::Host => self.host_completion(item, &op, idx, now, dop).map(Some),
+            Route::Host => self
+                .host_completion(item, &op, idx, now, dop)
+                .map(|c| (Some(QueryOutcome::Completed(c)), false)),
             Route::Device => {
                 match self.device_attempt(&op, idx, now, opts)? {
                     DevAttempt::Deferred => {
+                        // The attempt never reached a session: if it held
+                        // the HalfOpen probe slot, give the slot back.
+                        self.breaker.probe_abandoned();
+                        if let Some(bound) = opts.queue_bound {
+                            if deferred.len() >= bound {
+                                // Admission control: the wait queue is at
+                                // its bound, so shed this arrival instead
+                                // of letting the queue grow without limit.
+                                self.tracer.instant(
+                                    TraceLevel::Protocol,
+                                    pid::SESSION,
+                                    idx as u32,
+                                    "rejected",
+                                    "session",
+                                    now,
+                                    &[],
+                                );
+                                return Ok((
+                                    Some(QueryOutcome::Rejected(ShedQuery {
+                                        index: idx,
+                                        query: item.query.name.clone(),
+                                        arrival: item.arrival,
+                                        shed_at: now,
+                                    })),
+                                    true,
+                                ));
+                            }
+                        }
                         deferred.push_back(idx);
-                        Ok(None)
+                        Ok((None, true))
                     }
                     DevAttempt::Done(sid, out) => {
+                        self.breaker.record_success(breaker_now);
                         // Hold the session slot until its simulated finish.
                         events.push(out.finished_at, Ev::Close(sid));
                         self.run_faults.get_retries += out.get_retries;
@@ -376,26 +590,30 @@ impl System {
                             .apply(out.aggs.as_deref().unwrap_or(&[]));
                         let latency = out.finished_at.saturating_sub(item.arrival);
                         self.query_span(idx, item.arrival, out.finished_at, Route::Device);
-                        Ok(Some(QueryCompletion {
-                            index: idx,
-                            query: item.query.name.clone(),
-                            route: Route::Device,
-                            arrival: item.arrival,
-                            finished_at: out.finished_at,
-                            latency,
-                            result: QueryResult {
-                                rows: out.rows,
-                                agg_values,
-                                scalar,
-                                elapsed: latency,
-                                work: out.work,
-                            },
-                        }))
+                        Ok((
+                            Some(QueryOutcome::Completed(QueryCompletion {
+                                index: idx,
+                                query: item.query.name.clone(),
+                                route: Route::Device,
+                                arrival: item.arrival,
+                                finished_at: out.finished_at,
+                                latency,
+                                result: QueryResult {
+                                    rows: out.rows,
+                                    agg_values,
+                                    scalar,
+                                    elapsed: latency,
+                                    work: out.work,
+                                },
+                            })),
+                            true,
+                        ))
                     }
                     DevAttempt::Fault(fault) => {
                         if !Self::fault_is_recoverable(&fault.error) {
                             return Err(RunError::from(fault));
                         }
+                        self.breaker.record_failure(breaker_now);
                         // Degrade this one query to the host. Unlike the
                         // single-query path there is no timing reset — the
                         // rest of the workload keeps its timelines — so the
@@ -413,7 +631,8 @@ impl System {
                         // the next waiter, or it would be stranded and the
                         // workload could never drain.
                         events.push(start, Ev::SlotFreed);
-                        self.host_completion(item, &op, idx, start, dop).map(Some)
+                        self.host_completion(item, &op, idx, start, dop)
+                            .map(|c| (Some(QueryOutcome::Completed(c)), true))
                     }
                 }
             }
@@ -755,6 +974,116 @@ mod tests {
                 "{interface:?}: wasted_ns must be a duration, not a timestamp"
             );
         }
+    }
+
+    #[test]
+    fn breaker_sheds_device_route_under_sustained_crashes() {
+        use crate::breaker::{BreakerPolicy, BreakerState};
+        let q = sum_query();
+        let run = |enabled: bool| {
+            let mut sys = build_sys(DeviceKind::SmartSsd, |b| {
+                let b = b.crash_faults(u32::MAX, SimTime::from_micros(5_000));
+                if enabled {
+                    b.breaker(BreakerPolicy::enabled())
+                } else {
+                    b
+                }
+            });
+            sys.run_workload(&Workload::burst(&q, 6), WorkloadOptions::default())
+                .unwrap()
+        };
+        let (off, on) = (run(false), run(true));
+        // Without health tracking every arrival pays for a doomed OPEN —
+        // and the extra pokes both storm the recovering firmware and crash
+        // it again once it comes back.
+        assert_eq!(off.faults.fallbacks, 6);
+        assert!(off.breaker_transitions.is_empty());
+        assert!(off.faults.device_crashes >= 1);
+        // With the breaker, the threshold-th failure trips it and the rest
+        // route straight to the host with no device traffic at all.
+        assert_eq!(on.faults.fallbacks, 3);
+        assert_eq!(on.breaker_transitions.len(), 1);
+        assert_eq!(on.breaker_transitions[0].to, BreakerState::Open);
+        assert!(on.faults.device_crashes >= 1);
+        assert!(on.faults.device_crashes <= off.faults.device_crashes);
+        // A burst drains through the host-side bottleneck either way, so
+        // the breaker can't beat the makespan here — but it must never be
+        // worse, and it wastes strictly less time on doomed probes.
+        assert!(on.makespan <= off.makespan);
+        assert!(on.faults.wasted_ns < off.faults.wasted_ns);
+        // Every query still completes on the host with identical answers:
+        // the breaker changes routing and timing, never results.
+        assert_eq!(on.completions.len(), 6);
+        for (a, b) in off.completions.iter().zip(on.completions.iter()) {
+            assert_eq!(a.result.agg_values, b.result.agg_values);
+            assert_eq!(a.route, Route::Host);
+            assert_eq!(b.route, Route::Host);
+        }
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overflow_arrivals() {
+        let q = sum_query();
+        let mut sys = build_sys(DeviceKind::SmartSsd, |b| {
+            b.tweak(|c| c.smart.max_sessions = 1)
+        });
+        let rep = sys
+            .run_workload(
+                &Workload::burst(&q, 6),
+                WorkloadOptions {
+                    queue_bound: Some(1),
+                    ..WorkloadOptions::default()
+                },
+            )
+            .unwrap();
+        // One slot plus one queue place: the other four arrivals are shed.
+        assert_eq!(rep.completions.len(), 2);
+        assert_eq!(rep.rejected, 4);
+        assert_eq!(rep.deadline_missed, 0);
+        // Conservation: every arrival has exactly one outcome.
+        assert_eq!(rep.outcomes.len(), 6);
+        assert_eq!(
+            rep.completions.len() as u64 + rep.rejected + rep.deadline_missed,
+            6
+        );
+        for (i, o) in rep.outcomes.iter().enumerate() {
+            assert_eq!(o.index(), i);
+        }
+        assert!(matches!(rep.outcomes[2], QueryOutcome::Rejected(_)));
+        // Throughput counts only completed queries.
+        let expect = 2.0 / rep.makespan.as_secs_f64();
+        assert!((rep.throughput_qps - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadline_sheds_stale_waiters_when_their_turn_comes() {
+        let q = sum_query();
+        let mut sys = build_sys(DeviceKind::SmartSsd, |b| {
+            b.tweak(|c| c.smart.max_sessions = 1)
+        });
+        let rep = sys
+            .run_workload(
+                &Workload::burst(&q, 3),
+                WorkloadOptions {
+                    deadline: Some(SimTime::from_nanos(1)),
+                    ..WorkloadOptions::default()
+                },
+            )
+            .unwrap();
+        // The first query holds the only slot well past the 1 ns deadline,
+        // so both waiters are shed the moment its close frees the slot.
+        assert_eq!(rep.completions.len(), 1);
+        assert_eq!(rep.rejected, 0);
+        assert_eq!(rep.deadline_missed, 2);
+        let shed_at: Vec<SimTime> = rep
+            .outcomes
+            .iter()
+            .filter_map(|o| match o {
+                QueryOutcome::DeadlineMissed(s) => Some(s.shed_at),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(shed_at, vec![rep.completions[0].finished_at; 2]);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Smart SSD device-side configuration.
 
 use smartssd_exec::CostTable;
+use smartssd_sim::FaultRates;
 
 /// Resources of the embedded computer inside the Smart SSD.
 ///
@@ -41,6 +42,10 @@ pub struct DeviceConfig {
     /// only timing and flash traffic shift. Off by default so every
     /// single-query figure stays bit-identical.
     pub shared_scans: bool,
+    /// Injected whole-device fault rates (firmware crash/reset). Zero by
+    /// default, so no random numbers are drawn and clean runs reproduce
+    /// bit-identically.
+    pub fault_rates: FaultRates,
     /// Cycle prices for the embedded CPU.
     pub costs: CostTable,
 }
@@ -55,6 +60,7 @@ impl Default for DeviceConfig {
             result_buffer_bytes: 8 * 1024 * 1024,
             read_retry_limit: 2,
             shared_scans: false,
+            fault_rates: FaultRates::default(),
             costs: CostTable::device(),
         }
     }

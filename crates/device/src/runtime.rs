@@ -29,8 +29,24 @@ use smartssd_sim::{CpuModel, FaultCounters, SimTime};
 use smartssd_storage::expr::{AggState, ExprError};
 use smartssd_storage::page::PageError;
 use smartssd_storage::{PageBuf, TableImage, Tuple};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
+
+/// Deterministic xorshift64 stream for crash injection; the seed is fixed
+/// so runs replay bit-exactly.
+#[derive(Debug, Clone)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_u32(&mut self) -> u32 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        (x >> 32) as u32
+    }
+}
 
 /// Handle returned by `OPEN` (paper: "a unique session id is then returned
 /// to the host").
@@ -86,6 +102,16 @@ pub enum DeviceError {
     Flash(FlashError),
     /// A page failed integrity validation after the flash read.
     Page(PageError),
+    /// The smart-protocol firmware crashed and is resetting: every open
+    /// session died with it, and `OPEN` is refused until the reset
+    /// completes. The block path (host-side execution) is a separate
+    /// failure domain and stays available.
+    DeviceReset {
+        /// Simulated time the failure was observed.
+        at: SimTime,
+        /// Simulated time the firmware reset completes.
+        until: SimTime,
+    },
     /// The firmware's bounded read-retry policy ran out of budget; the
     /// session is dead and the host should degrade to host-side execution.
     RetriesExhausted {
@@ -113,6 +139,10 @@ impl fmt::Display for DeviceError {
             DeviceError::Validation(e) => write!(f, "invalid operator: {e}"),
             DeviceError::Flash(e) => write!(f, "flash: {e}"),
             DeviceError::Page(e) => write!(f, "page: {e}"),
+            DeviceError::DeviceReset { at, until } => write!(
+                f,
+                "device firmware reset at {at}, unavailable until {until}"
+            ),
             DeviceError::RetriesExhausted {
                 lba,
                 attempts,
@@ -157,6 +187,17 @@ pub struct SmartSsd {
     /// [`DeviceConfig::shared_scans`] is on.
     share_cache: HashMap<u64, SharedScanEntry>,
     shared_hits: u64,
+    /// RNG for whole-device crash injection. Consulted only when
+    /// [`smartssd_sim::FaultRates::crash_rate`] is nonzero, so clean
+    /// configurations draw nothing and stay bit-identical.
+    crash_rng: XorShift,
+    /// Simulated time the in-progress firmware reset completes; `ZERO`
+    /// when the device is healthy.
+    reset_done: SimTime,
+    /// Session ids killed by a crash whose owners have not yet observed
+    /// the death. `GET` on a victim reports the reset; `CLOSE` succeeds
+    /// (the grants are already gone).
+    reset_victims: HashSet<u32>,
 }
 
 impl SmartSsd {
@@ -173,6 +214,9 @@ impl SmartSsd {
             faults: FaultCounters::default(),
             share_cache: HashMap::new(),
             shared_hits: 0,
+            crash_rng: XorShift(0xD1B5_4A32_D192_ED03),
+            reset_done: SimTime::ZERO,
+            reset_victims: HashSet::new(),
             cfg,
         }
     }
@@ -249,11 +293,48 @@ impl SmartSsd {
         self.faults = FaultCounters::default();
         self.share_cache.clear();
         self.shared_hits = 0;
+        // Crash state is timing state; the RNG is not (its stream must keep
+        // advancing across resets, like the flash error RNG).
+        self.reset_done = SimTime::ZERO;
+        self.reset_victims.clear();
+    }
+
+    /// Kills every open session and takes the smart runtime offline until
+    /// the firmware reset completes.
+    fn crash(&mut self, now: SimTime) -> DeviceError {
+        let until = now + self.cfg.fault_rates.reset_latency;
+        self.faults.device_crashes += 1;
+        self.faults.killed_sessions += self.sessions.len() as u64;
+        self.faults.reset_downtime_ns += self.cfg.fault_rates.reset_latency.as_nanos();
+        self.reset_victims.extend(self.sessions.keys().copied());
+        self.sessions.clear();
+        self.share_cache.clear();
+        self.reset_done = until;
+        DeviceError::DeviceReset { at: now, until }
     }
 
     /// `OPEN`: validates the operator, grants session resources, and starts
     /// execution at simulated time `now`.
     pub fn open(&mut self, op: &QueryOp, now: SimTime) -> Result<SessionId, DeviceError> {
+        if now < self.reset_done {
+            // Reset storm: a command that hammers mid-reset firmware
+            // interrupts recovery and pushes completion back by a quarter
+            // of the base reset latency. Hosts that keep probing a sick
+            // device prolong its downtime; health-aware routing that backs
+            // off lets it come back on schedule.
+            let penalty = SimTime::from_nanos(self.cfg.fault_rates.reset_latency.as_nanos() / 4);
+            self.reset_done += penalty;
+            self.faults.reset_downtime_ns += penalty.as_nanos();
+            return Err(DeviceError::DeviceReset {
+                at: now,
+                until: self.reset_done,
+            });
+        }
+        if self.cfg.fault_rates.crash_rate > 0
+            && self.crash_rng.next_u32() < self.cfg.fault_rates.crash_rate
+        {
+            return Err(self.crash(now));
+        }
         if self.sessions.len() >= self.cfg.max_sessions {
             return Err(DeviceError::TooManySessions);
         }
@@ -287,6 +368,12 @@ impl SmartSsd {
 
     /// `GET`: polls the session at simulated time `now`.
     pub fn get(&mut self, sid: SessionId, now: SimTime) -> Result<GetResponse, DeviceError> {
+        if self.reset_victims.contains(&sid.0) {
+            return Err(DeviceError::DeviceReset {
+                at: now,
+                until: self.reset_done,
+            });
+        }
         let session = self
             .sessions
             .get_mut(&sid.0)
@@ -305,6 +392,11 @@ impl SmartSsd {
     /// `CLOSE`: releases the session's grants (including its shared-scan
     /// ownership) and clears its state.
     pub fn close(&mut self, sid: SessionId) -> Result<(), DeviceError> {
+        // A session killed by a firmware crash has no grants left to
+        // release; its CLOSE is an acknowledged no-op.
+        if self.reset_victims.remove(&sid.0) {
+            return Ok(());
+        }
         self.sessions
             .remove(&sid.0)
             .map(|_| ())
@@ -983,6 +1075,63 @@ mod tests {
                 aggs: vec![AggSpec::count()],
             },
         }
+    }
+
+    #[test]
+    fn device_crash_kills_sessions_and_recovers_after_reset() {
+        let mut dev = device();
+        let img = small_table(Layout::Pax, 1000);
+        let tref = dev.load_table(&img, 0).unwrap();
+        dev.reset_timing();
+        let op = count_op(tref);
+        let sid = dev.open(&op, SimTime::ZERO).unwrap();
+        // Arm the crash: the very next OPEN takes down the firmware.
+        dev.cfg.fault_rates.crash_rate = u32::MAX;
+        let at = SimTime::from_millis(1);
+        let until = match dev.open(&op, at) {
+            Err(DeviceError::DeviceReset { at: got, until }) => {
+                assert_eq!(got, at);
+                until
+            }
+            other => panic!("expected DeviceReset, got {other:?}"),
+        };
+        assert_eq!(until, at + dev.config().fault_rates.reset_latency);
+        // The pre-existing session died with the firmware...
+        assert!(matches!(
+            dev.get(sid, SimTime::from_millis(2)),
+            Err(DeviceError::DeviceReset { .. })
+        ));
+        // ...but its CLOSE is clean: the grants evaporated with the crash.
+        dev.close(sid).unwrap();
+        // During the reset window OPEN is refused outright — and the poke
+        // storms the recovering firmware, pushing the reset back by a
+        // quarter of the base latency.
+        let penalty = SimTime::from_nanos(dev.config().fault_rates.reset_latency.as_nanos() / 4);
+        let stormed = match dev.open(&op, SimTime::from_millis(2)) {
+            Err(DeviceError::DeviceReset { until: got, .. }) => {
+                assert_eq!(got, until + penalty);
+                got
+            }
+            other => panic!("expected DeviceReset, got {other:?}"),
+        };
+        let f = dev.fault_counters();
+        assert_eq!(f.device_crashes, 1);
+        assert_eq!(f.killed_sessions, 1);
+        assert_eq!(
+            f.reset_downtime_ns,
+            (dev.config().fault_rates.reset_latency + penalty).as_nanos()
+        );
+        // Disarm; the original reset instant is still inside the (extended)
+        // window, and the device admits sessions again only once the
+        // stormed reset completes.
+        dev.cfg.fault_rates.crash_rate = 0;
+        assert!(matches!(
+            dev.open(&op, until),
+            Err(DeviceError::DeviceReset { .. })
+        ));
+        // That refusal stormed the window once more.
+        let s2 = dev.open(&op, stormed + penalty).unwrap();
+        dev.close(s2).unwrap();
     }
 
     #[test]

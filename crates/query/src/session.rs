@@ -83,6 +83,14 @@ pub enum SessionError {
         /// Simulated time of the final stalled poll.
         at: SimTime,
     },
+    /// The device firmware crashed (or is still resetting): this session —
+    /// and every other open session on the device — is dead, and no new
+    /// session is admitted until `until`. Recoverable by host fallback: the
+    /// block path is a separate failure domain and survives the crash.
+    DeviceReset {
+        /// Simulated time the firmware reset completes.
+        until: SimTime,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -94,6 +102,12 @@ impl fmt::Display for SessionError {
                 write!(
                     f,
                     "session hung after {stalled_polls} stalled GETs (at {at})"
+                )
+            }
+            SessionError::DeviceReset { until } => {
+                write!(
+                    f,
+                    "device firmware reset killed the session (up until {until})"
                 )
             }
         }
@@ -192,10 +206,12 @@ impl SessionDriver {
     }
 
     /// Backoff step for the given number of consecutive stalled polls.
+    /// `backoff_cap >= poll_backoff` is validated at build time, so the cap
+    /// applies unclamped here.
     fn backoff_step(&self, stalls: u32) -> SimTime {
         let base = self.policy.poll_backoff.as_nanos().max(1);
         let step = base.saturating_mul(1u64 << stalls.min(20));
-        SimTime::from_nanos(step).min(self.policy.backoff_cap.max(self.policy.poll_backoff))
+        SimTime::from_nanos(step).min(self.policy.backoff_cap)
     }
 
     /// Best-effort CLOSE on the abandon path: the session may already be
@@ -275,7 +291,7 @@ impl SessionDriver {
             Ok(sid) => Ok((sid, open_done)),
             Err(e) => {
                 let wasted = open_done.max(Self::error_time(&e));
-                Err(self.abandon(dev, None, SessionError::Device(e), wasted, 0))
+                Err(self.abandon(dev, None, Self::classify(e), wasted, 0))
             }
         }
     }
@@ -354,7 +370,7 @@ impl SessionDriver {
                 Ok(GetResponse::Done) => break,
                 Err(e) => {
                     let wasted = t.max(Self::error_time(&e));
-                    let err = SessionError::Device(e);
+                    let err = Self::classify(e);
                     return Err(self.abandon(dev, Some(sid), err, wasted, get_retries));
                 }
             }
@@ -381,7 +397,7 @@ impl SessionDriver {
             return Err(self.abandon(
                 dev,
                 None,
-                SessionError::Device(e),
+                Self::classify(e),
                 out.finished_at,
                 out.get_retries,
             ));
@@ -409,7 +425,7 @@ impl SessionDriver {
     ) -> Result<SessionId, SessionFault> {
         dev.open(op, now).map_err(|e| {
             let wasted = now.max(Self::error_time(&e));
-            self.abandon(dev, None, SessionError::Device(e), wasted, 0)
+            self.abandon(dev, None, Self::classify(e), wasted, 0)
         })
     }
 
@@ -476,7 +492,7 @@ impl SessionDriver {
                 Ok(GetResponse::Done) => break,
                 Err(e) => {
                     let wasted = t.max(Self::error_time(&e));
-                    let err = SessionError::Device(e);
+                    let err = Self::classify(e);
                     return Err(self.abandon(dev, Some(sid), err, wasted, get_retries));
                 }
             }
@@ -492,11 +508,28 @@ impl SessionDriver {
     }
 
     /// Simulated time embedded in an error, if the device reported one —
-    /// lets the fault carry how long the failed attempt actually took.
+    /// lets the fault carry how long the failed attempt actually took. A
+    /// crash's `at` (not `until`) is used: the host route does not need the
+    /// smart runtime, so a fallback can start the moment the crash is seen.
     fn error_time(e: &DeviceError) -> SimTime {
         match e {
             DeviceError::RetriesExhausted { at, .. } => *at,
+            // Crashed firmware can't answer: the host learns the session is
+            // dead only when the reset completes and the device reports it,
+            // so the whole downtime is wasted on whoever was talking to it.
+            DeviceError::DeviceReset { until, .. } => *until,
             _ => SimTime::ZERO,
+        }
+    }
+
+    /// Lifts a device error into the session-level vocabulary: a firmware
+    /// reset gets its own typed variant (so routing layers can treat the
+    /// whole-device failure domain specially); everything else stays a
+    /// wrapped device error.
+    fn classify(e: DeviceError) -> SessionError {
+        match e {
+            DeviceError::DeviceReset { until, .. } => SessionError::DeviceReset { until },
+            other => SessionError::Device(other),
         }
     }
 }

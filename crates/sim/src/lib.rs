@@ -34,7 +34,7 @@ pub mod trace;
 pub use bus::Bus;
 pub use cpu::CpuModel;
 pub use energy::{EnergyBreakdown, PowerModel};
-pub use report::{FaultCounters, UtilizationReport};
+pub use report::{FaultCounters, FaultRates, UtilizationReport};
 pub use sched::{ArrivalGen, EventQueue, LatencyStats};
 pub use time::SimTime;
 pub use timeline::{Interval, Timeline};

@@ -32,6 +32,14 @@ pub struct FaultCounters {
     /// Simulated time burned on failed device attempts before a fallback,
     /// in nanoseconds.
     pub wasted_ns: u64,
+    /// Whole-device firmware crashes (every open session dies, the smart
+    /// runtime is unavailable until the reset completes).
+    pub device_crashes: u64,
+    /// Sessions killed by device crashes before they could deliver.
+    pub killed_sessions: u64,
+    /// Simulated time the device spent resetting after crashes, in
+    /// nanoseconds.
+    pub reset_downtime_ns: u64,
 }
 
 impl FaultCounters {
@@ -44,6 +52,9 @@ impl FaultCounters {
         self.get_retries += other.get_retries;
         self.fallbacks += other.fallbacks;
         self.wasted_ns += other.wasted_ns;
+        self.device_crashes += other.device_crashes;
+        self.killed_sessions += other.killed_sessions;
+        self.reset_downtime_ns += other.reset_downtime_ns;
     }
 
     /// Whether any fault or recovery action was recorded at all.
@@ -62,14 +73,18 @@ impl FaultCounters {
         format!(
             "{{\"ecc_retries\": {}, \"ecc_failures\": {}, \"escapes_detected\": {}, \
              \"read_retries\": {}, \"get_retries\": {}, \"fallbacks\": {}, \
-             \"wasted_ns\": {}}}",
+             \"wasted_ns\": {}, \"device_crashes\": {}, \"killed_sessions\": {}, \
+             \"reset_downtime_ns\": {}}}",
             self.ecc_retries,
             self.ecc_failures,
             self.escapes_detected,
             self.read_retries,
             self.get_retries,
             self.fallbacks,
-            self.wasted_ns
+            self.wasted_ns,
+            self.device_crashes,
+            self.killed_sessions,
+            self.reset_downtime_ns
         )
     }
 }
@@ -79,15 +94,53 @@ impl fmt::Display for FaultCounters {
         write!(
             f,
             "ecc retries {}, ecc failures {}, escapes detected {}, read retries {}, \
-             get retries {}, fallbacks {}, wasted {}",
+             get retries {}, fallbacks {}, wasted {}, crashes {}, killed sessions {}, \
+             reset downtime {}",
             self.ecc_retries,
             self.ecc_failures,
             self.escapes_detected,
             self.read_retries,
             self.get_retries,
             self.fallbacks,
-            SimTime::from_nanos(self.wasted_ns)
+            SimTime::from_nanos(self.wasted_ns),
+            self.device_crashes,
+            self.killed_sessions,
+            SimTime::from_nanos(self.reset_downtime_ns)
         )
+    }
+}
+
+/// Injected whole-device fault rates: the failure domain above per-page
+/// flash errors. A crash models a firmware fault that kills every open
+/// query session at once and takes the smart runtime offline for
+/// `reset_latency` of simulated time; the block-device path (and thus the
+/// host route) survives, which is what makes health-aware rerouting pay.
+///
+/// All rates default to zero, so existing configurations draw no random
+/// numbers and reproduce bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRates {
+    /// Probability (out of 2^32, per session open) that the device firmware
+    /// crashes while admitting the session.
+    pub crash_rate: u32,
+    /// Simulated time the device needs to reset after a crash before it
+    /// accepts sessions again.
+    pub reset_latency: SimTime,
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        Self {
+            crash_rate: 0,
+            reset_latency: SimTime::from_micros(5_000),
+        }
+    }
+}
+
+impl FaultRates {
+    /// Whether any fault injection is configured at all.
+    pub fn any(&self) -> bool {
+        self.crash_rate > 0
     }
 }
 

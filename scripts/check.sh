@@ -32,6 +32,8 @@ if [[ "${1:-}" != "fast" ]]; then
     cargo run -q --release -p smartssd-bench --bin repro -- trace --quick
     echo "== repro concurrency --quick (BENCH_concurrency.json) =="
     cargo run -q --release -p smartssd-bench --bin repro -- concurrency --quick
+    echo "== repro degrade --quick (BENCH_degrade.json) =="
+    cargo run -q --release -p smartssd-bench --bin repro -- degrade --quick
 fi
 
 echo "OK"

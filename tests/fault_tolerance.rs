@@ -172,6 +172,9 @@ fn fault_counters_json_has_every_field() {
         "get_retries",
         "fallbacks",
         "wasted_ns",
+        "device_crashes",
+        "killed_sessions",
+        "reset_downtime_ns",
     ] {
         assert!(
             json.contains(&format!("\"{key}\": ")),
