@@ -44,7 +44,8 @@
 use smartssd_bench::{
     array_exp, cache_exp, concurrency_exp, concurrent_exp, degrade_exp, device_scaling_exp,
     fault_injection_exp, fig1, fig3, fig5, fig7, host_parallel_exp, interface_exp, plans, q1_exp,
-    scan_sweep_exp, tab2, tab3, trace_exp, workload_trace_exp, Bars, Scales,
+    scan_sweep_exp, simspeed_exp, tab2, tab3, trace_exp, workload_trace_exp, Bars, Scales,
+    SIMSPEED_MEAN_GAP, SIMSPEED_ROWS,
 };
 
 fn print_bars(title: &str, bars: &Bars, projection: f64, paper_speedup: f64) {
@@ -647,9 +648,71 @@ fn run_trace(s: &Scales) {
     println!();
 }
 
+/// Simulator-throughput sweep (`repro simspeed`): not part of `all`, so the
+/// golden reproduction output stays bit-identical — wall-clock figures are
+/// machine-dependent by nature. `--smoke` restricts the sweep to the
+/// smallest point (used by the CI floor test, which runs a debug binary).
+fn run_simspeed(quick: bool, smoke: bool) {
+    println!("== Simulator throughput: open Q6 stream, arrivals per wall-second ==");
+    let counts: &[usize] = if smoke {
+        &[10_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let reps = if quick { 1 } else { 2 };
+    let points = match simspeed_exp(&Scales::quick(), counts, reps) {
+        Ok(points) => points,
+        Err(fault) => {
+            println!("  experiment aborted by device fault: {fault}");
+            return;
+        }
+    };
+    println!("  arrivals   completed  sim[s]      wall[s]    arrivals/s    sim-ns/wall-s");
+    let mut entries = String::new();
+    for p in &points {
+        println!(
+            "  {:>8}   {:>9}  {:>9.3}  {:>9.3}  {:>12.0}  {:>13.3e}",
+            p.arrivals,
+            p.completed,
+            p.sim_secs,
+            p.wall_secs,
+            p.arrivals_per_sec,
+            p.sim_ns_per_wall_sec
+        );
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"arrivals\": {}, \"completed\": {}, \"flash_reads\": {}, \
+             \"sim_secs\": {:.9}, \"wall_secs\": {:.6}, \"arrivals_per_sec\": {:.1}, \
+             \"sim_ns_per_wall_sec\": {:.1}}}",
+            p.arrivals,
+            p.completed,
+            p.flash_reads,
+            p.sim_secs,
+            p.wall_secs,
+            p.arrivals_per_sec,
+            p.sim_ns_per_wall_sec
+        ));
+    }
+    let json = format!(
+        "{{\n  \"generated_by\": \"repro simspeed\",\n  \"quick\": {quick},\n  \
+         \"smoke\": {smoke},\n  \"query\": \"q6\",\n  \"interface_mode\": \"direct\",\n  \
+         \"table_rows\": {},\n  \"mean_gap_ns\": {},\n  \"reps\": {reps},\n  \
+         \"timing\": \"best wall-clock over reps\",\n  \"points\": [\n{entries}\n  ]\n}}\n",
+        SIMSPEED_ROWS,
+        SIMSPEED_MEAN_GAP.as_nanos()
+    );
+    std::fs::write("BENCH_simspeed.json", json).expect("write BENCH_simspeed.json");
+    println!("  (simulated figures are deterministic; wall-clock is machine-dependent)");
+    println!("  wrote BENCH_simspeed.json");
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let s = if quick {
         Scales::quick()
     } else {
@@ -732,5 +795,8 @@ fn main() {
     }
     if what == "concurrency" {
         run_concurrency(&s);
+    }
+    if what == "simspeed" {
+        run_simspeed(quick, smoke);
     }
 }

@@ -925,7 +925,7 @@ pub fn trace_exp(s: &Scales) -> Vec<TracePoint> {
             let busy_fractions = snap
                 .busy_ns
                 .iter()
-                .map(|(name, &ns)| (name.clone(), ns as f64 / elapsed_ns as f64))
+                .map(|(&name, &ns)| (name.to_string(), ns as f64 / elapsed_ns as f64))
                 .collect();
             TracePoint {
                 query: query.name.clone(),
@@ -1005,6 +1005,96 @@ pub struct DegradePoint {
     pub matches_clean: bool,
     /// Fault counters absorbed during the workload.
     pub faults: smartssd_sim::FaultCounters,
+}
+
+/// One point of the simulator-throughput sweep: how fast the simulator
+/// chews through an open Q6-class arrival stream, in wall-clock terms.
+#[derive(Debug, Clone)]
+pub struct SimspeedPoint {
+    /// Number of arrivals in the open stream.
+    pub arrivals: usize,
+    /// Completed queries (must equal `arrivals` on a clean run).
+    pub completed: usize,
+    /// Flash page reads the whole stream issued.
+    pub flash_reads: u64,
+    /// Simulated makespan, seconds.
+    pub sim_secs: f64,
+    /// Best wall-clock time over the reps, seconds.
+    pub wall_secs: f64,
+    /// Arrivals processed per wall-clock second — the headline metric.
+    pub arrivals_per_sec: f64,
+    /// Simulated nanoseconds advanced per wall-clock second.
+    pub sim_ns_per_wall_sec: f64,
+}
+
+/// Row count of the simspeed table: a LINEITEM slice small enough that one
+/// query scans a handful of pages, so the sweep measures scheduler and
+/// timeline overhead rather than kernel arithmetic.
+pub const SIMSPEED_ROWS: u64 = 360;
+
+/// Mean inter-arrival gap of the simspeed stream: 86.4 ms, i.e. one million
+/// queries per simulated day — the "million-query day" the sweep simulates.
+pub const SIMSPEED_MEAN_GAP: SimTime = SimTime::from_micros(86_400);
+
+/// Builds the simspeed system: a Smart SSD with a [`SIMSPEED_ROWS`]-row
+/// LINEITEM slice loaded, cold. Table size is fixed (not scaled by
+/// [`Scales`]) so throughput numbers are comparable across runs.
+pub fn simspeed_system(seed: u64) -> System {
+    let mut sys = SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax).build();
+    sys.load_table_rows(
+        queries::LINEITEM,
+        &tpch::lineitem_schema(),
+        tpch::lineitem_rows(SIMSPEED_ROWS as f64 / tpch::LINEITEM_ROWS_SF1 as f64, seed),
+    )
+    .expect("load lineitem slice");
+    sys.finish_load();
+    sys
+}
+
+/// The open Q6 arrival stream the simspeed sweep replays.
+pub fn simspeed_workload(n: usize, seed: u64) -> Workload {
+    Workload::open_stream(&q6(), n, SIMSPEED_MEAN_GAP, seed)
+}
+
+/// Simulator-throughput sweep: replays open streams of `counts` Q6 arrivals
+/// under device-only timing and reports arrivals per wall-clock second and
+/// simulated-ns advanced per wall-clock second. Each point takes the best
+/// of `reps` runs on a freshly built (cold) system; simulated figures are
+/// deterministic, wall-clock figures are machine-dependent.
+pub fn simspeed_exp(
+    s: &Scales,
+    counts: &[usize],
+    reps: u32,
+) -> Result<Vec<SimspeedPoint>, RunError> {
+    let opts = || WorkloadOptions {
+        interface: InterfaceMode::Direct,
+        ..WorkloadOptions::default()
+    };
+    let mut points = Vec::new();
+    for &n in counts {
+        let workload = simspeed_workload(n, s.seed);
+        let mut best_wall = f64::INFINITY;
+        let mut rep = None;
+        for _ in 0..reps.max(1) {
+            let mut sys = simspeed_system(s.seed);
+            let t = std::time::Instant::now();
+            let r = sys.run_workload(&workload, opts())?;
+            best_wall = best_wall.min(t.elapsed().as_secs_f64());
+            rep = Some(r);
+        }
+        let rep = rep.expect("at least one rep");
+        let sim_ns = rep.makespan.as_nanos();
+        points.push(SimspeedPoint {
+            arrivals: n,
+            completed: rep.completions.len(),
+            flash_reads: rep.flash_reads,
+            sim_secs: rep.makespan.as_secs_f64(),
+            wall_secs: best_wall,
+            arrivals_per_sec: n as f64 / best_wall,
+            sim_ns_per_wall_sec: sim_ns as f64 / best_wall,
+        });
+    }
+    Ok(points)
 }
 
 /// Graceful degradation under sustained device faults (robustness

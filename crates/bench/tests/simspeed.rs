@@ -1,0 +1,58 @@
+//! Simulator-throughput floor: `repro simspeed --quick --smoke` must
+//! complete its smallest sweep point correctly and above a conservative
+//! arrivals-per-second floor.
+//!
+//! The floor is deliberately loose — the test binary under `cargo test`
+//! runs the spawned `repro` in the same (usually debug) profile, and CI
+//! runners are shared machines — so it only catches catastrophic hot-path
+//! regressions (an accidental O(n^2) loop, per-arrival deep clones), not
+//! ordinary noise. The release-profile sweep that tracks the real targets
+//! is `repro simspeed --quick` in `scripts/check.sh`.
+
+use std::process::Command;
+
+/// Pulls `"key": value` out of the (single-point) JSON report.
+fn field(json: &str, key: &str) -> f64 {
+    let pat = format!("\"{key}\": ");
+    let at = json.find(&pat).unwrap_or_else(|| panic!("missing {key}"));
+    let rest = &json[at + pat.len()..];
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && c != 'e' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().unwrap_or_else(|e| panic!("{key}: {e}"))
+}
+
+#[test]
+fn simspeed_smoke_completes_everything_above_the_floor() {
+    let dir = std::env::temp_dir().join(format!("simspeed_floor_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["simspeed", "--quick", "--smoke"])
+        .current_dir(&dir)
+        .output()
+        .expect("run repro binary");
+    assert!(
+        out.status.success(),
+        "repro exited with {:?}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(dir.join("BENCH_simspeed.json"))
+        .expect("simspeed writes BENCH_simspeed.json");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let arrivals = field(&json, "arrivals");
+    let completed = field(&json, "completed");
+    let rate = field(&json, "arrivals_per_sec");
+    let sim_secs = field(&json, "sim_secs");
+    assert_eq!(arrivals, 10_000.0, "smoke sweeps exactly the 10^4 point");
+    assert_eq!(completed, arrivals, "every arrival must complete cleanly");
+    assert!(
+        rate >= 500.0,
+        "throughput floor: {rate:.0} arrivals/s < 500 — hot-path regression?"
+    );
+    assert!(
+        sim_secs > 0.0,
+        "simulated makespan must advance (got {sim_secs})"
+    );
+}

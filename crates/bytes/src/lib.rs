@@ -50,6 +50,13 @@ impl Bytes {
             Repr::Shared(a) => a,
         }
     }
+
+    /// True when both handles view the exact same memory (same pointer and
+    /// length), i.e. one is a `clone()` of the other. Two buffers with
+    /// equal contents in different allocations compare `false`.
+    pub fn ptr_eq(a: &Bytes, b: &Bytes) -> bool {
+        std::ptr::eq(a.as_slice(), b.as_slice())
+    }
 }
 
 impl Default for Bytes {

@@ -20,7 +20,7 @@ use smartssd_sim::{
     mb_per_sec, Bus, CpuModel, EnergyBreakdown, FaultCounters, Interval, PowerModel, RunTrace,
     SimTime, TraceLevel, Tracer, UtilizationReport,
 };
-use smartssd_storage::{Layout, Schema, TableBuilder, TableImage, Tuple};
+use smartssd_storage::{Layout, PageDecodeCache, Schema, TableBuilder, TableImage, Tuple};
 use std::fmt;
 use std::sync::Arc;
 
@@ -222,6 +222,9 @@ pub(crate) enum Backend {
         /// Recoveries performed by the host-route read path over the
         /// shared flash device (the device's own counters live in `dev`).
         host_faults: FaultCounters,
+        /// Host-route per-LBA decode memo over the shared flash device
+        /// (the device route has its own inside `dev`).
+        host_page_cache: PageDecodeCache,
     },
 }
 
@@ -279,6 +282,7 @@ impl System {
                 pool: BufferPool::new(cfg.bufferpool_pages),
                 cmd: CommandState::default(),
                 host_faults: FaultCounters::default(),
+                host_page_cache: PageDecodeCache::new(),
             },
         };
         match &mut backend {
@@ -438,6 +442,7 @@ impl System {
                     pool,
                     cmd,
                     host_faults,
+                    host_page_cache,
                 } => {
                     let mut view = LinkedFlashView {
                         ssd: &mut dev.flash,
@@ -446,6 +451,7 @@ impl System {
                         cmd,
                         cmd_latency_ns: self.cfg.interface.command_latency_ns(),
                         faults: host_faults,
+                        page_cache: host_page_cache,
                     };
                     view.read_page(lba, SimTime::ZERO)?;
                 }
@@ -809,6 +815,7 @@ impl System {
                 pool,
                 cmd,
                 host_faults,
+                host_page_cache,
             } => {
                 let mut view = LinkedFlashView {
                     ssd: &mut dev.flash,
@@ -817,6 +824,7 @@ impl System {
                     cmd,
                     cmd_latency_ns: self.cfg.interface.command_latency_ns(),
                     faults: host_faults,
+                    page_cache: host_page_cache,
                 };
                 HostEngine::new(&mut view, &mut self.host_cpu, costs)
                     .with_tracer(tracer)

@@ -40,13 +40,17 @@ use smartssd_sim::{
     ArrivalGen, EventQueue, FaultCounters, Interval, LatencyStats, RunTrace, SimTime, TraceLevel,
 };
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// One query of a workload: what to run, how to route it, and when it
 /// arrives.
 #[derive(Debug, Clone)]
 pub struct WorkloadItem {
-    /// The query to run.
-    pub query: Query,
+    /// The query to run. Shared: [`Workload::burst`] and
+    /// [`Workload::open_stream`] hand every item the same `Arc`, so a
+    /// million-arrival stream stores the query template once — and the
+    /// scheduler can memoize catalog resolution by pointer identity.
+    pub query: Arc<Query>,
     /// Route policy for this query (natural, forced, or planner-decided).
     pub route: RoutePolicy,
     /// Simulated arrival time.
@@ -74,7 +78,7 @@ impl Workload {
     /// Appends one query with an explicit route policy and arrival time.
     pub fn push(&mut self, query: Query, route: RoutePolicy, arrival: SimTime) {
         self.items.push(WorkloadItem {
-            query,
+            query: Arc::new(query),
             route,
             arrival,
         });
@@ -82,11 +86,16 @@ impl Workload {
 
     /// `n` copies of one query, all arriving at time zero on the natural
     /// route — the closed "N concurrent sessions" shape of the
-    /// concurrent-sessions experiment.
+    /// concurrent-sessions experiment. All items share one query `Arc`.
     pub fn burst(query: &Query, n: usize) -> Self {
+        let shared = Arc::new(query.clone());
         let mut w = Self::new();
         for _ in 0..n {
-            w.push(query.clone(), RoutePolicy::Natural, SimTime::ZERO);
+            w.items.push(WorkloadItem {
+                query: Arc::clone(&shared),
+                route: RoutePolicy::Natural,
+                arrival: SimTime::ZERO,
+            });
         }
         w
     }
@@ -94,11 +103,17 @@ impl Workload {
     /// `n` copies of one query arriving as an open stream: inter-arrival
     /// gaps are drawn uniformly from `[0, 2 * mean_gap)` by a seeded
     /// deterministic generator (see [`ArrivalGen`]), so the mean gap is
-    /// `mean_gap` and a fixed seed reproduces the schedule exactly.
+    /// `mean_gap` and a fixed seed reproduces the schedule exactly. All
+    /// items share one query `Arc`.
     pub fn open_stream(query: &Query, n: usize, mean_gap: SimTime, seed: u64) -> Self {
+        let shared = Arc::new(query.clone());
         let mut w = Self::new();
         for arrival in ArrivalGen::new(mean_gap, seed).arrivals(n) {
-            w.push(query.clone(), RoutePolicy::Natural, arrival);
+            w.items.push(WorkloadItem {
+                query: Arc::clone(&shared),
+                route: RoutePolicy::Natural,
+                arrival,
+            });
         }
         w
     }
@@ -201,8 +216,10 @@ pub struct ShedQuery {
 pub enum QueryOutcome {
     /// The query ran to completion (on either route, including a mid-run
     /// fallback to the host). Its answer is bit-identical to an isolated
-    /// fault-free run of the same query.
-    Completed(QueryCompletion),
+    /// fault-free run of the same query. The record is shared (via `Arc`)
+    /// with [`WorkloadReport::completions`], so a million-query report
+    /// stores each completion once, not twice.
+    Completed(Arc<QueryCompletion>),
     /// Shed at arrival: the device was full and the wait queue was at
     /// [`WorkloadOptions::queue_bound`].
     Rejected(ShedQuery),
@@ -215,7 +232,7 @@ impl QueryOutcome {
     /// The completion record, when the query completed.
     pub fn completion(&self) -> Option<&QueryCompletion> {
         match self {
-            QueryOutcome::Completed(c) => Some(c),
+            QueryOutcome::Completed(c) => Some(c.as_ref()),
             _ => None,
         }
     }
@@ -234,8 +251,9 @@ impl QueryOutcome {
 pub struct WorkloadReport {
     /// Per-query completions, in submission order. Under admission control
     /// this is the completed subset; see [`WorkloadReport::outcomes`] for
-    /// every arrival's fate.
-    pub completions: Vec<QueryCompletion>,
+    /// every arrival's fate. Records are shared with `outcomes` (an `Arc`
+    /// each), so holding both costs one copy of the data.
+    pub completions: Vec<Arc<QueryCompletion>>,
     /// One terminal outcome per arrival, in submission order.
     pub outcomes: Vec<QueryOutcome>,
     /// Arrivals shed because the wait queue was at its bound.
@@ -269,14 +287,24 @@ pub struct WorkloadReport {
     pub trace: RunTrace,
 }
 
-/// Scheduler events: a query arrives, or a device session's slot frees —
-/// either by closing a completed session or because a faulted session was
-/// already closed by the driver on the abandon path.
+/// Scheduler events: a device session's slot frees — either by closing a
+/// completed session or because a faulted session was already closed by
+/// the driver on the abandon path. Arrivals are not events: they are a
+/// static schedule, walked by a sorted cursor and merged against this
+/// queue, so the heap stays small no matter how long the stream is.
 enum Ev {
-    Arrive(usize),
     Close(smartssd_device::SessionId),
     SlotFreed,
 }
+
+/// Memoized catalog resolution for one workload run, keyed by query
+/// pointer identity: streams built by [`Workload::burst`] and
+/// [`Workload::open_stream`] share one `Arc<Query>` across items, so a
+/// million-arrival stream resolves its template once instead of once per
+/// arrival. An item with a different query simply misses and re-resolves.
+/// The raw key is only ever compared, never dereferenced, and the borrowed
+/// workload keeps every query alive for the run.
+type ResolveCache = Option<(*const Query, QueryOp)>;
 
 /// What one device-route dispatch attempt produced.
 enum DevAttempt {
@@ -332,21 +360,50 @@ impl System {
         let breaker_base = self.breaker_clock;
         let dop = opts.dop.unwrap_or(self.cfg.host_dop);
         let n = workload.len();
+        // Arrivals are a static schedule, so they never live in the event
+        // heap: a cursor over the arrival order replaces n heap entries,
+        // keeping the heap at O(max_sessions) whatever the stream length.
+        // Sorting by (arrival, submission index) reproduces the old heap's
+        // (time, insertion sequence) order exactly: same-instant arrivals
+        // fire in submission order, and an arrival ties ahead of any close
+        // (arrivals were always inserted first).
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by_key(|&i| (workload.items()[i as usize].arrival, i));
+        let mut cursor = 0usize;
         let mut events: EventQueue<Ev> = EventQueue::new();
-        for (i, item) in workload.items().iter().enumerate() {
-            events.push(item.arrival, Ev::Arrive(i));
-        }
         let mut deferred: VecDeque<usize> = VecDeque::new();
+        let mut ops: ResolveCache = None;
         let mut outcomes: Vec<Option<QueryOutcome>> = (0..n).map(|_| None).collect();
-        while let Some((t, ev)) = events.pop() {
-            match ev {
-                Ev::Arrive(i) => {
-                    let (out, _) =
-                        self.dispatch(workload, i, t, opts, dop, &mut events, &mut deferred)?;
-                    if let Some(o) = out {
-                        outcomes[i] = Some(o);
-                    }
+        loop {
+            let arrive_next = match (order.get(cursor), events.peek_time()) {
+                (Some(&i), next) => {
+                    let at = workload.items()[i as usize].arrival;
+                    next.is_none_or(|t| at <= t)
                 }
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if arrive_next {
+                let i = order[cursor] as usize;
+                cursor += 1;
+                let t = workload.items()[i].arrival;
+                let (out, _) = self.dispatch(
+                    workload,
+                    i,
+                    t,
+                    opts,
+                    dop,
+                    &mut events,
+                    &mut deferred,
+                    &mut ops,
+                )?;
+                if let Some(o) = out {
+                    outcomes[i] = Some(o);
+                }
+                continue;
+            }
+            let Some((t, ev)) = events.pop() else { break };
+            match ev {
                 Ev::Close(sid) => {
                     let Backend::Smart { dev, .. } = &mut self.backend else {
                         unreachable!("close events only exist for smart systems");
@@ -360,6 +417,7 @@ impl System {
                         &mut events,
                         &mut deferred,
                         &mut outcomes,
+                        &mut ops,
                     )?;
                 }
                 Ev::SlotFreed => {
@@ -373,6 +431,7 @@ impl System {
                         &mut events,
                         &mut deferred,
                         &mut outcomes,
+                        &mut ops,
                     )?;
                 }
             }
@@ -380,11 +439,24 @@ impl System {
         debug_assert!(deferred.is_empty(), "every freed slot admits a waiter");
         // Every arrival must have exactly one outcome by now; a hole is a
         // scheduler bug, reported as a typed error (with the fault counters
-        // absorbed by the caller) instead of a panic.
-        let mut collected: Vec<QueryOutcome> = Vec::with_capacity(n);
-        for (i, o) in outcomes.into_iter().enumerate() {
+        // absorbed by the caller) instead of a panic. One read-only pass
+        // checks the invariant and gathers every per-outcome statistic, so
+        // the report assembly touches the (large) outcome array as few
+        // times as possible.
+        let mut completed = 0usize;
+        let mut rejected = 0u64;
+        let mut deadline_missed = 0u64;
+        let mut makespan = SimTime::ZERO;
+        let mut latencies: Vec<SimTime> = Vec::new();
+        for (i, o) in outcomes.iter().enumerate() {
             match o {
-                Some(o) => collected.push(o),
+                Some(QueryOutcome::Completed(c)) => {
+                    completed += 1;
+                    makespan = makespan.max(c.finished_at);
+                    latencies.push(c.latency);
+                }
+                Some(QueryOutcome::Rejected(_)) => rejected += 1,
+                Some(QueryOutcome::DeadlineMissed(_)) => deadline_missed += 1,
                 None => {
                     return Err(RunError::from_kind(RunErrorKind::SchedulerInvariant {
                         index: i,
@@ -392,25 +464,18 @@ impl System {
                 }
             }
         }
-        let outcomes = collected;
-        let completions: Vec<QueryCompletion> = outcomes
-            .iter()
-            .filter_map(|o| o.completion().cloned())
+        // `Option<QueryOutcome>` and `QueryOutcome` share a layout (niche
+        // optimization), so this unwrap-collect rewrites the vector in
+        // place — no second outcome array is ever allocated or copied.
+        let outcomes: Vec<QueryOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("hole checked above"))
             .collect();
-        let rejected = outcomes
-            .iter()
-            .filter(|o| matches!(o, QueryOutcome::Rejected(_)))
-            .count() as u64;
-        let deadline_missed = outcomes
-            .iter()
-            .filter(|o| matches!(o, QueryOutcome::DeadlineMissed(_)))
-            .count() as u64;
-        let makespan = completions
-            .iter()
-            .map(|c| c.finished_at)
-            .max()
-            .unwrap_or(SimTime::ZERO);
-        let latencies: Vec<SimTime> = completions.iter().map(|c| c.latency).collect();
+        let mut completions: Vec<Arc<QueryCompletion>> = Vec::with_capacity(completed);
+        completions.extend(outcomes.iter().filter_map(|o| match o {
+            QueryOutcome::Completed(c) => Some(Arc::clone(c)),
+            _ => None,
+        }));
         let throughput_qps = if makespan > SimTime::ZERO {
             completions.len() as f64 / makespan.as_secs_f64()
         } else {
@@ -479,6 +544,7 @@ impl System {
         events: &mut EventQueue<Ev>,
         deferred: &mut VecDeque<usize>,
         outcomes: &mut [Option<QueryOutcome>],
+        ops: &mut ResolveCache,
     ) -> Result<(), RunError> {
         while let Some(j) = deferred.pop_front() {
             let item = &workload.items()[j];
@@ -503,7 +569,7 @@ impl System {
                 }
             }
             let (out, slot_consumed) =
-                self.dispatch(workload, j, now, opts, dop, events, deferred)?;
+                self.dispatch(workload, j, now, opts, dop, events, deferred, ops)?;
             if let Some(o) = out {
                 outcomes[j] = Some(o);
             }
@@ -529,10 +595,15 @@ impl System {
         dop: usize,
         events: &mut EventQueue<Ev>,
         deferred: &mut VecDeque<usize>,
+        ops: &mut ResolveCache,
     ) -> Result<(Option<QueryOutcome>, bool), RunError> {
         let item = &workload.items()[idx];
-        let op = item.query.resolve(&self.catalog)?;
-        let mut route = self.resolve_route(&op, &item.route);
+        let qptr = Arc::as_ptr(&item.query);
+        if ops.as_ref().is_none_or(|(k, _)| *k != qptr) {
+            *ops = Some((qptr, item.query.resolve(&self.catalog)?));
+        }
+        let op = &ops.as_ref().expect("just populated").1;
+        let mut route = self.resolve_route(op, &item.route);
         // Health-aware routing: while the breaker is Open (or its one
         // HalfOpen probe is taken), this arrival goes straight to the host
         // without paying for a doomed OPEN. Breaker timestamps live on the
@@ -543,10 +614,10 @@ impl System {
         }
         match route {
             Route::Host => self
-                .host_completion(item, &op, idx, now, dop)
-                .map(|c| (Some(QueryOutcome::Completed(c)), false)),
+                .host_completion(item, op, idx, now, dop)
+                .map(|c| (Some(QueryOutcome::Completed(Arc::new(c))), false)),
             Route::Device => {
-                match self.device_attempt(&op, idx, now, opts)? {
+                match self.device_attempt(op, idx, now, opts)? {
                     DevAttempt::Deferred => {
                         // The attempt never reached a session: if it held
                         // the HalfOpen probe slot, give the slot back.
@@ -591,7 +662,7 @@ impl System {
                         let latency = out.finished_at.saturating_sub(item.arrival);
                         self.query_span(idx, item.arrival, out.finished_at, Route::Device);
                         Ok((
-                            Some(QueryOutcome::Completed(QueryCompletion {
+                            Some(QueryOutcome::Completed(Arc::new(QueryCompletion {
                                 index: idx,
                                 query: item.query.name.clone(),
                                 route: Route::Device,
@@ -605,7 +676,7 @@ impl System {
                                     elapsed: latency,
                                     work: out.work,
                                 },
-                            })),
+                            }))),
                             true,
                         ))
                     }
@@ -631,8 +702,8 @@ impl System {
                         // the next waiter, or it would be stranded and the
                         // workload could never drain.
                         events.push(start, Ev::SlotFreed);
-                        self.host_completion(item, &op, idx, start, dop)
-                            .map(|c| (Some(QueryOutcome::Completed(c)), true))
+                        self.host_completion(item, op, idx, start, dop)
+                            .map(|c| (Some(QueryOutcome::Completed(Arc::new(c))), true))
                     }
                 }
             }

@@ -20,7 +20,7 @@ use crate::config::DeviceConfig;
 use smartssd_exec::{
     default_workers, group_table_memory_bytes, group_table_rows,
     join::{probe_page, JoinHashTable, JoinSink},
-    parallel_map, scan_agg_page, scan_group_agg_page, scan_page,
+    parallel_map, runs_serial, scan_agg_page, scan_group_agg_page, scan_page,
     spec::JoinOutput,
     GroupTable, QueryOp, TableRef, WorkCounts,
 };
@@ -28,7 +28,7 @@ use smartssd_flash::{FlashConfig, FlashError, FlashSsd};
 use smartssd_sim::{CpuModel, FaultCounters, SimTime};
 use smartssd_storage::expr::{AggState, ExprError};
 use smartssd_storage::page::PageError;
-use smartssd_storage::{PageBuf, TableImage, Tuple};
+use smartssd_storage::{PageBuf, PageDecodeCache, TableImage, Tuple};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 
@@ -186,6 +186,10 @@ pub struct SmartSsd {
     /// Shared-scan window, keyed by LBA. Populated only when
     /// [`DeviceConfig::shared_scans`] is on.
     share_cache: HashMap<u64, SharedScanEntry>,
+    /// Reverse index of the window: the LBAs each session owns, so a CLOSE
+    /// releases exactly that session's pages instead of sweeping the whole
+    /// cache. Kept in lockstep with `share_cache` owner lists.
+    share_owner_pages: HashMap<u32, Vec<u64>>,
     shared_hits: u64,
     /// RNG for whole-device crash injection. Consulted only when
     /// [`smartssd_sim::FaultRates::crash_rate`] is nonzero, so clean
@@ -198,6 +202,10 @@ pub struct SmartSsd {
     /// the death. `GET` on a victim reports the reset; `CLOSE` succeeds
     /// (the grants are already gone).
     reset_victims: HashSet<u32>,
+    /// Per-LBA memo of checksum validation. Pointer-identity keyed, so a
+    /// rewritten or corrupted buffer is always re-validated; not timing
+    /// state, so it survives [`SmartSsd::reset_timing`].
+    page_cache: PageDecodeCache,
 }
 
 impl SmartSsd {
@@ -213,10 +221,12 @@ impl SmartSsd {
             total_work: WorkCounts::default(),
             faults: FaultCounters::default(),
             share_cache: HashMap::new(),
+            share_owner_pages: HashMap::new(),
             shared_hits: 0,
             crash_rng: XorShift(0xD1B5_4A32_D192_ED03),
             reset_done: SimTime::ZERO,
             reset_victims: HashSet::new(),
+            page_cache: PageDecodeCache::new(),
             cfg,
         }
     }
@@ -292,6 +302,7 @@ impl SmartSsd {
         self.total_work = WorkCounts::default();
         self.faults = FaultCounters::default();
         self.share_cache.clear();
+        self.share_owner_pages.clear();
         self.shared_hits = 0;
         // Crash state is timing state; the RNG is not (its stream must keep
         // advancing across resets, like the flash error RNG).
@@ -309,6 +320,7 @@ impl SmartSsd {
         self.reset_victims.extend(self.sessions.keys().copied());
         self.sessions.clear();
         self.share_cache.clear();
+        self.share_owner_pages.clear();
         self.reset_done = until;
         DeviceError::DeviceReset { at: now, until }
     }
@@ -406,15 +418,21 @@ impl SmartSsd {
     }
 
     /// Drops one session's ownership of shared-scan pages, evicting entries
-    /// nobody holds anymore.
+    /// nobody holds anymore. The reverse index makes this O(pages the
+    /// session touched) rather than a sweep of the whole window, so a
+    /// million CLOSEs don't rescan the cache a million times.
     fn release_shared(&mut self, owner: u32) {
-        if self.share_cache.is_empty() {
+        let Some(lbas) = self.share_owner_pages.remove(&owner) else {
             return;
+        };
+        for lba in lbas {
+            if let Some(e) = self.share_cache.get_mut(&lba) {
+                e.owners.retain(|&o| o != owner);
+                if e.owners.is_empty() {
+                    self.share_cache.remove(&lba);
+                }
+            }
         }
-        self.share_cache.retain(|_, e| {
-            e.owners.retain(|&o| o != owner);
-            !e.owners.is_empty()
-        });
     }
 
     /// Work receipt of a live session (diagnostics).
@@ -439,7 +457,7 @@ impl SmartSsd {
         let mut attempts = 0u32;
         loop {
             let cause = match self.flash.read(lba, t) {
-                Ok((data, iv)) => match PageBuf::from_bytes(data) {
+                Ok((data, iv)) => match self.page_cache.decode(lba, data) {
                     Ok(page) => return Ok((page, iv.end)),
                     Err(e) => {
                         // The escape is caught by the page checksum only
@@ -489,6 +507,7 @@ impl SmartSsd {
             self.shared_hits += 1;
             if !entry.owners.contains(&owner) {
                 entry.owners.push(owner);
+                self.share_owner_pages.entry(owner).or_default().push(lba);
             }
             // An in-flight read is joined (available at its completion); a
             // finished one is available immediately.
@@ -503,7 +522,72 @@ impl SmartSsd {
                 owners: vec![owner],
             },
         );
+        self.share_owner_pages.entry(owner).or_default().push(lba);
         Ok((page, at))
+    }
+
+    /// Reads every page of `table`, all issued at `now`, returning each
+    /// validated page with its DRAM-arrival time.
+    ///
+    /// When the flash path is clean — no error injection, no pending
+    /// retry/scrub, no tracer, and the shared-scan window not in play —
+    /// the whole run is posted as one batched timeline charge
+    /// ([`FlashSsd::charge_reads`]), bit-identical to the page-at-a-time
+    /// loop but without per-page bookkeeping. Payloads are fetched and
+    /// validated *before* anything is charged, so a page that fails
+    /// validation simply falls back to the sequential loop (the only path
+    /// that can observe and account per-page faults) with no timeline
+    /// state to unwind.
+    fn read_table_pages(
+        &mut self,
+        table: &TableRef,
+        now: SimTime,
+        shared_owner: Option<u32>,
+    ) -> Result<Vec<(PageBuf, SimTime)>, DeviceError> {
+        let n = table.num_pages as usize;
+        let shared = self.cfg.shared_scans && shared_owner.is_some();
+        if !shared && self.flash.can_batch_reads() {
+            let mut bufs = Vec::with_capacity(n);
+            let mut coords = Vec::with_capacity(n);
+            let mut clean = true;
+            for lba in table.lbas() {
+                let decoded = self.flash.peek_page(lba).ok().and_then(|(data, coord)| {
+                    Some((self.page_cache.decode(lba, data).ok()?, coord))
+                });
+                match decoded {
+                    Some((page, coord)) => {
+                        bufs.push(page);
+                        coords.push(coord);
+                    }
+                    None => {
+                        clean = false;
+                        break;
+                    }
+                }
+            }
+            if clean {
+                let ivs = self.flash.charge_reads(&coords, now);
+                return Ok(bufs
+                    .into_iter()
+                    .zip(ivs)
+                    .map(|(p, iv)| (p, iv.end))
+                    .collect());
+            }
+        }
+        let mut pages = Vec::with_capacity(n);
+        match shared_owner {
+            Some(owner) => {
+                for lba in table.lbas() {
+                    pages.push(self.read_page_shared(lba, now, owner)?);
+                }
+            }
+            None => {
+                for lba in table.lbas() {
+                    pages.push(self.read_page(lba, now)?);
+                }
+            }
+        }
+        Ok(pages)
     }
 
     /// Executes an operator, producing the session's batch queue. Execution
@@ -530,33 +614,55 @@ impl SmartSsd {
                 let mut total = WorkCounts::default();
                 let mut queue = VecDeque::new();
                 let out_width = spec.output_schema(&table.schema).tuple_width() as u64;
-                let mut pages = Vec::with_capacity(table.num_pages as usize);
-                for lba in table.lbas() {
-                    pages.push(self.read_page_shared(lba, now, owner)?);
-                }
-                let results = parallel_map(&pages, workers, |(page, _)| {
-                    let mut rows = Vec::new();
-                    let mut w = WorkCounts::default();
-                    scan_page(page, &table.schema, spec, &mut rows, &mut w);
-                    (rows, w)
-                });
+                let pages = self.read_table_pages(table, now, Some(owner))?;
                 let mut rows: Vec<Tuple> = Vec::new();
                 let mut bytes = 0u64;
                 let mut last_done = now;
-                for ((_, at), (page_rows, w)) in pages.iter().zip(results) {
-                    let iv = self.cpu.execute(*at, self.cfg.costs.cycles(&w));
-                    last_done = iv.end;
-                    total.absorb(&w);
-                    bytes += page_rows.len() as u64 * out_width;
-                    rows.extend(page_rows);
-                    if bytes >= self.cfg.result_buffer_bytes {
-                        queue.push_back(ResultBatch {
-                            rows: std::mem::take(&mut rows),
-                            aggs: None,
-                            bytes,
-                            ready_at: last_done,
-                        });
-                        bytes = 0;
+                if runs_serial(pages.len(), workers) {
+                    // Serial fast path: the kernel appends straight into the
+                    // merge buffer, skipping the per-page partial vectors the
+                    // fan-out needs. Same rows in the same order, same batch
+                    // boundaries, same CPU charges — bit-identical output.
+                    for (page, at) in &pages {
+                        let before = rows.len();
+                        let mut w = WorkCounts::default();
+                        scan_page(page, &table.schema, spec, &mut rows, &mut w);
+                        let iv = self.cpu.execute(*at, self.cfg.costs.cycles(&w));
+                        last_done = iv.end;
+                        total.absorb(&w);
+                        bytes += (rows.len() - before) as u64 * out_width;
+                        if bytes >= self.cfg.result_buffer_bytes {
+                            queue.push_back(ResultBatch {
+                                rows: std::mem::take(&mut rows),
+                                aggs: None,
+                                bytes,
+                                ready_at: last_done,
+                            });
+                            bytes = 0;
+                        }
+                    }
+                } else {
+                    let results = parallel_map(&pages, workers, |(page, _)| {
+                        let mut rows = Vec::new();
+                        let mut w = WorkCounts::default();
+                        scan_page(page, &table.schema, spec, &mut rows, &mut w);
+                        (rows, w)
+                    });
+                    for ((_, at), (page_rows, w)) in pages.iter().zip(results) {
+                        let iv = self.cpu.execute(*at, self.cfg.costs.cycles(&w));
+                        last_done = iv.end;
+                        total.absorb(&w);
+                        bytes += page_rows.len() as u64 * out_width;
+                        rows.extend(page_rows);
+                        if bytes >= self.cfg.result_buffer_bytes {
+                            queue.push_back(ResultBatch {
+                                rows: std::mem::take(&mut rows),
+                                aggs: None,
+                                bytes,
+                                ready_at: last_done,
+                            });
+                            bytes = 0;
+                        }
                     }
                 }
                 // Final (possibly empty) batch marks completion time.
@@ -570,26 +676,39 @@ impl SmartSsd {
             }
             QueryOp::ScanAgg { table, spec } => {
                 let mut total = WorkCounts::default();
-                let mut pages = Vec::with_capacity(table.num_pages as usize);
-                for lba in table.lbas() {
-                    pages.push(self.read_page_shared(lba, now, owner)?);
-                }
-                let results = parallel_map(&pages, workers, |(page, _)| {
-                    let mut states: Vec<AggState> =
-                        spec.aggs.iter().map(|a| AggState::new(a.func)).collect();
-                    let mut w = WorkCounts::default();
-                    scan_agg_page(page, &table.schema, spec, &mut states, &mut w);
-                    (states, w)
-                });
+                let pages = self.read_table_pages(table, now, Some(owner))?;
                 let mut states: Vec<AggState> =
                     spec.aggs.iter().map(|a| AggState::new(a.func)).collect();
                 let mut last_done = now;
-                for ((_, at), (partial, w)) in pages.iter().zip(results) {
-                    let iv = self.cpu.execute(*at, self.cfg.costs.cycles(&w));
-                    last_done = iv.end;
-                    total.absorb(&w);
-                    for (s, p) in states.iter_mut().zip(partial.iter()) {
-                        s.merge(p);
+                if runs_serial(pages.len(), workers) {
+                    // Serial fast path: fold every page straight into the
+                    // final accumulator instead of allocating a per-page
+                    // partial and merging it. All aggregate states are
+                    // integers with associative updates (sum/count/min/max),
+                    // so in-place accumulation in page order is bit-identical
+                    // to merging per-page partials in page order.
+                    for (page, at) in &pages {
+                        let mut w = WorkCounts::default();
+                        scan_agg_page(page, &table.schema, spec, &mut states, &mut w);
+                        let iv = self.cpu.execute(*at, self.cfg.costs.cycles(&w));
+                        last_done = iv.end;
+                        total.absorb(&w);
+                    }
+                } else {
+                    let results = parallel_map(&pages, workers, |(page, _)| {
+                        let mut states: Vec<AggState> =
+                            spec.aggs.iter().map(|a| AggState::new(a.func)).collect();
+                        let mut w = WorkCounts::default();
+                        scan_agg_page(page, &table.schema, spec, &mut states, &mut w);
+                        (states, w)
+                    });
+                    for ((_, at), (partial, w)) in pages.iter().zip(results) {
+                        let iv = self.cpu.execute(*at, self.cfg.costs.cycles(&w));
+                        last_done = iv.end;
+                        total.absorb(&w);
+                        for (s, p) in states.iter_mut().zip(partial.iter()) {
+                            s.merge(p);
+                        }
                     }
                 }
                 let bytes = 16 * states.len() as u64;
@@ -650,10 +769,9 @@ impl SmartSsd {
                 let mut total = WorkCounts::default();
                 // Build phase: read the small table and build the hash
                 // table inside the device (Figures 4 and 6).
-                let mut build_pages = Vec::with_capacity(spec.build.table.num_pages as usize);
                 let mut build_ready = now;
-                for lba in spec.build.table.lbas() {
-                    let (page, at) = self.read_page(lba, now)?;
+                let mut build_pages = Vec::with_capacity(spec.build.table.num_pages as usize);
+                for (page, at) in self.read_table_pages(&spec.build.table, now, None)? {
                     build_ready = build_ready.max(at);
                     build_pages.push(page);
                 }
@@ -684,10 +802,7 @@ impl SmartSsd {
                         .sum(),
                     JoinOutput::Aggregate(aggs) => 16 * aggs.len() as u64,
                 };
-                let mut pages = Vec::with_capacity(probe.num_pages as usize);
-                for lba in probe.lbas() {
-                    pages.push(self.read_page(lba, build_done)?);
-                }
+                let pages = self.read_table_pages(probe, build_done, None)?;
                 let results = parallel_map(&pages, workers, |(page, _)| {
                     let mut sink = JoinSink::new(spec);
                     let mut w = WorkCounts::default();

@@ -31,7 +31,7 @@ pub use kernels::{
     group_table_memory_bytes, group_table_rows, merge_group_tables, page_reader, scan_agg_page,
     scan_group_agg_page, scan_page, GroupTable,
 };
-pub use par::{default_workers, parallel_map};
+pub use par::{default_workers, parallel_map, runs_serial};
 pub use spec::{
     BuildSide, ColRef, GroupAggSpec, JoinOutput, JoinSpec, QueryOp, ScanAggSpec, ScanSpec, TableRef,
 };

@@ -7,6 +7,18 @@
 //! charges and output merges in that order — so parallel execution is
 //! bit-identical to the serial loop, just faster in wall-clock terms.
 
+/// Batch size below which [`parallel_map`] runs serially: thread spawn
+/// overhead dominates per-page kernel work for small tables.
+const MIN_PARALLEL_ITEMS: usize = 32;
+
+/// Whether [`parallel_map`] would run `items.len()` items serially. Callers
+/// with a cheaper single-threaded formulation (e.g. folding pages straight
+/// into one accumulator instead of allocating per-page partials) can branch
+/// on this without duplicating the threshold.
+pub fn runs_serial(len: usize, workers: usize) -> bool {
+    workers.clamp(1, len.max(1)) == 1 || len < MIN_PARALLEL_ITEMS
+}
+
 /// Maps `items` through `f` on scoped worker threads, returning results in
 /// input order. Falls back to a plain serial map for small batches, where
 /// thread spawn overhead would dominate.
@@ -16,7 +28,6 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    const MIN_PARALLEL_ITEMS: usize = 32;
     let workers = workers.clamp(1, items.len().max(1));
     if workers == 1 || items.len() < MIN_PARALLEL_ITEMS {
         return items.iter().map(&f).collect();
@@ -38,11 +49,18 @@ where
 
 /// Worker count for kernel fan-out: the machine's parallelism, capped so
 /// a wide simulation sweep doesn't oversubscribe the host.
+///
+/// Queried once and cached: `available_parallelism` re-reads cgroup limits
+/// from the filesystem on every call (microseconds of syscalls), which is
+/// far too slow for a per-operator hot path.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    })
 }
 
 #[cfg(test)]

@@ -275,6 +275,48 @@ impl FlashSsd {
         Ok((data, iv))
     }
 
+    /// True when a run of reads can be charged as one batch with results
+    /// bit-identical to page-at-a-time [`Self::read`] calls: no error
+    /// injection configured (so no RNG draws are owed), no one-shot retry
+    /// or scrub pending, and no tracer expecting per-transfer spans.
+    pub fn can_batch_reads(&self) -> bool {
+        self.cfg.ecc_fail_rate == 0
+            && self.cfg.ecc_retry_rate == 0
+            && self.cfg.silent_corruption_rate == 0
+            && self.pending_retry.is_none()
+            && self.pending_clean.is_none()
+            && self.timing.tracer_quiet()
+    }
+
+    /// Looks up and fetches one page's payload **without** charging timing
+    /// or counting the read — the planning half of a batched read. Returns
+    /// the payload and the physical `(channel, chip)` the page lives on.
+    ///
+    /// A caller that peeks a run of pages, validates them, and then posts
+    /// [`Self::charge_reads`] for the same coordinates performs exactly the
+    /// reads the sequential loop would; if validation fails midway, nothing
+    /// has been charged and the caller can fall back to [`Self::read`] with
+    /// no state to unwind.
+    pub fn peek_page(&self, lba: u64) -> Result<(Bytes, (u16, u16)), FlashError> {
+        if lba >= self.ftl.logical_pages() {
+            return Err(FlashError::LbaOutOfRange(lba));
+        }
+        let ppa = self.ftl.lookup(lba).ok_or(FlashError::Unmapped(lba))?;
+        let data = self.nand.read(ppa)?;
+        Ok((data, (ppa.channel, ppa.chip)))
+    }
+
+    /// Charges the timing and statistics for a batch of page reads issued
+    /// at `now`, one per coordinate from [`Self::peek_page`], in order.
+    /// Only meaningful when [`Self::can_batch_reads`] holds (checked by
+    /// debug assertion): with injection disabled, [`Self::read`] is exactly
+    /// "fetch payload + charge timing + count", which this call completes.
+    pub fn charge_reads(&mut self, coords: &[(u16, u16)], now: SimTime) -> Vec<Interval> {
+        debug_assert!(self.can_batch_reads(), "batched charge with injection live");
+        self.stats.reads += coords.len() as u64;
+        self.timing.read_pages(coords, now)
+    }
+
     /// Trims a logical page: the mapping is dropped and the physical page
     /// becomes GC fodder.
     pub fn trim(&mut self, lba: u64) -> Result<(), FlashError> {
@@ -503,6 +545,57 @@ mod tests {
         assert_eq!(ssd.dram_busy_ns(), 0);
         let (data, _) = ssd.read(0, SimTime::ZERO).unwrap();
         assert_eq!(&data[..8], &1u64.to_le_bytes());
+    }
+
+    #[test]
+    fn batched_reads_match_sequential_reads() {
+        // Two identically-written devices: one read page-at-a-time, one
+        // through the peek/charge batch path. Every interval and counter
+        // must agree.
+        let cfg = FlashConfig::default();
+        let build = || {
+            let mut ssd = FlashSsd::new(cfg.clone());
+            for lba in 0..300u64 {
+                ssd.write(lba, page(&cfg, lba), SimTime::ZERO).unwrap();
+            }
+            ssd.reset_timing();
+            ssd
+        };
+        let mut seq = build();
+        let mut bat = build();
+        let at = SimTime::from_nanos(17);
+
+        let (seq_data, seq_ivs): (Vec<Bytes>, Vec<Interval>) =
+            (0..300u64).map(|lba| seq.read(lba, at).unwrap()).unzip();
+
+        assert!(bat.can_batch_reads());
+        let mut coords = Vec::new();
+        for lba in 0..300u64 {
+            let (data, coord) = bat.peek_page(lba).unwrap();
+            assert_eq!(data, seq_data[lba as usize]);
+            coords.push(coord);
+        }
+        let bat_ivs = bat.charge_reads(&coords, at);
+        assert_eq!(seq_ivs, bat_ivs);
+        assert_eq!(bat.stats().reads, 300);
+        assert_eq!(seq.dram_busy_ns(), bat.dram_busy_ns());
+
+        // Timelines converged: the next sequential read on each device
+        // lands on identical intervals.
+        let (_, a) = seq.read(0, at).unwrap();
+        let (_, b) = bat.read(0, at).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn injection_disables_read_batching() {
+        let cfg = FlashConfig {
+            ecc_retry_rate: 1,
+            ..FlashConfig::tiny()
+        };
+        assert!(!FlashSsd::new(cfg).can_batch_reads());
+        let clean = FlashConfig::tiny();
+        assert!(FlashSsd::new(clean).can_batch_reads());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::hdd::HddModel;
 use crate::interface::InterfaceKind;
 use smartssd_flash::{FlashError, FlashSsd};
 use smartssd_sim::{mb_per_sec, Bus, FaultCounters, SimTime};
-use smartssd_storage::{page::PageError, PageBuf, PAGE_SIZE};
+use smartssd_storage::{page::PageError, PageBuf, PageDecodeCache, PAGE_SIZE};
 use std::fmt;
 
 /// Pages per host I/O command (the paper's 32-page / 256 KB unit).
@@ -124,6 +124,7 @@ fn read_via_link(
     cmd: &mut CommandState,
     cmd_latency_ns: u64,
     faults: &mut FaultCounters,
+    page_cache: &mut PageDecodeCache,
     lba: u64,
     now: SimTime,
 ) -> Result<(PageBuf, SimTime), IoError> {
@@ -137,7 +138,10 @@ fn read_via_link(
             Ok((data, iv)) => {
                 let setup = cmd.setup_ns(lba, cmd_latency_ns);
                 let link_iv = link.transfer_with_setup(iv.end, PAGE_SIZE as u64, setup);
-                match PageBuf::from_bytes(data) {
+                // Pointer-identity memo: repeated reads of an unchanged LBA
+                // skip re-walking the 4 KB checksum; a rewritten or corrupt
+                // buffer misses the memo and is validated for real.
+                match page_cache.decode(lba, data) {
                     Ok(page) => {
                         pool.insert(lba, page.clone());
                         return Ok((page, link_iv.end));
@@ -182,6 +186,8 @@ pub struct SsdHostPath {
     pub pool: BufferPool,
     cmd: CommandState,
     faults: FaultCounters,
+    /// Per-LBA decode memo (not timing state; survives `reset_timing`).
+    page_cache: PageDecodeCache,
 }
 
 impl SsdHostPath {
@@ -194,6 +200,7 @@ impl SsdHostPath {
             pool: BufferPool::new(pool_pages),
             cmd: CommandState::default(),
             faults: FaultCounters::default(),
+            page_cache: PageDecodeCache::new(),
         }
     }
 
@@ -234,6 +241,7 @@ impl PageSource for SsdHostPath {
             &mut self.cmd,
             self.cmd_latency_ns,
             &mut self.faults,
+            &mut self.page_cache,
             lba,
             now,
         )
@@ -265,6 +273,8 @@ pub struct LinkedFlashView<'a> {
     pub cmd_latency_ns: u64,
     /// Fault counters the borrowed path reports recoveries into.
     pub faults: &'a mut FaultCounters,
+    /// The borrowed per-LBA decode memo.
+    pub page_cache: &'a mut PageDecodeCache,
 }
 
 impl PageSource for LinkedFlashView<'_> {
@@ -276,6 +286,7 @@ impl PageSource for LinkedFlashView<'_> {
             self.cmd,
             self.cmd_latency_ns,
             self.faults,
+            self.page_cache,
             lba,
             now,
         )
@@ -298,6 +309,8 @@ pub struct HddHostPath {
     pub hdd: HddModel,
     /// The DBMS buffer pool.
     pub pool: BufferPool,
+    /// Per-LBA decode memo (not timing state; survives `reset_timing`).
+    page_cache: PageDecodeCache,
 }
 
 impl HddHostPath {
@@ -306,6 +319,7 @@ impl HddHostPath {
         Self {
             hdd,
             pool: BufferPool::new(pool_pages),
+            page_cache: PageDecodeCache::new(),
         }
     }
 
@@ -321,7 +335,7 @@ impl PageSource for HddHostPath {
             return Ok((page, now));
         }
         let (data, iv) = self.hdd.read(lba, now).ok_or(IoError::HddUnmapped(lba))?;
-        let page = PageBuf::from_bytes(data).map_err(IoError::Page)?;
+        let page = self.page_cache.decode(lba, data).map_err(IoError::Page)?;
         self.pool.insert(lba, page.clone());
         Ok((page, iv.end))
     }

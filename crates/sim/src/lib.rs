@@ -37,10 +37,10 @@ pub use energy::{EnergyBreakdown, PowerModel};
 pub use report::{FaultCounters, FaultRates, UtilizationReport};
 pub use sched::{ArrivalGen, EventQueue, LatencyStats};
 pub use time::SimTime;
-pub use timeline::{Interval, Timeline};
+pub use timeline::{BatchIntervals, Interval, Timeline, TimelineBank};
 pub use trace::{
-    ChromeTraceSink, CounterSink, MetricsSnapshot, NullSink, RunTrace, TraceLevel, TraceSink,
-    Tracer,
+    intern, ChromeTraceSink, CounterSink, MetricsSnapshot, NullSink, RunTrace, TraceLevel,
+    TraceSink, Tracer,
 };
 
 /// Bandwidths in this workspace are quoted in MB/s using the drive-vendor

@@ -154,7 +154,10 @@ pub struct UtilizationReport {
     /// Simulated elapsed time of the run.
     pub elapsed: SimTime,
     /// Component name -> (busy nanoseconds, utilization in \[0,1\]).
-    pub components: BTreeMap<String, (u64, f64)>,
+    /// Names are [`crate::trace::intern`]ed: the component vocabulary is a
+    /// handful of fixed resource labels, so per-run report assembly does
+    /// not allocate key strings.
+    pub components: BTreeMap<&'static str, (u64, f64)>,
 }
 
 impl UtilizationReport {
@@ -168,14 +171,15 @@ impl UtilizationReport {
 
     /// Records a component's busy time; utilization is computed against the
     /// run length times `lanes` (for multi-lane resources such as CPU banks).
-    pub fn record(&mut self, name: impl Into<String>, busy_ns: u64, lanes: usize) {
+    pub fn record(&mut self, name: &str, busy_ns: u64, lanes: usize) {
         let cap = self.elapsed.as_nanos() as f64 * lanes.max(1) as f64;
         let util = if cap > 0.0 {
             (busy_ns as f64 / cap).min(1.0)
         } else {
             0.0
         };
-        self.components.insert(name.into(), (busy_ns, util));
+        self.components
+            .insert(crate::trace::intern(name), (busy_ns, util));
     }
 
     /// Utilization of a named component, if recorded.
@@ -188,7 +192,7 @@ impl UtilizationReport {
         self.components
             .iter()
             .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
-            .map(|(n, &(_, u))| (n.as_str(), u))
+            .map(|(&n, &(_, u))| (n, u))
     }
 }
 

@@ -124,28 +124,42 @@ pub struct LatencyStats {
 impl LatencyStats {
     /// Computes the summary from a latency sample. The input order does not
     /// matter; an empty sample yields all-zero statistics.
+    ///
+    /// Each percentile is the nearest-rank order statistic, found by
+    /// `select_nth_unstable` (expected O(n)) on one shared scratch buffer
+    /// instead of a full O(n log n) sort. The k-th order statistic is a
+    /// unique *value* whatever order ties land in, so the result is
+    /// bit-identical to sorting and indexing — the tie-pinning test below
+    /// holds this invariant.
     pub fn from_sample(sample: &[SimTime]) -> Self {
         if sample.is_empty() {
             return Self::default();
         }
-        let mut sorted: Vec<SimTime> = sample.to_vec();
-        sorted.sort_unstable();
-        let n = sorted.len();
+        let n = sample.len();
+        let mut buf: Vec<SimTime> = sample.to_vec();
         // Nearest-rank percentile: the smallest value with at least q*n
-        // samples at or below it.
-        let rank = |q_num: usize, q_den: usize| {
-            let r = (n * q_num).div_ceil(q_den);
-            sorted[r.max(1) - 1]
-        };
-        let total: u128 = sorted.iter().map(|t| t.as_nanos() as u128).sum();
+        // samples at or below it, i.e. order statistic ceil(q*n) (1-based).
+        let idx = |q_num: usize, q_den: usize| (n * q_num).div_ceil(q_den).max(1) - 1;
+        let mut kth = |k: usize| *buf.select_nth_unstable(k).1;
+        let p50 = kth(idx(50, 100));
+        let p95 = kth(idx(95, 100));
+        let p99 = kth(idx(99, 100));
+        let mut min = sample[0];
+        let mut max = sample[0];
+        let mut total: u128 = 0;
+        for t in sample {
+            min = min.min(*t);
+            max = max.max(*t);
+            total += t.as_nanos() as u128;
+        }
         Self {
             count: n,
-            min: sorted[0],
-            max: sorted[n - 1],
+            min,
+            max,
             mean: SimTime::from_nanos((total / n as u128) as u64),
-            p50: rank(50, 100),
-            p95: rank(95, 100),
-            p99: rank(99, 100),
+            p50,
+            p95,
+            p99,
         }
     }
 }
@@ -239,6 +253,30 @@ mod tests {
         assert_eq!(s.p95, SimTime::from_nanos(95));
         assert_eq!(s.p99, SimTime::from_nanos(99));
         assert_eq!(s.mean, SimTime::from_nanos(50)); // 50.5 rounded down
+    }
+
+    #[test]
+    fn latency_stats_selection_matches_full_sort_with_ties() {
+        // Duplicates pinned exactly at the nearest-rank boundaries: the
+        // selection-based percentiles must equal sorting and indexing, no
+        // matter which of the tied elements the partition leaves at rank.
+        let mut sample: Vec<SimTime> = (1..=200)
+            .map(|v| SimTime::from_nanos(v / 2)) // every value twice
+            .collect();
+        // Shuffle deterministically so selection sees unsorted input.
+        for i in 0..sample.len() {
+            sample.swap(i, (i * 73 + 11) % 200);
+        }
+        let got = LatencyStats::from_sample(&sample);
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let rank = |q: usize| sorted[(n * q).div_ceil(100).max(1) - 1];
+        assert_eq!(got.p50, rank(50));
+        assert_eq!(got.p95, rank(95));
+        assert_eq!(got.p99, rank(99));
+        assert_eq!(got.min, sorted[0]);
+        assert_eq!(got.max, sorted[n - 1]);
     }
 
     #[test]

@@ -53,6 +53,41 @@ impl Timeline {
         Interval { start, end }
     }
 
+    /// Posts `n` back-to-back requests of `service_ns` each, all arriving at
+    /// `earliest`, in one call — the run-length form of calling
+    /// [`Timeline::occupy`] `n` times in a loop.
+    ///
+    /// Equivalence argument: the first request starts at
+    /// `max(earliest, busy_until)` exactly as `occupy` would. Every later
+    /// request then finds `busy_until` equal to its predecessor's end, which
+    /// is `>= earliest`, so `max(earliest, busy_until)` degenerates to
+    /// "start where the predecessor ended". The k-th interval is therefore
+    /// `[first_start + k*service, first_start + (k+1)*service)` by
+    /// induction, and the returned [`BatchIntervals`] yields each one in
+    /// O(1) arithmetic instead of O(n) bookkeeping. Aggregate state updates
+    /// the same way: `busy_until` advances by `n*service` past the first
+    /// start, `busy_total_ns` grows by `n*service` (saturating, as the loop
+    /// would saturate), and `requests` by `n`.
+    pub fn occupy_batch(&mut self, earliest: SimTime, service_ns: u64, n: u64) -> BatchIntervals {
+        if n == 0 {
+            return BatchIntervals {
+                first_start: earliest.max(self.busy_until),
+                service_ns,
+                n: 0,
+            };
+        }
+        let first_start = earliest.max(self.busy_until);
+        let total = service_ns.saturating_mul(n);
+        self.busy_until = first_start + SimTime::from_nanos(total);
+        self.busy_total_ns = self.busy_total_ns.saturating_add(total);
+        self.requests += n;
+        BatchIntervals {
+            first_start,
+            service_ns,
+            n,
+        }
+    }
+
     /// The instant the resource next becomes free.
     #[inline]
     pub fn busy_until(&self) -> SimTime {
@@ -85,6 +120,54 @@ impl Timeline {
     /// Resets the timeline to idle, clearing accumulated statistics.
     pub fn reset(&mut self) {
         *self = Self::default();
+    }
+}
+
+/// The service intervals produced by one [`Timeline::occupy_batch`] call.
+///
+/// Back-to-back homogeneous service means interval `k` is pure arithmetic
+/// on the first start time; nothing is allocated per request.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchIntervals {
+    first_start: SimTime,
+    service_ns: u64,
+    n: u64,
+}
+
+impl BatchIntervals {
+    /// Number of intervals in the batch.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// True when the batch posted no requests.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The `k`-th service interval (0-based). Panics if `k >= len()`.
+    #[inline]
+    pub fn get(&self, k: u64) -> Interval {
+        assert!(k < self.n, "batch interval {k} out of range ({})", self.n);
+        let start = self.first_start + SimTime::from_nanos(self.service_ns.saturating_mul(k));
+        Interval {
+            start,
+            end: start + SimTime::from_nanos(self.service_ns),
+        }
+    }
+
+    /// Completion time of the last request; `first_start` for an empty
+    /// batch.
+    #[inline]
+    pub fn last_end(&self) -> SimTime {
+        self.first_start + SimTime::from_nanos(self.service_ns.saturating_mul(self.n))
+    }
+
+    /// Iterates the intervals in posting order.
+    pub fn iter(&self) -> impl Iterator<Item = Interval> + '_ {
+        (0..self.n).map(|k| self.get(k))
     }
 }
 
@@ -126,6 +209,38 @@ impl TimelineBank {
             .min_by_key(|(_, l)| l.busy_until())
             .expect("bank is non-empty");
         (idx, lane.occupy(earliest, service_ns))
+    }
+
+    /// Posts `n` homogeneous requests in one call — equivalent to calling
+    /// [`Self::occupy_indexed`] `n` times with the same arguments — and
+    /// returns each request's lane and interval in posting order.
+    ///
+    /// Dispatch order is reproduced exactly: a min-heap over
+    /// `(busy_until, lane_index)` pops the same lane the sequential loop's
+    /// `min_by_key` scan would pick (lowest index on ties), but each
+    /// selection costs `O(log lanes)` instead of a full lane scan.
+    pub fn occupy_batch(
+        &mut self,
+        earliest: SimTime,
+        service_ns: u64,
+        n: u64,
+    ) -> Vec<(usize, Interval)> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = self
+            .lanes
+            .iter()
+            .enumerate()
+            .map(|(i, l)| Reverse((l.busy_until(), i)))
+            .collect();
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let Reverse((_, i)) = heap.pop().expect("bank is non-empty");
+            let iv = self.lanes[i].occupy(earliest, service_ns);
+            heap.push(Reverse((self.lanes[i].busy_until(), i)));
+            out.push((i, iv));
+        }
+        out
     }
 
     /// Sum of busy time across all lanes, in nanoseconds.
@@ -214,6 +329,52 @@ mod tests {
     #[should_panic(expected = "at least one lane")]
     fn bank_rejects_zero_lanes() {
         TimelineBank::new(0);
+    }
+
+    #[test]
+    fn occupy_batch_matches_sequential_loop() {
+        let mut seq = Timeline::new();
+        seq.occupy(SimTime::from_nanos(10), 30); // pre-existing state
+        let mut bat = seq.clone();
+
+        let loop_ivs: Vec<Interval> = (0..5).map(|_| seq.occupy(SimTime::ZERO, 7)).collect();
+        let batch = bat.occupy_batch(SimTime::ZERO, 7, 5);
+        assert_eq!(batch.len(), 5);
+        assert_eq!(loop_ivs, batch.iter().collect::<Vec<_>>());
+        assert_eq!(batch.last_end(), loop_ivs.last().unwrap().end);
+        assert_eq!(seq.busy_until(), bat.busy_until());
+        assert_eq!(seq.busy_total_ns(), bat.busy_total_ns());
+        assert_eq!(seq.requests(), bat.requests());
+    }
+
+    #[test]
+    fn occupy_batch_empty_posts_nothing() {
+        let mut t = Timeline::new();
+        t.occupy(SimTime::ZERO, 50);
+        let before = t.clone();
+        let batch = t.occupy_batch(SimTime::ZERO, 9, 0);
+        assert!(batch.is_empty());
+        assert_eq!(batch.last_end(), before.busy_until());
+        assert_eq!(t.busy_until(), before.busy_until());
+        assert_eq!(t.busy_total_ns(), before.busy_total_ns());
+        assert_eq!(t.requests(), before.requests());
+    }
+
+    #[test]
+    fn bank_occupy_batch_matches_sequential_loop() {
+        let mut seq = TimelineBank::new(3);
+        // Skew the lanes so dispatch order is non-trivial.
+        seq.occupy(SimTime::ZERO, 100);
+        seq.occupy(SimTime::ZERO, 40);
+        let mut bat = seq.clone();
+
+        let loop_out: Vec<(usize, Interval)> = (0..10)
+            .map(|_| seq.occupy_indexed(SimTime::from_nanos(20), 25))
+            .collect();
+        let batch_out = bat.occupy_batch(SimTime::from_nanos(20), 25, 10);
+        assert_eq!(loop_out, batch_out);
+        assert_eq!(seq.busy_total_ns(), bat.busy_total_ns());
+        assert_eq!(seq.drained_at(), bat.drained_at());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! * [`ChromeTraceSink`] — Chrome `trace_event` JSON (one pid per subsystem,
 //!   one tid per channel/core) viewable in Perfetto or `chrome://tracing`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -26,6 +26,26 @@ use std::sync::{Arc, Mutex};
 
 use crate::time::SimTime;
 use crate::timeline::Interval;
+
+/// Interns `s` into a process-wide pool, returning a `&'static str` with
+/// the same contents.
+///
+/// Trace categories and resource names form a small fixed vocabulary
+/// ("flash-chan", "device-cpu", ...), so metric maps key on interned
+/// `&'static str` instead of owned `String`s: the steady-state tracing path
+/// allocates nothing per event, and map lookups compare short pointers-plus
+/// -lengths instead of freshly heap-allocated keys. Each distinct string is
+/// leaked exactly once, bounded by the vocabulary size.
+pub fn intern(s: &str) -> &'static str {
+    static POOL: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut pool = POOL.lock().expect("intern pool poisoned");
+    if let Some(&hit) = pool.get(s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
 
 /// Fixed process ids: one per subsystem, per the Chrome trace convention.
 pub mod pid {
@@ -126,6 +146,13 @@ pub trait TraceSink: Send {
     fn finish_run(&mut self) -> RunTrace {
         RunTrace::None
     }
+    /// True if this sink discards everything. [`Tracer::new`] collapses
+    /// such sinks to the no-sink tracer, so every emit through a
+    /// [`NullSink`] is a single branch — no event construction, no lock,
+    /// no allocation.
+    fn is_null(&self) -> bool {
+        false
+    }
 }
 
 /// A sink that discards every event. Equivalent to attaching no sink at all;
@@ -135,6 +162,9 @@ pub struct NullSink;
 
 impl TraceSink for NullSink {
     fn record(&mut self, _ev: &TraceEvent<'_>) {}
+    fn is_null(&self) -> bool {
+        true
+    }
 }
 
 /// The trace artifact one run produced, embedded in the run report.
@@ -233,14 +263,18 @@ impl DurationHistogram {
 }
 
 /// Metrics a [`CounterSink`] accumulated over one run.
+///
+/// Keys are [`intern`]ed `&'static str`: category/name vocabularies are
+/// tiny and fixed, so after the first event per key the recording path
+/// allocates nothing.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Busy nanoseconds per resource category (span durations summed).
-    pub busy_ns: BTreeMap<String, u64>,
+    pub busy_ns: BTreeMap<&'static str, u64>,
     /// Span-duration histograms per resource category.
-    pub durations: BTreeMap<String, DurationHistogram>,
+    pub durations: BTreeMap<&'static str, DurationHistogram>,
     /// Counts of instant events by name (retries, route decisions, ...).
-    pub instants: BTreeMap<String, u64>,
+    pub instants: BTreeMap<&'static str, u64>,
 }
 
 impl MetricsSnapshot {
@@ -277,19 +311,31 @@ impl TraceSink for CounterSink {
     }
 
     fn record(&mut self, ev: &TraceEvent<'_>) {
+        // Lookups go straight through `&str`; only a first-seen key pays
+        // the interning, so the steady state is allocation-free.
         match ev.kind {
             EventKind::Span { dur_ns, .. } => {
-                let e = self.snap.busy_ns.entry(ev.cat.to_string()).or_insert(0);
-                *e = e.saturating_add(dur_ns);
-                self.snap
-                    .durations
-                    .entry(ev.cat.to_string())
-                    .or_default()
-                    .record(dur_ns);
+                match self.snap.busy_ns.get_mut(ev.cat) {
+                    Some(e) => *e = e.saturating_add(dur_ns),
+                    None => {
+                        self.snap.busy_ns.insert(intern(ev.cat), dur_ns);
+                    }
+                }
+                match self.snap.durations.get_mut(ev.cat) {
+                    Some(h) => h.record(dur_ns),
+                    None => {
+                        let mut h = DurationHistogram::default();
+                        h.record(dur_ns);
+                        self.snap.durations.insert(intern(ev.cat), h);
+                    }
+                }
             }
-            EventKind::Instant { .. } => {
-                *self.snap.instants.entry(ev.name.to_string()).or_insert(0) += 1;
-            }
+            EventKind::Instant { .. } => match self.snap.instants.get_mut(ev.name) {
+                Some(n) => *n += 1,
+                None => {
+                    self.snap.instants.insert(intern(ev.name), 1);
+                }
+            },
         }
     }
 
@@ -511,7 +557,15 @@ impl Tracer {
 
     /// Wraps `sink` in a shared handle, initially at [`TraceLevel::Off`]
     /// (the owning system raises the level for the duration of each run).
+    ///
+    /// A sink reporting [`TraceSink::is_null`] collapses to the no-sink
+    /// tracer: the zero-alloc fast path for "tracing explicitly off" is
+    /// identical to never attaching a sink, and batched hot paths that gate
+    /// on [`Tracer::active`] stay enabled.
     pub fn new(sink: impl TraceSink + 'static) -> Self {
+        if sink.is_null() {
+            return Self::none();
+        }
         Self {
             handle: Some(Arc::new(TraceHandle {
                 level: AtomicU8::new(TraceLevel::Off as u8),
@@ -532,8 +586,10 @@ impl Tracer {
         }
     }
 
+    /// True when events at `level` would actually be recorded — lets hot
+    /// paths skip work (or pick batched code paths) when nobody listens.
     #[inline]
-    fn active(&self, level: TraceLevel) -> bool {
+    pub fn active(&self, level: TraceLevel) -> bool {
         match &self.handle {
             None => false,
             Some(h) => h.level.load(Ordering::Relaxed) >= level as u8,

@@ -37,7 +37,7 @@ pub mod tuple;
 pub mod types;
 pub mod vector;
 
-pub use page::{Layout, PageBuf, PAGE_SIZE};
+pub use page::{Layout, PageBuf, PageDecodeCache, PAGE_SIZE};
 pub use row::RowAccessor;
 pub use schema::{Column, Schema};
 pub use table::{TableBuilder, TableImage};

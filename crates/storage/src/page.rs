@@ -189,6 +189,50 @@ impl PageBuf {
     }
 }
 
+/// Memoizes [`PageBuf::from_bytes`] validation per LBA.
+///
+/// Checksumming 8 KB on every read dominates the simulator's hot path, yet
+/// a page that is byte-for-byte the same buffer as last time (the common
+/// case: [`bytes::Bytes`] hands out clones of one allocation) must validate
+/// the same way. The cache keys on *pointer identity*: a hit means the
+/// flash returned a clone of the exact allocation we already validated, so
+/// the stored result is reused without re-hashing. Any rewrite, corruption
+/// injection, or scrub produces a fresh allocation, misses the pointer
+/// check, and is validated from scratch — so behaviour is bit-identical to
+/// calling [`PageBuf::from_bytes`] every time.
+///
+/// Holding the validated [`PageBuf`] (and with it the `Bytes` allocation)
+/// alive in the cache also rules out ABA reuse of a freed address.
+#[derive(Debug, Clone, Default)]
+pub struct PageDecodeCache {
+    pages: std::collections::HashMap<u64, PageBuf>,
+}
+
+impl PageDecodeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Validates `data` as the page at `lba`, reusing the previous result
+    /// when `data` is pointer-identical to the buffer validated last time.
+    pub fn decode(&mut self, lba: u64, data: Bytes) -> Result<PageBuf, PageError> {
+        if let Some(hit) = self.pages.get(&lba) {
+            if Bytes::ptr_eq(hit.raw(), &data) {
+                return Ok(hit.clone());
+            }
+        }
+        let page = PageBuf::from_bytes(data)?;
+        self.pages.insert(lba, page.clone());
+        Ok(page)
+    }
+
+    /// Drops all memoized validations.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+}
+
 /// FNV-1a over the page body. A real SSD corrects errors with BCH/LDPC ECC
 /// in the flash controller; the checksum here plays the same
 /// detect-bad-reads role for the emulator's failure-injection tests.
@@ -255,5 +299,28 @@ mod tests {
     fn checksum_is_stable_and_sensitive() {
         assert_eq!(checksum(b""), 0x811c9dc5);
         assert_ne!(checksum(b"a"), checksum(b"b"));
+    }
+
+    #[test]
+    fn decode_cache_matches_from_bytes() {
+        let mut cache = PageDecodeCache::new();
+        let page = PageBuf::format(Layout::Pax, 3, b"cached body");
+
+        // First decode validates; second decode of the same allocation hits.
+        let a = cache.decode(7, page.raw().clone()).unwrap();
+        let b = cache.decode(7, page.raw().clone()).unwrap();
+        assert!(Bytes::ptr_eq(a.raw(), b.raw()));
+
+        // A different allocation with corrupt contents must be re-validated
+        // even though the cache holds a good entry for the LBA.
+        let bad = page.corrupted(1, 2);
+        assert!(cache.decode(7, bad.raw().clone()).is_err());
+
+        // A rewrite (fresh allocation, valid contents) replaces the entry.
+        let page2 = PageBuf::format(Layout::Nsm, 9, b"new body");
+        let c = cache.decode(7, page2.raw().clone()).unwrap();
+        assert_eq!(c.tuple_count(), 9);
+        let d = cache.decode(7, page2.raw().clone()).unwrap();
+        assert!(Bytes::ptr_eq(c.raw(), d.raw()));
     }
 }
