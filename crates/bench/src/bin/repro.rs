@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--quick] [fig1|tab2|fig3|fig5|fig7|tab3|plans|scan-sweep|array|cache|
 //!                  device-scaling|interface|concurrent|host-parallel|q1|kernels|
-//!                  faults|trace|concurrency|degrade|all]
+//!                  faults|trace|concurrency|degrade|fleet|simspeed|all]
 //!
 //! `kernels` wall-clock-times the vectorized scan kernels against the
 //! tuple-at-a-time reference implementations and writes the results to
@@ -35,6 +35,12 @@
 //! `BENCH_degrade.json` — with the breaker on, throughput degrades
 //! smoothly as the device fails; with it off, every arrival keeps paying
 //! the crashing firmware's reset latency.
+//!
+//! `fleet` (not part of `all`, for the same reason) runs Q6 scattered
+//! across a fleet of Smart SSDs over the full linked session protocol: a
+//! scaling sweep from 1 to 64 shards, then a degradation matrix on 16
+//! devices (healthy vs one crashed device, breaker off vs on, straggler
+//! speculation enabled). Writes both curves to `BENCH_fleet.json`.
 //! ```
 //!
 //! Elapsed times are simulated; "projected" columns rescale them to the
@@ -43,9 +49,9 @@
 
 use smartssd_bench::{
     array_exp, cache_exp, concurrency_exp, concurrent_exp, degrade_exp, device_scaling_exp,
-    fault_injection_exp, fig1, fig3, fig5, fig7, host_parallel_exp, interface_exp, plans, q1_exp,
-    scan_sweep_exp, simspeed_exp, tab2, tab3, trace_exp, workload_trace_exp, Bars, Scales,
-    SIMSPEED_MEAN_GAP, SIMSPEED_ROWS,
+    fault_injection_exp, fig1, fig3, fig5, fig7, fleet_exp, host_parallel_exp, interface_exp,
+    plans, q1_exp, scan_sweep_exp, simspeed_exp, tab2, tab3, trace_exp, workload_trace_exp, Bars,
+    Scales, FLEET_DEGRADE_DEVICES, SIMSPEED_MEAN_GAP, SIMSPEED_ROWS,
 };
 
 fn print_bars(title: &str, bars: &Bars, projection: f64, paper_speedup: f64) {
@@ -591,6 +597,93 @@ fn run_degrade(s: &Scales) {
     println!();
 }
 
+fn run_fleet(s: &Scales, quick: bool) {
+    println!("== Fleet: Q6 scatter/gather across N Smart SSDs (linked protocol) ==");
+    let counts: &[usize] = &[1, 2, 4, 8, 16, 32, 64];
+    let stream_len = if quick { 16 } else { 32 };
+    let r = match fleet_exp(s, counts, stream_len) {
+        Ok(r) => r,
+        Err(fault) => {
+            println!("  experiment aborted by device fault: {fault}");
+            return;
+        }
+    };
+    println!("  devices   elapsed[s]   speedup");
+    let mut scaling_entries = String::new();
+    for p in &r.scaling {
+        println!(
+            "  {:>7}   {:>10.6}   {:>6.2}x",
+            p.devices,
+            p.elapsed.as_secs_f64(),
+            p.speedup
+        );
+        if !scaling_entries.is_empty() {
+            scaling_entries.push_str(",\n");
+        }
+        scaling_entries.push_str(&format!(
+            "    {{\"devices\": {}, \"elapsed_secs\": {:.9}, \"speedup\": {:.6}}}",
+            p.devices,
+            p.elapsed.as_secs_f64(),
+            p.speedup
+        ));
+    }
+    println!();
+    println!(
+        "  degradation matrix ({} devices, {stream_len}-query Q6 stream, speculation on):",
+        FLEET_DEGRADE_DEVICES
+    );
+    println!("  scenario   breaker  dead  thruput[qps]  of-ideal  p95[ms]  fallbacks  host-runs  spec  match");
+    let mut degrade_entries = String::new();
+    for p in &r.degradation {
+        println!(
+            "  {:<9}  {:>7}  {:>4}  {:>12.3}  {:>8.2}  {:>7.2}  {:>9}  {:>9}  {:>4}  {:>5}",
+            p.label,
+            if p.breaker { "on" } else { "off" },
+            p.dead_devices,
+            p.throughput_qps,
+            p.of_ideal,
+            p.p95_ms,
+            p.fallbacks,
+            p.host_shard_runs,
+            p.speculated,
+            if p.matches_clean { "yes" } else { "NO" },
+        );
+        if !degrade_entries.is_empty() {
+            degrade_entries.push_str(",\n");
+        }
+        degrade_entries.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"breaker\": {}, \"dead_devices\": {}, \
+             \"queries\": {}, \"throughput_qps\": {:.6}, \"of_ideal\": {:.6}, \
+             \"p95_ms\": {:.6}, \"fallbacks\": {}, \"host_shard_runs\": {}, \
+             \"speculated\": {}, \"spec_wins\": {}, \"matches_clean\": {}, \"faults\": {}}}",
+            p.label,
+            p.breaker,
+            p.dead_devices,
+            p.queries,
+            p.throughput_qps,
+            p.of_ideal,
+            p.p95_ms,
+            p.fallbacks,
+            p.host_shard_runs,
+            p.speculated,
+            p.spec_wins,
+            p.matches_clean,
+            p.faults.to_json()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"generated_by\": \"repro fleet\",\n  \"query\": \"q6\",\n  \
+         \"degrade_devices\": {FLEET_DEGRADE_DEVICES},\n  \
+         \"scaling\": [\n{scaling_entries}\n  ],\n  \
+         \"degradation\": [\n{degrade_entries}\n  ]\n}}\n"
+    );
+    std::fs::write("BENCH_fleet.json", json).expect("write BENCH_fleet.json");
+    println!("  (one dead device out of 16 costs about one shard of throughput; the");
+    println!("   breaker trades per-query dead-device probes for straight-to-host routing)");
+    println!("  wrote BENCH_fleet.json");
+    println!();
+}
+
 fn run_trace(s: &Scales) {
     println!("== Observability: traced Q6 run pair (device vs host route) ==");
     println!("  route    elapsed[s]   trace file");
@@ -792,6 +885,9 @@ fn main() {
     }
     if what == "degrade" {
         run_degrade(&s);
+    }
+    if what == "fleet" {
+        run_fleet(&s, quick);
     }
     if what == "concurrency" {
         run_concurrency(&s);

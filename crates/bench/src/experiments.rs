@@ -1193,3 +1193,188 @@ pub fn degrade_exp(s: &Scales) -> Result<Vec<DegradePoint>, RunError> {
     }
     Ok(points)
 }
+
+/// One point of the fleet scaling sweep: Q6 scattered across N shards.
+#[derive(Debug, Clone)]
+pub struct FleetScalePoint {
+    /// Number of devices (= shards).
+    pub devices: usize,
+    /// Coordinator completion time (slowest shard + gather).
+    pub elapsed: SimTime,
+    /// Speedup over the single-device fleet.
+    pub speedup: f64,
+}
+
+/// One cell of the fleet degradation matrix: a Q6 stream on a 16-device
+/// fleet, healthy vs one-device-dead, breaker off vs on.
+#[derive(Debug, Clone)]
+pub struct FleetDegradePoint {
+    /// Scenario label.
+    pub label: &'static str,
+    /// Whether the per-device circuit breakers were enabled.
+    pub breaker: bool,
+    /// Devices with a permanent crash fault armed.
+    pub dead_devices: usize,
+    /// Queries in the stream.
+    pub queries: usize,
+    /// Completed queries per simulated second.
+    pub throughput_qps: f64,
+    /// Fraction of the *ideal degraded* throughput (healthy throughput
+    /// scaled by alive/total devices) this cell achieved.
+    pub of_ideal: f64,
+    /// 95th-percentile query latency, milliseconds.
+    pub p95_ms: f64,
+    /// Shards that degraded mid-run after a recoverable session fault.
+    pub fallbacks: u64,
+    /// Shard runs that ended on the host route.
+    pub host_shard_runs: u64,
+    /// Shards raced by a speculative host re-run.
+    pub speculated: u64,
+    /// Speculative re-runs that beat the device session.
+    pub spec_wins: u64,
+    /// Whether a post-stream Q6 answer is bit-identical to the healthy
+    /// fleet's.
+    pub matches_clean: bool,
+    /// Faults absorbed across the whole stream.
+    pub faults: smartssd_sim::FaultCounters,
+}
+
+/// Results of the fleet experiment: the scaling curve and the
+/// degradation-under-crash matrix.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Q6 completion time vs shard count.
+    pub scaling: Vec<FleetScalePoint>,
+    /// Degradation matrix on [`FLEET_DEGRADE_DEVICES`] devices.
+    pub degradation: Vec<FleetDegradePoint>,
+}
+
+/// Fleet size of the degradation matrix.
+pub const FLEET_DEGRADE_DEVICES: usize = 16;
+
+/// Builds a LINEITEM-loaded fleet of `n` devices, cold.
+fn tpch_fleet(
+    n: usize,
+    s: &Scales,
+    opts: smartssd::FleetOptions,
+    breaker: bool,
+) -> smartssd::SmartSsdFleet {
+    let mut b = SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax);
+    if breaker {
+        let mut pol = smartssd::BreakerPolicy::enabled();
+        // A dead-device probe costs a full firmware reset wait (~5 ms,
+        // several query lifetimes), so probe sparingly: the default 8 ms
+        // cooldown would re-probe nearly every query.
+        pol.cooldown = SimTime::from_micros(1_000_000);
+        b = b.breaker(pol);
+    }
+    let mut fleet = b.build_fleet(n, opts);
+    fleet
+        .load_partitioned(
+            queries::LINEITEM,
+            &tpch::lineitem_schema(),
+            tpch::lineitem_rows(s.tpch_sf, s.seed),
+        )
+        .expect("load lineitem");
+    fleet.finish_load();
+    fleet
+}
+
+/// Parallel-DBMS extension (paper Section 4.3): Q6 scattered across a fleet
+/// of Smart SSDs over the full linked session protocol, gathered and merged
+/// on the host.
+///
+/// Two sweeps: (1) scaling — one cold Q6 per shard count in
+/// `device_counts`, speedup measured against the single-device fleet; and
+/// (2) degradation — a `stream_len`-query Q6 stream on a 16-device fleet,
+/// healthy vs one crashed device, breaker off vs on, with straggler
+/// speculation enabled. With the breaker off every query keeps probing the
+/// dead device and pays its firmware reset latency before falling back;
+/// with it on the breaker trips after the first failures and later queries
+/// route that shard straight to the host block path — a separate failure
+/// domain — so one dead device out of 16 costs about one shard of
+/// throughput, not an outage.
+pub fn fleet_exp(
+    s: &Scales,
+    device_counts: &[usize],
+    stream_len: usize,
+) -> Result<FleetResult, RunError> {
+    use smartssd::FleetOptions;
+
+    // Sweep 1: scaling. Pure scatter/gather, no speculation.
+    let mut scaling = Vec::new();
+    let mut base = None;
+    for &n in device_counts {
+        let mut fleet = tpch_fleet(n, s, FleetOptions::default(), false);
+        let r = fleet.run_agg(&q6())?;
+        let elapsed = r.result.elapsed;
+        let base_secs = *base.get_or_insert(elapsed.as_secs_f64());
+        scaling.push(FleetScalePoint {
+            devices: n,
+            elapsed,
+            speedup: base_secs / elapsed.as_secs_f64(),
+        });
+    }
+
+    // Sweep 2: degradation under a crashed device, with straggler
+    // speculation on (a dead shard is the ultimate straggler).
+    let spec_opts = || FleetOptions {
+        speculate: true,
+        ..FleetOptions::default()
+    };
+    let stream: Vec<_> = (0..stream_len).map(|_| q6()).collect();
+    let n = FLEET_DEGRADE_DEVICES;
+    let mut degradation = Vec::new();
+    let mut healthy_qps = 0.0;
+    let mut clean_answer = None;
+    for (label, dead, breaker) in [
+        ("healthy", 0usize, false),
+        ("one-dead", 1usize, false),
+        ("one-dead", 1usize, true),
+    ] {
+        let mut fleet = tpch_fleet(n, s, spec_opts(), breaker);
+        for d in 0..dead {
+            fleet.device_mut(d).config_mut().fault_rates.crash_rate = u32::MAX;
+        }
+        let rep = fleet.run_stream(&stream)?;
+        // Answer check: one more Q6 after the stream, against the healthy
+        // fleet's answer.
+        fleet.clear_host_cache();
+        let check = fleet.run_agg(&q6())?;
+        let answer = (check.result.agg_values.clone(), check.result.scalar);
+        let matches_clean = match &clean_answer {
+            None => {
+                clean_answer = Some(answer);
+                true
+            }
+            Some(clean) => *clean == answer,
+        };
+        if dead == 0 && !breaker {
+            healthy_qps = rep.throughput_qps;
+        }
+        let ideal = healthy_qps * (n - dead) as f64 / n as f64;
+        degradation.push(FleetDegradePoint {
+            label,
+            breaker,
+            dead_devices: dead,
+            queries: rep.queries,
+            throughput_qps: rep.throughput_qps,
+            of_ideal: if ideal > 0.0 {
+                rep.throughput_qps / ideal
+            } else {
+                0.0
+            },
+            p95_ms: rep.latency.p95.as_secs_f64() * 1e3,
+            fallbacks: rep.fallbacks,
+            host_shard_runs: rep.host_shard_runs,
+            speculated: rep.speculated,
+            spec_wins: rep.spec_wins,
+            matches_clean,
+            faults: rep.faults,
+        });
+    }
+    Ok(FleetResult {
+        scaling,
+        degradation,
+    })
+}

@@ -4,35 +4,31 @@
 //! Section 4.3: "the host machine could simply be the coordinator that
 //! stages computation across an array of Smart SSDs, making the system look
 //! like a parallel DBMS with the master node being the host server, and the
-//! worker nodes ... being the Smart SSDs." This module implements that
-//! sketch for aggregation queries: a table is horizontally partitioned
-//! across N devices, every device runs the pushed-down operator on its
-//! partition, and the host merges the aggregate partials — exactly a
-//! parallel DBMS's scatter/gather.
+//! worker nodes ... being the Smart SSDs."
 //!
-//! The devices are independent [`SmartSsd`] instances, so their in-device
-//! executions are embarrassingly parallel; we run them on real threads via
-//! `std::thread::scope` (the simulation stays deterministic because each
-//! device owns its private timelines). They still share the single host
-//! interface for result retrieval, which the shared link bus serializes.
+//! [`SmartSsdArray`] is the original, minimal coordinator: direct device
+//! opens at time zero, serial gather over the shared link, no speculation.
+//! It is now a thin veneer over [`SmartSsdFleet`]
+//! configured for exactly that behavior (timing is bit-identical to the
+//! original implementation), which fixed three long-standing faults in the
+//! standalone version: a mid-gather error used to leak every not-yet-closed
+//! device session, a worker-thread panic aborted the whole process instead
+//! of returning a typed error, and the array ignored the configured
+//! [`SessionPolicy`](smartssd_query::SessionPolicy) and fault rates
+//! entirely. New code that wants straggler recovery, circuit breakers, or
+//! linked-protocol opens should use the fleet directly.
 
 use crate::config::SystemConfig;
+use crate::fleet::{FleetOptions, SmartSsdFleet};
 use crate::system::RunError;
-use smartssd_device::{DeviceError, GetResponse, SmartSsd};
+use crate::workload::InterfaceMode;
 use smartssd_query::{Query, QueryResult};
-use smartssd_sim::{mb_per_sec, Bus, CpuModel, SimTime};
-use smartssd_storage::expr::AggState;
-use smartssd_storage::{Schema, TableBuilder, Tuple};
+use smartssd_storage::{Schema, Tuple};
 use std::sync::Arc;
 
 /// A host coordinating N Smart SSDs.
 pub struct SmartSsdArray {
-    cfg: SystemConfig,
-    devices: Vec<SmartSsd>,
-    catalogs: Vec<smartssd_query::Catalog>,
-    link: Bus,
-    host_cpu: CpuModel,
-    next_lba: u64,
+    fleet: SmartSsdFleet,
 }
 
 impl SmartSsdArray {
@@ -40,32 +36,35 @@ impl SmartSsdArray {
     /// configuration.
     pub fn new(n: usize, cfg: SystemConfig) -> Self {
         assert!(n >= 1, "array needs at least one device");
-        let devices = (0..n)
-            .map(|_| SmartSsd::new(cfg.flash.clone(), cfg.smart.clone()))
-            .collect();
-        let catalogs = (0..n).map(|_| smartssd_query::Catalog::new()).collect();
+        let opts = FleetOptions {
+            interface: InterfaceMode::Direct,
+            speculate: false,
+            ..FleetOptions::default()
+        };
         Self {
-            link: Bus::new(
-                "host-interface",
-                mb_per_sec(cfg.interface.effective_mbps()),
-                0,
-            ),
-            host_cpu: CpuModel::new("host-cpu", cfg.host_cpu_cores, cfg.host_cpu_hz),
-            devices,
-            catalogs,
-            next_lba: 0,
-            cfg,
+            fleet: SmartSsdFleet::with_options(n, cfg, opts),
         }
     }
 
     /// Number of devices.
     pub fn len(&self) -> usize {
-        self.devices.len()
+        self.fleet.len()
     }
 
     /// Whether the array is empty (never true by construction).
     pub fn is_empty(&self) -> bool {
-        self.devices.is_empty()
+        self.fleet.is_empty()
+    }
+
+    /// The coordinating fleet, for diagnostics (per-device fault counters,
+    /// open-session counts) and fault injection.
+    pub fn fleet(&self) -> &SmartSsdFleet {
+        &self.fleet
+    }
+
+    /// The coordinating fleet, mutably.
+    pub fn fleet_mut(&mut self) -> &mut SmartSsdFleet {
+        &mut self.fleet
     }
 
     /// Loads a table partitioned round-robin across the devices; each
@@ -79,100 +78,19 @@ impl SmartSsdArray {
     where
         I: IntoIterator<Item = Tuple>,
     {
-        let n = self.devices.len();
-        // Buffer each partition's rows, then build its pages in one pass
-        // (TableBuilder seals a page per `extend` call boundary).
-        let mut partitions: Vec<Vec<Tuple>> = vec![Vec::new(); n];
-        for (i, row) in rows.into_iter().enumerate() {
-            partitions[i % n].push(row);
-        }
-        let first_lba = self.next_lba;
-        let mut max_pages = 0;
-        for (d, part) in partitions.into_iter().enumerate() {
-            let mut b = TableBuilder::new(name, Arc::clone(schema), self.cfg.layout);
-            b.extend(part);
-            let img = b.finish();
-            max_pages = max_pages.max(img.num_pages() as u64);
-            let tref = self.devices[d]
-                .load_table(&img, first_lba)
-                .map_err(RunError::from)?;
-            self.catalogs[d].register(name, tref);
-        }
-        self.next_lba = first_lba + max_pages;
-        Ok(())
+        self.fleet.load_partitioned(name, schema, rows)
     }
 
     /// Ends the load phase.
     pub fn finish_load(&mut self) {
-        for d in &mut self.devices {
-            d.reset_timing();
-        }
-        self.link.reset();
-        self.host_cpu.reset();
+        self.fleet.finish_load();
     }
 
     /// Runs an aggregation query on every partition in parallel and merges
     /// the partials on the host. Returns the merged result; `elapsed` is
     /// the coordinator's completion time (slowest worker + gather).
     pub fn run_agg(&mut self, query: &Query) -> Result<QueryResult, RunError> {
-        // Resolve per device (each has its own partition extent).
-        let ops: Vec<_> = self
-            .catalogs
-            .iter()
-            .map(|c| query.resolve(c))
-            .collect::<Result<_, _>>()?;
-        // Phase 1: all devices execute their partitions concurrently. Each
-        // device's simulation is private, so real threads are safe and the
-        // outcome is deterministic.
-        let sids: Vec<_> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .devices
-                .iter_mut()
-                .zip(&ops)
-                .map(|(dev, op)| scope.spawn(move || dev.open(op, SimTime::ZERO)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("device thread panicked"))
-                .collect::<Vec<Result<_, DeviceError>>>()
-        });
-        // Phase 2: gather. GETs share the single host link.
-        let mut merged: Option<Vec<AggState>> = None;
-        let mut t = SimTime::ZERO;
-        for (dev, sid) in self.devices.iter_mut().zip(sids) {
-            let sid = sid.map_err(RunError::from)?;
-            loop {
-                match dev.get(sid, t).map_err(RunError::from)? {
-                    GetResponse::Running { ready_at } => {
-                        t = ready_at.max(t + SimTime::from_nanos(1));
-                    }
-                    GetResponse::Batch(b) => {
-                        let iv = self.link.transfer(t.max(b.ready_at), b.bytes.max(64));
-                        t = self.host_cpu.execute(iv.end, 20_000 + b.bytes / 2).end;
-                        if let Some(parts) = b.aggs {
-                            match &mut merged {
-                                None => merged = Some(parts),
-                                Some(acc) => {
-                                    for (a, p) in acc.iter_mut().zip(parts.iter()) {
-                                        a.merge(p);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    GetResponse::Done => break,
-                }
-            }
-            dev.close(sid).map_err(RunError::from)?;
-        }
-        let (agg_values, scalar) = query.finalize.apply(merged.as_deref().unwrap_or(&[]));
-        Ok(QueryResult {
-            rows: Vec::new(),
-            agg_values,
-            scalar,
-            elapsed: t,
-            work: Default::default(),
-        })
+        self.fleet.run_agg(query).map(|r| r.result)
     }
 }
 
@@ -251,5 +169,51 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn zero_devices_rejected() {
         array(0);
+    }
+
+    /// Regression: a fault mid-gather must not leak the sessions still open
+    /// on not-yet-gathered devices. The standalone array used to `?`-return
+    /// out of the gather loop with every remaining session open.
+    #[test]
+    fn mid_gather_fault_leaves_zero_open_sessions() {
+        let mut arr = array(4);
+        arr.load_partitioned("t", &schema(), rows(40_000)).unwrap();
+        arr.finish_load();
+        // Break device 1's shard on *both* routes: trim a partition page
+        // from its flash so the device-side scan fails at open (recoverable
+        // — the shard degrades to the host path) and the host fallback then
+        // fails hard on the same unmapped page. Devices 0, 2, and 3 still
+        // open healthy sessions; the run error must not leak them.
+        arr.fleet_mut().device_mut(1).flash.trim(0).unwrap();
+        let err = arr.run_agg(&count_query()).unwrap_err();
+        assert!(err.faults.fallbacks >= 1, "expected a fallback attempt");
+        for d in 0..4 {
+            assert_eq!(
+                arr.fleet().device(d).open_sessions(),
+                0,
+                "device {d} leaked a session"
+            );
+        }
+    }
+
+    /// Regression: a crashed device degrades its shard to the host path and
+    /// the run still succeeds — with no leaked sessions anywhere.
+    #[test]
+    fn crashed_device_falls_back_and_leaks_nothing() {
+        let n_rows = 40_000;
+        let mut arr = array(4);
+        arr.load_partitioned("t", &schema(), rows(n_rows)).unwrap();
+        arr.finish_load();
+        arr.fleet_mut()
+            .device_mut(2)
+            .config_mut()
+            .fault_rates
+            .crash_rate = u32::MAX;
+        let r = arr.run_agg(&count_query()).unwrap();
+        assert_eq!(r.agg_values[0], n_rows as i128);
+        assert_eq!(r.agg_values[1], (0..n_rows as i128).sum::<i128>());
+        for d in 0..4 {
+            assert_eq!(arr.fleet().device(d).open_sessions(), 0);
+        }
     }
 }

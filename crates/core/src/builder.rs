@@ -9,6 +9,7 @@
 
 use crate::breaker::BreakerPolicy;
 use crate::config::{DeviceKind, SystemConfig};
+use crate::fleet::{FleetOptions, SmartSsdFleet};
 use crate::system::System;
 use smartssd_device::DeviceConfig;
 use smartssd_flash::FlashConfig;
@@ -272,6 +273,13 @@ impl SystemBuilder {
     /// tracer into every timeline-owning component. This is the checked
     /// front door; [`SystemBuilder::build`] panics on the same conditions.
     pub fn try_build(self) -> Result<System, ConfigError> {
+        self.validate()?;
+        Ok(System::assemble(self.cfg, self.tracer))
+    }
+
+    /// Shared configuration validation for [`SystemBuilder::try_build`] and
+    /// [`SystemBuilder::try_build_fleet`].
+    fn validate(&self) -> Result<(), ConfigError> {
         let sp = &self.cfg.session_policy;
         if sp.backoff_cap < sp.poll_backoff {
             return Err(ConfigError::BackoffCapBelowPoll {
@@ -291,7 +299,33 @@ impl SystemBuilder {
                 return Err(ConfigError::InfiniteBreakerCooldown);
             }
         }
-        Ok(System::assemble(self.cfg, self.tracer))
+        Ok(())
+    }
+
+    /// Assembles a [`SmartSsdFleet`] of `n` devices after validating the
+    /// configuration, wiring the tracer into the shared link and host CPU.
+    /// Each device gets its own circuit breaker built from the configured
+    /// [`BreakerPolicy`], its own crash domain, and its own host-side read
+    /// state for block-path fallback.
+    pub fn try_build_fleet(
+        self,
+        n: usize,
+        opts: FleetOptions,
+    ) -> Result<SmartSsdFleet, ConfigError> {
+        self.validate()?;
+        Ok(SmartSsdFleet::assemble(n, self.cfg, opts, self.tracer))
+    }
+
+    /// Assembles a [`SmartSsdFleet`] of `n` devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`ConfigError`]) or
+    /// `n == 0`; use [`SystemBuilder::try_build_fleet`] to handle
+    /// configuration errors as values.
+    pub fn build_fleet(self, n: usize, opts: FleetOptions) -> SmartSsdFleet {
+        self.try_build_fleet(n, opts)
+            .unwrap_or_else(|e| panic!("invalid system configuration: {e}"))
     }
 
     /// Assembles the system and wires the tracer into every

@@ -1,0 +1,881 @@
+//! A fleet of Smart SSDs coordinated by the host — the paper's parallel-DBMS
+//! sketch (Section 4.3) built on every fault-tolerance layer the test bed
+//! has grown since the single-device protocol.
+//!
+//! The Discussion section imagines "the host machine ... simply be\[ing\] the
+//! coordinator that stages computation across an array of Smart SSDs, making
+//! the system look like a parallel DBMS with the master node being the host
+//! server, and the worker nodes ... being the Smart SSDs." This module is
+//! that coordinator, done right:
+//!
+//! - **Sharding.** A table is horizontally partitioned round-robin across N
+//!   devices; each device holds its own partition image and catalog entry
+//!   under the shared table name.
+//! - **Scatter.** Each query fans out as one pushdown session per shard,
+//!   driven by [`SessionDriver`] under the configured
+//!   [`SessionPolicy`](smartssd_query::SessionPolicy)
+//!   (bounded `GET` retries, exponential backoff, session timeout). In
+//!   [`InterfaceMode::Linked`] the `OPEN` payloads serialize over the shared
+//!   host link, exactly like single-device device-routed runs.
+//! - **Gather.** Aggregate partials return over the shared link (the bus
+//!   serializes them) and merge on the host; finalization happens once, on
+//!   the merged states, so non-distributive aggregates like AVG stay exact.
+//! - **Failure awareness.** Every device carries its own
+//!   [`CircuitBreaker`] and is its own crash domain: a recoverable session
+//!   fault (uncorrectable flash, firmware crash, hang, timeout) degrades
+//!   *that shard only* to the host block path — a separate failure domain
+//!   that survives firmware crashes — while the other N−1 shards proceed on
+//!   the device route. One dead device out of 16 costs roughly one shard of
+//!   throughput, not an outage.
+//! - **Straggler recovery.** Optionally, once the other N−1 shards have
+//!   gathered, the slowest shard is speculatively re-run on the host block
+//!   path; whichever of the device session and the host re-run finishes
+//!   first supplies the partial. Speculation never changes answers, only
+//!   timing (both compute the same partial over the same rows).
+//!
+//! Device executions are embarrassingly parallel: each [`SmartSsd`] owns
+//! private timelines, so the fleet runs the open/execute phase on real
+//! threads via `std::thread::scope` with bit-identical simulated results. A
+//! worker-thread panic is caught at join and surfaced as
+//! [`RunErrorKind::DeviceThread`] instead of aborting the process.
+
+use crate::breaker::{BreakerTransition, CircuitBreaker};
+use crate::config::SystemConfig;
+use crate::system::{RunError, RunErrorKind, System};
+use crate::workload::InterfaceMode;
+use smartssd_device::{DeviceError, SessionId, SmartSsd};
+use smartssd_exec::{encode_op, QueryOp, WorkCounts};
+use smartssd_host::{BufferPool, CommandState, LinkedFlashView};
+use smartssd_query::{
+    Catalog, HostEngine, Query, QueryResult, RawRun, Route, SessionDriver, SessionError,
+    SessionOutcome,
+};
+use smartssd_sim::trace::pid;
+use smartssd_sim::{
+    mb_per_sec, Bus, CpuModel, FaultCounters, Interval, LatencyStats, RunTrace, SimTime,
+    TraceLevel, Tracer,
+};
+use smartssd_storage::expr::AggState;
+use smartssd_storage::{PageDecodeCache, Schema, TableBuilder, Tuple};
+use std::sync::Arc;
+
+/// Coordinator knobs for a [`SmartSsdFleet`].
+#[derive(Debug, Clone)]
+pub struct FleetOptions {
+    /// How sessions reach the devices. [`InterfaceMode::Linked`] (the
+    /// default) marshals every `OPEN` over the shared host link before the
+    /// device starts executing — the full protocol. [`InterfaceMode::Direct`]
+    /// opens sessions in place at time zero, reproducing the legacy
+    /// `SmartSsdArray` timing bit-for-bit; results crossing the link on
+    /// gather are charged identically in both modes.
+    pub interface: InterfaceMode,
+    /// Straggler recovery: once the other N−1 shards have gathered,
+    /// speculatively re-run the slowest shard on the host block path and
+    /// take whichever copy finishes first. Off by default (speculation burns
+    /// real link and host-CPU time).
+    pub speculate: bool,
+    /// Speculation trigger: the slowest shard is re-run only when its
+    /// device-side completion estimate exceeds `straggler_factor` times the
+    /// second-slowest shard's. `0.0` speculates on every run's slowest
+    /// shard; the default `1.25` only fires on genuinely skewed shards.
+    pub straggler_factor: f64,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        Self {
+            interface: InterfaceMode::Linked,
+            speculate: false,
+            straggler_factor: 1.25,
+        }
+    }
+}
+
+/// One device plus everything the host keeps per shard: the partition
+/// catalog, the device's circuit breaker, and the host-side read state
+/// (buffer pool, command batching, fault counters, decode memo) its block
+/// path uses when this shard degrades to host execution.
+struct FleetShard {
+    dev: SmartSsd,
+    catalog: Catalog,
+    breaker: CircuitBreaker,
+    pool: BufferPool,
+    cmd: CommandState,
+    host_faults: FaultCounters,
+    page_cache: PageDecodeCache,
+}
+
+/// How one shard of one query run went.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Device index.
+    pub device: usize,
+    /// Where this shard's partial was ultimately computed.
+    pub route: Route,
+    /// Simulated time the host finished consuming this shard's partial.
+    pub finished_at: SimTime,
+    /// A recoverable session fault degraded this shard to the host path.
+    pub fell_back: bool,
+    /// A speculative host re-run raced this shard's device session.
+    pub speculated: bool,
+    /// The speculative host re-run finished first.
+    pub spec_won: bool,
+}
+
+/// Everything one fleet query run produced.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The merged query result; `elapsed` is the coordinator's completion
+    /// time (slowest shard + gather).
+    pub result: QueryResult,
+    /// Per-shard routes, finish times, and recovery actions.
+    pub shards: Vec<ShardOutcome>,
+    /// Faults absorbed across every device and every host-side read path.
+    pub faults: FaultCounters,
+    /// Per-device breaker transitions, re-based onto this run's timeline.
+    pub breaker_transitions: Vec<(usize, BreakerTransition)>,
+    /// Shards raced by a speculative host re-run.
+    pub speculated: u64,
+    /// Speculative re-runs that beat the device session.
+    pub spec_wins: u64,
+    /// The run's trace, if a sink was attached.
+    pub trace: RunTrace,
+}
+
+/// Summary of a closed-loop query stream on the fleet (queries run
+/// back-to-back; breaker state persists across queries on the fleet's
+/// monotone breaker clock; host-side caches are cleared before each query —
+/// the cold-run protocol every reproduced figure uses).
+#[derive(Debug, Clone)]
+pub struct FleetStreamReport {
+    /// Queries completed.
+    pub queries: usize,
+    /// Sum of per-query completion times (closed-loop makespan).
+    pub makespan: SimTime,
+    /// Completed queries per simulated second.
+    pub throughput_qps: f64,
+    /// Per-query latency summary.
+    pub latency: LatencyStats,
+    /// Faults absorbed across the whole stream.
+    pub faults: FaultCounters,
+    /// Shard runs that ended on the host route (breaker quarantine or
+    /// per-shard fallback).
+    pub host_shard_runs: u64,
+    /// Shards that degraded mid-run after a recoverable session fault.
+    pub fallbacks: u64,
+    /// Shards raced by a speculative host re-run.
+    pub speculated: u64,
+    /// Speculative re-runs that beat the device session.
+    pub spec_wins: u64,
+}
+
+/// Per-shard state between the scatter and gather phases.
+enum ShardPhase {
+    /// A live device session (id, `OPEN` completion time).
+    Session(SessionId, SimTime),
+    /// Host block-path execution starting no earlier than `from`;
+    /// `fell_back` distinguishes a mid-run degrade from a breaker decision.
+    Host { from: SimTime, fell_back: bool },
+}
+
+/// A host coordinating N Smart SSDs as one parallel query engine.
+pub struct SmartSsdFleet {
+    cfg: SystemConfig,
+    opts: FleetOptions,
+    shards: Vec<FleetShard>,
+    link: Bus,
+    host_cpu: CpuModel,
+    next_lba: u64,
+    tracer: Tracer,
+    run_faults: FaultCounters,
+    /// Monotone clock the per-device breakers live on; accumulates run
+    /// lengths so breaker state carries across runs that each start at zero.
+    breaker_clock: SimTime,
+}
+
+impl SmartSsdFleet {
+    /// Builds a fleet of `n` identical devices with default coordinator
+    /// options.
+    pub fn new(n: usize, cfg: SystemConfig) -> Self {
+        Self::with_options(n, cfg, FleetOptions::default())
+    }
+
+    /// Builds a fleet of `n` identical devices.
+    pub fn with_options(n: usize, cfg: SystemConfig, opts: FleetOptions) -> Self {
+        Self::assemble(n, cfg, opts, Tracer::none())
+    }
+
+    pub(crate) fn assemble(
+        n: usize,
+        cfg: SystemConfig,
+        opts: FleetOptions,
+        tracer: Tracer,
+    ) -> Self {
+        assert!(n >= 1, "fleet needs at least one device");
+        assert!(
+            opts.straggler_factor.is_finite() && opts.straggler_factor >= 0.0,
+            "straggler_factor must be finite and non-negative"
+        );
+        let shards = (0..n)
+            .map(|_| FleetShard {
+                dev: SmartSsd::new(cfg.flash.clone(), cfg.smart.clone()),
+                catalog: Catalog::new(),
+                breaker: CircuitBreaker::new(cfg.breaker),
+                pool: BufferPool::new(cfg.bufferpool_pages),
+                cmd: CommandState::default(),
+                host_faults: FaultCounters::default(),
+                page_cache: PageDecodeCache::new(),
+            })
+            .collect();
+        let mut link = Bus::new(
+            "host-interface",
+            mb_per_sec(cfg.interface.effective_mbps()),
+            0,
+        );
+        link.set_tracer(tracer.clone(), pid::INTERFACE, 0);
+        let mut host_cpu = CpuModel::new("host-cpu", cfg.host_cpu_cores, cfg.host_cpu_hz);
+        host_cpu.set_tracer(tracer.clone(), pid::HOST_CPU);
+        Self {
+            cfg,
+            opts,
+            shards,
+            link,
+            host_cpu,
+            next_lba: 0,
+            tracer,
+            run_faults: FaultCounters::default(),
+            breaker_clock: SimTime::ZERO,
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the fleet is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The coordinator options.
+    pub fn options(&self) -> &FleetOptions {
+        &self.opts
+    }
+
+    /// One device, by index (diagnostics: open-session counts, fault
+    /// counters).
+    pub fn device(&self, d: usize) -> &SmartSsd {
+        &self.shards[d].dev
+    }
+
+    /// One device, mutably — the fault-injection hook experiments use to
+    /// degrade a single fleet member (e.g. arm its crash rate).
+    pub fn device_mut(&mut self, d: usize) -> &mut SmartSsd {
+        &mut self.shards[d].dev
+    }
+
+    /// Device `d`'s breaker state.
+    pub fn breaker_state(&self, d: usize) -> crate::breaker::BreakerState {
+        self.shards[d].breaker.state()
+    }
+
+    /// Loads a table partitioned round-robin across the devices; each
+    /// device registers its own partition under the shared name.
+    pub fn load_partitioned<I>(
+        &mut self,
+        name: &str,
+        schema: &Arc<Schema>,
+        rows: I,
+    ) -> Result<(), RunError>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let n = self.shards.len();
+        // Buffer each partition's rows, then build its pages in one pass
+        // (TableBuilder seals a page per `extend` call boundary).
+        let mut partitions: Vec<Vec<Tuple>> = vec![Vec::new(); n];
+        for (i, row) in rows.into_iter().enumerate() {
+            partitions[i % n].push(row);
+        }
+        let first_lba = self.next_lba;
+        let mut max_pages = 0;
+        for (d, part) in partitions.into_iter().enumerate() {
+            let mut b = TableBuilder::new(name, Arc::clone(schema), self.cfg.layout);
+            b.extend(part);
+            let img = b.finish();
+            max_pages = max_pages.max(img.num_pages() as u64);
+            let tref = self.shards[d]
+                .dev
+                .load_table(&img, first_lba)
+                .map_err(RunError::from)?;
+            self.shards[d].catalog.register(name, tref);
+        }
+        self.next_lba = first_lba + max_pages;
+        Ok(())
+    }
+
+    /// Ends the load phase: discards load-time timing on every device, the
+    /// link, and the host CPU.
+    pub fn finish_load(&mut self) {
+        self.reset_run_timing();
+    }
+
+    /// Empties every shard's host-side buffer pool (cold-run protocol).
+    pub fn clear_host_cache(&mut self) {
+        for shard in &mut self.shards {
+            shard.pool.clear();
+        }
+    }
+
+    /// Resets per-run timing state: device timelines, the shared link, the
+    /// host CPU, command batching, and host-side fault counters. Breaker
+    /// state and buffer pools persist (like [`System`] runs).
+    fn reset_run_timing(&mut self) {
+        self.host_cpu.reset();
+        self.link.reset();
+        for shard in &mut self.shards {
+            shard.dev.reset_timing();
+            shard.cmd.reset();
+            shard.host_faults = FaultCounters::default();
+        }
+    }
+
+    /// Faults accumulated so far in the current run, across every device
+    /// and host-side read path.
+    fn collected_faults(&self) -> FaultCounters {
+        let mut f = self.run_faults;
+        for shard in &self.shards {
+            f.absorb(&shard.dev.fault_counters());
+            f.absorb(&shard.host_faults);
+        }
+        f
+    }
+
+    /// Best-effort CLOSE of every still-open session — the cleanup every
+    /// error path runs so a failed scatter/gather never leaks sessions on
+    /// not-yet-gathered devices.
+    fn close_open_sessions(&mut self, sids: &mut [Option<SessionId>]) {
+        for (d, slot) in sids.iter_mut().enumerate() {
+            if let Some(sid) = slot.take() {
+                let _ = self.shards[d].dev.close(sid);
+            }
+        }
+    }
+
+    /// Wraps an error for return: closes every open session and attaches
+    /// the faults accumulated up to the failure.
+    fn fail(&mut self, sids: &mut [Option<SessionId>], err: RunError) -> RunError {
+        self.close_open_sessions(sids);
+        let mut e = err;
+        e.faults = Box::new(self.collected_faults());
+        e
+    }
+
+    /// Runs one shard's operator on the host block path (the per-device
+    /// read state + the shared link), returning the raw pass so the
+    /// caller can merge its aggregate states with other shards' partials.
+    fn run_host_shard(&mut self, d: usize, op: &QueryOp, now: SimTime) -> Result<RawRun, RunError> {
+        let costs = self.cfg.host_costs;
+        let dop = self.cfg.host_dop;
+        let cmd_latency = self.cfg.interface.command_latency_ns();
+        let tracer = self.tracer.clone();
+        let shard = &mut self.shards[d];
+        let mut view = LinkedFlashView {
+            ssd: &mut shard.dev.flash,
+            link: &mut self.link,
+            pool: &mut shard.pool,
+            cmd: &mut shard.cmd,
+            cmd_latency_ns: cmd_latency,
+            faults: &mut shard.host_faults,
+            page_cache: &mut shard.page_cache,
+        };
+        HostEngine::new(&mut view, &mut self.host_cpu, costs)
+            .with_tracer(tracer)
+            .run_raw(op, now, dop)
+            .map_err(RunError::from)
+    }
+
+    /// Books one recoverable session fault against shard `d`: breaker
+    /// failure, fallback + wasted-time accounting.
+    fn note_shard_fault(
+        &mut self,
+        d: usize,
+        breaker_base: SimTime,
+        wasted: SimTime,
+        get_retries: u64,
+    ) {
+        self.shards[d].breaker.record_failure(breaker_base);
+        self.run_faults.fallbacks += 1;
+        self.run_faults.get_retries += get_retries;
+        self.run_faults.wasted_ns += wasted.as_nanos();
+        self.tracer.instant(
+            TraceLevel::Protocol,
+            pid::FLEET,
+            d as u32,
+            "shard-fallback",
+            "fleet",
+            wasted,
+            &[],
+        );
+    }
+
+    /// Runs an aggregation query across every shard and merges the partials
+    /// on the host. Per-run timing starts at zero (timing state is reset;
+    /// breaker state persists on the fleet's monotone clock).
+    pub fn run_agg(&mut self, query: &Query) -> Result<FleetReport, RunError> {
+        let n = self.shards.len();
+        // Resolve per shard (each has its own partition extent).
+        let ops: Vec<QueryOp> = self
+            .shards
+            .iter()
+            .map(|s| query.resolve(&s.catalog))
+            .collect::<Result<_, _>>()?;
+        self.reset_run_timing();
+        self.run_faults = FaultCounters::default();
+        self.tracer.set_level(TraceLevel::Full);
+        self.tracer.begin_run();
+        let breaker_base = self.breaker_clock;
+        let cmd_latency = self.cfg.interface.command_latency_ns();
+        let timeout = self.cfg.session_policy.session_timeout;
+        let driver =
+            SessionDriver::new(self.cfg.session_policy.clone()).with_tracer(self.tracer.clone());
+
+        // Route each shard: while a device's breaker is Open the shard goes
+        // straight to the host block path, with no device traffic at all.
+        let device_routed: Vec<bool> = self
+            .shards
+            .iter_mut()
+            .map(|s| s.breaker.allows_device(breaker_base))
+            .collect();
+
+        // Scatter, part 1: in linked mode every OPEN payload crosses the
+        // shared link first; the bus serializes the command transfers.
+        let mut open_at = vec![SimTime::ZERO; n];
+        let mut payloads: Vec<Option<Vec<u8>>> = vec![None; n];
+        if self.opts.interface == InterfaceMode::Linked {
+            for d in 0..n {
+                if !device_routed[d] {
+                    continue;
+                }
+                let payload = encode_op(&ops[d]);
+                let iv =
+                    self.link
+                        .transfer_with_setup(SimTime::ZERO, payload.len() as u64, cmd_latency);
+                self.tracer.span(
+                    TraceLevel::Protocol,
+                    pid::FLEET,
+                    d as u32,
+                    "shard-open",
+                    "fleet",
+                    iv,
+                    &[("payload_bytes", payload.len() as f64)],
+                );
+                open_at[d] = iv.end;
+                payloads[d] = Some(payload);
+            }
+        }
+
+        // Scatter, part 2: all devices unmarshal and execute their
+        // partitions concurrently. Each device's simulation is private, so
+        // real threads are safe and the outcome is deterministic. A panic
+        // in a worker is caught at join and surfaced as a typed error.
+        type OpenResult = Option<Result<Result<SessionId, DeviceError>, String>>;
+        let opens: Vec<OpenResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .map(|(d, shard)| {
+                    if !device_routed[d] {
+                        return None;
+                    }
+                    let op = &ops[d];
+                    let payload = payloads[d].as_deref();
+                    let at = open_at[d];
+                    Some(scope.spawn(move || match payload {
+                        Some(p) => shard.dev.open_raw(p, at),
+                        None => shard.dev.open(op, at),
+                    }))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.map(|h| h.join().map_err(panic_message)))
+                .collect()
+        });
+
+        // Classify the opens: live sessions keep the device route; a
+        // recoverable OPEN failure (crash, reset storm, resource rejection)
+        // degrades that shard to the host path; malformed/invalid operators
+        // and worker panics abort the run (closing everything first).
+        let mut sids: Vec<Option<SessionId>> = vec![None; n];
+        let mut phases: Vec<ShardPhase> = Vec::with_capacity(n);
+        for (d, open) in opens.into_iter().enumerate() {
+            let phase = match open {
+                None => ShardPhase::Host {
+                    from: SimTime::ZERO,
+                    fell_back: false,
+                },
+                Some(Err(message)) => {
+                    let err =
+                        RunError::from_kind(RunErrorKind::DeviceThread { device: d, message });
+                    return Err(self.fail(&mut sids, err));
+                }
+                Some(Ok(Err(e))) => {
+                    let error = classify(e);
+                    if System::fault_is_recoverable(&error) {
+                        let wasted = open_at[d].max(error_time(&error));
+                        self.note_shard_fault(d, breaker_base, wasted, 0);
+                        ShardPhase::Host {
+                            from: wasted,
+                            fell_back: true,
+                        }
+                    } else {
+                        let e = match error {
+                            SessionError::Device(e) => e,
+                            // Unrecoverable errors are always Device-wrapped
+                            // (resets, timeouts, hangs all recover).
+                            _ => unreachable!("non-device session errors are recoverable"),
+                        };
+                        let err = RunError::from_kind(RunErrorKind::Device(e));
+                        return Err(self.fail(&mut sids, err));
+                    }
+                }
+                Some(Ok(Ok(sid))) => {
+                    sids[d] = Some(sid);
+                    ShardPhase::Session(sid, open_at[d])
+                }
+            };
+            phases.push(phase);
+        }
+
+        // Straggler detection: rank live shards by the device's own
+        // completion estimate (a non-destructive peek at the last queued
+        // batch). The slowest shard is deferred to the end of the gather
+        // and, once the others are in, raced by a host re-run.
+        let straggler: Option<usize> = if self.opts.speculate {
+            let mut etas: Vec<(usize, SimTime)> = Vec::new();
+            for (d, phase) in phases.iter().enumerate() {
+                if let ShardPhase::Session(sid, _) = phase {
+                    if let Some(eta) = self.shards[d].dev.session_eta(*sid) {
+                        etas.push((d, eta));
+                    }
+                }
+            }
+            if etas.len() >= 2 {
+                let (dmax, max_eta) = etas
+                    .iter()
+                    .copied()
+                    .max_by_key(|&(d, eta)| (eta, std::cmp::Reverse(d)))
+                    .expect("nonempty");
+                let runner_up = etas
+                    .iter()
+                    .filter(|&&(d, _)| d != dmax)
+                    .map(|&(_, eta)| eta)
+                    .max()
+                    .expect("len >= 2");
+                let threshold = self.opts.straggler_factor * runner_up.as_nanos() as f64;
+                (max_eta.as_nanos() as f64 > threshold).then_some(dmax)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
+        // Gather order: device order, with the straggler (if any) deferred
+        // to the end so speculation launches after the other N−1 are in.
+        let mut order: Vec<usize> = (0..n).filter(|d| Some(*d) != straggler).collect();
+        if let Some(d) = straggler {
+            order.push(d);
+        }
+
+        let mut merged: Option<Vec<AggState>> = None;
+        let mut work = WorkCounts::default();
+        let mut outcomes: Vec<ShardOutcome> = (0..n)
+            .map(|d| ShardOutcome {
+                device: d,
+                route: Route::Device,
+                finished_at: SimTime::ZERO,
+                fell_back: false,
+                speculated: false,
+                spec_won: false,
+            })
+            .collect();
+        let mut speculated_count = 0u64;
+        let mut spec_wins = 0u64;
+        let mut t = SimTime::ZERO;
+        for &d in &order {
+            let gather_start = t;
+            match phases[d] {
+                ShardPhase::Host { from, fell_back } => {
+                    let raw = match self.run_host_shard(d, &ops[d], from) {
+                        Ok(raw) => raw,
+                        Err(e) => return Err(self.fail(&mut sids, e)),
+                    };
+                    merge_partials(&mut merged, raw.aggs);
+                    work.absorb(&raw.work);
+                    outcomes[d].route = Route::Host;
+                    outcomes[d].fell_back = fell_back;
+                    outcomes[d].finished_at = raw.end;
+                    t = t.max(raw.end);
+                }
+                ShardPhase::Session(sid, open_done) => {
+                    let deadline = open_done + timeout;
+                    let is_straggler = Some(d) == straggler;
+                    let collected = driver.collect_linked(
+                        &mut self.shards[d].dev,
+                        &mut self.link,
+                        &mut self.host_cpu,
+                        sid,
+                        t,
+                        deadline,
+                    );
+                    // Speculation: the host re-run is posted at the same
+                    // launch instant as the final gather, racing the device
+                    // session for the same partial. Both sides' resource
+                    // use is charged — that is the price of speculation.
+                    let spec: Option<RawRun> = if is_straggler {
+                        speculated_count += 1;
+                        outcomes[d].speculated = true;
+                        self.tracer.instant(
+                            TraceLevel::Protocol,
+                            pid::FLEET,
+                            d as u32,
+                            "shard-speculate",
+                            "fleet",
+                            gather_start,
+                            &[],
+                        );
+                        self.run_host_shard(d, &ops[d], gather_start).ok()
+                    } else {
+                        None
+                    };
+                    match collected {
+                        Ok(out) => {
+                            let _ = driver.close(&mut self.shards[d].dev, sid, &out);
+                            sids[d] = None;
+                            self.shards[d].breaker.record_success(breaker_base);
+                            self.run_faults.get_retries += out.get_retries;
+                            let finished = match spec {
+                                Some(raw) if raw.end < out.finished_at => {
+                                    // The host copy won the race; answers
+                                    // are identical, only timing moves.
+                                    spec_wins += 1;
+                                    outcomes[d].spec_won = true;
+                                    outcomes[d].route = Route::Host;
+                                    merge_partials(&mut merged, raw.aggs);
+                                    work.absorb(&raw.work);
+                                    raw.end
+                                }
+                                _ => {
+                                    let finished = out.finished_at;
+                                    merge_session(&mut merged, out);
+                                    work.absorb(&self.shards[d].dev.total_work().clone());
+                                    finished
+                                }
+                            };
+                            outcomes[d].finished_at = finished;
+                            t = t.max(finished);
+                        }
+                        Err(fault) => {
+                            // The driver already closed the session.
+                            sids[d] = None;
+                            if !System::fault_is_recoverable(&fault.error) {
+                                let err = RunError::from(fault);
+                                return Err(self.fail(&mut sids, err));
+                            }
+                            self.note_shard_fault(d, breaker_base, fault.wasted, fault.get_retries);
+                            outcomes[d].route = Route::Host;
+                            outcomes[d].fell_back = true;
+                            // A speculative copy already in flight doubles
+                            // as the recovery run; otherwise fall back now,
+                            // for this shard only.
+                            let raw = match spec {
+                                Some(raw) => raw,
+                                None => {
+                                    let from = fault.wasted.max(t);
+                                    match self.run_host_shard(d, &ops[d], from) {
+                                        Ok(raw) => raw,
+                                        Err(e) => return Err(self.fail(&mut sids, e)),
+                                    }
+                                }
+                            };
+                            merge_partials(&mut merged, raw.aggs);
+                            work.absorb(&raw.work);
+                            outcomes[d].finished_at = raw.end;
+                            t = t.max(raw.end);
+                        }
+                    }
+                }
+            }
+            self.tracer.span(
+                TraceLevel::Protocol,
+                pid::FLEET,
+                d as u32,
+                "shard-gather",
+                "fleet",
+                Interval {
+                    start: gather_start,
+                    end: outcomes[d].finished_at.max(gather_start),
+                },
+                &[],
+            );
+        }
+
+        let elapsed = outcomes
+            .iter()
+            .map(|o| o.finished_at)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let (agg_values, scalar) = query.finalize.apply(merged.as_deref().unwrap_or(&[]));
+        self.tracer.span(
+            TraceLevel::Protocol,
+            pid::RUN,
+            0,
+            "run",
+            "run",
+            Interval {
+                start: SimTime::ZERO,
+                end: elapsed,
+            },
+            &[],
+        );
+        // Drain and re-base every device's breaker transitions.
+        let mut breaker_transitions = Vec::new();
+        for (d, shard) in self.shards.iter_mut().enumerate() {
+            for tr in shard.breaker.take_transitions() {
+                let rebased = BreakerTransition {
+                    at: SimTime::from_nanos(
+                        tr.at.as_nanos().saturating_sub(breaker_base.as_nanos()),
+                    ),
+                    to: tr.to,
+                };
+                self.tracer.instant(
+                    TraceLevel::Protocol,
+                    pid::FLEET,
+                    d as u32,
+                    match rebased.to {
+                        crate::breaker::BreakerState::Closed => "breaker-closed",
+                        crate::breaker::BreakerState::Open => "breaker-open",
+                        crate::breaker::BreakerState::HalfOpen => "breaker-half-open",
+                    },
+                    "fleet",
+                    rebased.at,
+                    &[],
+                );
+                breaker_transitions.push((d, rebased));
+            }
+        }
+        self.breaker_clock = breaker_base + elapsed;
+        let trace = self.tracer.finish_run();
+        Ok(FleetReport {
+            result: QueryResult {
+                rows: Vec::new(),
+                agg_values,
+                scalar,
+                elapsed,
+                work,
+            },
+            shards: outcomes,
+            faults: self.collected_faults(),
+            breaker_transitions,
+            speculated: speculated_count,
+            spec_wins,
+            trace,
+        })
+    }
+
+    /// Runs `queries` back-to-back as a closed-loop stream: each query's
+    /// timing starts at zero, breaker state carries across queries on the
+    /// fleet's monotone clock, and host-side caches are cleared before each
+    /// query (the cold-run protocol). Returns throughput and latency over
+    /// the whole stream.
+    pub fn run_stream(&mut self, queries: &[Query]) -> Result<FleetStreamReport, RunError> {
+        let mut latencies = Vec::with_capacity(queries.len());
+        let mut makespan = SimTime::ZERO;
+        let mut faults = FaultCounters::default();
+        let mut host_shard_runs = 0u64;
+        let mut fallbacks = 0u64;
+        let mut speculated = 0u64;
+        let mut spec_wins = 0u64;
+        for q in queries {
+            self.clear_host_cache();
+            let r = self.run_agg(q)?;
+            latencies.push(r.result.elapsed);
+            makespan += r.result.elapsed;
+            faults.absorb(&r.faults);
+            host_shard_runs += r.shards.iter().filter(|s| s.route == Route::Host).count() as u64;
+            fallbacks += r.shards.iter().filter(|s| s.fell_back).count() as u64;
+            speculated += r.speculated;
+            spec_wins += r.spec_wins;
+        }
+        let secs = makespan.as_secs_f64();
+        let throughput_qps = if secs > 0.0 {
+            queries.len() as f64 / secs
+        } else {
+            0.0
+        };
+        Ok(FleetStreamReport {
+            queries: queries.len(),
+            makespan,
+            throughput_qps,
+            latency: LatencyStats::from_sample(&latencies),
+            faults,
+            host_shard_runs,
+            fallbacks,
+            speculated,
+            spec_wins,
+        })
+    }
+}
+
+/// Stringifies a worker thread's panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Lifts a device error into the session vocabulary (mirrors the driver's
+/// private classification).
+fn classify(e: DeviceError) -> SessionError {
+    match e {
+        DeviceError::DeviceReset { until, .. } => SessionError::DeviceReset { until },
+        other => SessionError::Device(other),
+    }
+}
+
+/// Simulated time embedded in a session error, if the device reported one.
+fn error_time(e: &SessionError) -> SimTime {
+    match e {
+        SessionError::Device(DeviceError::RetriesExhausted { at, .. }) => *at,
+        SessionError::DeviceReset { until } => *until,
+        SessionError::Timeout { at } | SessionError::Hung { at, .. } => *at,
+        _ => SimTime::ZERO,
+    }
+}
+
+/// Folds one shard's aggregate states into the fleet accumulator.
+fn merge_partials(acc: &mut Option<Vec<AggState>>, parts: Vec<AggState>) {
+    match acc {
+        None => *acc = Some(parts),
+        Some(states) => {
+            for (a, p) in states.iter_mut().zip(parts.iter()) {
+                a.merge(p);
+            }
+        }
+    }
+}
+
+/// Folds a completed device session's states (if any) into the accumulator.
+fn merge_session(acc: &mut Option<Vec<AggState>>, out: SessionOutcome) {
+    if let Some(parts) = out.aggs {
+        merge_partials(acc, parts);
+    }
+}

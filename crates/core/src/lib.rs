@@ -62,6 +62,7 @@ pub mod array;
 pub mod breaker;
 pub mod builder;
 pub mod config;
+pub mod fleet;
 pub mod system;
 pub mod workload;
 
@@ -69,6 +70,7 @@ pub use array::SmartSsdArray;
 pub use breaker::{BreakerPolicy, BreakerState, BreakerTransition, CircuitBreaker};
 pub use builder::{ConfigError, RoutePolicy, RunOptions, SystemBuilder};
 pub use config::{DeviceKind, PowerParams, SystemConfig};
+pub use fleet::{FleetOptions, FleetReport, FleetStreamReport, ShardOutcome, SmartSsdFleet};
 pub use system::{RunError, RunErrorKind, RunReport, System};
 pub use workload::{
     InterfaceMode, QueryCompletion, QueryOutcome, ShedQuery, Workload, WorkloadItem,

@@ -93,6 +93,16 @@ pub enum RunErrorKind {
         /// Submission index of the query left without an outcome.
         index: usize,
     },
+    /// A per-device worker thread panicked while executing a shard's
+    /// operator. The fleet coordinator catches the panic at join time and
+    /// surfaces it as a typed error (one sick shard must degrade the run,
+    /// not abort the whole process).
+    DeviceThread {
+        /// Index of the fleet device whose worker thread died.
+        device: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
 }
 
 impl fmt::Display for RunErrorKind {
@@ -111,6 +121,9 @@ impl fmt::Display for RunErrorKind {
                 f,
                 "scheduler invariant violated: query {index} neither completed nor was shed"
             ),
+            RunErrorKind::DeviceThread { device, message } => {
+                write!(f, "device {device} worker thread panicked: {message}")
+            }
         }
     }
 }

@@ -236,6 +236,31 @@ impl SmartSsd {
         &self.cfg
     }
 
+    /// Mutable device configuration — the fault-injection hook fleet
+    /// experiments and tests use to degrade one device (e.g. arm
+    /// `crash_rate` on a single fleet member) without rebuilding it.
+    pub fn config_mut(&mut self) -> &mut DeviceConfig {
+        &mut self.cfg
+    }
+
+    /// Number of currently open sessions. Diagnostics: the session-leak
+    /// regression tests assert this returns to zero after every run,
+    /// including error paths.
+    pub fn open_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Device-side completion estimate for a live session: the readiness
+    /// time of the last result batch still queued. `None` for an unknown
+    /// session or one whose queue is fully drained. Unlike `GET`, this peek
+    /// never consumes a batch, so a coordinator can rank shards by expected
+    /// finish (straggler detection) without perturbing the protocol.
+    pub fn session_eta(&self, sid: SessionId) -> Option<SimTime> {
+        self.sessions
+            .get(&sid.0)
+            .and_then(|s| s.queue.back().map(|b| b.ready_at))
+    }
+
     /// The embedded CPU (utilization/energy accounting).
     pub fn cpu(&self) -> &CpuModel {
         &self.cpu

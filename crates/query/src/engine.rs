@@ -22,6 +22,24 @@ use smartssd_storage::expr::{AggState, ExprError};
 use smartssd_storage::Tuple;
 use std::fmt;
 
+/// Raw output of one engine pass, before finalization: the merged (but not
+/// yet finalized) aggregate states, output rows, the absolute simulated end
+/// time, and the work receipt. A coordinator merging partials from several
+/// engines (the fleet's host-fallback shards) needs the mergeable
+/// [`AggState`]s, not the finalized values — finalizing per-shard would
+/// break non-distributive aggregates like AVG.
+#[derive(Debug, Clone)]
+pub struct RawRun {
+    /// Output rows (row-stream operators).
+    pub rows: Vec<Tuple>,
+    /// Merged aggregate states, pre-finalize (empty for row streams).
+    pub aggs: Vec<AggState>,
+    /// Absolute simulated time the pass finished (not a duration).
+    pub end: SimTime,
+    /// Work receipt of everything the engine executed.
+    pub work: WorkCounts,
+}
+
 /// A completed query.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
@@ -119,6 +137,27 @@ impl<'a, S: PageSource> HostEngine<'a, S> {
         now: SimTime,
         dop: usize,
     ) -> Result<QueryResult, EngineError> {
+        let raw = self.run_raw(op, now, dop)?;
+        let (agg_values, scalar) = finalize.apply(&raw.aggs);
+        Ok(QueryResult {
+            rows: raw.rows,
+            agg_values,
+            scalar,
+            elapsed: raw.end.saturating_sub(now),
+            work: raw.work,
+        })
+    }
+
+    /// Executes `op` like [`HostEngine::run`] but returns the raw pass —
+    /// mergeable aggregate states instead of finalized values — so a
+    /// scatter/gather coordinator can fold this engine's output into
+    /// partials from other shards before finalizing once.
+    pub fn run_raw(
+        &mut self,
+        op: &QueryOp,
+        now: SimTime,
+        dop: usize,
+    ) -> Result<RawRun, EngineError> {
         let dop = dop.clamp(1, self.cpu.cores());
         op.validate().map_err(EngineError::Validation)?;
         let mut total = WorkCounts::default();
@@ -256,7 +295,6 @@ impl<'a, S: PageSource> HostEngine<'a, S> {
                 }
             }
         };
-        let (agg_values, scalar) = finalize.apply(&aggs);
         let opname = match op {
             QueryOp::Scan { .. } => "host-scan",
             QueryOp::ScanAgg { .. } => "host-scan-agg",
@@ -272,11 +310,10 @@ impl<'a, S: PageSource> HostEngine<'a, S> {
             Interval { start: now, end },
             &[("dop", dop as f64)],
         );
-        Ok(QueryResult {
+        Ok(RawRun {
             rows,
-            agg_values,
-            scalar,
-            elapsed: end.saturating_sub(now),
+            aggs,
+            end,
             work: total,
         })
     }

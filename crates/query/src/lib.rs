@@ -33,7 +33,7 @@ pub mod plan;
 pub mod planner;
 pub mod session;
 
-pub use engine::{EngineError, HostEngine, QueryResult};
+pub use engine::{EngineError, HostEngine, QueryResult, RawRun};
 pub use plan::{Catalog, Finalize, OpTemplate, Query};
 pub use planner::{
     choose_route, choose_route_traced, CostEstimate, PlannerConfig, PlannerInputs, Route,

@@ -34,6 +34,8 @@ if [[ "${1:-}" != "fast" ]]; then
     cargo run -q --release -p smartssd-bench --bin repro -- concurrency --quick
     echo "== repro degrade --quick (BENCH_degrade.json) =="
     cargo run -q --release -p smartssd-bench --bin repro -- degrade --quick
+    echo "== repro fleet --quick (BENCH_fleet.json) =="
+    cargo run -q --release -p smartssd-bench --bin repro -- fleet --quick
     echo "== repro simspeed --quick (BENCH_simspeed.json) =="
     cargo run -q --release -p smartssd-bench --bin repro -- simspeed --quick
 fi

@@ -1,0 +1,184 @@
+//! Differential tests of the Smart-SSD fleet coordinator.
+//!
+//! The fleet's load-bearing property: scatter/gather over N shards is an
+//! *answer-preserving* transformation. For any table contents, any shard
+//! count, either interface mode, with or without speculation, and under
+//! injected device crashes, the merged fleet answer is bit-identical to a
+//! single-device run of the same query. Faults and speculation may move
+//! timing; they must never move answers.
+
+use proptest::prelude::*;
+use smartssd::{
+    DeviceKind, FleetOptions, InterfaceMode, Layout, QueryResult, Route, RunOptions, SmartSsdFleet,
+    SystemBuilder,
+};
+use smartssd_exec::spec::ScanAggSpec;
+use smartssd_query::{Finalize, OpTemplate, Query};
+use smartssd_storage::expr::{AggSpec, CmpOp, Expr, Pred};
+use smartssd_storage::{DataType, Datum, Schema, Tuple};
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)])
+}
+
+prop_compose! {
+    fn arb_row()(k in -1000i32..1000, v in -1_000_000i64..1_000_000) -> Tuple {
+        vec![Datum::I32(k), Datum::I64(v)]
+    }
+}
+
+/// COUNT/SUM/MIN/MAX under a selective predicate — exercises every merge
+/// shape, including empty-shard partials.
+fn agg_query(cutoff: i64) -> Query {
+    Query {
+        name: "fleet agg".into(),
+        op: OpTemplate::ScanAgg {
+            table: "t".into(),
+            spec: ScanAggSpec {
+                pred: Pred::Cmp(CmpOp::Lt, Expr::col(0), Expr::lit(cutoff)),
+                aggs: vec![
+                    AggSpec::count(),
+                    AggSpec::sum(Expr::col(1)),
+                    AggSpec::min(Expr::col(1)),
+                    AggSpec::max(Expr::col(1)),
+                ],
+            },
+        },
+        finalize: Finalize::AggRow,
+    }
+}
+
+/// A ratio finalize over two partials — breaks if anything finalizes
+/// per-shard instead of once over the merged states (the AVG trap).
+fn ratio_query(cutoff: i64) -> Query {
+    Query {
+        name: "fleet ratio".into(),
+        op: OpTemplate::ScanAgg {
+            table: "t".into(),
+            spec: ScanAggSpec {
+                pred: Pred::Cmp(CmpOp::Lt, Expr::col(0), Expr::lit(cutoff)),
+                aggs: vec![AggSpec::count(), AggSpec::sum(Expr::col(1))],
+            },
+        },
+        finalize: Finalize::RatioPct { num: 1, den: 0 },
+    }
+}
+
+/// The single-device reference: the same query pushed down on one System.
+fn single_device_reference(rows: &[Tuple], query: &Query) -> QueryResult {
+    let mut sys = SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax).build();
+    sys.load_table_rows("t", &schema(), rows.to_vec()).unwrap();
+    sys.finish_load();
+    sys.run(query, RunOptions::routed(Route::Device))
+        .unwrap()
+        .result
+}
+
+fn build_fleet(n: usize, opts: FleetOptions, rows: &[Tuple]) -> SmartSsdFleet {
+    let mut fleet = SystemBuilder::new(DeviceKind::SmartSsd, Layout::Pax).build_fleet(n, opts);
+    fleet
+        .load_partitioned("t", &schema(), rows.to_vec())
+        .unwrap();
+    fleet.finish_load();
+    fleet
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fleet merged answers == single-device answers for any shard count,
+    /// interface mode, speculation setting, and crash schedule — and no
+    /// run, faulted or clean, leaves a session open anywhere.
+    #[test]
+    fn fleet_matches_single_device_for_any_shape(
+        rows in prop::collection::vec(arb_row(), 1..400),
+        n_dev in 1usize..=16,
+        cutoff in -400i64..400,
+        linked in any::<bool>(),
+        speculate in any::<bool>(),
+        // 0 = no crash; k > 0 = crash device (k - 1) % n_dev.
+        crash_sel in 0usize..=16,
+    ) {
+        let crash = crash_sel.checked_sub(1);
+        let opts = FleetOptions {
+            interface: if linked { InterfaceMode::Linked } else { InterfaceMode::Direct },
+            speculate,
+            // Force the speculation path whenever it is enabled at all.
+            straggler_factor: 0.0,
+        };
+        for query in [agg_query(cutoff), ratio_query(cutoff)] {
+            let expect = single_device_reference(&rows, &query);
+            let mut fleet = build_fleet(n_dev, opts.clone(), &rows);
+            if let Some(c) = crash {
+                // One crashed device out of N degrades its shard to the
+                // host path; answers must not move.
+                fleet.device_mut(c % n_dev).config_mut().fault_rates.crash_rate = u32::MAX;
+            }
+            let r = fleet.run_agg(&query).unwrap();
+            prop_assert_eq!(&r.result.agg_values, &expect.agg_values, "aggs, {}", query.name);
+            prop_assert_eq!(r.result.scalar, expect.scalar, "scalar, {}", query.name);
+            if crash.is_some() {
+                let c = crash.unwrap() % n_dev;
+                prop_assert_eq!(r.shards[c].route, Route::Host, "crashed shard must degrade");
+                prop_assert!(r.faults.device_crashes >= 1);
+            }
+            for d in 0..n_dev {
+                prop_assert_eq!(fleet.device(d).open_sessions(), 0, "device {} leaked", d);
+            }
+        }
+    }
+
+    /// Speculative re-run of the slowest shard races the device session
+    /// against a host copy; whichever wins, the answers are identical to
+    /// the non-speculating run — only timing may move.
+    #[test]
+    fn speculation_changes_only_timing(
+        rows in prop::collection::vec(arb_row(), 100..400),
+        n_dev in 2usize..=4,
+        cutoff in -400i64..400,
+    ) {
+        let query = agg_query(cutoff);
+        let base = FleetOptions { speculate: false, ..FleetOptions::default() };
+        let spec = FleetOptions { speculate: true, straggler_factor: 0.0, ..FleetOptions::default() };
+        let mut plain = build_fleet(n_dev, base, &rows);
+        let mut racing = build_fleet(n_dev, spec, &rows);
+        let a = plain.run_agg(&query).unwrap();
+        let b = racing.run_agg(&query).unwrap();
+        prop_assert_eq!(&a.result.agg_values, &b.result.agg_values);
+        prop_assert_eq!(a.result.scalar, b.result.scalar);
+        prop_assert!(b.speculated >= 1, "factor 0.0 must force speculation");
+        for d in 0..n_dev {
+            prop_assert_eq!(racing.device(d).open_sessions(), 0);
+        }
+    }
+}
+
+/// Thread-parallel device execution must not cost determinism: two
+/// identical fleets produce byte-identical reports, timing included.
+#[test]
+fn fleet_runs_are_deterministic() {
+    let rows: Vec<Tuple> = (0..50_000)
+        .map(|k| vec![Datum::I32(k), Datum::I64(k as i64)])
+        .collect();
+    let query = agg_query(400);
+    let run = |speculate: bool| {
+        let opts = FleetOptions {
+            speculate,
+            straggler_factor: 0.0,
+            ..FleetOptions::default()
+        };
+        let mut fleet = build_fleet(8, opts, &rows);
+        let r = fleet.run_agg(&query).unwrap();
+        (
+            r.result.agg_values.clone(),
+            r.result.elapsed,
+            r.shards
+                .iter()
+                .map(|s| (s.route, s.finished_at))
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(false), run(false));
+    assert_eq!(run(true), run(true));
+}
