@@ -23,10 +23,7 @@ fn bench_run_workload(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(n), |b| {
             b.iter(|| {
                 let mut sys = simspeed_system(42);
-                let opts = WorkloadOptions {
-                    interface: InterfaceMode::Direct,
-                    ..WorkloadOptions::default()
-                };
+                let opts = WorkloadOptions::new().interface(InterfaceMode::Direct);
                 sys.run_workload(&workload, opts).expect("clean replay")
             });
         });

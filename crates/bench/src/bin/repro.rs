@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--quick] [fig1|tab2|fig3|fig5|fig7|tab3|plans|scan-sweep|array|cache|
 //!                  device-scaling|interface|concurrent|host-parallel|q1|kernels|
-//!                  faults|trace|concurrency|degrade|fleet|simspeed|all]
+//!                  faults|trace|concurrency|degrade|fleet|serving|simspeed|all]
 //!
 //! `kernels` wall-clock-times the vectorized scan kernels against the
 //! tuple-at-a-time reference implementations and writes the results to
@@ -41,6 +41,13 @@
 //! scaling sweep from 1 to 64 shards, then a degradation matrix on 16
 //! devices (healthy vs one crashed device, breaker off vs on, straggler
 //! speculation enabled). Writes both curves to `BENCH_fleet.json`.
+//!
+//! `serving` (not part of `all`, for the same reason) treats the Smart SSD
+//! as a shared production resource: an open-system Poisson Q6 load sweep
+//! showing the p99-vs-utilization knee (with client abandonment past 20
+//! service times of patience), then a multi-tenant isolation matrix —
+//! two well-behaved victims against a flooding aggressor, weighted fair
+//! queueing on vs global FIFO — written to `BENCH_serving.json`.
 //! ```
 //!
 //! Elapsed times are simulated; "projected" columns rescale them to the
@@ -50,8 +57,8 @@
 use smartssd_bench::{
     array_exp, cache_exp, concurrency_exp, concurrent_exp, degrade_exp, device_scaling_exp,
     fault_injection_exp, fig1, fig3, fig5, fig7, fleet_exp, host_parallel_exp, interface_exp,
-    plans, q1_exp, scan_sweep_exp, simspeed_exp, tab2, tab3, trace_exp, workload_trace_exp, Bars,
-    Scales, FLEET_DEGRADE_DEVICES, SIMSPEED_MEAN_GAP, SIMSPEED_ROWS,
+    plans, q1_exp, scan_sweep_exp, serving_exp, simspeed_exp, tab2, tab3, trace_exp,
+    workload_trace_exp, Bars, Scales, FLEET_DEGRADE_DEVICES, SIMSPEED_MEAN_GAP, SIMSPEED_ROWS,
 };
 
 fn print_bars(title: &str, bars: &Bars, projection: f64, paper_speedup: f64) {
@@ -684,6 +691,106 @@ fn run_fleet(s: &Scales, quick: bool) {
     println!();
 }
 
+fn run_serving(s: &Scales, quick: bool) {
+    println!("== Serving: open-system multi-tenant front door (Q6, one session slot) ==");
+    let (knee_n, victim_n) = if quick { (16, 12) } else { (48, 24) };
+    let r = match serving_exp(s, knee_n, victim_n) {
+        Ok(r) => r,
+        Err(fault) => {
+            println!("  experiment aborted by device fault: {fault}");
+            return;
+        }
+    };
+    println!(
+        "  device-route service time: {:.3} ms (all loads sized in this unit)",
+        r.service_time.as_secs_f64() * 1e3
+    );
+    println!("  knee sweep ({knee_n} Poisson arrivals, client patience 20 service times):");
+    println!("  rho    offered[qps]  thruput[qps]  done  canc   p50[ms]   p99[ms]");
+    let mut knee_entries = String::new();
+    for p in &r.knee {
+        println!(
+            "  {:<5.3}  {:>11.3}  {:>12.3}  {:>4}  {:>4}  {:>8.2}  {:>8.2}",
+            p.rho, p.offered_qps, p.throughput_qps, p.completed, p.canceled, p.p50_ms, p.p99_ms
+        );
+        if !knee_entries.is_empty() {
+            knee_entries.push_str(",\n");
+        }
+        knee_entries.push_str(&format!(
+            "    {{\"rho\": {:.6}, \"mean_gap_ns\": {}, \"offered_qps\": {:.6}, \
+             \"throughput_qps\": {:.6}, \"completed\": {}, \"canceled\": {}, \
+             \"p50_ms\": {:.6}, \"p99_ms\": {:.6}}}",
+            p.rho,
+            p.mean_gap.as_nanos(),
+            p.offered_qps,
+            p.throughput_qps,
+            p.completed,
+            p.canceled,
+            p.p50_ms,
+            p.p99_ms
+        ));
+    }
+    println!();
+    println!(
+        "  isolation matrix ({victim_n} arrivals per victim; aggressor floods at 2x capacity):"
+    );
+    println!("  scenario        fair  tenant        arr  done  rej  canc   p50[ms]   p99[ms]");
+    let mut iso_entries = String::new();
+    for p in &r.isolation {
+        println!(
+            "  {:<14}  {:>4}  {:<11}  {:>4}  {:>4}  {:>3}  {:>4}  {:>8.2}  {:>8.2}",
+            p.scenario,
+            if p.fair { "wfq" } else { "fifo" },
+            p.tenant,
+            p.arrivals,
+            p.completed,
+            p.rejected,
+            p.canceled,
+            p.p50_ms,
+            p.p99_ms
+        );
+        if !iso_entries.is_empty() {
+            iso_entries.push_str(",\n");
+        }
+        iso_entries.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"fair\": {}, \"tenant\": \"{}\", \"arrivals\": {}, \
+             \"completed\": {}, \"rejected\": {}, \"deadline_missed\": {}, \"canceled\": {}, \
+             \"failed\": {}, \"p50_ms\": {:.6}, \"p99_ms\": {:.6}}}",
+            p.scenario,
+            p.fair,
+            p.tenant,
+            p.arrivals,
+            p.completed,
+            p.rejected,
+            p.deadline_missed,
+            p.canceled,
+            p.failed,
+            p.p50_ms,
+            p.p99_ms
+        ));
+    }
+    for v in ["interactive", "reporting"] {
+        let base = r.isolation_p99_ms("baseline", v);
+        println!(
+            "  {v}: p99 is {:.2}x its aggressor-free baseline with WFQ, {:.2}x under FIFO",
+            r.isolation_p99_ms("aggressor+wfq", v) / base,
+            r.isolation_p99_ms("aggressor+fifo", v) / base
+        );
+    }
+    let json = format!(
+        "{{\n  \"generated_by\": \"repro serving\",\n  \"query\": \"q6\",\n  \
+         \"service_time_secs\": {:.9},\n  \
+         \"knee\": [\n{knee_entries}\n  ],\n  \
+         \"isolation\": [\n{iso_entries}\n  ]\n}}\n",
+        r.service_time.as_secs_f64()
+    );
+    std::fs::write("BENCH_serving.json", json).expect("write BENCH_serving.json");
+    println!("  (fair queueing keeps every victim's p99 within 2x of baseline; FIFO");
+    println!("   lets the flood queue ahead of both victims and blows their tails out)");
+    println!("  wrote BENCH_serving.json");
+    println!();
+}
+
 fn run_trace(s: &Scales) {
     println!("== Observability: traced Q6 run pair (device vs host route) ==");
     println!("  route    elapsed[s]   trace file");
@@ -888,6 +995,9 @@ fn main() {
     }
     if what == "fleet" {
         run_fleet(&s, quick);
+    }
+    if what == "serving" {
+        run_serving(&s, quick);
     }
     if what == "concurrency" {
         run_concurrency(&s);

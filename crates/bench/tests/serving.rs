@@ -1,0 +1,88 @@
+//! Acceptance shape of the multi-tenant serving experiment — the PR's
+//! headline claims, pinned at quick scale:
+//!
+//! * The open-system load sweep shows the knee: past saturation the
+//!   completed throughput stops tracking the offered load while p99
+//!   keeps climbing.
+//! * Isolation: with weighted fair queueing on, every victim tenant's
+//!   p99 stays within 2x of its aggressor-free baseline; with global
+//!   FIFO admission the same flood pushes every victim past 2x.
+
+use smartssd_bench::{serving_exp, Scales};
+
+const KNEE_ARRIVALS: usize = 16;
+const VICTIM_ARRIVALS: usize = 12;
+
+#[test]
+fn load_sweep_shows_the_utilization_knee() {
+    let r =
+        serving_exp(&Scales::quick(), KNEE_ARRIVALS, VICTIM_ARRIVALS).expect("serving experiment");
+    assert!(
+        r.knee.len() >= 4,
+        "sweep needs enough points to show a shape"
+    );
+    let low = r.knee.first().unwrap();
+    let high = r.knee.last().unwrap();
+    assert!(
+        low.rho < 0.5 && high.rho > 1.0,
+        "sweep must straddle saturation"
+    );
+
+    // Below the knee the server keeps up with the offered load; past it
+    // the completed throughput falls measurably short.
+    assert!(
+        low.throughput_qps > 0.9 * low.offered_qps,
+        "at rho {} throughput {} should track offered {}",
+        low.rho,
+        low.throughput_qps,
+        low.offered_qps
+    );
+    assert!(
+        high.throughput_qps < 0.8 * high.offered_qps,
+        "at rho {} throughput {} must saturate below offered {}",
+        high.rho,
+        high.throughput_qps,
+        high.offered_qps
+    );
+
+    // And the latency tail blows out across the knee.
+    assert!(
+        high.p99_ms > 3.0 * low.p99_ms,
+        "p99 must climb across the knee: {} -> {}",
+        low.p99_ms,
+        high.p99_ms
+    );
+}
+
+#[test]
+fn wfq_isolates_victims_from_an_aggressor_and_fifo_does_not() {
+    let r =
+        serving_exp(&Scales::quick(), KNEE_ARRIVALS, VICTIM_ARRIVALS).expect("serving experiment");
+    for victim in ["interactive", "reporting"] {
+        let base = r.isolation_p99_ms("baseline", victim);
+        let wfq = r.isolation_p99_ms("aggressor+wfq", victim);
+        let fifo = r.isolation_p99_ms("aggressor+fifo", victim);
+        assert!(base > 0.0, "{victim} baseline must have completions");
+        assert!(
+            wfq <= 2.0 * base,
+            "{victim}: WFQ must hold p99 within 2x of baseline ({wfq} vs {base})"
+        );
+        assert!(
+            fifo > 2.0 * base,
+            "{victim}: FIFO must fail the 2x isolation bound ({fifo} vs {base})"
+        );
+    }
+
+    // The aggressor pays for its own flood: its overload is shed at its
+    // admission bound, not spread over the victims.
+    let shed: u64 = r
+        .isolation
+        .iter()
+        .filter(|p| p.tenant == "aggressor")
+        .map(|p| p.rejected)
+        .sum();
+    assert!(
+        shed > 0,
+        "the flood must exceed the aggressor's queue bound"
+    );
+}

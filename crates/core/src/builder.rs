@@ -41,6 +41,24 @@ pub enum ConfigError {
     /// An enabled breaker whose probe cooldown is the maximum representable
     /// time would stay Open forever once tripped.
     InfiniteBreakerCooldown,
+    /// A registered tenant has weight zero: weighted fair queueing could
+    /// never schedule it, so any query it submits would starve forever.
+    ZeroTenantWeight {
+        /// Registry index of the offending tenant.
+        tenant: usize,
+    },
+    /// Two registered tenants share a name, so per-tenant reports would be
+    /// ambiguous.
+    DuplicateTenant {
+        /// Registry index of the second occurrence.
+        tenant: usize,
+    },
+    /// A workload item was tagged with a tenant index that is not in the
+    /// options' tenant registry.
+    UnknownTenant {
+        /// The out-of-range tenant index.
+        tenant: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -61,6 +79,18 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InfiniteBreakerCooldown => {
                 write!(f, "an enabled breaker needs a finite probe cooldown")
+            }
+            ConfigError::ZeroTenantWeight { tenant } => {
+                write!(
+                    f,
+                    "tenant {tenant} has weight zero and could never be scheduled"
+                )
+            }
+            ConfigError::DuplicateTenant { tenant } => {
+                write!(f, "tenant {tenant} duplicates an earlier tenant's name")
+            }
+            ConfigError::UnknownTenant { tenant } => {
+                write!(f, "workload item references unregistered tenant {tenant}")
             }
         }
     }

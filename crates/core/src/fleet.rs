@@ -42,7 +42,7 @@
 use crate::breaker::{BreakerTransition, CircuitBreaker};
 use crate::config::SystemConfig;
 use crate::system::{RunError, RunErrorKind, System};
-use crate::workload::InterfaceMode;
+use crate::workload::{ArrivalOutcome, FailedQuery, InterfaceMode, QueryCompletion};
 use smartssd_device::{DeviceError, SessionId, SmartSsd};
 use smartssd_exec::{encode_op, QueryOp, WorkCounts};
 use smartssd_host::{BufferPool, CommandState, LinkedFlashView};
@@ -148,6 +148,18 @@ pub struct FleetReport {
 /// the cold-run protocol every reproduced figure uses).
 #[derive(Debug, Clone)]
 pub struct FleetStreamReport {
+    /// One terminal [`ArrivalOutcome`] per stream query, in submission
+    /// order — the same exhaustive outcome type
+    /// [`WorkloadReport`](crate::WorkloadReport) uses, so fleet streams
+    /// and single-device workloads share one accounting vocabulary. In a
+    /// closed-loop stream each query "arrives" when its predecessor
+    /// finishes; a query that dies on an unrecoverable error is recorded
+    /// as [`ArrivalOutcome::Failed`] and ends the stream (the partial
+    /// report is still returned).
+    pub outcomes: Vec<ArrivalOutcome>,
+    /// Queries that failed on an unrecoverable error (0 or 1: a failure
+    /// ends the stream).
+    pub failed: u64,
     /// Queries completed.
     pub queries: usize,
     /// Sum of per-query completion times (closed-loop makespan).
@@ -791,20 +803,57 @@ impl SmartSsdFleet {
     /// timing starts at zero, breaker state carries across queries on the
     /// fleet's monotone clock, and host-side caches are cleared before each
     /// query (the cold-run protocol). Returns throughput and latency over
-    /// the whole stream.
+    /// the whole stream, plus one [`ArrivalOutcome`] per query on the
+    /// stream's cumulative timeline (query `i` "arrives" when query `i-1`
+    /// finishes). A query that dies on an unrecoverable error becomes an
+    /// [`ArrivalOutcome::Failed`] outcome and ends the stream early; the
+    /// report still covers everything that ran, so `Ok` is returned and
+    /// the failure is visible in `outcomes`/`failed` rather than erasing
+    /// the completed work.
     pub fn run_stream(&mut self, queries: &[Query]) -> Result<FleetStreamReport, RunError> {
         let mut latencies = Vec::with_capacity(queries.len());
+        let mut outcomes: Vec<ArrivalOutcome> = Vec::with_capacity(queries.len());
         let mut makespan = SimTime::ZERO;
         let mut faults = FaultCounters::default();
+        let mut failed = 0u64;
         let mut host_shard_runs = 0u64;
         let mut fallbacks = 0u64;
         let mut speculated = 0u64;
         let mut spec_wins = 0u64;
-        for q in queries {
+        for (i, q) in queries.iter().enumerate() {
             self.clear_host_cache();
-            let r = self.run_agg(q)?;
+            let arrival = makespan;
+            let r = match self.run_agg(q) {
+                Ok(r) => r,
+                Err(e) => {
+                    failed += 1;
+                    outcomes.push(ArrivalOutcome::Failed(FailedQuery {
+                        index: i,
+                        query: q.name.clone(),
+                        arrival,
+                        failed_at: arrival,
+                        reason: e.to_string(),
+                    }));
+                    faults.absorb(e.fault_counters());
+                    break;
+                }
+            };
             latencies.push(r.result.elapsed);
             makespan += r.result.elapsed;
+            let route = if r.shards.iter().all(|s| s.route == Route::Host) {
+                Route::Host
+            } else {
+                Route::Device
+            };
+            outcomes.push(ArrivalOutcome::Completed(Arc::new(QueryCompletion {
+                index: i,
+                query: q.name.clone(),
+                route,
+                arrival,
+                finished_at: makespan,
+                latency: r.result.elapsed,
+                result: r.result,
+            })));
             faults.absorb(&r.faults);
             host_shard_runs += r.shards.iter().filter(|s| s.route == Route::Host).count() as u64;
             fallbacks += r.shards.iter().filter(|s| s.fell_back).count() as u64;
@@ -813,12 +862,14 @@ impl SmartSsdFleet {
         }
         let secs = makespan.as_secs_f64();
         let throughput_qps = if secs > 0.0 {
-            queries.len() as f64 / secs
+            latencies.len() as f64 / secs
         } else {
             0.0
         };
         Ok(FleetStreamReport {
-            queries: queries.len(),
+            queries: latencies.len(),
+            outcomes,
+            failed,
             makespan,
             throughput_qps,
             latency: LatencyStats::from_sample(&latencies),

@@ -63,6 +63,7 @@ pub mod breaker;
 pub mod builder;
 pub mod config;
 pub mod fleet;
+pub mod serving;
 pub mod system;
 pub mod workload;
 
@@ -71,9 +72,13 @@ pub use breaker::{BreakerPolicy, BreakerState, BreakerTransition, CircuitBreaker
 pub use builder::{ConfigError, RoutePolicy, RunOptions, SystemBuilder};
 pub use config::{DeviceKind, PowerParams, SystemConfig};
 pub use fleet::{FleetOptions, FleetReport, FleetStreamReport, ShardOutcome, SmartSsdFleet};
+pub use serving::{compose, TenantLoad, TenantReport, TenantSpec};
+pub use smartssd_sim::ArrivalModel;
 pub use system::{RunError, RunErrorKind, RunReport, System};
+#[allow(deprecated)]
+pub use workload::QueryOutcome;
 pub use workload::{
-    InterfaceMode, QueryCompletion, QueryOutcome, ShedQuery, Workload, WorkloadItem,
+    ArrivalOutcome, FailedQuery, InterfaceMode, QueryCompletion, ShedQuery, Workload, WorkloadItem,
     WorkloadOptions, WorkloadReport,
 };
 

@@ -1,0 +1,293 @@
+//! Multi-tenant serving: an open-system front door over
+//! [`System::run_workload`](crate::System::run_workload).
+//!
+//! The paper evaluates one query at a time; its Section 5 research agenda
+//! asks what happens when a Smart SSD is a *shared* resource — many
+//! applications, each with its own latency expectations, contending for a
+//! handful of device session slots. This module models that production
+//! shape:
+//!
+//! * [`TenantSpec`] names one tenant and carries its QoS contract: a
+//!   weighted-fair-queueing weight, a strict priority lane, and optional
+//!   per-tenant deadline and admission (queue-bound) overrides.
+//! * [`TenantLoad`] pairs a spec with the tenant's traffic: a query
+//!   template, a seeded [`ArrivalModel`] (Poisson, heavy-tailed Pareto, or
+//!   a diurnal envelope), a mean inter-arrival gap, an arrival count, and
+//!   an optional cancellation budget (arrivals are abandoned `cancel_after`
+//!   past their arrival, mid-flight if necessary).
+//! * [`compose`] merges a set of tenant loads into one tagged [`Workload`]
+//!   plus the tenant registry to hang on
+//!   [`WorkloadOptions::tenant`](crate::WorkloadOptions::tenant), each
+//!   tenant's stream seeded independently so adding a tenant never
+//!   perturbs another tenant's schedule.
+//! * [`TenantReport`] is the per-tenant slice of a
+//!   [`WorkloadReport`](crate::WorkloadReport): arrival accounting by
+//!   outcome and a latency distribution over the tenant's completions —
+//!   the isolation evidence the serving benchmark plots.
+//!
+//! Everything stays deterministic: a fixed seed replays the identical
+//! multi-tenant schedule, so isolation experiments (victim p99 with and
+//! without an aggressor tenant) are exactly reproducible.
+
+use crate::builder::RoutePolicy;
+use crate::workload::{Workload, WorkloadItem};
+use smartssd_query::Query;
+use smartssd_sim::{ArrivalGen, ArrivalModel, LatencyStats, SimTime};
+use std::sync::Arc;
+
+/// One tenant's identity and QoS contract, consumed by the workload
+/// scheduler's weighted fair queueing.
+///
+/// Build with [`TenantSpec::new`] and chain the knobs:
+///
+/// ```
+/// use smartssd::serving::TenantSpec;
+/// use smartssd::SimTime;
+///
+/// let t = TenantSpec::new("interactive")
+///     .weight(4)
+///     .lane(0)
+///     .deadline(SimTime::from_millis(50))
+///     .queue_bound(32);
+/// assert_eq!(t.name(), "interactive");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    pub(crate) name: String,
+    pub(crate) weight: u64,
+    pub(crate) lane: u8,
+    pub(crate) deadline: Option<SimTime>,
+    pub(crate) queue_bound: Option<usize>,
+}
+
+impl TenantSpec {
+    /// A tenant with default QoS: weight 1, lane 0, no per-tenant deadline
+    /// or queue bound (the workload-level knobs apply, if set).
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            weight: 1,
+            lane: 0,
+            deadline: None,
+            queue_bound: None,
+        }
+    }
+
+    /// Fair-queueing weight: under contention the tenant receives device
+    /// session slots in proportion to its weight relative to the other
+    /// tenants in its lane. Zero is rejected by
+    /// [`WorkloadOptions::try_validate`](crate::WorkloadOptions::try_validate).
+    pub fn weight(mut self, weight: u64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Strict priority lane: a waiting query in lane `k` is always admitted
+    /// before any waiter in lane `k + 1`, regardless of weights. Weights
+    /// share slots *within* a lane. Lane 0 is the most urgent.
+    pub fn lane(mut self, lane: u8) -> Self {
+        self.lane = lane;
+        self
+    }
+
+    /// Per-tenant start-of-service deadline, overriding the workload-level
+    /// [`WorkloadOptions::deadline`](crate::WorkloadOptions::deadline).
+    pub fn deadline(mut self, deadline: SimTime) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Per-tenant admission bound on waiting queries, overriding the
+    /// workload-level
+    /// [`WorkloadOptions::queue_bound`](crate::WorkloadOptions::queue_bound).
+    pub fn queue_bound(mut self, bound: usize) -> Self {
+        self.queue_bound = Some(bound);
+        self
+    }
+
+    /// The tenant's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// One tenant's traffic: a spec plus the arrival process that drives it.
+#[derive(Debug, Clone)]
+pub struct TenantLoad {
+    pub(crate) spec: TenantSpec,
+    pub(crate) query: Query,
+    pub(crate) route: RoutePolicy,
+    pub(crate) model: ArrivalModel,
+    pub(crate) mean_gap: SimTime,
+    pub(crate) count: usize,
+    pub(crate) cancel_after: Option<SimTime>,
+}
+
+impl TenantLoad {
+    /// `count` arrivals of `query` with mean inter-arrival gap `mean_gap`,
+    /// drawn from the uniform model on the natural route. Chain
+    /// [`TenantLoad::model`], [`TenantLoad::route`], and
+    /// [`TenantLoad::cancel_after`] to reshape it.
+    pub fn new(spec: TenantSpec, query: Query, count: usize, mean_gap: SimTime) -> Self {
+        Self {
+            spec,
+            query,
+            route: RoutePolicy::Natural,
+            model: ArrivalModel::Uniform,
+            mean_gap,
+            count,
+            cancel_after: None,
+        }
+    }
+
+    /// The arrival model to draw inter-arrival gaps from.
+    pub fn model(mut self, model: ArrivalModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Route policy for every arrival of this tenant.
+    pub fn route(mut self, route: RoutePolicy) -> Self {
+        self.route = route;
+        self
+    }
+
+    /// Client abandonment: each arrival is canceled `cancel_after` past its
+    /// arrival instant if it has not finished by then — mid-flight device
+    /// sessions are closed early and their slot freed at the cancel
+    /// instant. Host-routed executions are non-preemptible: a cancellation
+    /// only takes effect before service starts.
+    pub fn cancel_after(mut self, budget: SimTime) -> Self {
+        self.cancel_after = Some(budget);
+        self
+    }
+}
+
+/// Merges tenant loads into one tagged [`Workload`] plus the tenant
+/// registry (in load order — item tenant tags index into it).
+///
+/// Each tenant's arrival stream gets an independent sub-seed derived from
+/// `seed` and the tenant's index, so tenants' schedules are mutually
+/// independent and adding or removing one tenant leaves every other
+/// tenant's arrivals untouched. Items are tagged with their tenant index
+/// and, when the load sets [`TenantLoad::cancel_after`], an absolute
+/// `cancel_at` instant.
+pub fn compose(loads: &[TenantLoad], seed: u64) -> (Workload, Vec<TenantSpec>) {
+    let mut w = Workload::new();
+    let mut specs = Vec::with_capacity(loads.len());
+    for (t, load) in loads.iter().enumerate() {
+        specs.push(load.spec.clone());
+        // Golden-ratio stride keeps per-tenant sub-seeds well separated
+        // even for adjacent tenant indices (ArrivalGen scrambles further).
+        let sub_seed = seed ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let shared = Arc::new(load.query.clone());
+        let mut gen = ArrivalGen::with_model(load.mean_gap, sub_seed, load.model);
+        for arrival in gen.arrivals(load.count) {
+            w.push_item(WorkloadItem {
+                query: Arc::clone(&shared),
+                route: load.route.clone(),
+                arrival,
+                tenant: t as u32,
+                cancel_at: load.cancel_after.map(|b| arrival + b),
+            });
+        }
+    }
+    (w, specs)
+}
+
+/// Per-tenant slice of a workload report: arrival accounting by outcome
+/// plus the latency distribution over this tenant's completions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantReport {
+    /// The tenant's name, copied from its [`TenantSpec`].
+    pub name: String,
+    /// Arrivals tagged with this tenant.
+    pub arrivals: u64,
+    /// Arrivals that completed (either route).
+    pub completed: u64,
+    /// Arrivals shed at admission (queue bound).
+    pub rejected: u64,
+    /// Arrivals shed for missing their start-of-service deadline.
+    pub deadline_missed: u64,
+    /// Arrivals canceled by their `cancel_at` instant.
+    pub canceled: u64,
+    /// Arrivals that failed on an unrecoverable fault.
+    pub failed: u64,
+    /// Latency distribution over this tenant's completions.
+    pub latency: LatencyStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartssd_query::{Finalize, OpTemplate};
+    use smartssd_storage::expr::{AggSpec, Expr, Pred};
+
+    fn q(name: &str) -> Query {
+        Query {
+            name: name.into(),
+            op: OpTemplate::ScanAgg {
+                table: "t".into(),
+                spec: smartssd_exec::spec::ScanAggSpec {
+                    pred: Pred::Const(true),
+                    aggs: vec![AggSpec::sum(Expr::col(1))],
+                },
+            },
+            finalize: Finalize::AggRow,
+        }
+    }
+
+    #[test]
+    fn compose_tags_items_and_is_seed_reproducible() {
+        let loads = vec![
+            TenantLoad::new(
+                TenantSpec::new("a").weight(3),
+                q("qa"),
+                4,
+                SimTime::from_nanos(1000),
+            )
+            .model(ArrivalModel::Exponential),
+            TenantLoad::new(TenantSpec::new("b"), q("qb"), 2, SimTime::from_nanos(500))
+                .cancel_after(SimTime::from_nanos(50)),
+        ];
+        let (w1, specs) = compose(&loads, 42);
+        let (w2, _) = compose(&loads, 42);
+        let (w3, _) = compose(&loads, 43);
+        assert_eq!(w1.len(), 6);
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].weight, 3);
+        let arrivals = |w: &Workload| {
+            w.items()
+                .iter()
+                .map(|i| (i.tenant, i.arrival))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(arrivals(&w1), arrivals(&w2));
+        assert_ne!(arrivals(&w1), arrivals(&w3));
+        // Tenant b's items carry absolute cancel instants, tenant a's none.
+        for it in w1.items() {
+            match it.tenant {
+                0 => assert!(it.cancel_at.is_none()),
+                1 => assert_eq!(it.cancel_at, Some(it.arrival + SimTime::from_nanos(50))),
+                t => panic!("unexpected tenant {t}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dropping_a_tenant_leaves_other_streams_untouched() {
+        let a = TenantLoad::new(TenantSpec::new("a"), q("qa"), 5, SimTime::from_nanos(1000))
+            .model(ArrivalModel::Pareto { alpha: 1.5 });
+        let b = TenantLoad::new(TenantSpec::new("b"), q("qb"), 5, SimTime::from_nanos(1000));
+        let (both, _) = compose(&[a.clone(), b], 7);
+        let (solo, _) = compose(&[a], 7);
+        let a_arrivals = |w: &Workload| {
+            w.items()
+                .iter()
+                .filter(|i| i.tenant == 0)
+                .map(|i| i.arrival)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(a_arrivals(&both), a_arrivals(&solo));
+    }
+}

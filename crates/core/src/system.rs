@@ -103,6 +103,12 @@ pub enum RunErrorKind {
         /// The panic payload, stringified.
         message: String,
     },
+    /// The run's options failed validation before any query started —
+    /// the workload-level analogue of [`SystemBuilder::try_build`]
+    /// rejecting a bad system configuration.
+    ///
+    /// [`SystemBuilder::try_build`]: crate::builder::SystemBuilder::try_build
+    Config(crate::builder::ConfigError),
 }
 
 impl fmt::Display for RunErrorKind {
@@ -121,6 +127,7 @@ impl fmt::Display for RunErrorKind {
                 f,
                 "scheduler invariant violated: query {index} neither completed nor was shed"
             ),
+            RunErrorKind::Config(e) => write!(f, "config: {e}"),
             RunErrorKind::DeviceThread { device, message } => {
                 write!(f, "device {device} worker thread panicked: {message}")
             }
@@ -399,6 +406,17 @@ impl System {
     /// as-is and is empty unless [`Self::warm_cache`] was called).
     pub fn finish_load(&mut self) {
         self.reset_run_timing();
+    }
+
+    /// Device sessions currently open (always 0 on non-smart systems).
+    /// After any workload run — faulted, shed, or cancelled — this must be
+    /// back to zero; leak checks in the test suite hold the scheduler to
+    /// that.
+    pub fn open_device_sessions(&self) -> usize {
+        match &self.backend {
+            Backend::Smart { dev, .. } => dev.open_sessions(),
+            _ => 0,
+        }
     }
 
     /// Clears all timelines and counters (between runs).

@@ -25,25 +25,38 @@
 //!   run, so this effect only becomes observable under a multi-query
 //!   stream.
 //!
+//! On top of the shared timelines sits a serving-grade admission layer
+//! (see [`crate::serving`]): items may be tagged with a tenant from the
+//! [`WorkloadOptions::tenant`] registry, session-slot admission is
+//! weighted fair queueing with strict priority lanes (or plain FIFO with
+//! [`WorkloadOptions::fair_queueing`]`(false)`), per-tenant deadlines and
+//! queue bounds override the workload-level knobs, and an item's
+//! [`WorkloadItem::cancel_at`] instant abandons it — mid-flight if it
+//! holds a device session, whose slot frees at the cancel instant.
+//!
 //! Everything is simulated time: a fixed seed replays the identical
 //! schedule, and answers are bit-identical to isolated runs regardless of
 //! interleaving or sharing.
 
 use crate::breaker::BreakerTransition;
-use crate::builder::RoutePolicy;
+use crate::builder::{ConfigError, RoutePolicy};
+use crate::serving::{TenantReport, TenantSpec};
 use crate::system::{Backend, RunError, RunErrorKind, System};
 use smartssd_device::DeviceError;
 use smartssd_exec::QueryOp;
-use smartssd_query::{Query, QueryResult, Route, SessionDriver, SessionFault, SessionOutcome};
+use smartssd_query::{
+    Collected, Query, QueryResult, Route, SessionDriver, SessionFault, SessionOutcome,
+};
 use smartssd_sim::trace::pid;
 use smartssd_sim::{
-    ArrivalGen, EventQueue, FaultCounters, Interval, LatencyStats, RunTrace, SimTime, TraceLevel,
+    ArrivalGen, ArrivalModel, EventQueue, FaultCounters, Interval, LatencyStats, RunTrace, SimTime,
+    TraceLevel,
 };
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-/// One query of a workload: what to run, how to route it, and when it
-/// arrives.
+/// One query of a workload: what to run, how to route it, when it arrives,
+/// which tenant it belongs to, and when (if ever) its client gives up.
 #[derive(Debug, Clone)]
 pub struct WorkloadItem {
     /// The query to run. Shared: [`Workload::burst`] and
@@ -55,13 +68,26 @@ pub struct WorkloadItem {
     pub route: RoutePolicy,
     /// Simulated arrival time.
     pub arrival: SimTime,
+    /// Index into the [`WorkloadOptions::tenant`] registry. Items built by
+    /// the tenant-unaware constructors are tenant `0`; with an empty
+    /// registry that is the single implicit tenant.
+    pub tenant: u32,
+    /// Client abandonment instant: past this simulated time the query is
+    /// [`ArrivalOutcome::Canceled`] instead of served. A waiting query is
+    /// shed when its turn comes; a query holding a device session closes
+    /// it early, freeing the slot at exactly this instant. Host-routed
+    /// executions are non-preemptible: cancellation only takes effect
+    /// before service starts. `None` never cancels.
+    pub cancel_at: Option<SimTime>,
 }
 
 /// A deterministic stream of queries submitted to one [`System`].
 ///
 /// Build one explicitly with [`Workload::push`], as a burst of simultaneous
-/// arrivals with [`Workload::burst`], or as a seeded open-arrival stream
-/// with [`Workload::open_stream`]. Arrival times need not be sorted — the
+/// arrivals with [`Workload::burst`], as a seeded open-arrival stream with
+/// [`Workload::open_stream`] (or [`Workload::open_stream_with`] for a
+/// non-uniform [`ArrivalModel`]), or from per-tenant loads with
+/// [`crate::serving::compose`]. Arrival times need not be sorted — the
 /// scheduler orders events itself — but same-instant arrivals are served in
 /// item order, so the stream is reproducible either way.
 #[derive(Debug, Clone, Default)]
@@ -75,13 +101,22 @@ impl Workload {
         Self::default()
     }
 
-    /// Appends one query with an explicit route policy and arrival time.
+    /// Appends one query with an explicit route policy and arrival time,
+    /// on tenant `0` and without a cancellation instant.
     pub fn push(&mut self, query: Query, route: RoutePolicy, arrival: SimTime) {
         self.items.push(WorkloadItem {
             query: Arc::new(query),
             route,
             arrival,
+            tenant: 0,
+            cancel_at: None,
         });
+    }
+
+    /// Appends one fully specified item (tenant tag, cancellation instant
+    /// and all) — the escape hatch [`crate::serving::compose`] uses.
+    pub fn push_item(&mut self, item: WorkloadItem) {
+        self.items.push(item);
     }
 
     /// `n` copies of one query, all arriving at time zero on the natural
@@ -95,6 +130,8 @@ impl Workload {
                 query: Arc::clone(&shared),
                 route: RoutePolicy::Natural,
                 arrival: SimTime::ZERO,
+                tenant: 0,
+                cancel_at: None,
             });
         }
         w
@@ -106,13 +143,29 @@ impl Workload {
     /// `mean_gap` and a fixed seed reproduces the schedule exactly. All
     /// items share one query `Arc`.
     pub fn open_stream(query: &Query, n: usize, mean_gap: SimTime, seed: u64) -> Self {
+        Self::open_stream_with(query, n, mean_gap, seed, ArrivalModel::Uniform)
+    }
+
+    /// [`Workload::open_stream`] generalized over the arrival process:
+    /// gaps are drawn from `model` (Poisson, heavy-tailed Pareto, diurnal
+    /// envelope — see [`ArrivalModel`] for each model's moments). The
+    /// `Uniform` model reproduces `open_stream` bit-for-bit.
+    pub fn open_stream_with(
+        query: &Query,
+        n: usize,
+        mean_gap: SimTime,
+        seed: u64,
+        model: ArrivalModel,
+    ) -> Self {
         let shared = Arc::new(query.clone());
         let mut w = Self::new();
-        for arrival in ArrivalGen::new(mean_gap, seed).arrivals(n) {
+        for arrival in ArrivalGen::with_model(mean_gap, seed, model).arrivals(n) {
             w.items.push(WorkloadItem {
                 query: Arc::clone(&shared),
                 route: RoutePolicy::Natural,
                 arrival,
+                tenant: 0,
+                cancel_at: None,
             });
         }
         w
@@ -149,27 +202,173 @@ pub enum InterfaceMode {
     Direct,
 }
 
-/// Per-workload knobs for [`System::run_workload`].
-#[derive(Debug, Clone, Default)]
+/// Per-workload knobs for [`System::run_workload`], built fluently:
+///
+/// ```
+/// use smartssd::serving::TenantSpec;
+/// use smartssd::{InterfaceMode, SimTime, WorkloadOptions};
+///
+/// let opts = WorkloadOptions::new()
+///     .interface(InterfaceMode::Direct)
+///     .queue_bound(8)
+///     .deadline(SimTime::from_millis(100))
+///     .tenant(TenantSpec::new("interactive").weight(4))
+///     .tenant(TenantSpec::new("batch").lane(1));
+/// assert!(opts.try_validate().is_ok());
+/// ```
+///
+/// [`WorkloadOptions::try_validate`] checks the configuration eagerly
+/// (mirroring [`SystemBuilder::try_build`](crate::SystemBuilder::try_build));
+/// [`System::run_workload`] validates again itself, surfacing the same
+/// [`ConfigError`] as [`RunErrorKind::Config`], so a bad registry can never
+/// start a run.
+#[derive(Debug, Clone)]
 pub struct WorkloadOptions {
+    interface: InterfaceMode,
+    dop: Option<usize>,
+    verbosity: TraceLevel,
+    queue_bound: Option<usize>,
+    deadline: Option<SimTime>,
+    tenants: Vec<TenantSpec>,
+    fair: bool,
+}
+
+impl Default for WorkloadOptions {
+    fn default() -> Self {
+        Self {
+            interface: InterfaceMode::default(),
+            dop: None,
+            verbosity: TraceLevel::default(),
+            queue_bound: None,
+            deadline: None,
+            tenants: Vec::new(),
+            // Weighted fair queueing is the default once tenants exist;
+            // with one (implicit) tenant it degenerates to exact FIFO.
+            fair: true,
+        }
+    }
+}
+
+impl WorkloadOptions {
+    /// Default options: linked interface, system `host_dop`, no admission
+    /// control, no tenants, fair queueing enabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Interface model for device-routed queries.
-    pub interface: InterfaceMode,
-    /// Host degree of parallelism for host-routed queries; `None` uses the
-    /// system's configured `host_dop`.
-    pub dop: Option<usize>,
+    pub fn interface(mut self, interface: InterfaceMode) -> Self {
+        self.interface = interface;
+        self
+    }
+
+    /// Host degree of parallelism for host-routed queries (the system's
+    /// configured `host_dop` when unset).
+    pub fn dop(mut self, dop: usize) -> Self {
+        self.dop = Some(dop);
+        self
+    }
+
     /// Trace verbosity for the workload. Ignored without an attached sink.
-    pub verbosity: TraceLevel,
+    pub fn verbosity(mut self, verbosity: TraceLevel) -> Self {
+        self.verbosity = verbosity;
+        self
+    }
+
     /// Admission control: bound on the number of queries waiting for a
     /// device session slot. An arrival that finds the device full and the
-    /// wait queue at this bound is shed with [`QueryOutcome::Rejected`]
-    /// instead of queueing without limit. `None` (the default) waits
-    /// unbounded — the pre-admission-control behavior.
-    pub queue_bound: Option<usize>,
+    /// wait queue at this bound is shed with [`ArrivalOutcome::Rejected`]
+    /// instead of queueing without limit. With tenants registered the
+    /// bound applies to each tenant's own wait queue; a tenant's
+    /// [`TenantSpec::queue_bound`] overrides it. Unset waits unbounded.
+    pub fn queue_bound(mut self, bound: usize) -> Self {
+        self.queue_bound = Some(bound);
+        self
+    }
+
     /// Start-of-service deadline, measured from each query's arrival: a
     /// queued query whose turn comes after `arrival + deadline` is shed
-    /// with [`QueryOutcome::DeadlineMissed`] instead of starting
-    /// hopelessly late. `None` (the default) never sheds on time.
-    pub deadline: Option<SimTime>,
+    /// with [`ArrivalOutcome::DeadlineMissed`] instead of starting
+    /// hopelessly late. A tenant's [`TenantSpec::deadline`] overrides it.
+    /// Unset never sheds on time.
+    pub fn deadline(mut self, deadline: SimTime) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Registers one tenant; items reference tenants by registration
+    /// order ([`WorkloadItem::tenant`]). With an empty registry the whole
+    /// workload runs as one implicit default tenant.
+    pub fn tenant(mut self, spec: TenantSpec) -> Self {
+        self.tenants.push(spec);
+        self
+    }
+
+    /// Toggles weighted fair queueing over device session slots. On (the
+    /// default), waiting queries are admitted by priority lane, then by
+    /// per-tenant virtual time weighted by [`TenantSpec::weight`]. Off,
+    /// admission is global FIFO across all tenants — the pre-serving
+    /// behavior, kept for apples-to-apples isolation experiments.
+    pub fn fair_queueing(mut self, fair: bool) -> Self {
+        self.fair = fair;
+        self
+    }
+
+    /// The registered tenants, in registration order.
+    pub fn tenants(&self) -> &[TenantSpec] {
+        &self.tenants
+    }
+
+    /// Validates the configuration without running anything, mirroring
+    /// [`SystemBuilder::try_build`](crate::SystemBuilder::try_build):
+    /// every tenant needs a nonzero weight (a zero-weight tenant could
+    /// never be scheduled) and a unique name (reports are keyed by name).
+    pub fn try_validate(&self) -> Result<&Self, ConfigError> {
+        for (i, t) in self.tenants.iter().enumerate() {
+            if t.weight == 0 {
+                return Err(ConfigError::ZeroTenantWeight { tenant: i });
+            }
+            if self.tenants[..i].iter().any(|e| e.name == t.name) {
+                return Err(ConfigError::DuplicateTenant { tenant: i });
+            }
+        }
+        Ok(self)
+    }
+
+    /// Field-bag construction, as the pre-builder struct literal allowed.
+    #[deprecated(note = "construct with the builder instead: \
+                WorkloadOptions::new().interface(..).queue_bound(..).deadline(..)")]
+    pub fn from_parts(
+        interface: InterfaceMode,
+        dop: Option<usize>,
+        verbosity: TraceLevel,
+        queue_bound: Option<usize>,
+        deadline: Option<SimTime>,
+    ) -> Self {
+        let mut o = Self::new().interface(interface).verbosity(verbosity);
+        o.dop = dop;
+        o.queue_bound = queue_bound;
+        o.deadline = deadline;
+        o
+    }
+
+    /// The deadline that applies to `tenant`: its own, else the
+    /// workload-level default.
+    fn deadline_for(&self, tenant: usize) -> Option<SimTime> {
+        self.tenants
+            .get(tenant)
+            .and_then(|t| t.deadline)
+            .or(self.deadline)
+    }
+
+    /// The queue bound that applies to `tenant`: its own, else the
+    /// workload-level default.
+    fn queue_bound_for(&self, tenant: usize) -> Option<usize> {
+        self.tenants
+            .get(tenant)
+            .and_then(|t| t.queue_bound)
+            .or(self.queue_bound)
+    }
 }
 
 /// One finished query of a workload.
@@ -193,8 +392,10 @@ pub struct QueryCompletion {
     pub result: QueryResult,
 }
 
-/// A query shed by admission control or the deadline rule before any work
-/// was done on its behalf — it consumed no device or host time.
+/// A query shed before completion — by admission control or the deadline
+/// rule (before any work was done on its behalf), or by its
+/// [`WorkloadItem::cancel_at`] instant (possibly mid-flight, in which case
+/// the device time up to `shed_at` was genuinely burned).
 #[derive(Debug, Clone)]
 pub struct ShedQuery {
     /// Index of the query in the workload's submission order.
@@ -204,35 +405,67 @@ pub struct ShedQuery {
     /// When the query arrived.
     pub arrival: SimTime,
     /// When the scheduler shed it (at arrival for a rejection; when its
-    /// turn came for a missed deadline).
+    /// turn came for a missed deadline or a waiting cancellation; at the
+    /// cancel instant for a mid-flight cancellation).
     pub shed_at: SimTime,
 }
 
-/// Terminal state of one workload arrival. Under graceful degradation not
-/// every arrival completes — but every arrival gets exactly one outcome,
-/// so `completed + rejected + deadline-missed` always equals the number of
+/// A query that died on an unrecoverable fault: its session (if any) was
+/// closed, its slot freed, and the workload carried on — the failure is an
+/// outcome, not a run abort.
+#[derive(Debug, Clone)]
+pub struct FailedQuery {
+    /// Index of the query in the workload's submission order.
+    pub index: usize,
+    /// Query name.
+    pub query: String,
+    /// When the query arrived.
+    pub arrival: SimTime,
+    /// When the failure was established (the fault's absolute instant for
+    /// a session fault; the dispatch instant for a resolution error).
+    pub failed_at: SimTime,
+    /// Human-readable failure reason.
+    pub reason: String,
+}
+
+/// Terminal state of one workload arrival — the single exhaustive outcome
+/// channel. Under graceful degradation not every arrival completes, but
+/// every arrival gets exactly one outcome, so `completed + rejected +
+/// deadline-missed + canceled + failed` always equals the number of
 /// arrivals.
 #[derive(Debug, Clone)]
-pub enum QueryOutcome {
+pub enum ArrivalOutcome {
     /// The query ran to completion (on either route, including a mid-run
     /// fallback to the host). Its answer is bit-identical to an isolated
     /// fault-free run of the same query. The record is shared (via `Arc`)
     /// with [`WorkloadReport::completions`], so a million-query report
     /// stores each completion once, not twice.
     Completed(Arc<QueryCompletion>),
-    /// Shed at arrival: the device was full and the wait queue was at
-    /// [`WorkloadOptions::queue_bound`].
+    /// Shed at arrival: the device was full and the wait queue was at its
+    /// bound ([`WorkloadOptions::queue_bound`] or the tenant's override).
     Rejected(ShedQuery),
-    /// Shed when its turn came: it had waited past
-    /// [`WorkloadOptions::deadline`] before service could begin.
+    /// Shed when its turn came: it had waited past its deadline
+    /// ([`WorkloadOptions::deadline`] or the tenant's override) before
+    /// service could begin.
     DeadlineMissed(ShedQuery),
+    /// Abandoned at its [`WorkloadItem::cancel_at`] instant — before
+    /// service if it was still waiting, or mid-flight with its device
+    /// session closed early and the slot freed at the cancel instant.
+    Canceled(ShedQuery),
+    /// Died on an unrecoverable fault (wire corruption, validation
+    /// failure, or a resolution error); the rest of the workload ran on.
+    Failed(FailedQuery),
 }
 
-impl QueryOutcome {
+/// The pre-serving name of [`ArrivalOutcome`].
+#[deprecated(note = "renamed to ArrivalOutcome")]
+pub type QueryOutcome = ArrivalOutcome;
+
+impl ArrivalOutcome {
     /// The completion record, when the query completed.
     pub fn completion(&self) -> Option<&QueryCompletion> {
         match self {
-            QueryOutcome::Completed(c) => Some(c.as_ref()),
+            ArrivalOutcome::Completed(c) => Some(c.as_ref()),
             _ => None,
         }
     }
@@ -240,8 +473,11 @@ impl QueryOutcome {
     /// Submission index of the query this outcome belongs to.
     pub fn index(&self) -> usize {
         match self {
-            QueryOutcome::Completed(c) => c.index,
-            QueryOutcome::Rejected(s) | QueryOutcome::DeadlineMissed(s) => s.index,
+            ArrivalOutcome::Completed(c) => c.index,
+            ArrivalOutcome::Rejected(s)
+            | ArrivalOutcome::DeadlineMissed(s)
+            | ArrivalOutcome::Canceled(s) => s.index,
+            ArrivalOutcome::Failed(e) => e.index,
         }
     }
 }
@@ -255,11 +491,18 @@ pub struct WorkloadReport {
     /// each), so holding both costs one copy of the data.
     pub completions: Vec<Arc<QueryCompletion>>,
     /// One terminal outcome per arrival, in submission order.
-    pub outcomes: Vec<QueryOutcome>,
+    pub outcomes: Vec<ArrivalOutcome>,
     /// Arrivals shed because the wait queue was at its bound.
     pub rejected: u64,
     /// Arrivals shed because they waited past their deadline.
     pub deadline_missed: u64,
+    /// Arrivals abandoned at their cancellation instant.
+    pub canceled: u64,
+    /// Arrivals that died on an unrecoverable fault.
+    pub failed: u64,
+    /// Per-tenant accounting, in [`WorkloadOptions::tenant`] registration
+    /// order. Empty when no tenants were registered.
+    pub tenants: Vec<TenantReport>,
     /// Circuit-breaker state changes during the workload, timestamped on
     /// the workload's own timeline. Empty when the breaker is disabled.
     pub breaker_transitions: Vec<BreakerTransition>,
@@ -288,10 +531,10 @@ pub struct WorkloadReport {
 }
 
 /// Scheduler events: a device session's slot frees — either by closing a
-/// completed session or because a faulted session was already closed by
-/// the driver on the abandon path. Arrivals are not events: they are a
-/// static schedule, walked by a sorted cursor and merged against this
-/// queue, so the heap stays small no matter how long the stream is.
+/// completed session or because a faulted/canceled session was already
+/// closed by the driver. Arrivals are not events: they are a static
+/// schedule, walked by a sorted cursor and merged against this queue, so
+/// the heap stays small no matter how long the stream is.
 enum Ev {
     Close(smartssd_device::SessionId),
     SlotFreed,
@@ -314,6 +557,117 @@ enum DevAttempt {
     Done(smartssd_device::SessionId, SessionOutcome),
     /// The session failed; it has already been closed.
     Fault(SessionFault),
+    /// The session was canceled mid-flight at `at`; the driver closed it,
+    /// so its slot is free again at `at`.
+    Canceled { at: SimTime, get_retries: u64 },
+}
+
+/// Fixed-point scale for WFQ virtual time: finish tags advance by
+/// `service_ns * WFQ_SCALE / weight`, so integer division keeps sub-weight
+/// precision without floats (determinism) and a u128 never overflows on
+/// any representable workload.
+const WFQ_SCALE: u128 = 1 << 20;
+
+/// The waiting room for device session slots: per-tenant FIFO queues under
+/// start-time fair queueing (SFQ) with strict priority lanes, or one
+/// global FIFO when fairness is off. With a single (implicit) tenant both
+/// modes degenerate to exactly the pre-serving FIFO, preserving
+/// byte-identical schedules for tenant-unaware workloads.
+///
+/// The SFQ bookkeeping runs on *simulated* time: when a tenant's query is
+/// granted device service costing `c` simulated nanoseconds, the tenant's
+/// finish tag advances by `c / weight` (scaled), and the virtual clock
+/// jumps to the granted start tag `max(vclock, finish[t])`. A slot is
+/// granted to the lowest lane first, then the smallest start tag, then the
+/// lowest tenant index — so a newly active tenant starts at the current
+/// virtual clock (no banked credit), and any nonzero-weight tenant's tag
+/// eventually becomes the minimum of its lane: no starvation within a
+/// lane. Host-routed work never charges virtual time (it consumes no
+/// session slot).
+struct WaitSet {
+    /// Global arrival-order queue (fairness off): `(item index, tenant)`.
+    fifo: VecDeque<(usize, u32)>,
+    /// Per-tenant FIFO queues (fairness on).
+    queues: Vec<VecDeque<usize>>,
+    /// Waiting count per tenant, for per-tenant queue bounds (both modes).
+    waiting: Vec<usize>,
+    /// Per-tenant virtual finish tags.
+    finish: Vec<u128>,
+    /// The scheduler's virtual clock: start tag of the last grant.
+    vclock: u128,
+    lanes: Vec<u8>,
+    weights: Vec<u64>,
+    fair: bool,
+    len: usize,
+}
+
+impl WaitSet {
+    fn new(tenants: &[TenantSpec], fair: bool) -> Self {
+        let n = tenants.len().max(1);
+        Self {
+            fifo: VecDeque::new(),
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            waiting: vec![0; n],
+            finish: vec![0; n],
+            vclock: 0,
+            lanes: tenants.iter().map(|t| t.lane).chain([0]).take(n).collect(),
+            weights: tenants
+                .iter()
+                .map(|t| t.weight)
+                .chain([1])
+                .take(n)
+                .collect(),
+            fair,
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, idx: usize, tenant: usize) {
+        self.waiting[tenant] += 1;
+        self.len += 1;
+        if self.fair {
+            self.queues[tenant].push_back(idx);
+        } else {
+            self.fifo.push_back((idx, tenant as u32));
+        }
+    }
+
+    /// The next query to admit: global FIFO order, or (lane, start tag,
+    /// tenant index)-minimal under fair queueing.
+    fn pop(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        if !self.fair {
+            let (idx, t) = self.fifo.pop_front().expect("len tracks fifo");
+            self.waiting[t as usize] -= 1;
+            return Some(idx);
+        }
+        let t = (0..self.queues.len())
+            .filter(|&t| !self.queues[t].is_empty())
+            .min_by_key(|&t| (self.lanes[t], self.vclock.max(self.finish[t]), t))
+            .expect("len tracks queues");
+        self.waiting[t] -= 1;
+        self.queues[t].pop_front()
+    }
+
+    /// Charges `tenant` for `cost` of simulated device service and
+    /// advances the virtual clock to the grant's start tag.
+    fn charge(&mut self, tenant: usize, cost: SimTime) {
+        let start = self.vclock.max(self.finish[tenant]);
+        self.finish[tenant] =
+            start + cost.as_nanos() as u128 * WFQ_SCALE / u128::from(self.weights[tenant]);
+        self.vclock = start;
+    }
+
+    fn waiting_for(&self, tenant: usize) -> usize {
+        self.waiting[tenant]
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
 }
 
 impl System {
@@ -325,10 +679,16 @@ impl System {
     /// the device CPU, the host interface, and host cores, and the buffer
     /// pool carries state across queries. Device-routed queries occupy one
     /// of the device's `max_sessions` slots from open to close; arrivals
-    /// that find every slot taken queue FIFO and are admitted as slots
-    /// free. A recoverable mid-run session fault degrades that one query to
-    /// the host route (its latency absorbs the wasted device time);
-    /// unrecoverable failures abort the workload with a [`RunError`].
+    /// that find every slot taken wait, and freed slots are granted by
+    /// weighted fair queueing over the [`WorkloadOptions::tenant`]
+    /// registry (plain FIFO with fairness off or no tenants). A
+    /// recoverable mid-run session fault degrades that one query to the
+    /// host route (its latency absorbs the wasted device time); an
+    /// unrecoverable fault fails that one query
+    /// ([`ArrivalOutcome::Failed`]) and the workload carries on. Only
+    /// infrastructure errors — an invalid configuration, a failed `CLOSE`,
+    /// a scheduler invariant violation — abort the run with a
+    /// [`RunError`].
     ///
     /// The simulation is deterministic: the same workload on the same
     /// system produces a bit-identical report, and each query's rows and
@@ -350,6 +710,20 @@ impl System {
         workload: &Workload,
         opts: &WorkloadOptions,
     ) -> Result<WorkloadReport, RunError> {
+        opts.try_validate()
+            .map_err(|e| RunError::from_kind(RunErrorKind::Config(e)))?;
+        let registered = opts.tenants.len().max(1);
+        if let Some(bad) = workload
+            .items()
+            .iter()
+            .find(|it| it.tenant as usize >= registered)
+        {
+            return Err(RunError::from_kind(RunErrorKind::Config(
+                ConfigError::UnknownTenant {
+                    tenant: bad.tenant as usize,
+                },
+            )));
+        }
         self.tracer.set_level(opts.verbosity);
         self.tracer.begin_run();
         self.reset_run_timing();
@@ -371,9 +745,9 @@ impl System {
         order.sort_unstable_by_key(|&i| (workload.items()[i as usize].arrival, i));
         let mut cursor = 0usize;
         let mut events: EventQueue<Ev> = EventQueue::new();
-        let mut deferred: VecDeque<usize> = VecDeque::new();
+        let mut ws = WaitSet::new(&opts.tenants, opts.fair);
         let mut ops: ResolveCache = None;
-        let mut outcomes: Vec<Option<QueryOutcome>> = (0..n).map(|_| None).collect();
+        let mut outcomes: Vec<Option<ArrivalOutcome>> = (0..n).map(|_| None).collect();
         loop {
             let arrive_next = match (order.get(cursor), events.peek_time()) {
                 (Some(&i), next) => {
@@ -387,16 +761,8 @@ impl System {
                 let i = order[cursor] as usize;
                 cursor += 1;
                 let t = workload.items()[i].arrival;
-                let (out, _) = self.dispatch(
-                    workload,
-                    i,
-                    t,
-                    opts,
-                    dop,
-                    &mut events,
-                    &mut deferred,
-                    &mut ops,
-                )?;
+                let (out, _) =
+                    self.dispatch(workload, i, t, opts, dop, &mut events, &mut ws, &mut ops)?;
                 if let Some(o) = out {
                     outcomes[i] = Some(o);
                 }
@@ -415,28 +781,28 @@ impl System {
                         opts,
                         dop,
                         &mut events,
-                        &mut deferred,
+                        &mut ws,
                         &mut outcomes,
                         &mut ops,
                     )?;
                 }
                 Ev::SlotFreed => {
-                    // A faulted session's slot: the driver already closed it
-                    // on the abandon path, so only the admission remains.
+                    // A faulted or canceled session's slot: the driver
+                    // already closed it, so only the admission remains.
                     self.admit_waiters(
                         workload,
                         t,
                         opts,
                         dop,
                         &mut events,
-                        &mut deferred,
+                        &mut ws,
                         &mut outcomes,
                         &mut ops,
                     )?;
                 }
             }
         }
-        debug_assert!(deferred.is_empty(), "every freed slot admits a waiter");
+        debug_assert!(ws.is_empty(), "every freed slot admits a waiter");
         // Every arrival must have exactly one outcome by now; a hole is a
         // scheduler bug, reported as a typed error (with the fault counters
         // absorbed by the caller) instead of a panic. One read-only pass
@@ -446,17 +812,21 @@ impl System {
         let mut completed = 0usize;
         let mut rejected = 0u64;
         let mut deadline_missed = 0u64;
+        let mut canceled = 0u64;
+        let mut failed = 0u64;
         let mut makespan = SimTime::ZERO;
         let mut latencies: Vec<SimTime> = Vec::new();
         for (i, o) in outcomes.iter().enumerate() {
             match o {
-                Some(QueryOutcome::Completed(c)) => {
+                Some(ArrivalOutcome::Completed(c)) => {
                     completed += 1;
                     makespan = makespan.max(c.finished_at);
                     latencies.push(c.latency);
                 }
-                Some(QueryOutcome::Rejected(_)) => rejected += 1,
-                Some(QueryOutcome::DeadlineMissed(_)) => deadline_missed += 1,
+                Some(ArrivalOutcome::Rejected(_)) => rejected += 1,
+                Some(ArrivalOutcome::DeadlineMissed(_)) => deadline_missed += 1,
+                Some(ArrivalOutcome::Canceled(_)) => canceled += 1,
+                Some(ArrivalOutcome::Failed(_)) => failed += 1,
                 None => {
                     return Err(RunError::from_kind(RunErrorKind::SchedulerInvariant {
                         index: i,
@@ -464,16 +834,17 @@ impl System {
                 }
             }
         }
-        // `Option<QueryOutcome>` and `QueryOutcome` share a layout (niche
-        // optimization), so this unwrap-collect rewrites the vector in
-        // place — no second outcome array is ever allocated or copied.
-        let outcomes: Vec<QueryOutcome> = outcomes
+        // `Option<ArrivalOutcome>` and `ArrivalOutcome` share a layout
+        // (niche optimization), so this unwrap-collect rewrites the vector
+        // in place — no second outcome array is ever allocated or copied.
+        let outcomes: Vec<ArrivalOutcome> = outcomes
             .into_iter()
             .map(|o| o.expect("hole checked above"))
             .collect();
+        let tenants = self.tenant_breakdown(workload, opts, &outcomes);
         let mut completions: Vec<Arc<QueryCompletion>> = Vec::with_capacity(completed);
         completions.extend(outcomes.iter().filter_map(|o| match o {
-            QueryOutcome::Completed(c) => Some(Arc::clone(c)),
+            ArrivalOutcome::Completed(c) => Some(Arc::clone(c)),
             _ => None,
         }));
         let throughput_qps = if makespan > SimTime::ZERO {
@@ -523,17 +894,61 @@ impl System {
             outcomes,
             rejected,
             deadline_missed,
+            canceled,
+            failed,
+            tenants,
             breaker_transitions,
             trace,
         })
     }
 
-    /// Admits waiters from the deferred queue into a freed session slot:
-    /// sheds those whose start-of-service deadline has passed (the slot
-    /// stays free, so the next waiter gets its turn immediately), then
-    /// dispatches until one admission actually occupies the slot — a
-    /// breaker-rerouted waiter completes on the host without consuming it,
-    /// so stopping after one admission would strand the rest of the queue.
+    /// The per-tenant report slice: empty without a registry, else one
+    /// [`TenantReport`] per registered tenant in registration order.
+    fn tenant_breakdown(
+        &self,
+        workload: &Workload,
+        opts: &WorkloadOptions,
+        outcomes: &[ArrivalOutcome],
+    ) -> Vec<TenantReport> {
+        if opts.tenants.is_empty() {
+            return Vec::new();
+        }
+        let mut reports: Vec<TenantReport> = opts
+            .tenants
+            .iter()
+            .map(|s| TenantReport {
+                name: s.name.clone(),
+                ..TenantReport::default()
+            })
+            .collect();
+        let mut latencies: Vec<Vec<SimTime>> = vec![Vec::new(); reports.len()];
+        for (i, o) in outcomes.iter().enumerate() {
+            let t = workload.items()[i].tenant as usize;
+            reports[t].arrivals += 1;
+            match o {
+                ArrivalOutcome::Completed(c) => {
+                    reports[t].completed += 1;
+                    latencies[t].push(c.latency);
+                }
+                ArrivalOutcome::Rejected(_) => reports[t].rejected += 1,
+                ArrivalOutcome::DeadlineMissed(_) => reports[t].deadline_missed += 1,
+                ArrivalOutcome::Canceled(_) => reports[t].canceled += 1,
+                ArrivalOutcome::Failed(_) => reports[t].failed += 1,
+            }
+        }
+        for (r, l) in reports.iter_mut().zip(&latencies) {
+            r.latency = LatencyStats::from_sample(l);
+        }
+        reports
+    }
+
+    /// Admits waiters into a freed session slot in fair-queueing (or FIFO)
+    /// order: sheds those canceled or past their start-of-service deadline
+    /// (the slot stays free, so the next waiter gets its turn
+    /// immediately), then dispatches until one admission actually occupies
+    /// the slot — a breaker-rerouted waiter completes on the host without
+    /// consuming it, so stopping after one admission would strand the rest
+    /// of the queue.
     #[allow(clippy::too_many_arguments)] // internal scheduler plumbing, not API
     fn admit_waiters(
         &mut self,
@@ -542,13 +957,32 @@ impl System {
         opts: &WorkloadOptions,
         dop: usize,
         events: &mut EventQueue<Ev>,
-        deferred: &mut VecDeque<usize>,
-        outcomes: &mut [Option<QueryOutcome>],
+        ws: &mut WaitSet,
+        outcomes: &mut [Option<ArrivalOutcome>],
         ops: &mut ResolveCache,
     ) -> Result<(), RunError> {
-        while let Some(j) = deferred.pop_front() {
+        while let Some(j) = ws.pop() {
             let item = &workload.items()[j];
-            if let Some(deadline) = opts.deadline {
+            let tenant = item.tenant as usize;
+            if item.cancel_at.is_some_and(|c| c <= now) {
+                self.tracer.instant(
+                    TraceLevel::Protocol,
+                    pid::SESSION,
+                    j as u32,
+                    "canceled",
+                    "session",
+                    now,
+                    &[],
+                );
+                outcomes[j] = Some(ArrivalOutcome::Canceled(ShedQuery {
+                    index: j,
+                    query: item.query.name.clone(),
+                    arrival: item.arrival,
+                    shed_at: now,
+                }));
+                continue;
+            }
+            if let Some(deadline) = opts.deadline_for(tenant) {
                 if now > item.arrival + deadline {
                     self.tracer.instant(
                         TraceLevel::Protocol,
@@ -559,7 +993,7 @@ impl System {
                         now,
                         &[],
                     );
-                    outcomes[j] = Some(QueryOutcome::DeadlineMissed(ShedQuery {
+                    outcomes[j] = Some(ArrivalOutcome::DeadlineMissed(ShedQuery {
                         index: j,
                         query: item.query.name.clone(),
                         arrival: item.arrival,
@@ -569,7 +1003,7 @@ impl System {
                 }
             }
             let (out, slot_consumed) =
-                self.dispatch(workload, j, now, opts, dop, events, deferred, ops)?;
+                self.dispatch(workload, j, now, opts, dop, events, ws, ops)?;
             if let Some(o) = out {
                 outcomes[j] = Some(o);
             }
@@ -594,13 +1028,61 @@ impl System {
         opts: &WorkloadOptions,
         dop: usize,
         events: &mut EventQueue<Ev>,
-        deferred: &mut VecDeque<usize>,
+        ws: &mut WaitSet,
         ops: &mut ResolveCache,
-    ) -> Result<(Option<QueryOutcome>, bool), RunError> {
+    ) -> Result<(Option<ArrivalOutcome>, bool), RunError> {
         let item = &workload.items()[idx];
+        let tenant = item.tenant as usize;
+        // Cancellation beats service: an arrival whose cancel instant has
+        // already passed is abandoned before any route decision.
+        if item.cancel_at.is_some_and(|c| c <= now) {
+            self.tracer.instant(
+                TraceLevel::Protocol,
+                pid::SESSION,
+                idx as u32,
+                "canceled",
+                "session",
+                now,
+                &[],
+            );
+            return Ok((
+                Some(ArrivalOutcome::Canceled(ShedQuery {
+                    index: idx,
+                    query: item.query.name.clone(),
+                    arrival: item.arrival,
+                    shed_at: now,
+                })),
+                false,
+            ));
+        }
         let qptr = Arc::as_ptr(&item.query);
         if ops.as_ref().is_none_or(|(k, _)| *k != qptr) {
-            *ops = Some((qptr, item.query.resolve(&self.catalog)?));
+            match item.query.resolve(&self.catalog) {
+                Ok(op) => *ops = Some((qptr, op)),
+                Err(e) => {
+                    // A query that doesn't resolve fails alone; the rest of
+                    // the workload is unaffected (no slot was taken).
+                    self.tracer.instant(
+                        TraceLevel::Protocol,
+                        pid::SESSION,
+                        idx as u32,
+                        "failed",
+                        "session",
+                        now,
+                        &[],
+                    );
+                    return Ok((
+                        Some(ArrivalOutcome::Failed(FailedQuery {
+                            index: idx,
+                            query: item.query.name.clone(),
+                            arrival: item.arrival,
+                            failed_at: now,
+                            reason: e.to_string(),
+                        })),
+                        false,
+                    ));
+                }
+            }
         }
         let op = &ops.as_ref().expect("just populated").1;
         let mut route = self.resolve_route(op, &item.route);
@@ -615,15 +1097,16 @@ impl System {
         match route {
             Route::Host => self
                 .host_completion(item, op, idx, now, dop)
-                .map(|c| (Some(QueryOutcome::Completed(Arc::new(c))), false)),
+                .map(|c| (Some(ArrivalOutcome::Completed(Arc::new(c))), false)),
             Route::Device => {
-                match self.device_attempt(op, idx, now, opts)? {
+                let cancel_at = item.cancel_at.unwrap_or(SimTime::MAX);
+                match self.device_attempt(op, idx, now, cancel_at, opts)? {
                     DevAttempt::Deferred => {
                         // The attempt never reached a session: if it held
                         // the HalfOpen probe slot, give the slot back.
                         self.breaker.probe_abandoned();
-                        if let Some(bound) = opts.queue_bound {
-                            if deferred.len() >= bound {
+                        if let Some(bound) = opts.queue_bound_for(tenant) {
+                            if ws.waiting_for(tenant) >= bound {
                                 // Admission control: the wait queue is at
                                 // its bound, so shed this arrival instead
                                 // of letting the queue grow without limit.
@@ -637,7 +1120,7 @@ impl System {
                                     &[],
                                 );
                                 return Ok((
-                                    Some(QueryOutcome::Rejected(ShedQuery {
+                                    Some(ArrivalOutcome::Rejected(ShedQuery {
                                         index: idx,
                                         query: item.query.name.clone(),
                                         arrival: item.arrival,
@@ -647,13 +1130,16 @@ impl System {
                                 ));
                             }
                         }
-                        deferred.push_back(idx);
+                        ws.push(idx, tenant);
                         Ok((None, true))
                     }
                     DevAttempt::Done(sid, out) => {
                         self.breaker.record_success(breaker_now);
-                        // Hold the session slot until its simulated finish.
+                        // Hold the session slot until its simulated finish,
+                        // and charge the tenant's virtual time for exactly
+                        // the service the slot delivered.
                         events.push(out.finished_at, Ev::Close(sid));
+                        ws.charge(tenant, out.finished_at.saturating_sub(now));
                         self.run_faults.get_retries += out.get_retries;
                         let (agg_values, scalar) = item
                             .query
@@ -662,7 +1148,7 @@ impl System {
                         let latency = out.finished_at.saturating_sub(item.arrival);
                         self.query_span(idx, item.arrival, out.finished_at, Route::Device);
                         Ok((
-                            Some(QueryOutcome::Completed(Arc::new(QueryCompletion {
+                            Some(ArrivalOutcome::Completed(Arc::new(QueryCompletion {
                                 index: idx,
                                 query: item.query.name.clone(),
                                 route: Route::Device,
@@ -680,30 +1166,75 @@ impl System {
                             true,
                         ))
                     }
+                    DevAttempt::Canceled { at, get_retries } => {
+                        // Mid-flight abandonment: the driver closed the
+                        // session at the cancel instant. The slot held from
+                        // `now` to `at` was real service, so the tenant is
+                        // charged for it; the breaker learns nothing (a
+                        // cancellation is neither success nor failure), but
+                        // a held HalfOpen probe must be released.
+                        self.breaker.probe_abandoned();
+                        self.run_faults.get_retries += get_retries;
+                        events.push(at, Ev::SlotFreed);
+                        ws.charge(tenant, at.saturating_sub(now));
+                        Ok((
+                            Some(ArrivalOutcome::Canceled(ShedQuery {
+                                index: idx,
+                                query: item.query.name.clone(),
+                                arrival: item.arrival,
+                                shed_at: at,
+                            })),
+                            true,
+                        ))
+                    }
                     DevAttempt::Fault(fault) => {
-                        if !Self::fault_is_recoverable(&fault.error) {
-                            return Err(RunError::from(fault));
-                        }
                         self.breaker.record_failure(breaker_now);
-                        // Degrade this one query to the host. Unlike the
-                        // single-query path there is no timing reset — the
-                        // rest of the workload keeps its timelines — so the
-                        // wasted device time is charged where it belongs:
-                        // the fallback starts no earlier than the fault.
-                        // `fault.wasted` is an absolute instant (the earliest
-                        // moment a fallback can start); only the time past
-                        // this attempt's start was actually burned.
-                        self.run_faults.fallbacks += 1;
                         self.run_faults.get_retries += fault.get_retries;
                         self.run_faults.wasted_ns += fault.wasted.saturating_sub(now).as_nanos();
+                        // `fault.wasted` is an absolute instant (the
+                        // earliest moment anything can happen after the
+                        // fault); only the time past this attempt's start
+                        // was actually burned. The driver closed the failed
+                        // session on the abandon path, so its slot is free
+                        // again at `start` — admit the next waiter, or it
+                        // would be stranded and the workload could never
+                        // drain. Either way the tenant pays virtual time
+                        // for the device service the attempt consumed.
                         let start = now.max(fault.wasted);
-                        // The driver closed the failed session on the abandon
-                        // path, so its slot is free again at `start` — admit
-                        // the next waiter, or it would be stranded and the
-                        // workload could never drain.
                         events.push(start, Ev::SlotFreed);
+                        ws.charge(tenant, start.saturating_sub(now));
+                        if !Self::fault_is_recoverable(&fault.error) {
+                            // Unrecoverable: this one query dies, with the
+                            // fault spelled out; the workload carries on.
+                            self.tracer.instant(
+                                TraceLevel::Protocol,
+                                pid::SESSION,
+                                idx as u32,
+                                "failed",
+                                "session",
+                                start,
+                                &[],
+                            );
+                            return Ok((
+                                Some(ArrivalOutcome::Failed(FailedQuery {
+                                    index: idx,
+                                    query: item.query.name.clone(),
+                                    arrival: item.arrival,
+                                    failed_at: start,
+                                    reason: fault.error.to_string(),
+                                })),
+                                true,
+                            ));
+                        }
+                        // Recoverable: degrade this one query to the host.
+                        // Unlike the single-query path there is no timing
+                        // reset — the rest of the workload keeps its
+                        // timelines — so the wasted device time is charged
+                        // where it belongs: the fallback starts no earlier
+                        // than the fault.
+                        self.run_faults.fallbacks += 1;
                         self.host_completion(item, op, idx, start, dop)
-                            .map(|c| (Some(QueryOutcome::Completed(Arc::new(c))), true))
+                            .map(|c| (Some(ArrivalOutcome::Completed(Arc::new(c))), true))
                     }
                 }
             }
@@ -737,13 +1268,15 @@ impl System {
     }
 
     /// One device-route attempt at `now`, under the workload's interface
-    /// model. A full device is reported as [`DevAttempt::Deferred`], not an
-    /// error — the scheduler queues the query for the next free slot.
+    /// model and the item's cancellation instant. A full device is
+    /// reported as [`DevAttempt::Deferred`], not an error — the scheduler
+    /// queues the query for the next free slot.
     fn device_attempt(
         &mut self,
         op: &QueryOp,
         idx: usize,
         now: SimTime,
+        cancel_at: SimTime,
         opts: &WorkloadOptions,
     ) -> Result<DevAttempt, RunError> {
         let driver = SessionDriver::new(self.cfg.session_policy.clone())
@@ -765,10 +1298,16 @@ impl System {
                     Ok(DevAttempt::Deferred)
                 }
                 Err(fault) => Ok(DevAttempt::Fault(fault)),
-                Ok(sid) => match driver.collect_direct(dev, sid, now, now + timeout) {
-                    Ok(out) => Ok(DevAttempt::Done(sid, out)),
-                    Err(fault) => Ok(DevAttempt::Fault(fault)),
-                },
+                Ok(sid) => {
+                    match driver.collect_direct_cancellable(dev, sid, now, now + timeout, cancel_at)
+                    {
+                        Ok(Collected::Done(out)) => Ok(DevAttempt::Done(sid, out)),
+                        Ok(Collected::Canceled { at, get_retries }) => {
+                            Ok(DevAttempt::Canceled { at, get_retries })
+                        }
+                        Err(fault) => Ok(DevAttempt::Fault(fault)),
+                    }
+                }
             },
             InterfaceMode::Linked => match driver.open_linked(dev, link, cmd_latency_ns, op, now) {
                 Err(fault)
@@ -781,15 +1320,19 @@ impl System {
                 }
                 Err(fault) => Ok(DevAttempt::Fault(fault)),
                 Ok((sid, open_done)) => {
-                    match driver.collect_linked(
+                    match driver.collect_linked_cancellable(
                         dev,
                         link,
                         &mut self.host_cpu,
                         sid,
                         now,
                         open_done + timeout,
+                        cancel_at,
                     ) {
-                        Ok(out) => Ok(DevAttempt::Done(sid, out)),
+                        Ok(Collected::Done(out)) => Ok(DevAttempt::Done(sid, out)),
+                        Ok(Collected::Canceled { at, get_retries }) => {
+                            Ok(DevAttempt::Canceled { at, get_retries })
+                        }
                         Err(fault) => Ok(DevAttempt::Fault(fault)),
                     }
                 }
@@ -866,10 +1409,7 @@ mod tests {
             let rep = sys
                 .run_workload(
                     &Workload::burst(&q, 4),
-                    WorkloadOptions {
-                        interface,
-                        ..WorkloadOptions::default()
-                    },
+                    WorkloadOptions::new().interface(interface),
                 )
                 .unwrap();
             assert_eq!(rep.completions.len(), 4);
@@ -969,10 +1509,7 @@ mod tests {
             });
             sys.run_workload(
                 &Workload::burst(&q, 8),
-                WorkloadOptions {
-                    interface: InterfaceMode::Direct,
-                    ..WorkloadOptions::default()
-                },
+                WorkloadOptions::new().interface(InterfaceMode::Direct),
             )
             .unwrap()
         };
@@ -1019,13 +1556,7 @@ mod tests {
             w.push(group.clone(), RoutePolicy::Natural, SimTime::ZERO);
             w.push(q.clone(), RoutePolicy::Natural, SimTime::ZERO);
             let rep = sys
-                .run_workload(
-                    &w,
-                    WorkloadOptions {
-                        interface,
-                        ..WorkloadOptions::default()
-                    },
-                )
+                .run_workload(&w, WorkloadOptions::new().interface(interface))
                 .unwrap();
             assert_eq!(rep.completions.len(), 3, "{interface:?}");
             assert_eq!(rep.completions[0].route, Route::Device, "{interface:?}");
@@ -1101,10 +1632,7 @@ mod tests {
         let rep = sys
             .run_workload(
                 &Workload::burst(&q, 6),
-                WorkloadOptions {
-                    queue_bound: Some(1),
-                    ..WorkloadOptions::default()
-                },
+                WorkloadOptions::new().queue_bound(1),
             )
             .unwrap();
         // One slot plus one queue place: the other four arrivals are shed.
@@ -1120,7 +1648,7 @@ mod tests {
         for (i, o) in rep.outcomes.iter().enumerate() {
             assert_eq!(o.index(), i);
         }
-        assert!(matches!(rep.outcomes[2], QueryOutcome::Rejected(_)));
+        assert!(matches!(rep.outcomes[2], ArrivalOutcome::Rejected(_)));
         // Throughput counts only completed queries.
         let expect = 2.0 / rep.makespan.as_secs_f64();
         assert!((rep.throughput_qps - expect).abs() < 1e-9);
@@ -1135,10 +1663,7 @@ mod tests {
         let rep = sys
             .run_workload(
                 &Workload::burst(&q, 3),
-                WorkloadOptions {
-                    deadline: Some(SimTime::from_nanos(1)),
-                    ..WorkloadOptions::default()
-                },
+                WorkloadOptions::new().deadline(SimTime::from_nanos(1)),
             )
             .unwrap();
         // The first query holds the only slot well past the 1 ns deadline,
@@ -1150,7 +1675,7 @@ mod tests {
             .outcomes
             .iter()
             .filter_map(|o| match o {
-                QueryOutcome::DeadlineMissed(s) => Some(s.shed_at),
+                ArrivalOutcome::DeadlineMissed(s) => Some(s.shed_at),
                 _ => None,
             })
             .collect();
@@ -1167,6 +1692,7 @@ mod tests {
         assert_eq!(rep.makespan, SimTime::ZERO);
         assert_eq!(rep.throughput_qps, 0.0);
         assert_eq!(rep.latency, LatencyStats::default());
+        assert!(rep.tenants.is_empty());
     }
 
     #[test]
@@ -1180,5 +1706,263 @@ mod tests {
         assert_ne!(at(&a), at(&c));
         assert_eq!(a.len(), 16);
         assert!(!a.is_empty());
+        // The generalized constructor reproduces the uniform stream
+        // bit-for-bit.
+        let d = Workload::open_stream_with(
+            &q,
+            16,
+            SimTime::from_nanos(50_000),
+            3,
+            ArrivalModel::Uniform,
+        );
+        assert_eq!(at(&a), at(&d));
+    }
+
+    #[test]
+    fn invalid_tenant_registries_fail_validation_before_any_work() {
+        use crate::serving::TenantSpec;
+        let q = sum_query();
+        let mut sys = build_sys(DeviceKind::SmartSsd, |b| b);
+        let zero = WorkloadOptions::new().tenant(TenantSpec::new("a").weight(0));
+        assert_eq!(
+            zero.try_validate().unwrap_err(),
+            ConfigError::ZeroTenantWeight { tenant: 0 }
+        );
+        let dup = WorkloadOptions::new()
+            .tenant(TenantSpec::new("a"))
+            .tenant(TenantSpec::new("a"));
+        assert_eq!(
+            dup.try_validate().unwrap_err(),
+            ConfigError::DuplicateTenant { tenant: 1 }
+        );
+        let err = sys.run_workload(&Workload::burst(&q, 1), zero).unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            RunErrorKind::Config(ConfigError::ZeroTenantWeight { tenant: 0 })
+        ));
+        // An item tagged with an unregistered tenant is a config error too.
+        let mut w = Workload::new();
+        w.push_item(WorkloadItem {
+            query: Arc::new(q),
+            route: RoutePolicy::Natural,
+            arrival: SimTime::ZERO,
+            tenant: 3,
+            cancel_at: None,
+        });
+        let err = sys
+            .run_workload(&w, WorkloadOptions::default())
+            .unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            RunErrorKind::Config(ConfigError::UnknownTenant { tenant: 3 })
+        ));
+    }
+
+    #[test]
+    fn wfq_shares_slots_by_weight_under_backlog() {
+        use crate::serving::TenantSpec;
+        let q = sum_query();
+        // One slot, two tenants with a 3:1 weight ratio, both with deep
+        // simultaneous backlogs. Count whose queries occupy the first
+        // completions: the heavy tenant should finish ~3x as many among
+        // any prefix once both are waiting.
+        let run = |fair: bool| {
+            let mut sys = build_sys(DeviceKind::SmartSsd, |b| {
+                b.tweak(|c| c.smart.max_sessions = 1)
+            });
+            let mut w = Workload::new();
+            let shared = Arc::new(q.clone());
+            for i in 0..16 {
+                // Interleave submission so FIFO alternates tenants.
+                w.push_item(WorkloadItem {
+                    query: Arc::clone(&shared),
+                    route: RoutePolicy::Natural,
+                    arrival: SimTime::ZERO,
+                    tenant: (i % 2) as u32,
+                    cancel_at: None,
+                });
+            }
+            sys.run_workload(
+                &w,
+                WorkloadOptions::new()
+                    .tenant(TenantSpec::new("heavy").weight(3))
+                    .tenant(TenantSpec::new("light").weight(1))
+                    .fair_queueing(fair),
+            )
+            .unwrap()
+        };
+        let rep = run(true);
+        assert_eq!(rep.completions.len(), 16);
+        assert_eq!(rep.tenants.len(), 2);
+        assert_eq!(rep.tenants[0].arrivals, 8);
+        assert_eq!(rep.tenants[0].completed, 8);
+        // Among the first 8 completions (by finish time), the weight-3
+        // tenant should hold a clear majority.
+        let mut done: Vec<_> = rep.completions.iter().collect();
+        done.sort_by_key(|c| c.finished_at);
+        let heavy_early = done[..8]
+            .iter()
+            .filter(|c| rep.outcomes[c.index].index() == c.index && c.index % 2 == 0)
+            .count();
+        assert!(
+            heavy_early >= 5,
+            "weight-3 tenant got only {heavy_early}/8 early slots"
+        );
+        // The light tenant is never starved: all of its queries complete.
+        assert_eq!(rep.tenants[1].completed, 8);
+        // FIFO mode alternates strictly, so the heavy tenant gets no edge.
+        let fifo = run(false);
+        let mut fifo_done: Vec<_> = fifo.completions.iter().collect();
+        fifo_done.sort_by_key(|c| c.finished_at);
+        let heavy_fifo = fifo_done[..8].iter().filter(|c| c.index % 2 == 0).count();
+        assert_eq!(heavy_fifo, 4);
+    }
+
+    #[test]
+    fn priority_lane_preempts_waiting_lower_lanes() {
+        use crate::serving::TenantSpec;
+        let q = sum_query();
+        let mut sys = build_sys(DeviceKind::SmartSsd, |b| {
+            b.tweak(|c| c.smart.max_sessions = 1)
+        });
+        let shared = Arc::new(q.clone());
+        let mut w = Workload::new();
+        // Four lane-1 arrivals first (submission order), then one lane-0
+        // arrival a hair later — while the first lane-1 query holds the
+        // slot. The lane-0 waiter must be admitted next despite arriving
+        // last and having the smaller weight.
+        for _ in 0..4 {
+            w.push_item(WorkloadItem {
+                query: Arc::clone(&shared),
+                route: RoutePolicy::Natural,
+                arrival: SimTime::ZERO,
+                tenant: 1,
+                cancel_at: None,
+            });
+        }
+        w.push_item(WorkloadItem {
+            query: Arc::clone(&shared),
+            route: RoutePolicy::Natural,
+            arrival: SimTime::from_nanos(1),
+            tenant: 0,
+            cancel_at: None,
+        });
+        let rep = sys
+            .run_workload(
+                &w,
+                WorkloadOptions::new()
+                    .tenant(TenantSpec::new("urgent").lane(0))
+                    .tenant(TenantSpec::new("batch").lane(1).weight(100)),
+            )
+            .unwrap();
+        assert_eq!(rep.completions.len(), 5);
+        let urgent = rep
+            .completions
+            .iter()
+            .find(|c| c.index == 4)
+            .expect("urgent query completed");
+        let mut finishes: Vec<_> = rep.completions.iter().map(|c| c.finished_at).collect();
+        finishes.sort();
+        // The urgent query finishes second: right after the slot-holder,
+        // ahead of every already-waiting batch query.
+        assert_eq!(urgent.finished_at, finishes[1]);
+    }
+
+    #[test]
+    fn cancellation_sheds_waiters_and_midflight_sessions() {
+        let q = sum_query();
+        let mut sys = build_sys(DeviceKind::SmartSsd, |b| {
+            b.tweak(|c| c.smart.max_sessions = 1)
+        });
+        // Item 0 runs and is canceled mid-flight (cancel well before its
+        // natural finish); item 1 waits and is canceled before its turn;
+        // item 2 completes normally in the slot cancellation freed.
+        let shared = Arc::new(q.clone());
+        let mut w = Workload::new();
+        w.push_item(WorkloadItem {
+            query: Arc::clone(&shared),
+            route: RoutePolicy::Natural,
+            arrival: SimTime::ZERO,
+            tenant: 0,
+            cancel_at: Some(SimTime::from_nanos(10)),
+        });
+        w.push_item(WorkloadItem {
+            query: Arc::clone(&shared),
+            route: RoutePolicy::Natural,
+            arrival: SimTime::ZERO,
+            tenant: 0,
+            cancel_at: Some(SimTime::from_nanos(5)),
+        });
+        w.push_item(WorkloadItem {
+            query: Arc::clone(&shared),
+            route: RoutePolicy::Natural,
+            arrival: SimTime::ZERO,
+            tenant: 0,
+            cancel_at: None,
+        });
+        let rep = sys.run_workload(&w, WorkloadOptions::default()).unwrap();
+        assert_eq!(rep.canceled, 2);
+        assert_eq!(rep.completions.len(), 1);
+        assert_eq!(rep.completions[0].index, 2);
+        // The mid-flight cancel freed its slot at exactly the cancel
+        // instant, so the survivor started then — far earlier than the
+        // canceled query's natural finish.
+        match &rep.outcomes[0] {
+            ArrivalOutcome::Canceled(s) => assert_eq!(s.shed_at, SimTime::from_nanos(10)),
+            o => panic!("expected canceled, got {o:?}"),
+        }
+        // No session leaked: cancellation closed the device session.
+        assert_eq!(sys.open_device_sessions(), 0);
+        // Conservation still holds with cancellations in the mix.
+        assert_eq!(rep.completions.len() as u64 + rep.canceled, 3);
+    }
+
+    #[test]
+    fn unresolvable_query_fails_alone_without_aborting() {
+        let bad = Query {
+            name: "missing".into(),
+            op: OpTemplate::ScanAgg {
+                table: "no_such_table".into(),
+                spec: ScanAggSpec {
+                    pred: Pred::Const(true),
+                    aggs: vec![AggSpec::sum(Expr::col(1))],
+                },
+            },
+            finalize: Finalize::AggRow,
+        };
+        let q = sum_query();
+        let mut sys = build_sys(DeviceKind::SmartSsd, |b| b);
+        let mut w = Workload::new();
+        w.push(q.clone(), RoutePolicy::Natural, SimTime::ZERO);
+        w.push(bad, RoutePolicy::Natural, SimTime::ZERO);
+        w.push(q, RoutePolicy::Natural, SimTime::ZERO);
+        let rep = sys.run_workload(&w, WorkloadOptions::default()).unwrap();
+        assert_eq!(rep.failed, 1);
+        assert_eq!(rep.completions.len(), 2);
+        match &rep.outcomes[1] {
+            ArrivalOutcome::Failed(f) => {
+                assert_eq!(f.index, 1);
+                assert!(f.reason.contains("no_such_table"), "reason: {}", f.reason);
+            }
+            o => panic!("expected failed, got {o:?}"),
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_from_parts_matches_builder() {
+        let a = WorkloadOptions::from_parts(
+            InterfaceMode::Direct,
+            Some(4),
+            TraceLevel::default(),
+            Some(8),
+            Some(SimTime::from_nanos(100)),
+        );
+        let b = WorkloadOptions::new()
+            .interface(InterfaceMode::Direct)
+            .dop(4)
+            .queue_bound(8)
+            .deadline(SimTime::from_nanos(100));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 }

@@ -243,6 +243,8 @@ pub mod strategy {
         (A.0, B.1, C.2, D.3)
         (A.0, B.1, C.2, D.3, E.4)
         (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
     }
 
     /// A `Vec` of strategies generates a fixed-shape `Vec` of values —
@@ -362,6 +364,32 @@ pub mod collection {
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let n = rng.int_inclusive(self.size.lo as i128, self.size.hi as i128) as usize;
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `None` half the time and `Some` of the inner strategy's
+    /// value the other half (upstream's default `Option` weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.int_inclusive(0, 1) == 1 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
         }
     }
 }

@@ -38,4 +38,6 @@ pub use plan::{Catalog, Finalize, OpTemplate, Query};
 pub use planner::{
     choose_route, choose_route_traced, CostEstimate, PlannerConfig, PlannerInputs, Route,
 };
-pub use session::{SessionDriver, SessionError, SessionFault, SessionOutcome, SessionPolicy};
+pub use session::{
+    Collected, SessionDriver, SessionError, SessionFault, SessionOutcome, SessionPolicy,
+};

@@ -141,6 +141,28 @@ impl fmt::Display for SessionFault {
 
 impl std::error::Error for SessionFault {}
 
+/// Result of a *cancellable* collection: either the session ran to
+/// completion, or the host issued an early `CLOSE` at the cancel instant.
+/// Cancellation is not a fault — it is the host changing its mind (a
+/// client disconnect, a shed mid-flight query, an admission-control
+/// preemption) — so it gets its own type instead of a [`SessionError`].
+#[derive(Debug, Clone)]
+pub enum Collected {
+    /// The session ran to completion; it is left **open** so a scheduler
+    /// can hold its slot until the simulated close.
+    Done(SessionOutcome),
+    /// The host issued `CLOSE` at `at`, before completion. The session has
+    /// been closed (best-effort) and its slot is free from `at` on; any
+    /// un-consumed device batches are abandoned — their remaining work is
+    /// genuinely saved, which is the scheduling value of cancellation.
+    Canceled {
+        /// The simulated instant the `CLOSE` took effect.
+        at: SimTime,
+        /// Stalled `GET` polls spent before the cancel.
+        get_retries: u64,
+    },
+}
+
 /// Everything a completed session produced.
 #[derive(Debug, Clone)]
 pub struct SessionOutcome {
@@ -310,12 +332,45 @@ impl SessionDriver {
         from: SimTime,
         deadline: SimTime,
     ) -> Result<SessionOutcome, SessionFault> {
+        match self.collect_linked_cancellable(
+            dev,
+            link,
+            host_cpu,
+            sid,
+            from,
+            deadline,
+            SimTime::MAX,
+        )? {
+            Collected::Done(out) => Ok(out),
+            Collected::Canceled { .. } => unreachable!("a MAX cancel instant never fires"),
+        }
+    }
+
+    /// [`SessionDriver::collect_linked`] with mid-flight cancellation: if
+    /// the collection clock would pass `cancel_at` before the session
+    /// completes, the host stops polling and `CLOSE`s the session there
+    /// instead — the session slot is free from `cancel_at` on, and device
+    /// batches never consumed are work genuinely saved.
+    #[allow(clippy::too_many_arguments)] // the linked path's full resource set
+    pub fn collect_linked_cancellable(
+        &self,
+        dev: &mut SmartSsd,
+        link: &mut Bus,
+        host_cpu: &mut CpuModel,
+        sid: SessionId,
+        from: SimTime,
+        deadline: SimTime,
+        cancel_at: SimTime,
+    ) -> Result<Collected, SessionFault> {
         let mut rows: Vec<Tuple> = Vec::new();
         let mut aggs: Option<Vec<AggState>> = None;
         let mut t = from;
         let mut stalls: u32 = 0;
         let mut get_retries: u64 = 0;
         loop {
+            if t >= cancel_at {
+                return Ok(self.cancel(dev, sid, cancel_at, get_retries));
+            }
             match dev.get(sid, t) {
                 Ok(GetResponse::Running { ready_at }) => {
                     if stalls > 0 {
@@ -376,13 +431,36 @@ impl SessionDriver {
             }
         }
         let work = dev.session_work(sid).copied().unwrap_or_default();
-        Ok(SessionOutcome {
+        Ok(Collected::Done(SessionOutcome {
             rows,
             aggs,
             work,
             finished_at: t,
             get_retries,
-        })
+        }))
+    }
+
+    /// Early `CLOSE` on the cancel path: closes the session (best-effort —
+    /// a crashed device may already have dropped it) and emits the
+    /// protocol instant at the cancel time.
+    fn cancel(
+        &self,
+        dev: &mut SmartSsd,
+        sid: SessionId,
+        at: SimTime,
+        get_retries: u64,
+    ) -> Collected {
+        let _ = dev.close(sid);
+        self.tracer.instant(
+            TraceLevel::Protocol,
+            pid::SESSION,
+            self.lane,
+            "canceled",
+            "session",
+            at,
+            &[("get_retries", get_retries as f64)],
+        );
+        Collected::Canceled { at, get_retries }
     }
 
     /// `CLOSE`s a successfully collected session, emitting the protocol
@@ -456,12 +534,32 @@ impl SessionDriver {
         from: SimTime,
         deadline: SimTime,
     ) -> Result<SessionOutcome, SessionFault> {
+        match self.collect_direct_cancellable(dev, sid, from, deadline, SimTime::MAX)? {
+            Collected::Done(out) => Ok(out),
+            Collected::Canceled { .. } => unreachable!("a MAX cancel instant never fires"),
+        }
+    }
+
+    /// [`SessionDriver::collect_direct`] with mid-flight cancellation —
+    /// see [`SessionDriver::collect_linked_cancellable`] for the cancel
+    /// semantics.
+    pub fn collect_direct_cancellable(
+        &self,
+        dev: &mut SmartSsd,
+        sid: SessionId,
+        from: SimTime,
+        deadline: SimTime,
+        cancel_at: SimTime,
+    ) -> Result<Collected, SessionFault> {
         let mut rows: Vec<Tuple> = Vec::new();
         let mut aggs: Option<Vec<AggState>> = None;
         let mut t = from;
         let mut stalls: u32 = 0;
         let mut get_retries: u64 = 0;
         loop {
+            if t >= cancel_at {
+                return Ok(self.cancel(dev, sid, cancel_at, get_retries));
+            }
             match dev.get(sid, t) {
                 Ok(GetResponse::Running { ready_at }) => {
                     if stalls > 0 {
@@ -498,13 +596,13 @@ impl SessionDriver {
             }
         }
         let work = dev.session_work(sid).copied().unwrap_or_default();
-        Ok(SessionOutcome {
+        Ok(Collected::Done(SessionOutcome {
             rows,
             aggs,
             work,
             finished_at: t,
             get_retries,
-        })
+        }))
     }
 
     /// Simulated time embedded in an error, if the device reported one —
@@ -661,6 +759,51 @@ mod tests {
             SessionError::Device(DeviceError::TooManySessions)
         );
         assert_eq!(fault.get_retries, 0);
+    }
+
+    #[test]
+    fn cancellation_closes_session_and_frees_its_slot() {
+        // A single-slot device: cancel the first session mid-flight, then a
+        // second must open — proof the early CLOSE really freed the slot.
+        let (mut dev, tref) = loaded(
+            FlashConfig::default(),
+            DeviceConfig {
+                max_sessions: 1,
+                ..DeviceConfig::default()
+            },
+            50_000,
+        );
+        let driver = SessionDriver::default();
+        let op = count_op(tref);
+        let sid = driver.open(&mut dev, &op, SimTime::ZERO).unwrap();
+        let cancel_at = SimTime::from_nanos(10);
+        let got = driver
+            .collect_direct_cancellable(&mut dev, sid, SimTime::ZERO, SimTime::MAX, cancel_at)
+            .unwrap();
+        match got {
+            Collected::Canceled { at, .. } => assert_eq!(at, cancel_at),
+            Collected::Done(_) => panic!("a 10 ns budget cannot finish a 50k-row scan"),
+        }
+        assert_eq!(dev.open_sessions(), 0, "cancel must close the session");
+        let sid2 = driver.open(&mut dev, &op, cancel_at).unwrap();
+        let done = driver.drain_direct(&mut dev, sid2, cancel_at).unwrap();
+        assert_eq!(done.aggs.unwrap()[0].finish(), 50_000);
+    }
+
+    #[test]
+    fn max_cancel_instant_is_a_plain_collection() {
+        let (mut dev, tref) = loaded(FlashConfig::default(), DeviceConfig::default(), 10_000);
+        let driver = SessionDriver::default();
+        let op = count_op(tref);
+        let sid = driver.open(&mut dev, &op, SimTime::ZERO).unwrap();
+        let got = driver
+            .collect_direct_cancellable(&mut dev, sid, SimTime::ZERO, SimTime::MAX, SimTime::MAX)
+            .unwrap();
+        let Collected::Done(out) = got else {
+            panic!("MAX cancel must never fire");
+        };
+        assert_eq!(out.aggs.as_ref().unwrap()[0].finish(), 10_000);
+        driver.close(&mut dev, sid, &out).unwrap();
     }
 
     #[test]

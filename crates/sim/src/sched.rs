@@ -164,21 +164,84 @@ impl LatencyStats {
     }
 }
 
+/// The distribution of inter-arrival gaps drawn by [`ArrivalGen`].
+///
+/// Every model is parameterized by the generator's `mean_gap` and hits that
+/// mean (exactly for the integer models, asymptotically for the float
+/// ones); they differ in their higher moments — which is the whole point of
+/// an open-system serving experiment, since tail latency under load is
+/// driven by arrival burstiness, not the mean rate.
+///
+/// | model | gap distribution | mean | variance |
+/// |---|---|---|---|
+/// | `Uniform` | uniform on `[0, 2m)` | `m` | `m²/3` |
+/// | `Exponential` | `Exp(1/m)` (Poisson process) | `m` | `m²` |
+/// | `Pareto{alpha}` | Pareto, scale `m(α-1)/α` | `m` | `∞` for `α ≤ 2` |
+/// | `Diurnal{..}` | uniform, triangle-wave rate envelope | `m` time-averaged | phase-dependent |
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ArrivalModel {
+    /// Gaps uniform on `[0, 2 * mean_gap)` — the original model. Mean
+    /// `mean_gap`, variance `mean_gap²/3`. Integer arithmetic only.
+    #[default]
+    Uniform,
+    /// Exponentially distributed gaps — a Poisson arrival process, the
+    /// canonical open-system model. Mean `mean_gap`, variance `mean_gap²`
+    /// (coefficient of variation 1, burstier than `Uniform`). Uses one
+    /// `f64` log per draw; still bit-reproducible for a fixed seed.
+    Exponential,
+    /// Heavy-tailed Pareto gaps with shape `alpha` (> 1) and scale
+    /// `mean_gap * (alpha - 1) / alpha`, so the mean is `mean_gap`. For
+    /// `alpha <= 2` the variance is infinite: rare gigantic gaps separate
+    /// dense arrival trains — the classic flash-crowd shape. Uses one
+    /// `f64` power per draw; still bit-reproducible for a fixed seed.
+    Pareto {
+        /// Tail shape (> 1). Smaller is heavier; 1.5–2.5 is typical.
+        alpha: f64,
+    },
+    /// Uniform gaps scaled by a deterministic triangle-wave rate envelope
+    /// of the given period: the instantaneous mean gap sweeps linearly
+    /// from `mean_gap * (1 - a)` (peak rate) up to `mean_gap * (1 + a)`
+    /// (trough) and back, `a = amplitude_pct / 100`. The *time-averaged*
+    /// instantaneous mean over a full period is `mean_gap`; the per-arrival
+    /// sample mean sits below it (more arrivals land in the fast phase —
+    /// the inspection paradox, which is exactly the burstiness a diurnal
+    /// load curve exists to model). Integer arithmetic only.
+    Diurnal {
+        /// Envelope period in simulated time (one full day of the model).
+        period: SimTime,
+        /// Peak-to-mean swing in percent, clamped to `0..=100`.
+        amplitude_pct: u32,
+    },
+}
+
 /// Deterministic inter-arrival generator for open-arrival workloads.
 ///
-/// Gaps are drawn uniformly from `[0, 2 * mean_gap)` with a seeded
-/// xorshift64* generator, so the mean inter-arrival time is `mean_gap` and
-/// the stream is bit-reproducible for a fixed seed. Integer arithmetic only
-/// — no floating point touches the schedule.
+/// Gaps are drawn from a seeded xorshift64* generator shaped by an
+/// [`ArrivalModel`] (uniform by default), so the mean inter-arrival time is
+/// `mean_gap` and the stream is bit-reproducible for a fixed seed. The
+/// integer models (`Uniform`, `Diurnal`) never touch floating point; the
+/// float models (`Exponential`, `Pareto`) use one libm call per draw and
+/// are still deterministic for a fixed seed on a given platform.
 #[derive(Debug, Clone)]
 pub struct ArrivalGen {
     state: u64,
     mean_gap: SimTime,
+    model: ArrivalModel,
+    /// Cumulative stream time — drives the diurnal envelope's phase.
+    now: SimTime,
 }
 
 impl ArrivalGen {
-    /// A generator with the given mean inter-arrival gap and seed.
+    /// A generator with the given mean inter-arrival gap and seed, drawing
+    /// uniform gaps ([`ArrivalModel::Uniform`]).
     pub fn new(mean_gap: SimTime, seed: u64) -> Self {
+        Self::with_model(mean_gap, seed, ArrivalModel::Uniform)
+    }
+
+    /// A generator with the given mean gap, seed, and arrival model. The
+    /// same seed under `ArrivalModel::Uniform` reproduces [`ArrivalGen::new`]
+    /// bit-for-bit.
+    pub fn with_model(mean_gap: SimTime, seed: u64, model: ArrivalModel) -> Self {
         // One splitmix64 step scrambles the seed so nearby seeds diverge
         // and the xorshift state is never zero.
         let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
@@ -188,6 +251,8 @@ impl ArrivalGen {
         Self {
             state: if z == 0 { 0x9E3779B97F4A7C15 } else { z },
             mean_gap,
+            model,
+            now: SimTime::ZERO,
         }
     }
 
@@ -200,8 +265,16 @@ impl ArrivalGen {
         x.wrapping_mul(0x2545F4914F6CDD1D)
     }
 
-    /// Draws the next inter-arrival gap, uniform in `[0, 2 * mean_gap)`.
-    pub fn next_gap(&mut self) -> SimTime {
+    /// A draw in `(0, 1]`: 53 random bits, never exactly zero, so `ln` and
+    /// negative powers are always finite.
+    fn next_unit(&mut self) -> f64 {
+        let bits = self.next_u64() >> 11;
+        (bits + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// One uniform draw on `[0, 2 * mean_gap)` — the base gap every integer
+    /// model starts from.
+    fn uniform_gap(&mut self) -> SimTime {
         let span = self.mean_gap.as_nanos().saturating_mul(2);
         if span == 0 {
             return SimTime::ZERO;
@@ -211,9 +284,67 @@ impl ArrivalGen {
         SimTime::from_nanos(self.next_u64() % span)
     }
 
+    /// The diurnal envelope at stream phase `p` of `period`, as a rational
+    /// scale factor `(num, den)`: a triangle wave from `1 - a` up to
+    /// `1 + a` and back, `a = amplitude_pct / 100`. Integer-only.
+    fn diurnal_scale(p: u64, period: u64, amplitude_pct: u32) -> (u128, u128) {
+        let amp = amplitude_pct.min(100) as i128;
+        let half = (period / 2).max(1) as i128;
+        let p = p as i128;
+        // tri(p) sweeps -1 → 1 over the first half-period, 1 → -1 over the
+        // second, as the exact rational (tri_num / half).
+        let tri_num = if p < half {
+            2 * p - half
+        } else {
+            half - 2 * (p - half)
+        };
+        let num = 100 * half + amp * tri_num;
+        (num.max(0) as u128, (100 * half) as u128)
+    }
+
+    /// Draws the next inter-arrival gap from the configured model.
+    pub fn next_gap(&mut self) -> SimTime {
+        let mean = self.mean_gap.as_nanos();
+        let gap = match self.model {
+            ArrivalModel::Uniform => self.uniform_gap(),
+            ArrivalModel::Exponential => {
+                // Inversion: -m * ln(U), U in (0, 1].
+                let draw = -(mean as f64) * self.next_unit().ln();
+                SimTime::from_nanos(draw.min(u64::MAX as f64) as u64)
+            }
+            ArrivalModel::Pareto { alpha } => {
+                // Inversion: scale * U^(-1/alpha), scale chosen so the mean
+                // is `mean_gap` (requires alpha > 1; flatter shapes are
+                // clamped just above it so the scale stays positive).
+                let a = alpha.max(1.000_001);
+                let scale = mean as f64 * (a - 1.0) / a;
+                let draw = scale * self.next_unit().powf(-1.0 / a);
+                SimTime::from_nanos(draw.min(u64::MAX as f64) as u64)
+            }
+            ArrivalModel::Diurnal {
+                period,
+                amplitude_pct,
+            } => {
+                let base = self.uniform_gap().as_nanos() as u128;
+                let period = period.as_nanos();
+                if period == 0 {
+                    SimTime::from_nanos(base as u64)
+                } else {
+                    let (num, den) =
+                        Self::diurnal_scale(self.now.as_nanos() % period, period, amplitude_pct);
+                    SimTime::from_nanos((base * num / den).min(u64::MAX as u128) as u64)
+                }
+            }
+        };
+        self.now += gap;
+        gap
+    }
+
     /// Absolute arrival times of `n` queries: a cumulative sum of gaps,
     /// starting with the first gap (the stream is open — nothing arrives at
-    /// exactly time zero unless the gap draws zero).
+    /// exactly time zero unless the gap draws zero). Gap moments depend on
+    /// the configured [`ArrivalModel`] — see its table; the default
+    /// `Uniform` model draws from `[0, 2 * mean_gap)`.
     pub fn arrivals(&mut self, n: usize) -> Vec<SimTime> {
         let mut t = SimTime::ZERO;
         (0..n)
@@ -301,5 +432,135 @@ mod tests {
         // A different seed yields a different schedule.
         let ys = ArrivalGen::new(SimTime::from_nanos(1_000), 43).arrivals(64);
         assert_ne!(xs, ys);
+    }
+
+    /// Gaps drawn by one generator with the given model.
+    fn gaps(model: ArrivalModel, mean_ns: u64, seed: u64, n: usize) -> Vec<u64> {
+        let mut g = ArrivalGen::with_model(SimTime::from_nanos(mean_ns), seed, model);
+        (0..n).map(|_| g.next_gap().as_nanos()).collect()
+    }
+
+    fn mean_of(xs: &[u64]) -> f64 {
+        xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64
+    }
+
+    fn variance_of(xs: &[u64]) -> f64 {
+        let m = mean_of(xs);
+        xs.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / xs.len() as f64
+    }
+
+    /// `with_model(Uniform)` is the same stream `new` always produced —
+    /// the refactor must not move a single seeded arrival, or every
+    /// open-stream experiment silently re-randomizes.
+    #[test]
+    fn uniform_model_is_bit_identical_to_legacy_constructor() {
+        let legacy = ArrivalGen::new(SimTime::from_nanos(12_345), 7).arrivals(256);
+        let model = ArrivalGen::with_model(SimTime::from_nanos(12_345), 7, ArrivalModel::Uniform)
+            .arrivals(256);
+        assert_eq!(legacy, model);
+    }
+
+    /// Every model is seed-reproducible and seed-sensitive.
+    #[test]
+    fn all_models_are_seed_reproducible() {
+        let models = [
+            ArrivalModel::Uniform,
+            ArrivalModel::Exponential,
+            ArrivalModel::Pareto { alpha: 1.8 },
+            ArrivalModel::Diurnal {
+                period: SimTime::from_millis(1),
+                amplitude_pct: 60,
+            },
+        ];
+        for m in models {
+            assert_eq!(gaps(m, 10_000, 5, 128), gaps(m, 10_000, 5, 128), "{m:?}");
+            assert_ne!(gaps(m, 10_000, 5, 128), gaps(m, 10_000, 6, 128), "{m:?}");
+        }
+    }
+
+    /// Pins the documented first two moments of each model: the sample
+    /// mean stays near `mean_gap` for all of them, and the variances
+    /// order as documented — uniform (m²/3) < exponential (m²) < Pareto
+    /// (infinite; its sample variance must dwarf exponential's).
+    #[test]
+    fn model_moments_match_their_documentation() {
+        const M: u64 = 100_000; // 100 µs mean gap
+        const N: usize = 8_192;
+        let uni = gaps(ArrivalModel::Uniform, M, 42, N);
+        let exp = gaps(ArrivalModel::Exponential, M, 42, N);
+        let par = gaps(ArrivalModel::Pareto { alpha: 1.6 }, M, 42, N);
+        for (name, xs, tol) in [("uniform", &uni, 0.05), ("exponential", &exp, 0.05)] {
+            let m = mean_of(xs);
+            assert!(
+                (m - M as f64).abs() < tol * M as f64,
+                "{name} mean {m} vs {M}"
+            );
+        }
+        // Pareto's mean converges slowly (infinite variance); allow a wide
+        // band but require it to be in the right decade.
+        let pm = mean_of(&par);
+        assert!(
+            pm > 0.4 * M as f64 && pm < 3.0 * M as f64,
+            "pareto mean {pm} vs {M}"
+        );
+        let m2 = (M as f64) * (M as f64);
+        let vu = variance_of(&uni);
+        let ve = variance_of(&exp);
+        let vp = variance_of(&par);
+        assert!((vu - m2 / 3.0).abs() < 0.1 * m2, "uniform var {vu}");
+        assert!((ve - m2).abs() < 0.25 * m2, "exponential var {ve}");
+        assert!(vp > 3.0 * ve, "pareto tail must dominate: {vp} vs {ve}");
+        // Heavy tail in one number: the largest Pareto gap dwarfs the
+        // largest uniform gap (which is capped at 2m by construction).
+        assert!(par.iter().max() > uni.iter().max());
+    }
+
+    /// The diurnal envelope modulates the rate with the documented shape:
+    /// gaps drawn in the peak half-period are shorter on average than gaps
+    /// drawn in the trough half-period, and the full-period mean stays
+    /// near `mean_gap`.
+    #[test]
+    fn diurnal_envelope_sweeps_rate_with_phase() {
+        let period = SimTime::from_millis(10);
+        let model = ArrivalModel::Diurnal {
+            period,
+            amplitude_pct: 80,
+        };
+        let mut g = ArrivalGen::with_model(SimTime::from_nanos(50_000), 9, model);
+        let mut peak: Vec<u64> = Vec::new(); // first half: envelope < 1 on average
+        let mut trough: Vec<u64> = Vec::new();
+        let mut t = 0u64;
+        for _ in 0..16_384 {
+            let phase = t % period.as_nanos();
+            let gap = g.next_gap().as_nanos();
+            // The envelope starts at 1 - a (shortest gaps = peak rate),
+            // crests at 1 + a mid-period (trough), and returns: the outer
+            // quarters are the peak-rate side, the middle half the trough.
+            let quarter = period.as_nanos() / 4;
+            if phase < quarter || phase >= 3 * quarter {
+                peak.push(gap);
+            } else {
+                trough.push(gap);
+            }
+            t += gap;
+        }
+        assert!(!peak.is_empty() && !trough.is_empty());
+        let (mp, mt) = (mean_of(&peak), mean_of(&trough));
+        assert!(mp < mt, "peak-phase mean gap {mp} must beat trough {mt}");
+        // The per-arrival sample mean sits *below* mean_gap (inspection
+        // paradox: the fast phase contributes more samples) but stays in
+        // the same decade — for a = 0.8 the analytic value is
+        // period / ∫dt/e(t) = 2a / ln((1+a)/(1-a)) ≈ 0.73 · mean_gap.
+        let all = mean_of(
+            &peak
+                .iter()
+                .chain(trough.iter())
+                .copied()
+                .collect::<Vec<_>>(),
+        );
+        assert!(
+            all > 0.55 * 50_000.0 && all < 0.95 * 50_000.0,
+            "per-arrival mean {all} vs 50000"
+        );
     }
 }

@@ -26,18 +26,12 @@ if [[ "${1:-}" != "fast" ]]; then
     echo "== benchmark smoke (criterion --quick, kernel groups only) =="
     cargo bench -q -p smartssd-bench --bench kernels -- --quick scan_agg
     cargo bench -q -p smartssd-bench --bench kernels -- --quick group_agg
-    echo "== repro kernels --quick (BENCH_kernels.json) =="
-    cargo run -q --release -p smartssd-bench --bin repro -- kernels --quick
-    echo "== repro trace --quick (trace_*.json + BENCH_trace.json) =="
-    cargo run -q --release -p smartssd-bench --bin repro -- trace --quick
-    echo "== repro concurrency --quick (BENCH_concurrency.json) =="
-    cargo run -q --release -p smartssd-bench --bin repro -- concurrency --quick
-    echo "== repro degrade --quick (BENCH_degrade.json) =="
-    cargo run -q --release -p smartssd-bench --bin repro -- degrade --quick
-    echo "== repro fleet --quick (BENCH_fleet.json) =="
-    cargo run -q --release -p smartssd-bench --bin repro -- fleet --quick
-    echo "== repro simspeed --quick (BENCH_simspeed.json) =="
-    cargo run -q --release -p smartssd-bench --bin repro -- simspeed --quick
+    # Every out-of-`all` repro subcommand, quick scale: each writes its
+    # BENCH_<sub>.json (trace also writes trace_*.json).
+    for sub in kernels trace faults concurrency degrade fleet serving simspeed; do
+        echo "== repro ${sub} --quick (BENCH_${sub}.json) =="
+        cargo run -q --release -p smartssd-bench --bin repro -- "${sub}" --quick
+    done
 fi
 
 echo "OK"

@@ -83,10 +83,7 @@ fn run_workload(
     let mut sys = build_sys(rows, shared, max_sessions);
     sys.run_workload(
         &workload_of(items),
-        WorkloadOptions {
-            interface,
-            ..WorkloadOptions::default()
-        },
+        WorkloadOptions::new().interface(interface),
     )
     .unwrap()
 }

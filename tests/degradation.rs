@@ -10,7 +10,7 @@
 
 use proptest::prelude::*;
 use smartssd::{
-    BreakerPolicy, DeviceKind, Layout, QueryOutcome, Route, RoutePolicy, RunOptions, SimTime,
+    ArrivalOutcome, BreakerPolicy, DeviceKind, Layout, Route, RoutePolicy, RunOptions, SimTime,
     System, SystemBuilder, Workload, WorkloadOptions, WorkloadReport,
 };
 use smartssd_exec::spec::ScanAggSpec;
@@ -169,20 +169,22 @@ proptest! {
         queue_bound in 0usize..3,
         deadline_us in 1u64..100_000,
     ) {
-        let opts = WorkloadOptions {
-            queue_bound: Some(queue_bound),
-            deadline: Some(SimTime::from_micros(deadline_us)),
-            ..WorkloadOptions::default()
-        };
+        let opts = WorkloadOptions::new()
+            .queue_bound(queue_bound)
+            .deadline(SimTime::from_micros(deadline_us));
         let rep = run_degraded(&rows, &items, plan, breaker, opts);
         prop_assert_eq!(rep.outcomes.len(), items.len());
         for (i, o) in rep.outcomes.iter().enumerate() {
             prop_assert_eq!(o.index(), i, "outcomes must be in submission order");
         }
-        let completed = rep.outcomes.iter().filter(|o| matches!(o, QueryOutcome::Completed(_))).count();
-        let rejected = rep.outcomes.iter().filter(|o| matches!(o, QueryOutcome::Rejected(_))).count();
-        let missed = rep.outcomes.iter().filter(|o| matches!(o, QueryOutcome::DeadlineMissed(_))).count();
-        prop_assert_eq!(completed + rejected + missed, items.len());
+        let completed = rep.outcomes.iter().filter(|o| matches!(o, ArrivalOutcome::Completed(_))).count();
+        let rejected = rep.outcomes.iter().filter(|o| matches!(o, ArrivalOutcome::Rejected(_))).count();
+        let missed = rep.outcomes.iter().filter(|o| matches!(o, ArrivalOutcome::DeadlineMissed(_))).count();
+        let canceled = rep.outcomes.iter().filter(|o| matches!(o, ArrivalOutcome::Canceled(_))).count();
+        let failed = rep.outcomes.iter().filter(|o| matches!(o, ArrivalOutcome::Failed(_))).count();
+        prop_assert_eq!(completed + rejected + missed + canceled + failed, items.len());
+        prop_assert_eq!(canceled, 0, "nothing here sets cancel_at");
+        prop_assert_eq!(failed, 0, "crash/ECC faults are recoverable");
         prop_assert_eq!(completed, rep.completions.len());
         prop_assert_eq!(rejected as u64, rep.rejected);
         prop_assert_eq!(missed as u64, rep.deadline_missed);
@@ -206,11 +208,9 @@ proptest! {
         plan in arb_fault_plan(),
         breaker in any::<bool>(),
     ) {
-        let opts = WorkloadOptions {
-            queue_bound: Some(1),
-            deadline: Some(SimTime::from_millis(50)),
-            ..WorkloadOptions::default()
-        };
+        let opts = WorkloadOptions::new()
+            .queue_bound(1)
+            .deadline(SimTime::from_millis(50));
         let a = run_degraded(&rows, &items, plan, breaker, opts.clone());
         let b = run_degraded(&rows, &items, plan, breaker, opts);
         prop_assert_eq!(a.makespan, b.makespan);
