@@ -1,0 +1,57 @@
+//! Serving-scale benchmarks: the `servescale/*` group tracks the
+//! multi-tenant admission hot path — the keyed-min-heap wait set, the
+//! generational pending slab, cancellation events, and the streaming
+//! arrival merge — under tenant counts the old linear scan could not
+//! sustain.
+//!
+//! Simulated figures are deterministic; only wall-clock time varies. The
+//! stream sizes are kept small enough for Criterion's iteration counts —
+//! the full 10^5/10^6 sweep (including the linear-scan reference cells)
+//! lives in `repro servescale` (BENCH_servescale.json).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smartssd::{InterfaceMode, SimTime, WorkloadOptions};
+use smartssd_bench::{servescale_loads, servescale_system};
+
+/// Q6 device service time on the servescale table, priced once: load
+/// sizing must not depend on Criterion's warmup state.
+fn service_time() -> SimTime {
+    use smartssd_query::Route;
+    let mut probe = servescale_system(42);
+    probe
+        .run(
+            &smartssd_workload::q6(),
+            smartssd::RunOptions::routed(Route::Device),
+        )
+        .expect("probe run")
+        .result
+        .elapsed
+}
+
+/// End-to-end streaming serving at a few tenant counts, fixed total
+/// arrivals: what grows is the wait set the admission heap manages, so
+/// the per-element cost should stay near-flat (O(log tenants)). Each
+/// iteration rebuilds the system (replays must start cold to stay
+/// deterministic).
+fn bench_run_serving(c: &mut Criterion) {
+    let service = service_time();
+    let n = 10_000usize;
+    let mut group = c.benchmark_group("servescale/run_serving");
+    group.sample_size(10);
+    for &tenants in &[16usize, 256, 4_096] {
+        let loads = servescale_loads(tenants, n, service);
+        let total: usize = loads.iter().map(|l| l.count()).sum();
+        group.throughput(Throughput::Elements(total as u64));
+        group.bench_function(BenchmarkId::from_parameter(tenants), |b| {
+            b.iter(|| {
+                let mut sys = servescale_system(42);
+                let opts = WorkloadOptions::new().interface(InterfaceMode::Direct);
+                sys.run_serving(&loads, 42, opts).expect("clean replay")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(servescale, bench_run_serving);
+criterion_main!(servescale);

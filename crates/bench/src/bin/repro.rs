@@ -3,7 +3,8 @@
 //! ```text
 //! repro [--quick] [fig1|tab2|fig3|fig5|fig7|tab3|plans|scan-sweep|array|cache|
 //!                  device-scaling|interface|concurrent|host-parallel|q1|kernels|
-//!                  faults|trace|concurrency|degrade|fleet|serving|simspeed|all]
+//!                  faults|trace|concurrency|degrade|fleet|serving|simspeed|
+//!                  servescale|all]
 //!
 //! `kernels` wall-clock-times the vectorized scan kernels against the
 //! tuple-at-a-time reference implementations and writes the results to
@@ -57,8 +58,9 @@
 use smartssd_bench::{
     array_exp, cache_exp, concurrency_exp, concurrent_exp, degrade_exp, device_scaling_exp,
     fault_injection_exp, fig1, fig3, fig5, fig7, fleet_exp, host_parallel_exp, interface_exp,
-    plans, q1_exp, scan_sweep_exp, serving_exp, simspeed_exp, tab2, tab3, trace_exp,
-    workload_trace_exp, Bars, Scales, FLEET_DEGRADE_DEVICES, SIMSPEED_MEAN_GAP, SIMSPEED_ROWS,
+    plans, q1_exp, scan_sweep_exp, servescale_exp, serving_exp, simspeed_exp, tab2, tab3,
+    trace_exp, workload_trace_exp, Bars, Scales, FLEET_DEGRADE_DEVICES, SERVESCALE_ROWS,
+    SIMSPEED_MEAN_GAP, SIMSPEED_ROWS,
 };
 
 fn print_bars(title: &str, bars: &Bars, projection: f64, paper_speedup: f64) {
@@ -909,6 +911,118 @@ fn run_simspeed(quick: bool, smoke: bool) {
     println!();
 }
 
+/// Serving-scale sweep (`repro servescale`): not part of `all` for the
+/// same reason as `simspeed`. Streams multi-tenant serving days through
+/// `System::run_serving` with the keyed-min-heap admission engine, plus
+/// linear-scan reference cells at the smaller stream size so the JSON
+/// carries its own speedup baseline. `--smoke` restricts the sweep to one
+/// tiny heap/scan pair (used by the CI floor test on a debug binary).
+fn run_servescale(quick: bool, smoke: bool) {
+    println!("== Serving scale: multi-tenant arrivals per wall-second, heap vs scan ==");
+    // (tenants, arrivals, reference-engine)
+    let cells: &[(usize, usize, bool)] = if smoke {
+        &[(16, 2_000, false), (16, 2_000, true)]
+    } else if quick {
+        &[
+            (16, 20_000, false),
+            (4_096, 20_000, false),
+            (16, 20_000, true),
+            (4_096, 20_000, true),
+        ]
+    } else {
+        &[
+            (16, 100_000, false),
+            (256, 100_000, false),
+            (4_096, 100_000, false),
+            (10_000, 100_000, false),
+            (16, 1_000_000, false),
+            (256, 1_000_000, false),
+            (4_096, 1_000_000, false),
+            (10_000, 1_000_000, false),
+            (16, 100_000, true),
+            (256, 100_000, true),
+            (4_096, 100_000, true),
+            (10_000, 100_000, true),
+        ]
+    };
+    let reps = if quick || smoke { 1 } else { 2 };
+    let points = match servescale_exp(42, cells, reps) {
+        Ok(points) => points,
+        Err(fault) => {
+            println!("  experiment aborted by device fault: {fault}");
+            return;
+        }
+    };
+    println!("  engine  tenants   arrivals  completed   canceled    wall[s]    arrivals/s");
+    let mut entries = String::new();
+    for p in &points {
+        println!(
+            "  {:<6}  {:>7}  {:>9}  {:>9}  {:>9}  {:>9.3}  {:>12.0}",
+            p.engine,
+            p.tenants,
+            p.arrivals,
+            p.completed,
+            p.canceled,
+            p.wall_secs,
+            p.arrivals_per_sec
+        );
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"tenants\": {}, \"arrivals\": {}, \
+             \"completed\": {}, \"canceled\": {}, \"sim_secs\": {:.9}, \
+             \"wall_secs\": {:.6}, \"arrivals_per_sec\": {:.1}, \
+             \"sim_ns_per_wall_sec\": {:.1}}}",
+            p.engine,
+            p.tenants,
+            p.arrivals,
+            p.completed,
+            p.canceled,
+            p.sim_secs,
+            p.wall_secs,
+            p.arrivals_per_sec,
+            p.sim_ns_per_wall_sec
+        ));
+    }
+    // The headline comparison: heap vs the linear-scan reference at every
+    // tenant count both engines ran.
+    let speedups: Vec<(usize, f64)> = points
+        .iter()
+        .filter(|p| p.engine == "scan")
+        .filter_map(|s| {
+            points
+                .iter()
+                .find(|h| h.engine == "heap" && h.tenants == s.tenants && h.arrivals == s.arrivals)
+                .map(|h| (s.tenants, h.arrivals_per_sec / s.arrivals_per_sec))
+        })
+        .collect();
+    let speedup_json = if speedups.is_empty() {
+        String::new()
+    } else {
+        let list: Vec<String> = speedups
+            .iter()
+            .map(|&(tenants, x)| {
+                println!("  heap vs scan at {tenants} tenants: {x:.1}x arrivals/s");
+                format!("{{\"tenants\": {tenants}, \"heap_over_scan\": {x:.2}}}")
+            })
+            .collect();
+        format!(",\n  \"speedups\": [{}]", list.join(", "))
+    };
+    let json = format!(
+        "{{\n  \"generated_by\": \"repro servescale\",\n  \"quick\": {quick},\n  \
+         \"smoke\": {smoke},\n  \"query\": \"q6\",\n  \"interface_mode\": \"direct\",\n  \
+         \"max_sessions\": 1,\n  \"table_rows\": {},\n  \"offered_rho\": 2.0,\n  \
+         \"reps\": {reps},\n  \"timing\": \"best wall-clock over reps\"{speedup_json},\n  \
+         \"points\": [\n{entries}\n  ]\n}}\n",
+        SERVESCALE_ROWS
+    );
+    std::fs::write("BENCH_servescale.json", json).expect("write BENCH_servescale.json");
+    println!("  (simulated figures are deterministic; wall-clock is machine-dependent)");
+    println!("  wrote BENCH_servescale.json");
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -1004,5 +1118,8 @@ fn main() {
     }
     if what == "simspeed" {
         run_simspeed(quick, smoke);
+    }
+    if what == "servescale" {
+        run_servescale(quick, smoke);
     }
 }

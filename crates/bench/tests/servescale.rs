@@ -1,0 +1,85 @@
+//! Serving-scale floor: `repro servescale --quick --smoke` must complete
+//! its tiny heap/scan pair correctly and keep the heap engine above a
+//! conservative arrivals-per-second floor.
+//!
+//! The floor is deliberately loose — the test binary under `cargo test`
+//! runs the spawned `repro` in the same (usually debug) profile, and CI
+//! runners are shared machines — so it only catches catastrophic
+//! admission-path regressions (a linear scan sneaking back onto the hot
+//! path, per-arrival deep clones), not ordinary noise. The release-profile
+//! sweep that tracks the real targets is `repro servescale --quick` in
+//! `scripts/check.sh`.
+
+use std::process::Command;
+
+/// Pulls every occurrence of `"key": value` out of the JSON report, in
+/// order — the servescale report has one point per sweep cell.
+fn fields(json: &str, key: &str) -> Vec<f64> {
+    let pat = format!("\"{key}\": ");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find(&pat) {
+        rest = &rest[at + pat.len()..];
+        let end = rest
+            .find(|c: char| c != '-' && c != '.' && c != 'e' && !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        out.push(rest[..end].parse().unwrap_or_else(|e| panic!("{key}: {e}")));
+    }
+    assert!(!out.is_empty(), "missing {key}");
+    out
+}
+
+#[test]
+fn servescale_smoke_completes_both_engines_above_the_floor() {
+    let dir = std::env::temp_dir().join(format!("servescale_floor_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["servescale", "--quick", "--smoke"])
+        .current_dir(&dir)
+        .output()
+        .expect("run repro binary");
+    assert!(
+        out.status.success(),
+        "repro exited with {:?}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(dir.join("BENCH_servescale.json"))
+        .expect("servescale writes BENCH_servescale.json");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Smoke sweeps exactly one heap cell and one scan cell of the same
+    // load; both engines must agree on every simulated figure (the heap
+    // is grant-for-grant equivalent to the scan reference), and only
+    // wall-clock may differ.
+    assert!(json.contains("\"engine\": \"heap\""), "heap cell present");
+    assert!(json.contains("\"engine\": \"scan\""), "scan cell present");
+    for key in ["arrivals", "completed", "canceled", "sim_secs"] {
+        let vals = fields(&json, key);
+        assert_eq!(vals.len(), 2, "one {key} per engine");
+        assert_eq!(
+            vals[0], vals[1],
+            "{key}: heap and scan must agree exactly (heap={}, scan={})",
+            vals[0], vals[1]
+        );
+    }
+    let arrivals = fields(&json, "arrivals")[0];
+    let completed = fields(&json, "completed")[0];
+    let canceled = fields(&json, "canceled")[0];
+    assert_eq!(arrivals, 2_000.0, "smoke sweeps exactly the 2k point");
+    assert_eq!(
+        completed + canceled,
+        arrivals,
+        "every arrival completes or is shed by its cancel instant"
+    );
+    assert!(
+        canceled > 0.0,
+        "the over-offered smoke load must shed some laggards (canceled=0 \
+         means cancellation events are not firing)"
+    );
+    let heap_rate = fields(&json, "arrivals_per_sec")[0];
+    assert!(
+        heap_rate >= 500.0,
+        "throughput floor: {heap_rate:.0} arrivals/s < 500 — admission-path regression?"
+    );
+}

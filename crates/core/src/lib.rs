@@ -58,6 +58,8 @@
 //! assert!(json.contains("traceEvents"));
 //! ```
 
+mod admit;
+
 pub mod array;
 pub mod breaker;
 pub mod builder;
@@ -72,7 +74,7 @@ pub use breaker::{BreakerPolicy, BreakerState, BreakerTransition, CircuitBreaker
 pub use builder::{ConfigError, RoutePolicy, RunOptions, SystemBuilder};
 pub use config::{DeviceKind, PowerParams, SystemConfig};
 pub use fleet::{FleetOptions, FleetReport, FleetStreamReport, ShardOutcome, SmartSsdFleet};
-pub use serving::{compose, TenantLoad, TenantReport, TenantSpec};
+pub use serving::{compose, ArrivalStream, TenantLoad, TenantReport, TenantSpec};
 pub use smartssd_sim::ArrivalModel;
 pub use system::{RunError, RunErrorKind, RunReport, System};
 #[allow(deprecated)]

@@ -15,11 +15,18 @@
 //!   a diurnal envelope), a mean inter-arrival gap, an arrival count, and
 //!   an optional cancellation budget (arrivals are abandoned `cancel_after`
 //!   past their arrival, mid-flight if necessary).
+//! * [`ArrivalStream`] is a k-way merge cursor over the per-tenant
+//!   arrival generators: it yields `(submission index, item)` pairs in
+//!   arrival order while holding only one pending arrival per tenant, so
+//!   a million-arrival schedule costs O(tenants) memory. It feeds
+//!   [`System::run_serving`](crate::System::run_serving), the streaming
+//!   front door the `servescale` benchmark drives.
 //! * [`compose`] merges a set of tenant loads into one tagged [`Workload`]
 //!   plus the tenant registry to hang on
-//!   [`WorkloadOptions::tenant`](crate::WorkloadOptions::tenant), each
-//!   tenant's stream seeded independently so adding a tenant never
-//!   perturbs another tenant's schedule.
+//!   [`WorkloadOptions::tenant`](crate::WorkloadOptions::tenant) — a thin
+//!   eager wrapper that drains an [`ArrivalStream`] into a materialized
+//!   schedule. Each tenant's stream is seeded independently so adding a
+//!   tenant never perturbs another tenant's schedule.
 //! * [`TenantReport`] is the per-tenant slice of a
 //!   [`WorkloadReport`](crate::WorkloadReport): arrival accounting by
 //!   outcome and a latency distribution over the tenant's completions —
@@ -33,6 +40,8 @@ use crate::builder::RoutePolicy;
 use crate::workload::{Workload, WorkloadItem};
 use smartssd_query::Query;
 use smartssd_sim::{ArrivalGen, ArrivalModel, LatencyStats, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// One tenant's identity and QoS contract, consumed by the workload
@@ -140,6 +149,11 @@ impl TenantLoad {
         }
     }
 
+    /// Number of arrivals this load contributes.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
     /// The arrival model to draw inter-arrival gaps from.
     pub fn model(mut self, model: ArrivalModel) -> Self {
         self.model = model;
@@ -163,6 +177,128 @@ impl TenantLoad {
     }
 }
 
+/// One tenant's half-open position in an [`ArrivalStream`]: its seeded
+/// generator, the shared query template, and the arrival currently staged
+/// in the merge heap.
+struct TenantCursor {
+    gen: ArrivalGen,
+    query: Arc<Query>,
+    route: RoutePolicy,
+    cancel_after: Option<SimTime>,
+    /// Arrivals not yet yielded (including the staged one).
+    remaining: usize,
+    /// Cumulative arrival clock: the staged arrival's absolute time.
+    clock: SimTime,
+    /// Submission index of the staged arrival (tenant-major numbering,
+    /// matching [`compose`]'s item order exactly).
+    next_idx: u64,
+}
+
+/// A k-way merge cursor over per-tenant arrival generators: yields every
+/// tenant's arrivals interleaved in `(arrival time, submission index)`
+/// order while materializing only **one pending arrival per tenant** —
+/// memory O(tenants), not O(total arrivals).
+///
+/// Submission indices are tenant-major (tenant 0's arrivals first), which
+/// is exactly the order [`compose`] lays items out in; draining a stream
+/// and scattering by index reproduces the composed [`Workload`]
+/// bit-for-bit. [`System::run_serving`](crate::System::run_serving) feeds
+/// the scheduler from this cursor directly, skipping materialization.
+pub struct ArrivalStream {
+    cursors: Vec<TenantCursor>,
+    /// Min-heap of staged arrivals: `(arrival, submission index, tenant)`.
+    /// The submission index is globally unique, so ordering is total and
+    /// deterministic; it also encodes the tenant-major tie-break.
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    specs: Vec<TenantSpec>,
+    total: usize,
+    tenant_base: u32,
+}
+
+impl ArrivalStream {
+    /// A streaming cursor over `loads`, each tenant's generator sub-seeded
+    /// from `seed` exactly as [`compose`] does.
+    pub fn new(loads: &[TenantLoad], seed: u64) -> Self {
+        Self::with_base(loads, seed, 0)
+    }
+
+    /// [`ArrivalStream::new`] with item tenant tags offset by
+    /// `tenant_base` — for schedulers whose registry already holds
+    /// `tenant_base` earlier entries.
+    pub(crate) fn with_base(loads: &[TenantLoad], seed: u64, tenant_base: u32) -> Self {
+        let mut cursors = Vec::with_capacity(loads.len());
+        let mut specs = Vec::with_capacity(loads.len());
+        let mut heap = BinaryHeap::with_capacity(loads.len());
+        let mut base = 0u64;
+        for (t, load) in loads.iter().enumerate() {
+            specs.push(load.spec.clone());
+            // Golden-ratio stride keeps per-tenant sub-seeds well separated
+            // even for adjacent tenant indices (ArrivalGen scrambles
+            // further).
+            let sub_seed = seed ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut cursor = TenantCursor {
+                gen: ArrivalGen::with_model(load.mean_gap, sub_seed, load.model),
+                query: Arc::new(load.query.clone()),
+                route: load.route.clone(),
+                cancel_after: load.cancel_after,
+                remaining: load.count,
+                clock: SimTime::ZERO,
+                next_idx: base,
+            };
+            if cursor.remaining > 0 {
+                cursor.clock += cursor.gen.next_gap();
+                heap.push(Reverse((cursor.clock, cursor.next_idx, t as u32)));
+            }
+            cursors.push(cursor);
+            base += load.count as u64;
+        }
+        Self {
+            cursors,
+            heap,
+            specs,
+            total: base as usize,
+            tenant_base,
+        }
+    }
+
+    /// Total arrivals across all tenants (known up front: the sum of the
+    /// loads' counts).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The tenant registry the stream was built from, in load order.
+    pub fn specs(&self) -> &[TenantSpec] {
+        &self.specs
+    }
+
+    /// Arrival time of the next item, without consuming it.
+    pub fn peek(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((at, _, _))| *at)
+    }
+
+    /// Yields the next arrival as `(submission index, item)`, in
+    /// `(arrival, submission index)` order.
+    pub fn next_arrival(&mut self) -> Option<(usize, WorkloadItem)> {
+        let Reverse((at, idx, t)) = self.heap.pop()?;
+        let cursor = &mut self.cursors[t as usize];
+        let item = WorkloadItem {
+            query: Arc::clone(&cursor.query),
+            route: cursor.route.clone(),
+            arrival: at,
+            tenant: self.tenant_base + t,
+            cancel_at: cursor.cancel_after.map(|b| at + b),
+        };
+        cursor.remaining -= 1;
+        if cursor.remaining > 0 {
+            cursor.clock += cursor.gen.next_gap();
+            cursor.next_idx += 1;
+            self.heap.push(Reverse((cursor.clock, cursor.next_idx, t)));
+        }
+        Some((idx as usize, item))
+    }
+}
+
 /// Merges tenant loads into one tagged [`Workload`] plus the tenant
 /// registry (in load order — item tenant tags index into it).
 ///
@@ -172,26 +308,25 @@ impl TenantLoad {
 /// tenant's arrivals untouched. Items are tagged with their tenant index
 /// and, when the load sets [`TenantLoad::cancel_after`], an absolute
 /// `cancel_at` instant.
+///
+/// This is the thin eager wrapper over [`ArrivalStream`]: the cursor is
+/// drained and its items scattered to their submission indices, yielding
+/// the same tenant-major layout this function always produced. Prefer
+/// [`System::run_serving`](crate::System::run_serving) when the schedule
+/// does not need to be materialized at all.
 pub fn compose(loads: &[TenantLoad], seed: u64) -> (Workload, Vec<TenantSpec>) {
-    let mut w = Workload::new();
-    let mut specs = Vec::with_capacity(loads.len());
-    for (t, load) in loads.iter().enumerate() {
-        specs.push(load.spec.clone());
-        // Golden-ratio stride keeps per-tenant sub-seeds well separated
-        // even for adjacent tenant indices (ArrivalGen scrambles further).
-        let sub_seed = seed ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let shared = Arc::new(load.query.clone());
-        let mut gen = ArrivalGen::with_model(load.mean_gap, sub_seed, load.model);
-        for arrival in gen.arrivals(load.count) {
-            w.push_item(WorkloadItem {
-                query: Arc::clone(&shared),
-                route: load.route.clone(),
-                arrival,
-                tenant: t as u32,
-                cancel_at: load.cancel_after.map(|b| arrival + b),
-            });
-        }
+    let mut stream = ArrivalStream::new(loads, seed);
+    let specs = stream.specs().to_vec();
+    let mut items: Vec<Option<WorkloadItem>> = (0..stream.total()).map(|_| None).collect();
+    while let Some((idx, item)) = stream.next_arrival() {
+        items[idx] = Some(item);
     }
+    let w = Workload::from_items(
+        items
+            .into_iter()
+            .map(|o| o.expect("the stream yields every submission index exactly once"))
+            .collect(),
+    );
     (w, specs)
 }
 

@@ -38,9 +38,10 @@
 //! schedule, and answers are bit-identical to isolated runs regardless of
 //! interleaving or sharing.
 
+use crate::admit::{Pending, PendingSlab, WaitSet};
 use crate::breaker::BreakerTransition;
 use crate::builder::{ConfigError, RoutePolicy};
-use crate::serving::{TenantReport, TenantSpec};
+use crate::serving::{ArrivalStream, TenantLoad, TenantReport, TenantSpec};
 use crate::system::{Backend, RunError, RunErrorKind, System};
 use smartssd_device::DeviceError;
 use smartssd_exec::QueryOp;
@@ -52,7 +53,6 @@ use smartssd_sim::{
     ArrivalGen, ArrivalModel, EventQueue, FaultCounters, Interval, LatencyStats, RunTrace, SimTime,
     TraceLevel,
 };
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// One query of a workload: what to run, how to route it, when it arrives,
@@ -117,6 +117,13 @@ impl Workload {
     /// and all) — the escape hatch [`crate::serving::compose`] uses.
     pub fn push_item(&mut self, item: WorkloadItem) {
         self.items.push(item);
+    }
+
+    /// A workload from pre-built items in submission order — how
+    /// [`crate::serving::compose`] materializes a drained
+    /// [`crate::serving::ArrivalStream`].
+    pub(crate) fn from_items(items: Vec<WorkloadItem>) -> Self {
+        Self { items }
     }
 
     /// `n` copies of one query, all arriving at time zero on the natural
@@ -231,6 +238,7 @@ pub struct WorkloadOptions {
     deadline: Option<SimTime>,
     tenants: Vec<TenantSpec>,
     fair: bool,
+    reference_admission: bool,
 }
 
 impl Default for WorkloadOptions {
@@ -245,6 +253,7 @@ impl Default for WorkloadOptions {
             // Weighted fair queueing is the default once tenants exist;
             // with one (implicit) tenant it degenerates to exact FIFO.
             fair: true,
+            reference_admission: false,
         }
     }
 }
@@ -317,6 +326,16 @@ impl WorkloadOptions {
     /// The registered tenants, in registration order.
     pub fn tenants(&self) -> &[TenantSpec] {
         &self.tenants
+    }
+
+    /// Selects the linear-scan reference admission engine instead of the
+    /// keyed min-heap. The two are grant-for-grant equivalent (pinned by
+    /// differential proptests); the reference exists as the executable
+    /// specification and for differential testing, not for production use.
+    #[doc(hidden)]
+    pub fn reference_admission(mut self, on: bool) -> Self {
+        self.reference_admission = on;
+        self
     }
 
     /// Validates the configuration without running anything, mirroring
@@ -538,6 +557,15 @@ pub struct WorkloadReport {
 enum Ev {
     Close(smartssd_device::SessionId),
     SlotFreed,
+    /// A waiting query's cancellation instant: shed it *now* (event time)
+    /// instead of when its slot turn comes. The `(slot, gen)` pair
+    /// addresses the pending-arrival slab; a stale generation means the
+    /// query already left the wait set (admitted, shed, or canceled) and
+    /// the event is a harmless no-op.
+    CancelWait {
+        slot: u32,
+        gen: u32,
+    },
 }
 
 /// Memoized catalog resolution for one workload run, keyed by query
@@ -562,111 +590,139 @@ enum DevAttempt {
     Canceled { at: SimTime, get_retries: u64 },
 }
 
-/// Fixed-point scale for WFQ virtual time: finish tags advance by
-/// `service_ns * WFQ_SCALE / weight`, so integer division keeps sub-weight
-/// precision without floats (determinism) and a u128 never overflows on
-/// any representable workload.
-const WFQ_SCALE: u128 = 1 << 20;
-
-/// The waiting room for device session slots: per-tenant FIFO queues under
-/// start-time fair queueing (SFQ) with strict priority lanes, or one
-/// global FIFO when fairness is off. With a single (implicit) tenant both
-/// modes degenerate to exactly the pre-serving FIFO, preserving
-/// byte-identical schedules for tenant-unaware workloads.
-///
-/// The SFQ bookkeeping runs on *simulated* time: when a tenant's query is
-/// granted device service costing `c` simulated nanoseconds, the tenant's
-/// finish tag advances by `c / weight` (scaled), and the virtual clock
-/// jumps to the granted start tag `max(vclock, finish[t])`. A slot is
-/// granted to the lowest lane first, then the smallest start tag, then the
-/// lowest tenant index — so a newly active tenant starts at the current
-/// virtual clock (no banked credit), and any nonzero-weight tenant's tag
-/// eventually becomes the minimum of its lane: no starvation within a
-/// lane. Host-routed work never charges virtual time (it consumes no
-/// session slot).
-struct WaitSet {
-    /// Global arrival-order queue (fairness off): `(item index, tenant)`.
-    fifo: VecDeque<(usize, u32)>,
-    /// Per-tenant FIFO queues (fairness on).
-    queues: Vec<VecDeque<usize>>,
-    /// Waiting count per tenant, for per-tenant queue bounds (both modes).
-    waiting: Vec<usize>,
-    /// Per-tenant virtual finish tags.
-    finish: Vec<u128>,
-    /// The scheduler's virtual clock: start tag of the last grant.
-    vclock: u128,
-    lanes: Vec<u8>,
-    weights: Vec<u64>,
-    fair: bool,
-    len: usize,
+/// Where arrivals come from: an eager, pre-materialized [`Workload`]
+/// walked in `(arrival, submission index)` order, or a lazy
+/// [`ArrivalStream`] whose k-way merge yields the identical sequence
+/// without ever holding more than one item per tenant in memory. The
+/// scheduler core is written against this enum so both entry points —
+/// [`System::run_workload`] and [`System::run_serving`] — share one merge
+/// loop, and the streaming path is pinned to the eager path by
+/// differential tests rather than by duplicated code.
+enum ArrivalSrc<'a> {
+    Eager {
+        items: &'a [WorkloadItem],
+        order: Vec<u32>,
+        cursor: usize,
+    },
+    Stream(ArrivalStream),
 }
 
-impl WaitSet {
-    fn new(tenants: &[TenantSpec], fair: bool) -> Self {
-        let n = tenants.len().max(1);
+impl ArrivalSrc<'_> {
+    /// Total number of arrivals this source will yield.
+    fn total(&self) -> usize {
+        match self {
+            ArrivalSrc::Eager { items, .. } => items.len(),
+            ArrivalSrc::Stream(s) => s.total(),
+        }
+    }
+
+    /// Arrival instant of the next item, if any.
+    fn peek(&self) -> Option<SimTime> {
+        match self {
+            ArrivalSrc::Eager {
+                items,
+                order,
+                cursor,
+            } => order.get(*cursor).map(|&i| items[i as usize].arrival),
+            ArrivalSrc::Stream(s) => s.peek(),
+        }
+    }
+
+    /// Yields the next arrival as `(submission index, item)`.
+    fn next(&mut self) -> Option<(usize, WorkloadItem)> {
+        match self {
+            ArrivalSrc::Eager {
+                items,
+                order,
+                cursor,
+            } => {
+                let &i = order.get(*cursor)?;
+                *cursor += 1;
+                Some((i as usize, items[i as usize].clone()))
+            }
+            ArrivalSrc::Stream(s) => s.next_arrival(),
+        }
+    }
+}
+
+/// Per-tenant accumulator slice of [`Acct`].
+#[derive(Default)]
+struct TenantAcct {
+    arrivals: u64,
+    completed: u64,
+    rejected: u64,
+    deadline_missed: u64,
+    canceled: u64,
+    failed: u64,
+    latencies: Vec<SimTime>,
+}
+
+/// One-pass report accounting: every outcome is recorded exactly once, at
+/// the moment it is decided, updating the global counters, the makespan,
+/// the latency sample, and (when a registry exists) the owning tenant's
+/// slice — so report assembly never re-walks the outcome array, and the
+/// old separate `tenant_breakdown` pass is gone. The aggregates are
+/// order-independent (sums, max, and selection percentiles over the full
+/// sample), so recording at decision time is bit-identical to the old
+/// end-of-run passes.
+struct Acct {
+    outcomes: Vec<Option<ArrivalOutcome>>,
+    recorded: usize,
+    completed: usize,
+    rejected: u64,
+    deadline_missed: u64,
+    canceled: u64,
+    failed: u64,
+    makespan: SimTime,
+    latencies: Vec<SimTime>,
+    /// Empty when no tenant registry exists (no per-tenant reports).
+    tenants: Vec<TenantAcct>,
+}
+
+impl Acct {
+    fn new(total: usize, registered: usize) -> Self {
         Self {
-            fifo: VecDeque::new(),
-            queues: (0..n).map(|_| VecDeque::new()).collect(),
-            waiting: vec![0; n],
-            finish: vec![0; n],
-            vclock: 0,
-            lanes: tenants.iter().map(|t| t.lane).chain([0]).take(n).collect(),
-            weights: tenants
-                .iter()
-                .map(|t| t.weight)
-                .chain([1])
-                .take(n)
-                .collect(),
-            fair,
-            len: 0,
+            outcomes: (0..total).map(|_| None).collect(),
+            recorded: 0,
+            completed: 0,
+            rejected: 0,
+            deadline_missed: 0,
+            canceled: 0,
+            failed: 0,
+            makespan: SimTime::ZERO,
+            latencies: Vec::new(),
+            tenants: (0..registered).map(|_| TenantAcct::default()).collect(),
         }
     }
 
-    fn push(&mut self, idx: usize, tenant: usize) {
-        self.waiting[tenant] += 1;
-        self.len += 1;
-        if self.fair {
-            self.queues[tenant].push_back(idx);
-        } else {
-            self.fifo.push_back((idx, tenant as u32));
+    fn record(&mut self, index: usize, tenant: usize, o: ArrivalOutcome) {
+        match &o {
+            ArrivalOutcome::Completed(c) => {
+                self.completed += 1;
+                self.makespan = self.makespan.max(c.finished_at);
+                self.latencies.push(c.latency);
+            }
+            ArrivalOutcome::Rejected(_) => self.rejected += 1,
+            ArrivalOutcome::DeadlineMissed(_) => self.deadline_missed += 1,
+            ArrivalOutcome::Canceled(_) => self.canceled += 1,
+            ArrivalOutcome::Failed(_) => self.failed += 1,
         }
-    }
-
-    /// The next query to admit: global FIFO order, or (lane, start tag,
-    /// tenant index)-minimal under fair queueing.
-    fn pop(&mut self) -> Option<usize> {
-        if self.len == 0 {
-            return None;
+        if let Some(t) = self.tenants.get_mut(tenant) {
+            t.arrivals += 1;
+            match &o {
+                ArrivalOutcome::Completed(c) => {
+                    t.completed += 1;
+                    t.latencies.push(c.latency);
+                }
+                ArrivalOutcome::Rejected(_) => t.rejected += 1,
+                ArrivalOutcome::DeadlineMissed(_) => t.deadline_missed += 1,
+                ArrivalOutcome::Canceled(_) => t.canceled += 1,
+                ArrivalOutcome::Failed(_) => t.failed += 1,
+            }
         }
-        self.len -= 1;
-        if !self.fair {
-            let (idx, t) = self.fifo.pop_front().expect("len tracks fifo");
-            self.waiting[t as usize] -= 1;
-            return Some(idx);
-        }
-        let t = (0..self.queues.len())
-            .filter(|&t| !self.queues[t].is_empty())
-            .min_by_key(|&t| (self.lanes[t], self.vclock.max(self.finish[t]), t))
-            .expect("len tracks queues");
-        self.waiting[t] -= 1;
-        self.queues[t].pop_front()
-    }
-
-    /// Charges `tenant` for `cost` of simulated device service and
-    /// advances the virtual clock to the grant's start tag.
-    fn charge(&mut self, tenant: usize, cost: SimTime) {
-        let start = self.vclock.max(self.finish[tenant]);
-        self.finish[tenant] =
-            start + cost.as_nanos() as u128 * WFQ_SCALE / u128::from(self.weights[tenant]);
-        self.vclock = start;
-    }
-
-    fn waiting_for(&self, tenant: usize) -> usize {
-        self.waiting[tenant]
-    }
-
-    fn is_empty(&self) -> bool {
-        self.len == 0
+        debug_assert!(self.outcomes[index].is_none(), "one outcome per arrival");
+        self.outcomes[index] = Some(o);
+        self.recorded += 1;
     }
 }
 
@@ -724,6 +780,63 @@ impl System {
                 },
             )));
         }
+        // Arrivals are a static schedule, so they never live in the event
+        // heap: a cursor over the arrival order replaces n heap entries,
+        // keeping the heap at O(max_sessions) whatever the stream length.
+        // Sorting by (arrival, submission index) reproduces the old heap's
+        // (time, insertion sequence) order exactly: same-instant arrivals
+        // fire in submission order, and an arrival ties ahead of any close
+        // (arrivals were always inserted first).
+        let n = workload.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by_key(|&i| (workload.items()[i as usize].arrival, i));
+        self.run_arrivals(
+            ArrivalSrc::Eager {
+                items: workload.items(),
+                order,
+                cursor: 0,
+            },
+            opts,
+        )
+    }
+
+    /// Runs an open serving stream without ever materializing it: the
+    /// per-tenant arrival generators are merged lazily, so memory stays
+    /// O(tenants + in-flight) however many arrivals the stream carries.
+    /// Equivalent to `run_workload(&compose(loads, seed), ..)` with the
+    /// loads' tenants appended to `opts` — bit-for-bit, pinned by
+    /// differential tests — at a fraction of the footprint.
+    ///
+    /// The loads' tenant specs are registered automatically (after any
+    /// tenants already in `opts`, matching [`crate::serving::compose`]'s
+    /// numbering when `opts` starts empty).
+    pub fn run_serving(
+        &mut self,
+        loads: &[TenantLoad],
+        seed: u64,
+        mut opts: WorkloadOptions,
+    ) -> Result<WorkloadReport, RunError> {
+        let tenant_base = opts.tenants.len() as u32;
+        let stream = ArrivalStream::with_base(loads, seed, tenant_base);
+        opts.tenants.extend(stream.specs().iter().cloned());
+        self.run_arrivals(ArrivalSrc::Stream(stream), &opts)
+            .map_err(|mut e| {
+                e.faults.absorb(&self.current_faults());
+                e
+            })
+    }
+
+    /// The scheduler core shared by [`System::run_workload`] (eager) and
+    /// [`System::run_serving`] (streaming): one merge loop over arrivals
+    /// and slot events, with in-flight waiters parked in a generational
+    /// slab and admission decided by the [`WaitSet`]'s keyed min-heap.
+    fn run_arrivals(
+        &mut self,
+        mut src: ArrivalSrc,
+        opts: &WorkloadOptions,
+    ) -> Result<WorkloadReport, RunError> {
+        opts.try_validate()
+            .map_err(|e| RunError::from_kind(RunErrorKind::Config(e)))?;
         self.tracer.set_level(opts.verbosity);
         self.tracer.begin_run();
         self.reset_run_timing();
@@ -733,38 +846,34 @@ impl System {
         self.breaker.take_transitions();
         let breaker_base = self.breaker_clock;
         let dop = opts.dop.unwrap_or(self.cfg.host_dop);
-        let n = workload.len();
-        // Arrivals are a static schedule, so they never live in the event
-        // heap: a cursor over the arrival order replaces n heap entries,
-        // keeping the heap at O(max_sessions) whatever the stream length.
-        // Sorting by (arrival, submission index) reproduces the old heap's
-        // (time, insertion sequence) order exactly: same-instant arrivals
-        // fire in submission order, and an arrival ties ahead of any close
-        // (arrivals were always inserted first).
-        let mut order: Vec<u32> = (0..n as u32).collect();
-        order.sort_unstable_by_key(|&i| (workload.items()[i as usize].arrival, i));
-        let mut cursor = 0usize;
+        let n = src.total();
         let mut events: EventQueue<Ev> = EventQueue::new();
-        let mut ws = WaitSet::new(&opts.tenants, opts.fair);
+        let mut ws = WaitSet::new(&opts.tenants, opts.fair, opts.reference_admission);
+        let mut slab = PendingSlab::new();
         let mut ops: ResolveCache = None;
-        let mut outcomes: Vec<Option<ArrivalOutcome>> = (0..n).map(|_| None).collect();
+        let mut acct = Acct::new(n, opts.tenants.len());
         loop {
-            let arrive_next = match (order.get(cursor), events.peek_time()) {
-                (Some(&i), next) => {
-                    let at = workload.items()[i as usize].arrival;
-                    next.is_none_or(|t| at <= t)
-                }
+            let arrive_next = match (src.peek(), events.peek_time()) {
+                (Some(at), next) => next.is_none_or(|t| at <= t),
                 (None, Some(_)) => false,
                 (None, None) => break,
             };
             if arrive_next {
-                let i = order[cursor] as usize;
-                cursor += 1;
-                let t = workload.items()[i].arrival;
-                let (out, _) =
-                    self.dispatch(workload, i, t, opts, dop, &mut events, &mut ws, &mut ops)?;
+                let (i, item) = src.next().expect("peek said so");
+                let t = item.arrival;
+                let (out, _) = self.dispatch(
+                    &item,
+                    i,
+                    t,
+                    opts,
+                    dop,
+                    &mut events,
+                    &mut ws,
+                    &mut slab,
+                    &mut ops,
+                )?;
                 if let Some(o) = out {
-                    outcomes[i] = Some(o);
+                    acct.record(i, item.tenant as usize, o);
                 }
                 continue;
             }
@@ -776,13 +885,13 @@ impl System {
                     };
                     dev.close(sid).map_err(RunError::from)?;
                     self.admit_waiters(
-                        workload,
                         t,
                         opts,
                         dop,
                         &mut events,
                         &mut ws,
-                        &mut outcomes,
+                        &mut slab,
+                        &mut acct,
                         &mut ops,
                     )?;
                 }
@@ -790,58 +899,100 @@ impl System {
                     // A faulted or canceled session's slot: the driver
                     // already closed it, so only the admission remains.
                     self.admit_waiters(
-                        workload,
                         t,
                         opts,
                         dop,
                         &mut events,
                         &mut ws,
-                        &mut outcomes,
+                        &mut slab,
+                        &mut acct,
                         &mut ops,
                     )?;
+                }
+                Ev::CancelWait { slot, gen } => {
+                    // A waiting query's cancellation instant fires as its
+                    // own event, so the queue sheds it *now* instead of
+                    // carrying the corpse until its slot turn. A stale
+                    // generation (or an already-canceled entry) means the
+                    // query left the wait set first — nothing to do.
+                    if let Some(p) = slab.live_mut(slot, gen) {
+                        if !p.canceled {
+                            p.canceled = true;
+                            let tenant = p.item.tenant as usize;
+                            let index = p.index;
+                            let query = p.item.query.name.clone();
+                            let arrival = p.item.arrival;
+                            ws.cancel(tenant);
+                            self.tracer.instant(
+                                TraceLevel::Protocol,
+                                pid::SESSION,
+                                index as u32,
+                                "canceled",
+                                "session",
+                                t,
+                                &[],
+                            );
+                            acct.record(
+                                index,
+                                tenant,
+                                ArrivalOutcome::Canceled(ShedQuery {
+                                    index,
+                                    query,
+                                    arrival,
+                                    shed_at: t,
+                                }),
+                            );
+                        }
+                    }
                 }
             }
         }
         debug_assert!(ws.is_empty(), "every freed slot admits a waiter");
         // Every arrival must have exactly one outcome by now; a hole is a
         // scheduler bug, reported as a typed error (with the fault counters
-        // absorbed by the caller) instead of a panic. One read-only pass
-        // checks the invariant and gathers every per-outcome statistic, so
-        // the report assembly touches the (large) outcome array as few
-        // times as possible.
-        let mut completed = 0usize;
-        let mut rejected = 0u64;
-        let mut deadline_missed = 0u64;
-        let mut canceled = 0u64;
-        let mut failed = 0u64;
-        let mut makespan = SimTime::ZERO;
-        let mut latencies: Vec<SimTime> = Vec::new();
-        for (i, o) in outcomes.iter().enumerate() {
-            match o {
-                Some(ArrivalOutcome::Completed(c)) => {
-                    completed += 1;
-                    makespan = makespan.max(c.finished_at);
-                    latencies.push(c.latency);
-                }
-                Some(ArrivalOutcome::Rejected(_)) => rejected += 1,
-                Some(ArrivalOutcome::DeadlineMissed(_)) => deadline_missed += 1,
-                Some(ArrivalOutcome::Canceled(_)) => canceled += 1,
-                Some(ArrivalOutcome::Failed(_)) => failed += 1,
-                None => {
-                    return Err(RunError::from_kind(RunErrorKind::SchedulerInvariant {
-                        index: i,
-                    }))
-                }
-            }
+        // absorbed by the caller) instead of a panic. The per-outcome
+        // statistics were gathered incrementally as each outcome was
+        // decided, so assembly never re-walks the outcome array.
+        let Acct {
+            outcomes,
+            recorded,
+            completed,
+            rejected,
+            deadline_missed,
+            canceled,
+            failed,
+            makespan,
+            latencies,
+            tenants: tenant_accts,
+        } = acct;
+        if recorded != n {
+            let index = outcomes.iter().position(|o| o.is_none()).unwrap_or(0);
+            return Err(RunError::from_kind(RunErrorKind::SchedulerInvariant {
+                index,
+            }));
         }
         // `Option<ArrivalOutcome>` and `ArrivalOutcome` share a layout
         // (niche optimization), so this unwrap-collect rewrites the vector
         // in place — no second outcome array is ever allocated or copied.
         let outcomes: Vec<ArrivalOutcome> = outcomes
             .into_iter()
-            .map(|o| o.expect("hole checked above"))
+            .map(|o| o.expect("recorded count checked above"))
             .collect();
-        let tenants = self.tenant_breakdown(workload, opts, &outcomes);
+        let tenants: Vec<TenantReport> = opts
+            .tenants
+            .iter()
+            .zip(tenant_accts)
+            .map(|(s, a)| TenantReport {
+                name: s.name.clone(),
+                arrivals: a.arrivals,
+                completed: a.completed,
+                rejected: a.rejected,
+                deadline_missed: a.deadline_missed,
+                canceled: a.canceled,
+                failed: a.failed,
+                latency: LatencyStats::from_sample(&a.latencies),
+            })
+            .collect();
         let mut completions: Vec<Arc<QueryCompletion>> = Vec::with_capacity(completed);
         completions.extend(outcomes.iter().filter_map(|o| match o {
             ArrivalOutcome::Completed(c) => Some(Arc::clone(c)),
@@ -902,69 +1053,45 @@ impl System {
         })
     }
 
-    /// The per-tenant report slice: empty without a registry, else one
-    /// [`TenantReport`] per registered tenant in registration order.
-    fn tenant_breakdown(
-        &self,
-        workload: &Workload,
-        opts: &WorkloadOptions,
-        outcomes: &[ArrivalOutcome],
-    ) -> Vec<TenantReport> {
-        if opts.tenants.is_empty() {
-            return Vec::new();
-        }
-        let mut reports: Vec<TenantReport> = opts
-            .tenants
-            .iter()
-            .map(|s| TenantReport {
-                name: s.name.clone(),
-                ..TenantReport::default()
-            })
-            .collect();
-        let mut latencies: Vec<Vec<SimTime>> = vec![Vec::new(); reports.len()];
-        for (i, o) in outcomes.iter().enumerate() {
-            let t = workload.items()[i].tenant as usize;
-            reports[t].arrivals += 1;
-            match o {
-                ArrivalOutcome::Completed(c) => {
-                    reports[t].completed += 1;
-                    latencies[t].push(c.latency);
-                }
-                ArrivalOutcome::Rejected(_) => reports[t].rejected += 1,
-                ArrivalOutcome::DeadlineMissed(_) => reports[t].deadline_missed += 1,
-                ArrivalOutcome::Canceled(_) => reports[t].canceled += 1,
-                ArrivalOutcome::Failed(_) => reports[t].failed += 1,
-            }
-        }
-        for (r, l) in reports.iter_mut().zip(&latencies) {
-            r.latency = LatencyStats::from_sample(l);
-        }
-        reports
-    }
-
     /// Admits waiters into a freed session slot in fair-queueing (or FIFO)
     /// order: sheds those canceled or past their start-of-service deadline
     /// (the slot stays free, so the next waiter gets its turn
     /// immediately), then dispatches until one admission actually occupies
     /// the slot — a breaker-rerouted waiter completes on the host without
     /// consuming it, so stopping after one admission would strand the rest
-    /// of the queue.
+    /// of the queue. Tombstones of event-canceled waiters are skipped (and
+    /// their slab slots released) inside [`WaitSet::pop`]; their outcomes
+    /// were already recorded when the cancellation event fired.
     #[allow(clippy::too_many_arguments)] // internal scheduler plumbing, not API
     fn admit_waiters(
         &mut self,
-        workload: &Workload,
         now: SimTime,
         opts: &WorkloadOptions,
         dop: usize,
         events: &mut EventQueue<Ev>,
         ws: &mut WaitSet,
-        outcomes: &mut [Option<ArrivalOutcome>],
+        slab: &mut PendingSlab,
+        acct: &mut Acct,
         ops: &mut ResolveCache,
     ) -> Result<(), RunError> {
-        while let Some(j) = ws.pop() {
-            let item = &workload.items()[j];
+        while let Some(slot) = ws.pop(|s| {
+            if slab.is_canceled(s) {
+                slab.release(s);
+                true
+            } else {
+                false
+            }
+        }) {
+            let p = slab.remove(slot);
+            let j = p.index;
+            let item = &p.item;
             let tenant = item.tenant as usize;
             if item.cancel_at.is_some_and(|c| c <= now) {
+                // The cancellation event fires no later than this pop, so
+                // this arm is only reachable on an exact tie (the slot
+                // freed at the cancel instant, and the close event drained
+                // first) — and then `now == cancel_at`, so the shed
+                // instant matches the event-driven path exactly.
                 self.tracer.instant(
                     TraceLevel::Protocol,
                     pid::SESSION,
@@ -974,12 +1101,16 @@ impl System {
                     now,
                     &[],
                 );
-                outcomes[j] = Some(ArrivalOutcome::Canceled(ShedQuery {
-                    index: j,
-                    query: item.query.name.clone(),
-                    arrival: item.arrival,
-                    shed_at: now,
-                }));
+                acct.record(
+                    j,
+                    tenant,
+                    ArrivalOutcome::Canceled(ShedQuery {
+                        index: j,
+                        query: item.query.name.clone(),
+                        arrival: item.arrival,
+                        shed_at: now,
+                    }),
+                );
                 continue;
             }
             if let Some(deadline) = opts.deadline_for(tenant) {
@@ -993,19 +1124,23 @@ impl System {
                         now,
                         &[],
                     );
-                    outcomes[j] = Some(ArrivalOutcome::DeadlineMissed(ShedQuery {
-                        index: j,
-                        query: item.query.name.clone(),
-                        arrival: item.arrival,
-                        shed_at: now,
-                    }));
+                    acct.record(
+                        j,
+                        tenant,
+                        ArrivalOutcome::DeadlineMissed(ShedQuery {
+                            index: j,
+                            query: item.query.name.clone(),
+                            arrival: item.arrival,
+                            shed_at: now,
+                        }),
+                    );
                     continue;
                 }
             }
             let (out, slot_consumed) =
-                self.dispatch(workload, j, now, opts, dop, events, ws, ops)?;
+                self.dispatch(item, j, now, opts, dop, events, ws, slab, ops)?;
             if let Some(o) = out {
-                outcomes[j] = Some(o);
+                acct.record(j, tenant, o);
             }
             if slot_consumed {
                 break;
@@ -1018,20 +1153,22 @@ impl System {
     /// outcome (`None` when it was deferred on a full device — a close
     /// event will re-dispatch it) and whether the dispatch tied up a
     /// device session slot (a host-routed completion leaves the slot free
-    /// for the next waiter).
+    /// for the next waiter). A deferred item is parked in the pending
+    /// slab, so the caller's copy can be dropped — arrivals need not
+    /// outlive the dispatch unless they actually wait.
     #[allow(clippy::too_many_arguments)] // internal scheduler plumbing, not API
     fn dispatch(
         &mut self,
-        workload: &Workload,
+        item: &WorkloadItem,
         idx: usize,
         now: SimTime,
         opts: &WorkloadOptions,
         dop: usize,
         events: &mut EventQueue<Ev>,
         ws: &mut WaitSet,
+        slab: &mut PendingSlab,
         ops: &mut ResolveCache,
     ) -> Result<(Option<ArrivalOutcome>, bool), RunError> {
-        let item = &workload.items()[idx];
         let tenant = item.tenant as usize;
         // Cancellation beats service: an arrival whose cancel instant has
         // already passed is abandoned before any route decision.
@@ -1130,7 +1267,19 @@ impl System {
                                 ));
                             }
                         }
-                        ws.push(idx, tenant);
+                        let (slot, gen) = slab.insert(Pending {
+                            item: item.clone(),
+                            index: idx,
+                            canceled: false,
+                        });
+                        ws.push(slot, tenant);
+                        // The cancel instant (strictly future: `c <= now`
+                        // was shed above) becomes an event, so a waiting
+                        // cancellation is observed when it happens, not
+                        // when the slot turn comes around.
+                        if let Some(c) = item.cancel_at {
+                            events.push(c, Ev::CancelWait { slot, gen });
+                        }
                         Ok((None, true))
                     }
                     DevAttempt::Done(sid, out) => {

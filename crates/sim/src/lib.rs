@@ -35,7 +35,7 @@ pub use bus::Bus;
 pub use cpu::CpuModel;
 pub use energy::{EnergyBreakdown, PowerModel};
 pub use report::{FaultCounters, FaultRates, UtilizationReport};
-pub use sched::{ArrivalGen, ArrivalModel, EventQueue, LatencyStats};
+pub use sched::{ArrivalGen, ArrivalModel, EventQueue, KeyedMinHeap, LatencyStats};
 pub use time::SimTime;
 pub use timeline::{BatchIntervals, Interval, Timeline, TimelineBank};
 pub use trace::{

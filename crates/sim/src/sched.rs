@@ -15,6 +15,12 @@
 //! [`LatencyStats`] summarizes a latency sample as nearest-rank
 //! p50/p95/p99, and [`ArrivalGen`] produces seeded, deterministic
 //! inter-arrival gaps for open-arrival streams.
+//!
+//! For schedulers that pick a *minimum-keyed* candidate rather than the
+//! earliest event — weighted fair queueing being the canonical case —
+//! [`KeyedMinHeap`] provides an O(log N) indexed alternative to a linear
+//! scan, with lazy invalidation (epoch counters) instead of decrease-key,
+//! exploiting the monotonicity of virtual-time keys.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -101,6 +107,89 @@ impl<T> EventQueue<T> {
     }
 }
 
+/// A keyed min-heap with **lazy invalidation**, built for schedulers whose
+/// keys only ever *grow* (virtual-time tags, deadlines, retry backoffs).
+///
+/// Each entry is `(key, id, epoch)`; the heap orders by `(key, id)` — so
+/// among equal keys the smallest id wins, deterministically. Instead of a
+/// decrease-key/delete operation, the owner bumps its per-id epoch counter
+/// whenever an entry becomes stale (the id was re-keyed or retired) and
+/// pushes a fresh entry; [`KeyedMinHeap::pop_min`] consults a callback for
+/// every candidate at the top:
+///
+/// * callback returns `None` → the entry is stale; drop it and keep going.
+/// * callback returns the *same* key → the stored key is exact; this entry
+///   is the true minimum (stored keys are lower bounds when keys are
+///   monotone non-decreasing), so return it.
+/// * callback returns a *larger* key → the id's effective key grew since
+///   the push (e.g. a virtual clock overtook its tag); re-push at the
+///   fresh key and re-examine the new top.
+///
+/// Push and pop are O(log N); a pop that refreshes `r` grown keys costs
+/// O((r + 1) log N), and each refresh is amortized against the key growth
+/// that caused it. Popping an entry *consumes* it: the owner re-arms the
+/// id (fresh epoch, fresh push) if it should remain schedulable.
+pub struct KeyedMinHeap<K> {
+    heap: BinaryHeap<std::cmp::Reverse<(K, u32, u32)>>,
+}
+
+impl<K: Ord + Copy> Default for KeyedMinHeap<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Copy> KeyedMinHeap<K> {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Schedules `id` at `key` under `epoch`. The caller owns epoch
+    /// bookkeeping: pushing a fresh entry for an id whose previous entry
+    /// is still in the heap is fine *if* the old epoch was bumped (the
+    /// stale entry will be dropped by `pop_min`'s callback).
+    pub fn push(&mut self, key: K, id: u32, epoch: u32) {
+        self.heap.push(std::cmp::Reverse((key, id, epoch)));
+    }
+
+    /// Pops the id with the smallest *current* key (ties broken by the
+    /// smallest id). `current` maps `(id, epoch)` to the id's effective
+    /// key right now, or `None` if that entry is stale; it must never
+    /// return a key smaller than the stored one (keys are monotone).
+    pub fn pop_min(&mut self, mut current: impl FnMut(u32, u32) -> Option<K>) -> Option<u32> {
+        while let Some(&std::cmp::Reverse((key, id, epoch))) = self.heap.peek() {
+            match current(id, epoch) {
+                None => {
+                    self.heap.pop();
+                }
+                Some(k) if k == key => {
+                    self.heap.pop();
+                    return Some(id);
+                }
+                Some(k) => {
+                    debug_assert!(k > key, "keys must be monotone non-decreasing");
+                    self.heap.pop();
+                    self.heap.push(std::cmp::Reverse((k, id, epoch)));
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of entries in the heap, stale ones included.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the heap holds no entries at all (stale ones included).
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
 /// Summary statistics over a latency sample: count, min/mean/max, and
 /// nearest-rank percentiles. All times are simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -127,10 +216,14 @@ impl LatencyStats {
     ///
     /// Each percentile is the nearest-rank order statistic, found by
     /// `select_nth_unstable` (expected O(n)) on one shared scratch buffer
-    /// instead of a full O(n log n) sort. The k-th order statistic is a
-    /// unique *value* whatever order ties land in, so the result is
-    /// bit-identical to sorting and indexing — the tie-pinning test below
-    /// holds this invariant.
+    /// instead of a full O(n log n) sort. The three percentile ranks are
+    /// monotone (p50 ≤ p95 ≤ p99), so one selection pass suffices: after
+    /// selecting rank `i50` the suffix `buf[i50+1..]` holds every element
+    /// of rank above it, and `i95`/`i99` are found by selecting *within*
+    /// that ever-shrinking suffix instead of re-partitioning the whole
+    /// buffer. The k-th order statistic is a unique *value* whatever order
+    /// ties land in, so the result is bit-identical to sorting and
+    /// indexing — the tie-pinning test below holds this invariant.
     pub fn from_sample(sample: &[SimTime]) -> Self {
         if sample.is_empty() {
             return Self::default();
@@ -140,10 +233,18 @@ impl LatencyStats {
         // Nearest-rank percentile: the smallest value with at least q*n
         // samples at or below it, i.e. order statistic ceil(q*n) (1-based).
         let idx = |q_num: usize, q_den: usize| (n * q_num).div_ceil(q_den).max(1) - 1;
-        let mut kth = |k: usize| *buf.select_nth_unstable(k).1;
-        let p50 = kth(idx(50, 100));
-        let p95 = kth(idx(95, 100));
-        let p99 = kth(idx(99, 100));
+        let (i50, i95, i99) = (idx(50, 100), idx(95, 100), idx(99, 100));
+        let p50 = *buf.select_nth_unstable(i50).1;
+        let p95 = if i95 == i50 {
+            p50
+        } else {
+            *buf[i50 + 1..].select_nth_unstable(i95 - i50 - 1).1
+        };
+        let p99 = if i99 == i95 {
+            p95
+        } else {
+            *buf[i95 + 1..].select_nth_unstable(i99 - i95 - 1).1
+        };
         let mut min = sample[0];
         let mut max = sample[0];
         let mut total: u128 = 0;
@@ -374,6 +475,49 @@ mod tests {
     }
 
     #[test]
+    fn keyed_min_heap_pops_smallest_key_then_smallest_id() {
+        let mut h: KeyedMinHeap<u64> = KeyedMinHeap::new();
+        h.push(5, 2, 0);
+        h.push(3, 7, 0);
+        h.push(3, 1, 0);
+        h.push(9, 0, 0);
+        assert_eq!(h.len(), 4);
+        let keys = |id: u32| match id {
+            0 => 9u64,
+            1 => 3,
+            2 => 5,
+            7 => 3,
+            _ => unreachable!(),
+        };
+        let mut cur = |id: u32, _e: u32| Some(keys(id));
+        assert_eq!(h.pop_min(&mut cur), Some(1), "key tie broken by id");
+        assert_eq!(h.pop_min(&mut cur), Some(7));
+        assert_eq!(h.pop_min(&mut cur), Some(2));
+        assert_eq!(h.pop_min(&mut cur), Some(0));
+        assert_eq!(h.pop_min(&mut cur), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn keyed_min_heap_drops_stale_epochs_and_refreshes_grown_keys() {
+        let mut h: KeyedMinHeap<u64> = KeyedMinHeap::new();
+        // id 0 pushed twice: epoch 0 entry is stale, epoch 1 is live.
+        h.push(1, 0, 0);
+        h.push(6, 0, 1);
+        // id 1's key has grown from 2 to 8 since its push: the heap must
+        // refresh it past id 0's live entry instead of popping it first.
+        h.push(2, 1, 0);
+        let current = |id: u32, epoch: u32| match (id, epoch) {
+            (0, 1) => Some(6u64),
+            (1, 0) => Some(8),
+            _ => None, // stale
+        };
+        assert_eq!(h.pop_min(current), Some(0));
+        assert_eq!(h.pop_min(current), Some(1));
+        assert_eq!(h.pop_min(current), None);
+    }
+
+    #[test]
     fn latency_stats_nearest_rank() {
         let sample: Vec<SimTime> = (1..=100).map(SimTime::from_nanos).collect();
         let s = LatencyStats::from_sample(&sample);
@@ -408,6 +552,23 @@ mod tests {
         assert_eq!(got.p99, rank(99));
         assert_eq!(got.min, sorted[0]);
         assert_eq!(got.max, sorted[n - 1]);
+    }
+
+    #[test]
+    fn latency_stats_one_pass_handles_coinciding_ranks_and_ties() {
+        // n = 10: p95 and p99 share nearest-rank index 9 (ceil(9.5) =
+        // ceil(9.9) = 10), exercising the coinciding-rank fast path, and
+        // the duplicated maximum pins tie behavior at that shared rank.
+        let mut sample: Vec<SimTime> = [3u64, 9, 9, 1, 5, 7, 9, 2, 4, 6]
+            .iter()
+            .map(|&v| SimTime::from_nanos(v))
+            .collect();
+        let got = LatencyStats::from_sample(&sample);
+        sample.sort_unstable();
+        assert_eq!(got.p50, sample[4]); // rank ceil(5.0) = 5 → index 4
+        assert_eq!(got.p95, sample[9]);
+        assert_eq!(got.p99, sample[9]);
+        assert_eq!(got.p95, SimTime::from_nanos(9));
     }
 
     #[test]

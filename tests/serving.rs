@@ -278,4 +278,96 @@ proptest! {
             }
         }
     }
+
+    /// The streaming front door is the eager one: for any tenant mix,
+    /// `System::run_serving` (k-way merge cursor, nothing materialized)
+    /// produces a report identical in every simulated figure to composing
+    /// the same loads into a `Workload` and running it eagerly — outcome
+    /// by outcome, tenant by tenant, nanosecond by nanosecond.
+    #[test]
+    fn streaming_run_serving_matches_composed_run_workload(
+        rows in prop::collection::vec(arb_row(), 50..150),
+        tenants in prop::collection::vec(
+            (-500i64..500, 1u64..8, 0u8..2, 1usize..5, 0u64..2_000_000,
+             0u8..3, prop::option::of(10_000u64..3_000_000)),
+            1..4),
+        seed in any::<u64>(),
+        max_sessions in 1usize..3,
+        fair in any::<bool>(),
+        direct in any::<bool>(),
+    ) {
+        let interface = if direct { InterfaceMode::Direct } else { InterfaceMode::Linked };
+        let loads = loads_of(&tenants);
+        let eager = run_serving(&rows, &loads, seed, max_sessions, fair, interface);
+        let streamed = build_sys(&rows, max_sessions)
+            .run_serving(
+                &loads,
+                seed,
+                WorkloadOptions::new().interface(interface).fair_queueing(fair),
+            )
+            .unwrap();
+        assert_reports_identical(&eager, &streamed)?;
+    }
+
+    /// The keyed-min-heap admission engine replays the linear-scan
+    /// reference grant-for-grant at system level: same loads, same seed,
+    /// identical reports — under contention (one slot), mixed lanes and
+    /// weights, and live cancellation schedules.
+    #[test]
+    fn heap_admission_matches_reference_scan_end_to_end(
+        rows in prop::collection::vec(arb_row(), 50..150),
+        tenants in prop::collection::vec(
+            (-500i64..500, 1u64..8, 0u8..2, 1usize..6, 0u64..1_000_000,
+             0u8..3, prop::option::of(10_000u64..3_000_000)),
+            1..5),
+        seed in any::<u64>(),
+    ) {
+        let loads = loads_of(&tenants);
+        let opts = || WorkloadOptions::new().interface(InterfaceMode::Direct);
+        let heap = build_sys(&rows, 1)
+            .run_serving(&loads, seed, opts())
+            .unwrap();
+        let scan = build_sys(&rows, 1)
+            .run_serving(&loads, seed, opts().reference_admission(true))
+            .unwrap();
+        assert_reports_identical(&heap, &scan)?;
+    }
+}
+
+/// Two serving reports agree on every simulated figure (wall-clock does
+/// not exist in a report, so this is full behavioral identity).
+fn assert_reports_identical(
+    a: &WorkloadReport,
+    b: &WorkloadReport,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(a.makespan, b.makespan);
+    prop_assert_eq!(a.outcomes.len(), b.outcomes.len());
+    prop_assert_eq!(tally(a), tally(b));
+    let fin = |r: &WorkloadReport| {
+        r.completions
+            .iter()
+            .map(|c| (c.index, c.route, c.arrival, c.finished_at, c.latency))
+            .collect::<Vec<_>>()
+    };
+    prop_assert_eq!(fin(a), fin(b));
+    let shed = |r: &WorkloadReport| {
+        r.outcomes
+            .iter()
+            .filter_map(|o| match o {
+                ArrivalOutcome::Canceled(s) => Some((s.index, s.shed_at)),
+                _ => None,
+            })
+            .collect::<Vec<_>>()
+    };
+    prop_assert_eq!(shed(a), shed(b));
+    prop_assert_eq!(a.tenants.len(), b.tenants.len());
+    for (x, y) in a.tenants.iter().zip(&b.tenants) {
+        prop_assert_eq!(&x.name, &y.name);
+        prop_assert_eq!(x.arrivals, y.arrivals);
+        prop_assert_eq!(x.completed, y.completed);
+        prop_assert_eq!(x.canceled, y.canceled);
+        prop_assert_eq!(x.latency.p50, y.latency.p50);
+        prop_assert_eq!(x.latency.p99, y.latency.p99);
+    }
+    Ok(())
 }
