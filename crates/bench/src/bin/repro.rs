@@ -4,7 +4,7 @@
 //! repro [--quick] [fig1|tab2|fig3|fig5|fig7|tab3|plans|scan-sweep|array|cache|
 //!                  device-scaling|interface|concurrent|host-parallel|q1|kernels|
 //!                  faults|trace|concurrency|degrade|fleet|serving|simspeed|
-//!                  servescale|all]
+//!                  servescale|chaos|all]
 //!
 //! `kernels` wall-clock-times the vectorized scan kernels against the
 //! tuple-at-a-time reference implementations and writes the results to
@@ -56,10 +56,10 @@
 //! fixed selectivity). EXPERIMENTS.md records paper-vs-measured values.
 
 use smartssd_bench::{
-    array_exp, cache_exp, concurrency_exp, concurrent_exp, degrade_exp, device_scaling_exp,
-    fault_injection_exp, fig1, fig3, fig5, fig7, fleet_exp, host_parallel_exp, interface_exp,
-    plans, q1_exp, scan_sweep_exp, servescale_exp, serving_exp, simspeed_exp, tab2, tab3,
-    trace_exp, workload_trace_exp, Bars, Scales, FLEET_DEGRADE_DEVICES, SERVESCALE_ROWS,
+    array_exp, cache_exp, chaos_exp, concurrency_exp, concurrent_exp, degrade_exp,
+    device_scaling_exp, fault_injection_exp, fig1, fig3, fig5, fig7, fleet_exp, host_parallel_exp,
+    interface_exp, plans, q1_exp, scan_sweep_exp, servescale_exp, serving_exp, simspeed_exp, tab2,
+    tab3, trace_exp, workload_trace_exp, Bars, Scales, FLEET_DEGRADE_DEVICES, SERVESCALE_ROWS,
     SIMSPEED_MEAN_GAP, SIMSPEED_ROWS,
 };
 
@@ -1023,6 +1023,92 @@ fn run_servescale(quick: bool, smoke: bool) {
     println!();
 }
 
+/// Chaos matrix (`repro chaos`): not part of `all`, so clean reproduction
+/// output stays bit-identical. Scripted gray-failure scenarios crossed
+/// with defense stacks; the acceptance claim is the strict victim-p99
+/// ordering `full < breaker < none` in the slowdown scenarios.
+fn run_chaos(s: &Scales, quick: bool) {
+    println!("== Chaos: scripted gray failures vs layered defenses (Q6, two tenants) ==");
+    let victim_n = if quick { 16 } else { 32 };
+    let r = match chaos_exp(s, victim_n) {
+        Ok(r) => r,
+        Err(fault) => {
+            println!("  experiment aborted by device fault: {fault}");
+            return;
+        }
+    };
+    println!(
+        "  service time (device-route Q6): {:.3} ms",
+        r.service_time.as_secs_f64() * 1e3
+    );
+    println!("  scenario   defense  done  rej  goodput[qps]  victim-p99[ms]  fallbacks  slow-trips  trips  match");
+    let mut entries = String::new();
+    for p in &r.points {
+        println!(
+            "  {:<9}  {:<7}  {:>4}  {:>3}  {:>12.3}  {:>14.2}  {:>9}  {:>10}  {:>5}  {:>5}",
+            p.scenario,
+            p.defense,
+            p.completed,
+            p.rejected,
+            p.goodput_qps,
+            p.victim_p99_ms,
+            p.fallbacks,
+            p.slow_trips,
+            p.breaker_transitions,
+            if p.matches_clean { "yes" } else { "NO" },
+        );
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"defense\": \"{}\", \"arrivals\": {}, \
+             \"completed\": {}, \"rejected\": {}, \"goodput_qps\": {:.6}, \
+             \"victim_completed\": {}, \"victim_p99_ms\": {:.6}, \
+             \"batch_completed\": {}, \"batch_rejected\": {}, \"fallbacks\": {}, \
+             \"slow_trips\": {}, \"breaker_transitions\": {}, \"matches_clean\": {}, \
+             \"faults\": {}}}",
+            p.scenario,
+            p.defense,
+            p.arrivals,
+            p.completed,
+            p.rejected,
+            p.goodput_qps,
+            p.victim_completed,
+            p.victim_p99_ms,
+            p.batch_completed,
+            p.batch_rejected,
+            p.fallbacks,
+            p.slow_trips,
+            p.breaker_transitions,
+            p.matches_clean,
+            p.faults.to_json()
+        ));
+    }
+    for scenario in ["slow4x", "slow16x"] {
+        let (none, breaker, full) = (
+            r.victim_p99_ms(scenario, "none"),
+            r.victim_p99_ms(scenario, "breaker"),
+            r.victim_p99_ms(scenario, "full"),
+        );
+        let ok = full < breaker && breaker < none;
+        println!(
+            "  {scenario}: victim p99 full {full:.2} < breaker {breaker:.2} < none {none:.2} ms — {}",
+            if ok { "each defense layer pays" } else { "ORDERING VIOLATED" }
+        );
+    }
+    let json = format!(
+        "{{\n  \"generated_by\": \"repro chaos\",\n  \"query\": \"q6\",\n  \
+         \"service_time_ms\": {:.6},\n  \"victim\": \"interactive\",\n  \
+         \"points\": [\n{entries}\n  ]\n}}\n",
+        r.service_time.as_secs_f64() * 1e3
+    );
+    std::fs::write("BENCH_chaos.json", json).expect("write BENCH_chaos.json");
+    println!("  (identical arrival schedules in every cell; answers stay bit-identical —");
+    println!("   the defenses change routing and shedding, never results)");
+    println!("  wrote BENCH_chaos.json");
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -1121,5 +1207,8 @@ fn main() {
     }
     if what == "servescale" {
         run_servescale(quick, smoke);
+    }
+    if what == "chaos" {
+        run_chaos(&s, quick);
     }
 }

@@ -1274,6 +1274,7 @@ pub fn degrade_exp(s: &Scales) -> Result<Vec<DegradePoint>, RunError> {
         // instead of waiting out one more firmware reset.
         window: scaled(8, 1),
         cooldown: scaled(6, 1),
+        ..smartssd::BreakerPolicy::default()
     };
     let opts = WorkloadOptions::new()
         .queue_bound(n)
@@ -1724,5 +1725,247 @@ pub fn serving_exp(
         service_time,
         knee,
         isolation,
+    })
+}
+
+/// One cell of the chaos matrix: a two-tenant Q6 stream through one
+/// scripted gray-failure scenario, under one defense stack.
+#[derive(Debug, Clone)]
+pub struct ChaosPoint {
+    /// Fault scenario label.
+    pub scenario: &'static str,
+    /// Defense stack label: `none`, `breaker`, or `full`.
+    pub defense: &'static str,
+    /// Total arrivals across both tenants.
+    pub arrivals: u64,
+    /// Queries that completed (on either route).
+    pub completed: u64,
+    /// Arrivals shed at admission (brownout).
+    pub rejected: u64,
+    /// Completed queries per simulated second across the whole stream.
+    pub goodput_qps: f64,
+    /// Victim (interactive) tenant completions.
+    pub victim_completed: u64,
+    /// Victim (interactive) tenant 99th-percentile latency, milliseconds.
+    pub victim_p99_ms: f64,
+    /// Batch tenant completions.
+    pub batch_completed: u64,
+    /// Batch tenant arrivals shed by brownout.
+    pub batch_rejected: u64,
+    /// Device-route attempts that fell back to the host mid-run.
+    pub fallbacks: u64,
+    /// Breaker opens caused by the latency (slow-trip) rule alone.
+    pub slow_trips: u64,
+    /// Breaker state changes during the stream.
+    pub breaker_transitions: u64,
+    /// Whether every completed answer is bit-identical to the healthy
+    /// run's.
+    pub matches_clean: bool,
+    /// Fault counters absorbed during the stream.
+    pub faults: smartssd_sim::FaultCounters,
+}
+
+/// Results of the chaos experiment.
+#[derive(Debug, Clone)]
+pub struct ChaosResult {
+    /// One clean device-route Q6 run — the unit every schedule is sized in.
+    pub service_time: SimTime,
+    /// The scenario x defense matrix, scenarios outermost.
+    pub points: Vec<ChaosPoint>,
+}
+
+impl ChaosResult {
+    /// Victim p99 of one `(scenario, defense)` cell, in milliseconds
+    /// (0.0 when absent).
+    pub fn victim_p99_ms(&self, scenario: &str, defense: &str) -> f64 {
+        self.points
+            .iter()
+            .find(|p| p.scenario == scenario && p.defense == defense)
+            .map(|p| p.victim_p99_ms)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Gray-failure chaos matrix (robustness extension; not a paper figure):
+/// scripted [`smartssd_sim::FaultPlan`] scenarios crossed with defense
+/// stacks, measured at the victim tenant's tail.
+///
+/// A high-weight `interactive` tenant (the victim whose p99 we protect)
+/// and a low-weight `batch` tenant together offer ~50% of the single-slot
+/// device capacity. Each scenario scripts one gray failure — a 4x or 16x
+/// firmware slowdown that opens after a healthy calibration head and never
+/// heals, a mid-stream firmware crash, or a persistent ECC burst doubling
+/// every read — and replays the *identical* arrival schedule under three
+/// defense stacks: `none`, `breaker` (latency-aware slow-trip routing),
+/// and `full` (breaker + brownout shedding of the lightest tenant).
+///
+/// The acceptance claim: in the slowdown scenarios the victim's p99 is
+/// strictly ordered `full < breaker < none` — the breaker stops queueing
+/// arrivals behind a gray device it can route around, and brownout stops
+/// the victim queueing behind batch work the incident has made unpayable.
+/// Every completed answer stays bit-identical in every cell, and the whole
+/// matrix is deterministic in the seed.
+pub fn chaos_exp(s: &Scales, victim_arrivals: usize) -> Result<ChaosResult, RunError> {
+    use smartssd::{BreakerPolicy, BrownoutPolicy};
+    use smartssd_sim::FaultPlan;
+
+    let query = q6();
+    let service_time = {
+        let mut probe = lineitem_system(s, |b| b);
+        probe
+            .run(&query, RunOptions::routed(Route::Device))?
+            .result
+            .elapsed
+    };
+    let frac = |num: u64, den: u64| SimTime::from_nanos(service_time.as_nanos() * num / den);
+
+    // The victim offers ~17% of capacity, batch ~33%: comfortable when
+    // healthy (a uniform arrival schedule keeps the healthy queue depth
+    // at 0-2, so brownout never fires in the healthy cell), hopeless once
+    // a slowdown cuts capacity 4-16x.
+    let n = victim_arrivals.max(8);
+    let horizon = frac(6 * n as u64, 1);
+    // The gray window opens after a healthy head long enough to calibrate
+    // the breaker's latency baseline, and never closes: a real gray
+    // incident outlives any one stream, so detection and routing are the
+    // only way out — there is no healthy tail to bail the no-defense run.
+    let win_from = frac(18, 1);
+    let win_until = SimTime::MAX;
+    let mid = SimTime::from_nanos(horizon.as_nanos() / 2);
+
+    // The slowdown scenarios arm the plan on the device *firmware* only
+    // (the embedded CPU throttles; the media path stays healthy) — the
+    // canonical gray failure, and the one where routing around the device
+    // actually pays. The ECC burst is the media-layer counterpart: it
+    // slows the flash itself, which the host block path shares, so no
+    // routing escape exists and defenses can only shed load.
+    let scenarios: Vec<(&'static str, FaultPlan, bool)> = vec![
+        ("healthy", FaultPlan::new(), false),
+        (
+            "slow4x",
+            FaultPlan::new().slowdown(0, 4, win_from, win_until),
+            true,
+        ),
+        (
+            "slow16x",
+            FaultPlan::new().slowdown(0, 16, win_from, win_until),
+            true,
+        ),
+        ("crash", FaultPlan::new().crash_at(0, mid), false),
+        (
+            "ecc-burst",
+            FaultPlan::new().ecc_burst(0, 0..u64::MAX, win_from, win_until),
+            false,
+        ),
+    ];
+
+    let policy = BreakerPolicy {
+        enabled: true,
+        failure_threshold: 3,
+        window: frac(8, 1),
+        // Once tripped, stay host-routed for the rest of the incident: a
+        // short cooldown would close the breaker onto the still-gray
+        // device, and every re-closure costs two more slowed services
+        // before the latency rule can re-trip.
+        cooldown: frac(64 * 4, 1),
+        // A 2x-sustained latency EWMA opens the breaker with zero hard
+        // failures -- the gray-failure case rate-based health misses.
+        slow_trip_factor: 2,
+        // The healthy head of the stream has ~9 device completions before
+        // the window opens; calibrate on the first 6.
+        baseline_samples: 6,
+    };
+
+    let loads = || {
+        vec![
+            TenantLoad::new(
+                TenantSpec::new("interactive").weight(8),
+                query.clone(),
+                n,
+                frac(6, 1),
+            )
+            .model(ArrivalModel::Uniform),
+            TenantLoad::new(
+                TenantSpec::new("batch").weight(1),
+                query.clone(),
+                2 * n,
+                frac(3, 1),
+            )
+            .model(ArrivalModel::Uniform),
+        ]
+    };
+
+    let mut clean_answer: Option<Vec<i128>> = None;
+    let mut points = Vec::new();
+    for (scenario, plan, firmware_only) in &scenarios {
+        for defense in ["none", "breaker", "full"] {
+            let mut sys = lineitem_system(s, |b| {
+                let b = b.tweak(|c| c.smart.max_sessions = 1);
+                let b = if *firmware_only {
+                    let view = plan.for_device(0);
+                    b.tweak(move |c| c.smart.fault_plan = view)
+                } else {
+                    b.fault_plan(plan)
+                };
+                if defense == "none" {
+                    b
+                } else {
+                    b.breaker(policy)
+                }
+            });
+            let (workload, tenants) = compose(&loads(), s.seed);
+            // Global FIFO admission: the front door most deployments run,
+            // and the one where a gray device actually takes the victim
+            // down with it — WFQ alone already shields the victim's queue
+            // slot, which would mask what each chaos defense buys.
+            let mut opts = WorkloadOptions::new().fair_queueing(false);
+            for t in tenants {
+                opts = opts.tenant(t);
+            }
+            if defense == "full" {
+                opts = opts.brownout(BrownoutPolicy { max_waiting: 2 });
+            }
+            let rep = sys.run_workload(&workload, opts)?;
+            let baseline = clean_answer.get_or_insert_with(|| {
+                rep.completions
+                    .first()
+                    .map(|c| c.result.agg_values.clone())
+                    .unwrap_or_default()
+            });
+            let matches_clean = !rep.completions.is_empty()
+                && rep
+                    .completions
+                    .iter()
+                    .all(|c| c.result.agg_values == *baseline);
+            let tenant = |name: &str| {
+                rep.tenants
+                    .iter()
+                    .find(|t| t.name == name)
+                    .cloned()
+                    .unwrap_or_default()
+            };
+            let (victim, batch) = (tenant("interactive"), tenant("batch"));
+            points.push(ChaosPoint {
+                scenario,
+                defense,
+                arrivals: workload.len() as u64,
+                completed: rep.completions.len() as u64,
+                rejected: rep.rejected,
+                goodput_qps: rep.throughput_qps,
+                victim_completed: victim.completed,
+                victim_p99_ms: victim.latency.p99.as_secs_f64() * 1e3,
+                batch_completed: batch.completed,
+                batch_rejected: batch.rejected,
+                fallbacks: rep.faults.fallbacks,
+                slow_trips: rep.faults.slow_trips,
+                breaker_transitions: rep.breaker_transitions.len() as u64,
+                matches_clean,
+                faults: rep.faults,
+            });
+        }
+    }
+    Ok(ChaosResult {
+        service_time,
+        points,
     })
 }

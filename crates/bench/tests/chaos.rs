@@ -1,0 +1,60 @@
+//! Acceptance shape of the gray-failure chaos matrix: in the slowdown
+//! scenarios each defense layer must strictly pay at the victim's tail
+//! (`full < breaker < none`), the healthy cells must shed nothing, the
+//! victim tenant must never be browned out, and every completed answer
+//! must stay bit-identical in every cell.
+
+use smartssd_bench::{chaos_exp, Scales};
+
+#[test]
+fn each_defense_layer_strictly_pays_at_the_victim_tail() {
+    let r = chaos_exp(&Scales::quick(), 16).expect("chaos experiment");
+    assert_eq!(r.points.len(), 5 * 3, "five scenarios x three defenses");
+
+    // The acceptance claim: latency-aware breaking routes around the gray
+    // firmware, and brownout shedding then keeps the victim from queueing
+    // behind batch work — each layer strictly improves the victim's p99.
+    for scenario in ["slow4x", "slow16x"] {
+        let none = r.victim_p99_ms(scenario, "none");
+        let breaker = r.victim_p99_ms(scenario, "breaker");
+        let full = r.victim_p99_ms(scenario, "full");
+        assert!(
+            full < breaker && breaker < none,
+            "{scenario}: expected full < breaker < none, got {full} / {breaker} / {none}"
+        );
+        // The win is detection, not a rounding artifact: routing around
+        // the gray device cuts the unprotected tail by over 2x.
+        assert!(none > 2.0 * breaker, "{scenario}: breaker win too small");
+    }
+
+    // ECC bursts slow the shared media, but the host block path is
+    // interface-bound, so routing still escapes most of the damage.
+    assert!(r.victim_p99_ms("ecc-burst", "breaker") < r.victim_p99_ms("ecc-burst", "none"));
+
+    for p in &r.points {
+        // Defenses change routing and shedding, never answers.
+        assert!(p.matches_clean, "{}/{} diverged", p.scenario, p.defense);
+        // Every arrival is accounted for, and the protected tenant is
+        // never the one shed: brownout only drops batch work.
+        assert_eq!(p.completed + p.rejected, p.arrivals);
+        assert_eq!(p.victim_completed, 16, "{}/{}", p.scenario, p.defense);
+        assert_eq!(p.rejected, p.batch_rejected);
+        if p.scenario == "healthy" {
+            // A healthy system sheds nothing and never trips.
+            assert_eq!(p.rejected, 0);
+            assert_eq!(p.slow_trips, 0);
+            assert_eq!(p.breaker_transitions, 0);
+        }
+        if p.scenario.starts_with("slow") && p.defense != "none" {
+            // The gray window is latency-only — the breaker can only have
+            // tripped on the slow-trip rule, and must have.
+            assert!(p.slow_trips >= 1, "{}/{}", p.scenario, p.defense);
+            assert_eq!(p.breaker_transitions, 1);
+        }
+        if p.scenario == "crash" {
+            // A hard crash is recovery, not brownout territory.
+            assert_eq!(p.rejected, 0);
+            assert!(p.fallbacks >= 1);
+        }
+    }
+}

@@ -258,6 +258,28 @@ impl WaitSet {
         self.vclock = start;
     }
 
+    /// Total live waiters across all tenants (tombstones excluded).
+    pub(crate) fn total_waiting(&self) -> usize {
+        self.len
+    }
+
+    /// Smallest weight among tenants with at least one live waiter;
+    /// `None` when nothing waits. The brownout rule sheds an arrival only
+    /// when its tenant is (one of) the lightest already queueing.
+    pub(crate) fn min_waiting_weight(&self) -> Option<u64> {
+        self.waiting
+            .iter()
+            .zip(&self.weights)
+            .filter(|(n, _)| **n > 0)
+            .map(|(_, w)| *w)
+            .min()
+    }
+
+    /// The registered weight of `tenant`.
+    pub(crate) fn weight_of(&self, tenant: usize) -> u64 {
+        self.weights[tenant]
+    }
+
     /// Live waiters for `tenant` (tombstones excluded).
     pub(crate) fn waiting_for(&self, tenant: usize) -> usize {
         self.waiting[tenant]

@@ -44,6 +44,19 @@ pub struct BreakerPolicy {
     pub window: SimTime,
     /// Simulated time the breaker stays Open before admitting one probe.
     pub cooldown: SimTime,
+    /// Slow-trip rule for gray failures: once the service-time EWMA exceeds
+    /// `slow_trip_factor` times the calibrated baseline, the breaker opens
+    /// even though every request *succeeded*. 0 disables the rule (the
+    /// default), so latency is not even sampled and existing figures are
+    /// untouched. A sick-but-not-dead device — scripted slowdown windows,
+    /// ECC retry storms — never fails a request, so the failure counter
+    /// alone would keep routing arrivals into a 16x-slower path.
+    pub slow_trip_factor: u32,
+    /// Number of leading service-time samples averaged into the latency
+    /// baseline the slow-trip rule compares against. The first samples of a
+    /// run are taken as representative of a healthy device; calibration
+    /// never trips.
+    pub baseline_samples: u32,
 }
 
 impl Default for BreakerPolicy {
@@ -55,6 +68,8 @@ impl Default for BreakerPolicy {
             // Slightly longer than the default device reset latency (5 ms),
             // so a probe admitted after one cooldown finds a healthy device.
             cooldown: SimTime::from_millis(8),
+            slow_trip_factor: 0,
+            baseline_samples: 8,
         }
     }
 }
@@ -123,6 +138,19 @@ pub struct CircuitBreaker {
     /// Whether the single HalfOpen probe has been handed out.
     probe_in_flight: bool,
     transitions: Vec<BreakerTransition>,
+    /// Sum of the calibration samples (valid until `baseline_seen` reaches
+    /// the policy's `baseline_samples`).
+    baseline_sum_ns: u64,
+    /// Calibration samples consumed so far.
+    baseline_seen: u32,
+    /// Calibrated healthy service time, ns. 0 until calibration completes.
+    baseline_ns: u64,
+    /// Integer EWMA of device service times, ns (gain 1/8).
+    ewma_ns: u64,
+    /// Consecutive post-calibration samples whose EWMA sat above the
+    /// slow-trip threshold. Two are required to trip, so one extreme
+    /// outlier can never open the breaker on its own.
+    slow_streak: u32,
 }
 
 impl CircuitBreaker {
@@ -135,6 +163,11 @@ impl CircuitBreaker {
             opened_at: SimTime::ZERO,
             probe_in_flight: false,
             transitions: Vec::new(),
+            baseline_sum_ns: 0,
+            baseline_seen: 0,
+            baseline_ns: 0,
+            ewma_ns: 0,
+            slow_streak: 0,
         }
     }
 
@@ -215,6 +248,58 @@ impl CircuitBreaker {
         }
     }
 
+    /// Feeds one successful device attempt's service time into the latency
+    /// health score. Returns `true` when the sample tripped the slow-trip
+    /// rule — sustained latency above `slow_trip_factor` times the
+    /// calibrated baseline opens the breaker with zero hard failures; the
+    /// caller should count that as a `slow_trips` fault.
+    ///
+    /// Deterministic integer arithmetic throughout: the first
+    /// `baseline_samples` observations average into the baseline (never
+    /// tripping), after which an EWMA with gain 1/8 tracks the service
+    /// time. Tripping requires the EWMA above threshold on two consecutive
+    /// samples, so a single outlier — however extreme — never opens the
+    /// breaker alone. On a trip the EWMA rewinds to the baseline so the
+    /// device is judged afresh when the probe closes the breaker —
+    /// otherwise one poisoned average would re-trip instantly on recovery.
+    /// Samples while Open are ignored (no device attempts run), and the
+    /// HalfOpen probe's outcome is decided by success/failure, not speed.
+    pub fn record_service_time(&mut self, now: SimTime, service: SimTime) -> bool {
+        if !self.policy.enabled || self.policy.slow_trip_factor == 0 {
+            return false;
+        }
+        if self.state != BreakerState::Closed {
+            return false;
+        }
+        let sample = service.as_nanos();
+        if self.baseline_seen < self.policy.baseline_samples {
+            self.baseline_sum_ns += sample;
+            self.baseline_seen += 1;
+            if self.baseline_seen == self.policy.baseline_samples {
+                self.baseline_ns = self.baseline_sum_ns / u64::from(self.baseline_seen);
+                self.ewma_ns = self.baseline_ns;
+            }
+            return false;
+        }
+        self.ewma_ns = (self.ewma_ns as i64 + (sample as i64 - self.ewma_ns as i64) / 8) as u64;
+        if self.ewma_ns
+            > self
+                .baseline_ns
+                .saturating_mul(u64::from(self.policy.slow_trip_factor))
+        {
+            self.slow_streak += 1;
+            if self.slow_streak >= 2 {
+                self.trip(now);
+                self.ewma_ns = self.baseline_ns;
+                self.slow_streak = 0;
+                return true;
+            }
+        } else {
+            self.slow_streak = 0;
+        }
+        false
+    }
+
     /// Releases the HalfOpen probe slot without deciding: the admitted
     /// attempt never reached the device (e.g. it was deferred on a full
     /// session table), so its outcome says nothing about health.
@@ -252,6 +337,7 @@ mod tests {
             failure_threshold: 3,
             window: SimTime::from_nanos(100),
             cooldown: SimTime::from_nanos(50),
+            ..BreakerPolicy::default()
         }
     }
 
@@ -329,6 +415,107 @@ mod tests {
         assert_eq!(b.state(), BreakerState::HalfOpen);
         // The slot is free again for the next arrival.
         assert!(b.allows_device(SimTime::from_nanos(72)));
+    }
+
+    fn slow_policy() -> BreakerPolicy {
+        BreakerPolicy {
+            slow_trip_factor: 4,
+            baseline_samples: 4,
+            ..policy()
+        }
+    }
+
+    #[test]
+    fn slow_trip_opens_with_zero_hard_failures() {
+        let mut b = CircuitBreaker::new(slow_policy());
+        // Calibration: four healthy 100 ns services. Never trips.
+        for t in 0..4 {
+            assert!(!b.record_service_time(SimTime::from_nanos(t), SimTime::from_nanos(100)));
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Gray failure: the device answers, 64x slower. The EWMA needs a
+        // few samples to cross 4x baseline, then the breaker opens without
+        // a single record_failure call.
+        let mut tripped_at = None;
+        for t in 10..40 {
+            if b.record_service_time(SimTime::from_nanos(t), SimTime::from_nanos(6400)) {
+                tripped_at = Some(t);
+                break;
+            }
+        }
+        assert!(tripped_at.is_some(), "sustained 64x latency must slow-trip");
+        assert!(tripped_at.unwrap() > 10, "one slow sample must not trip");
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn slow_trip_recovery_is_not_poisoned() {
+        let mut b = CircuitBreaker::new(slow_policy());
+        for t in 0..4 {
+            b.record_service_time(SimTime::from_nanos(t), SimTime::from_nanos(100));
+        }
+        let mut t = 10;
+        while !b.record_service_time(SimTime::from_nanos(t), SimTime::from_nanos(6400)) {
+            t += 1;
+        }
+        // Probe succeeds after cooldown; the EWMA was rewound to baseline,
+        // so healthy services keep the breaker closed instead of instantly
+        // re-tripping off the poisoned average.
+        assert!(b.allows_device(SimTime::from_nanos(t + 60)));
+        b.record_success(SimTime::from_nanos(t + 70));
+        assert_eq!(b.state(), BreakerState::Closed);
+        for i in 0..20 {
+            assert!(
+                !b.record_service_time(SimTime::from_nanos(t + 80 + i), SimTime::from_nanos(100))
+            );
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn slow_trip_disabled_by_default_records_nothing() {
+        let mut b = CircuitBreaker::new(policy());
+        for t in 0..100 {
+            assert!(!b.record_service_time(SimTime::from_nanos(t), SimTime::from_secs(1)));
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.take_transitions().is_empty());
+    }
+
+    #[test]
+    fn probe_dying_in_a_reset_storm_reopens_cleanly() {
+        // Edge case: the HalfOpen probe is admitted, but the device is
+        // still mid-reset (a storm pushed recovery back), so the attempt
+        // never reaches a session — the caller abandons the probe, a later
+        // arrival probes again, and its hard failure re-trips. The slot
+        // must not leak and the transition log must stay coherent.
+        let mut b = CircuitBreaker::new(policy());
+        for t in [10, 11, 12] {
+            b.record_failure(SimTime::from_nanos(t));
+        }
+        assert!(b.allows_device(SimTime::from_nanos(70)));
+        b.probe_abandoned();
+        // Slot free again; the next arrival takes it and dies for real.
+        assert!(b.allows_device(SimTime::from_nanos(75)));
+        b.record_failure(SimTime::from_nanos(76));
+        assert_eq!(b.state(), BreakerState::Open);
+        // Fresh cooldown counts from the re-trip.
+        assert!(!b.allows_device(SimTime::from_nanos(100)));
+        assert!(b.allows_device(SimTime::from_nanos(126)));
+        let got: Vec<_> = b
+            .take_transitions()
+            .iter()
+            .map(|t| (t.at.as_nanos(), t.to))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (12, BreakerState::Open),
+                (70, BreakerState::HalfOpen),
+                (76, BreakerState::Open),
+                (126, BreakerState::HalfOpen),
+            ]
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ use smartssd_device::DeviceConfig;
 use smartssd_flash::FlashConfig;
 use smartssd_host::{HddConfig, InterfaceKind};
 use smartssd_query::{PlannerConfig, PlannerInputs, Route, SessionPolicy};
-use smartssd_sim::{SimTime, TraceLevel, TraceSink, Tracer};
+use smartssd_sim::{FaultPlan, SimTime, TraceLevel, TraceSink, Tracer};
 use smartssd_storage::Layout;
 use std::fmt;
 
@@ -41,6 +41,12 @@ pub enum ConfigError {
     /// An enabled breaker whose probe cooldown is the maximum representable
     /// time would stay Open forever once tripped.
     InfiniteBreakerCooldown,
+    /// An enabled slow-trip rule with zero baseline samples has nothing to
+    /// compare the latency EWMA against.
+    ZeroBreakerBaseline,
+    /// A brownout policy with a zero waiting threshold would shed the
+    /// lightest tenant's every deferred arrival, overloaded or not.
+    ZeroBrownoutThreshold,
     /// A registered tenant has weight zero: weighted fair queueing could
     /// never schedule it, so any query it submits would starve forever.
     ZeroTenantWeight {
@@ -79,6 +85,18 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InfiniteBreakerCooldown => {
                 write!(f, "an enabled breaker needs a finite probe cooldown")
+            }
+            ConfigError::ZeroBreakerBaseline => {
+                write!(
+                    f,
+                    "an enabled slow-trip rule needs at least one baseline sample"
+                )
+            }
+            ConfigError::ZeroBrownoutThreshold => {
+                write!(
+                    f,
+                    "a brownout policy needs a waiting threshold of at least 1"
+                )
             }
             ConfigError::ZeroTenantWeight { tenant } => {
                 write!(
@@ -282,6 +300,19 @@ impl SystemBuilder {
         self
     }
 
+    /// Arms a scripted gray-failure plan on the (single) device: the
+    /// plan's device-0 view is split between the flash path (slowdown
+    /// windows, ECC bursts) and the smart runtime (crash instants, CPU
+    /// slowdowns). An empty plan is the default and changes nothing.
+    /// Fleets arm per-device views through
+    /// [`SmartSsdFleet::arm_fault_plan`](crate::SmartSsdFleet::arm_fault_plan).
+    pub fn fault_plan(mut self, plan: &FaultPlan) -> Self {
+        let view = plan.for_device(0);
+        self.cfg.flash.fault_plan = view.clone();
+        self.cfg.smart.fault_plan = view;
+        self
+    }
+
     /// Attaches a trace sink. Every timeline-owning component reports its
     /// occupancy intervals to it during runs; the collected trace comes
     /// back in [`crate::RunReport::trace`]. Without this call the system
@@ -327,6 +358,9 @@ impl SystemBuilder {
             }
             if br.cooldown == SimTime::MAX {
                 return Err(ConfigError::InfiniteBreakerCooldown);
+            }
+            if br.slow_trip_factor > 0 && br.baseline_samples == 0 {
+                return Err(ConfigError::ZeroBreakerBaseline);
             }
         }
         Ok(())
@@ -445,6 +479,14 @@ mod tests {
                     ..BreakerPolicy::enabled()
                 },
                 ConfigError::InfiniteBreakerCooldown,
+            ),
+            (
+                BreakerPolicy {
+                    slow_trip_factor: 4,
+                    baseline_samples: 0,
+                    ..BreakerPolicy::enabled()
+                },
+                ConfigError::ZeroBreakerBaseline,
             ),
         ];
         for (policy, want) in cases {

@@ -79,6 +79,28 @@ pub struct FleetOptions {
     /// second-slowest shard's. `0.0` speculates on every run's slowest
     /// shard; the default `1.25` only fires on genuinely skewed shards.
     pub straggler_factor: f64,
+    /// Hedged shard reads: every live shard whose device-side completion
+    /// estimate exceeds `hedge_factor` times the *median* estimate is raced
+    /// by a host block-path re-run, guarded by the retry budget. This
+    /// generalizes `speculate` (which races only the single slowest shard)
+    /// to gray fleets where several shards limp at once. Hedging never
+    /// changes answers — both copies compute the same partial — only
+    /// timing. Off by default.
+    pub hedge: bool,
+    /// Hedge trigger: a shard is hedged when its completion estimate
+    /// exceeds `hedge_factor` times the median estimate across live
+    /// shards. `0.0` hedges every live shard the budget allows.
+    pub hedge_factor: f64,
+    /// Retry-budget token-bucket capacity: at most this many hedges may be
+    /// outstanding per earned refill (see `hedge_refill`). The budget is
+    /// fleet-wide, so a gray fleet cannot amplify itself into a retry
+    /// storm — once tokens run out, further laggards are simply gathered.
+    pub hedge_budget: u32,
+    /// Token refill interval on *simulated* time: one token is earned per
+    /// elapsed interval, capped at `hedge_budget` available. `ZERO` (the
+    /// default) disables time-based refill, making `hedge_budget` a
+    /// per-run cap.
+    pub hedge_refill: SimTime,
 }
 
 impl Default for FleetOptions {
@@ -87,7 +109,50 @@ impl Default for FleetOptions {
             interface: InterfaceMode::Linked,
             speculate: false,
             straggler_factor: 1.25,
+            hedge: false,
+            hedge_factor: 1.5,
+            hedge_budget: 2,
+            hedge_refill: SimTime::ZERO,
         }
+    }
+}
+
+/// Fleet-wide hedge budget: a deterministic token bucket on simulated
+/// time. `capacity` tokens are available up front; one more is earned per
+/// `refill_ns` of simulated time (never banking above `capacity`).
+struct RetryBudget {
+    capacity: u64,
+    refill_ns: u64,
+    /// Tokens currently in the bucket (≤ `capacity`).
+    level: u64,
+    /// Refill intervals already credited — uncollected intervals never
+    /// bank: the bucket tops out at `capacity` no matter how long the
+    /// fleet sits idle.
+    credited: u64,
+}
+
+impl RetryBudget {
+    fn new(capacity: u32, refill: SimTime) -> Self {
+        Self {
+            capacity: u64::from(capacity),
+            refill_ns: refill.as_nanos(),
+            level: u64::from(capacity),
+            credited: 0,
+        }
+    }
+
+    /// Takes one token at `now` if any is available.
+    fn try_spend(&mut self, now: SimTime) -> bool {
+        if let Some(intervals) = now.as_nanos().checked_div(self.refill_ns) {
+            let fresh = intervals.saturating_sub(self.credited);
+            self.credited = intervals;
+            self.level = (self.level + fresh).min(self.capacity);
+        }
+        if self.level == 0 {
+            return false;
+        }
+        self.level -= 1;
+        true
     }
 }
 
@@ -120,6 +185,12 @@ pub struct ShardOutcome {
     pub speculated: bool,
     /// The speculative host re-run finished first.
     pub spec_won: bool,
+    /// A hedged host re-run raced this shard's device session.
+    pub hedged: bool,
+    /// The hedged host re-run supplied the shard's partial: it finished
+    /// first, or the device session died with the hedge already running
+    /// (a pre-launched recovery).
+    pub hedge_won: bool,
 }
 
 /// Everything one fleet query run produced.
@@ -228,6 +299,10 @@ impl SmartSsdFleet {
             opts.straggler_factor.is_finite() && opts.straggler_factor >= 0.0,
             "straggler_factor must be finite and non-negative"
         );
+        assert!(
+            opts.hedge_factor.is_finite() && opts.hedge_factor >= 0.0,
+            "hedge_factor must be finite and non-negative"
+        );
         let shards = (0..n)
             .map(|_| FleetShard {
                 dev: SmartSsd::new(cfg.flash.clone(), cfg.smart.clone()),
@@ -285,6 +360,19 @@ impl SmartSsdFleet {
     /// degrade a single fleet member (e.g. arm its crash rate).
     pub fn device_mut(&mut self, d: usize) -> &mut SmartSsd {
         &mut self.shards[d].dev
+    }
+
+    /// Arms a scripted gray-failure plan across the fleet: each device
+    /// gets its own per-device view, split between its flash path
+    /// (slowdown windows, ECC bursts) and its smart runtime (crash
+    /// instants, CPU slowdowns). An empty plan disarms. Scenarios replay
+    /// bit-exactly — the plan carries no randomness at all.
+    pub fn arm_fault_plan(&mut self, plan: &smartssd_sim::FaultPlan) {
+        for (d, shard) in self.shards.iter_mut().enumerate() {
+            let view = plan.for_device(d);
+            shard.dev.flash.arm_fault_plan(view.clone());
+            shard.dev.config_mut().fault_plan = view;
+        }
     }
 
     /// Device `d`'s breaker state.
@@ -562,12 +650,11 @@ impl SmartSsdFleet {
             phases.push(phase);
         }
 
-        // Straggler detection: rank live shards by the device's own
-        // completion estimate (a non-destructive peek at the last queued
-        // batch). The slowest shard is deferred to the end of the gather
-        // and, once the others are in, raced by a host re-run.
-        let straggler: Option<usize> = if self.opts.speculate {
-            let mut etas: Vec<(usize, SimTime)> = Vec::new();
+        // Rank live shards by the device's own completion estimate (a
+        // non-destructive peek at the last queued batch) — both straggler
+        // speculation and hedging trigger off these estimates.
+        let mut etas: Vec<(usize, SimTime)> = Vec::new();
+        if self.opts.speculate || self.opts.hedge {
             for (d, phase) in phases.iter().enumerate() {
                 if let ShardPhase::Session(sid, _) = phase {
                     if let Some(eta) = self.shards[d].dev.session_eta(*sid) {
@@ -575,6 +662,11 @@ impl SmartSsdFleet {
                     }
                 }
             }
+        }
+
+        // Straggler detection: the slowest shard is deferred to the end of
+        // the gather and, once the others are in, raced by a host re-run.
+        let straggler: Option<usize> = if self.opts.speculate {
             if etas.len() >= 2 {
                 let (dmax, max_eta) = etas
                     .iter()
@@ -596,6 +688,25 @@ impl SmartSsdFleet {
             None
         };
 
+        // Hedge marking: every live shard whose estimate exceeds
+        // `hedge_factor` times the median is a laggard worth racing —
+        // unlike straggler speculation this catches *several* limping
+        // shards at once, the shape a gray device's slowdown window
+        // produces. The straggler (if any) is already being raced.
+        let mut hedge_marked = vec![false; n];
+        if self.opts.hedge && etas.len() >= 2 {
+            let mut sorted: Vec<SimTime> = etas.iter().map(|&(_, eta)| eta).collect();
+            sorted.sort_unstable();
+            let median = sorted[sorted.len() / 2];
+            let threshold = self.opts.hedge_factor * median.as_nanos() as f64;
+            for &(d, eta) in &etas {
+                if Some(d) != straggler && eta.as_nanos() as f64 > threshold {
+                    hedge_marked[d] = true;
+                }
+            }
+        }
+        let mut budget = RetryBudget::new(self.opts.hedge_budget, self.opts.hedge_refill);
+
         // Gather order: device order, with the straggler (if any) deferred
         // to the end so speculation launches after the other N−1 are in.
         let mut order: Vec<usize> = (0..n).filter(|d| Some(*d) != straggler).collect();
@@ -613,6 +724,8 @@ impl SmartSsdFleet {
                 fell_back: false,
                 speculated: false,
                 spec_won: false,
+                hedged: false,
+                hedge_won: false,
             })
             .collect();
         let mut speculated_count = 0u64;
@@ -661,6 +774,37 @@ impl SmartSsdFleet {
                             &[],
                         );
                         self.run_host_shard(d, &ops[d], gather_start).ok()
+                    } else if hedge_marked[d] {
+                        // A laggard worth racing — if the fleet-wide retry
+                        // budget still has a token. A denied hedge is
+                        // counted: a fleet that wants to hedge but can't is
+                        // a tuning signal, not a silent no-op.
+                        if budget.try_spend(gather_start) {
+                            self.run_faults.hedges += 1;
+                            outcomes[d].hedged = true;
+                            self.tracer.instant(
+                                TraceLevel::Protocol,
+                                pid::FLEET,
+                                d as u32,
+                                "shard-hedge",
+                                "fleet",
+                                gather_start,
+                                &[],
+                            );
+                            self.run_host_shard(d, &ops[d], gather_start).ok()
+                        } else {
+                            self.run_faults.hedge_denied += 1;
+                            self.tracer.instant(
+                                TraceLevel::Protocol,
+                                pid::FLEET,
+                                d as u32,
+                                "shard-hedge-denied",
+                                "fleet",
+                                gather_start,
+                                &[],
+                            );
+                            None
+                        }
                     } else {
                         None
                     };
@@ -669,13 +813,26 @@ impl SmartSsdFleet {
                             let _ = driver.close(&mut self.shards[d].dev, sid, &out);
                             sids[d] = None;
                             self.shards[d].breaker.record_success(breaker_base);
+                            // Latency health: this shard's service time
+                            // feeds its breaker's slow-trip rule.
+                            if self.shards[d].breaker.record_service_time(
+                                breaker_base,
+                                out.finished_at.saturating_sub(open_done),
+                            ) {
+                                self.run_faults.slow_trips += 1;
+                            }
                             self.run_faults.get_retries += out.get_retries;
                             let finished = match spec {
                                 Some(raw) if raw.end < out.finished_at => {
                                     // The host copy won the race; answers
                                     // are identical, only timing moves.
-                                    spec_wins += 1;
-                                    outcomes[d].spec_won = true;
+                                    if outcomes[d].hedged {
+                                        self.run_faults.hedge_wins += 1;
+                                        outcomes[d].hedge_won = true;
+                                    } else {
+                                        spec_wins += 1;
+                                        outcomes[d].spec_won = true;
+                                    }
                                     outcomes[d].route = Route::Host;
                                     merge_partials(&mut merged, raw.aggs);
                                     work.absorb(&raw.work);
@@ -705,7 +862,16 @@ impl SmartSsdFleet {
                             // as the recovery run; otherwise fall back now,
                             // for this shard only.
                             let raw = match spec {
-                                Some(raw) => raw,
+                                Some(raw) => {
+                                    // A hedge that outlives its session
+                                    // won by default: the recovery was
+                                    // already running when the fault hit.
+                                    if outcomes[d].hedged {
+                                        self.run_faults.hedge_wins += 1;
+                                        outcomes[d].hedge_won = true;
+                                    }
+                                    raw
+                                }
                                 None => {
                                     let from = fault.wasted.max(t);
                                     match self.run_host_shard(d, &ops[d], from) {
@@ -928,5 +1094,268 @@ fn merge_partials(acc: &mut Option<Vec<AggState>>, parts: Vec<AggState>) {
 fn merge_session(acc: &mut Option<Vec<AggState>>, out: SessionOutcome) {
     if let Some(parts) = out.aggs {
         merge_partials(acc, parts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceKind;
+    use smartssd_exec::spec::ScanAggSpec;
+    use smartssd_query::{Finalize, OpTemplate};
+    use smartssd_sim::FaultPlan;
+    use smartssd_storage::expr::{AggSpec, CmpOp, Expr, Pred};
+    use smartssd_storage::{DataType, Datum, Layout};
+
+    const N_ROWS: i32 = 120_000;
+
+    fn rows() -> Vec<Tuple> {
+        (0..N_ROWS)
+            .map(|k| vec![Datum::I32(k), Datum::I64(k as i64)] as Tuple)
+            .collect()
+    }
+
+    fn schema() -> Arc<Schema> {
+        Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)])
+    }
+
+    fn count_query() -> Query {
+        Query {
+            name: "count".into(),
+            op: OpTemplate::ScanAgg {
+                table: "t".into(),
+                spec: ScanAggSpec {
+                    pred: Pred::Cmp(CmpOp::Lt, Expr::col(0), Expr::lit(i64::MAX)),
+                    aggs: vec![AggSpec::count(), AggSpec::sum(Expr::col(1))],
+                },
+            },
+            finalize: Finalize::AggRow,
+        }
+    }
+
+    fn fleet(n: usize, opts: FleetOptions) -> SmartSsdFleet {
+        fleet_with(
+            n,
+            opts,
+            SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax),
+        )
+    }
+
+    fn fleet_with(n: usize, opts: FleetOptions, cfg: SystemConfig) -> SmartSsdFleet {
+        let mut fleet = SmartSsdFleet::with_options(n, cfg, opts);
+        fleet.load_partitioned("t", &schema(), rows()).unwrap();
+        fleet.finish_load();
+        fleet
+    }
+
+    fn assert_answers(r: &FleetReport) {
+        assert_eq!(r.result.agg_values[0], N_ROWS as i128);
+        assert_eq!(r.result.agg_values[1], (0..N_ROWS as i128).sum::<i128>());
+    }
+
+    /// The whole-run window every scenario below uses: comfortably longer
+    /// than any fleet run over this table.
+    fn all_run() -> (SimTime, SimTime) {
+        (SimTime::ZERO, SimTime::from_secs(3600))
+    }
+
+    /// A config whose embedded CPU is so weak the device route is
+    /// CPU-bound. A slowdown window then inflates the device session far
+    /// past what the host block path pays (the hedge shares the gray
+    /// shard's *flash* occupancy, but never its crippled CPU), giving the
+    /// host copy a race it can win.
+    fn weak_cpu_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax);
+        cfg.smart.cpu_hz = 40_000_000;
+        cfg
+    }
+
+    #[test]
+    fn hedging_races_a_gray_shard_without_changing_answers() {
+        let (from, until) = all_run();
+        let plan = FaultPlan::new().slowdown(2, 8, from, until);
+
+        // Gray device, hedging on: shard 2's estimate exceeds 1.5x the
+        // median, so a host copy races it. The copy shares the gray
+        // shard's flash timelines, so the healthy-but-slow session still
+        // delivers first — the race is visible in the counters, and the
+        // answer is untouched either way.
+        let opts = FleetOptions {
+            hedge: true,
+            ..FleetOptions::default()
+        };
+        let mut hedged = fleet_with(4, opts, weak_cpu_cfg());
+        hedged.arm_fault_plan(&plan);
+        let hedged_r = hedged.run_agg(&count_query()).unwrap();
+        assert_answers(&hedged_r);
+        assert_eq!(hedged_r.faults.hedges, 1, "only the gray shard is raced");
+        assert_eq!(hedged_r.faults.hedge_denied, 0);
+        assert!(hedged_r.shards[2].hedged);
+        assert!(
+            hedged_r.shards.iter().filter(|s| s.hedged).count() == 1,
+            "healthy shards are never hedged"
+        );
+    }
+
+    #[test]
+    fn hedge_doubles_as_prelaunched_recovery_when_the_session_dies() {
+        // Shard 2 is gray (8x slowdown marks it for hedging) and then its
+        // firmware crashes at the first gather-time poll. The hedge copy
+        // is already running when the fault hits, so it supplies the
+        // partial — a hedge win by default — and the answer is exact.
+        let (from, until) = all_run();
+        let plan = FaultPlan::new()
+            .slowdown(2, 8, from, until)
+            .crash_at(2, SimTime::from_millis(1));
+        let opts = FleetOptions {
+            hedge: true,
+            ..FleetOptions::default()
+        };
+        let mut f = fleet_with(4, opts, weak_cpu_cfg());
+        f.arm_fault_plan(&plan);
+        let r = f.run_agg(&count_query()).unwrap();
+        assert_answers(&r);
+        assert_eq!(r.faults.hedges, 1);
+        assert_eq!(r.faults.hedge_wins, 1);
+        assert!(r.shards[2].hedged && r.shards[2].hedge_won);
+        assert!(r.shards[2].fell_back, "the session fault is still booked");
+        assert_eq!(r.shards[2].route, Route::Host);
+        assert_eq!(r.faults.fallbacks, 1);
+    }
+
+    #[test]
+    fn hedge_budget_bounds_the_race_count() {
+        // hedge_factor 0 marks every live shard; a budget of 1 allows
+        // exactly one race and counts every denial.
+        let opts = FleetOptions {
+            hedge: true,
+            hedge_factor: 0.0,
+            hedge_budget: 1,
+            ..FleetOptions::default()
+        };
+        let mut f = fleet(4, opts);
+        let r = f.run_agg(&count_query()).unwrap();
+        assert_answers(&r);
+        assert_eq!(r.faults.hedges, 1, "budget caps hedges fleet-wide");
+        assert_eq!(r.faults.hedge_denied, 3);
+        assert_eq!(r.shards.iter().filter(|s| s.hedged).count(), 1);
+    }
+
+    #[test]
+    fn hedge_refill_earns_tokens_on_simulated_time() {
+        let mut b = RetryBudget::new(1, SimTime::from_millis(10));
+        assert!(b.try_spend(SimTime::ZERO));
+        assert!(!b.try_spend(SimTime::from_millis(9)), "no token earned yet");
+        assert!(
+            b.try_spend(SimTime::from_millis(10)),
+            "one interval earned one"
+        );
+        // Banked tokens never exceed capacity.
+        assert!(b.try_spend(SimTime::from_secs(10)));
+        assert!(!b.try_spend(SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn scripted_slowdown_slows_the_fleet_and_replays_bit_exact() {
+        let (from, until) = all_run();
+        let mut clean = fleet(4, FleetOptions::default());
+        let clean_r = clean.run_agg(&count_query()).unwrap();
+        assert_answers(&clean_r);
+
+        let mut gray = fleet(4, FleetOptions::default());
+        gray.arm_fault_plan(&FaultPlan::new().slowdown(1, 8, from, until));
+        let first = gray.run_agg(&count_query()).unwrap();
+        assert_answers(&first);
+        assert!(
+            first.result.elapsed > clean_r.result.elapsed,
+            "an 8x gray device must slow the gather"
+        );
+        // Only device 1 is afflicted; the others finish on clean timing.
+        assert!(first.shards[1].finished_at > clean_r.shards[1].finished_at);
+        // Same plan, same fleet, second run: bit-exact replay.
+        let second = gray.run_agg(&count_query()).unwrap();
+        assert_eq!(first.result.elapsed, second.result.elapsed);
+        for (a, b) in first.shards.iter().zip(second.shards.iter()) {
+            assert_eq!(a.finished_at, b.finished_at);
+        }
+    }
+
+    #[test]
+    fn empty_plan_changes_nothing() {
+        let mut plain = fleet(4, FleetOptions::default());
+        let plain_r = plain.run_agg(&count_query()).unwrap();
+        let mut armed = fleet(4, FleetOptions::default());
+        armed.arm_fault_plan(&FaultPlan::new());
+        let armed_r = armed.run_agg(&count_query()).unwrap();
+        assert_eq!(plain_r.result.elapsed, armed_r.result.elapsed);
+        assert_eq!(plain_r.result.agg_values, armed_r.result.agg_values);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+        /// Hedging's retry budget is a hard cap, never a target: under any
+        /// mix of per-shard slowdowns, hedge aggressiveness, and budget
+        /// size, the fleet launches at most `hedge_budget` host copies
+        /// (the rest are counted as denied), the answer stays bit-exact,
+        /// and a replay reproduces the run to the nanosecond.
+        #[test]
+        fn hedges_never_exceed_the_retry_budget(
+            factors in proptest::collection::vec(1u32..12, 4),
+            hedge_factor in 0u32..4,
+            budget in 0u32..5,
+            weak_cpu in proptest::prelude::any::<bool>(),
+        ) {
+            let (from, until) = all_run();
+            let mut plan = FaultPlan::new();
+            for (d, &f) in factors.iter().enumerate() {
+                if f > 1 {
+                    plan = plan.slowdown(d, f, from, until);
+                }
+            }
+            let opts = FleetOptions {
+                hedge: true,
+                hedge_factor: hedge_factor as f64 * 0.5,
+                hedge_budget: budget,
+                ..FleetOptions::default()
+            };
+            let cfg = if weak_cpu {
+                weak_cpu_cfg()
+            } else {
+                SystemConfig::new(DeviceKind::SmartSsd, Layout::Pax)
+            };
+            let run = || {
+                let mut f = fleet_with(factors.len(), opts.clone(), cfg.clone());
+                f.arm_fault_plan(&plan);
+                f.run_agg(&count_query()).unwrap()
+            };
+            let r = run();
+
+            assert_answers(&r);
+            let hedged = r.shards.iter().filter(|s| s.hedged).count() as u64;
+            proptest::prop_assert_eq!(r.faults.hedges, hedged);
+            proptest::prop_assert!(
+                r.faults.hedges <= budget as u64,
+                "hedges {} exceed budget {}",
+                r.faults.hedges,
+                budget
+            );
+            // Denials are only ever the budget refusing a marked laggard,
+            // and a won race implies a launched hedge.
+            proptest::prop_assert!(r.faults.hedge_wins <= r.faults.hedges);
+            if budget > 0 && r.faults.hedge_denied > 0 {
+                proptest::prop_assert_eq!(r.faults.hedges, budget as u64);
+            }
+
+            // Bit-exact replay on an identically built fleet, hedging
+            // decisions included.
+            let again = run();
+            proptest::prop_assert_eq!(again.result.elapsed, r.result.elapsed);
+            proptest::prop_assert_eq!(again.faults, r.faults);
+            for (a, b) in r.shards.iter().zip(again.shards.iter()) {
+                proptest::prop_assert_eq!(a.finished_at, b.finished_at);
+                proptest::prop_assert_eq!(a.hedged, b.hedged);
+            }
+        }
     }
 }

@@ -77,11 +77,9 @@ pub use fleet::{FleetOptions, FleetReport, FleetStreamReport, ShardOutcome, Smar
 pub use serving::{compose, ArrivalStream, TenantLoad, TenantReport, TenantSpec};
 pub use smartssd_sim::ArrivalModel;
 pub use system::{RunError, RunErrorKind, RunReport, System};
-#[allow(deprecated)]
-pub use workload::QueryOutcome;
 pub use workload::{
-    ArrivalOutcome, FailedQuery, InterfaceMode, QueryCompletion, ShedQuery, Workload, WorkloadItem,
-    WorkloadOptions, WorkloadReport,
+    ArrivalOutcome, BrownoutPolicy, FailedQuery, InterfaceMode, QueryCompletion, ShedQuery,
+    Workload, WorkloadItem, WorkloadOptions, WorkloadReport,
 };
 
 pub use smartssd_sim::LatencyStats;

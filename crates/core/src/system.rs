@@ -690,6 +690,14 @@ impl System {
             Route::Device => match self.run_device(&op, query) {
                 Ok(r) => {
                     self.breaker.record_success(breaker_base);
+                    // Latency health: a device that answers, slowly, counts
+                    // against the slow-trip rule even with zero faults.
+                    if self
+                        .breaker
+                        .record_service_time(breaker_base + r.elapsed, r.elapsed)
+                    {
+                        self.run_faults.slow_trips += 1;
+                    }
                     (r, Route::Device)
                 }
                 // Graceful degradation: on a resource rejection or an

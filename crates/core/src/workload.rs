@@ -209,6 +209,22 @@ pub enum InterfaceMode {
     Direct,
 }
 
+/// Brownout shedding policy ([`WorkloadOptions::brownout`]): when the
+/// device-session wait queue backs up past `max_waiting` — sustained
+/// overload, or a degraded fleet serving far below capacity — a deferred
+/// arrival from (one of) the *lightest* tenants already queueing is shed
+/// at arrival instead of joining the queue. Weighted fair queueing alone
+/// keeps shares proportional but lets every tenant's latency collapse
+/// together; brownout instead sacrifices the lowest-weight (batch) work
+/// first so high-weight (interactive) tenants keep their tail latency
+/// through the incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrownoutPolicy {
+    /// Live waiting queries (across all tenants) at or above which the
+    /// shedding rule engages. Must be at least 1.
+    pub max_waiting: usize,
+}
+
 /// Per-workload knobs for [`System::run_workload`], built fluently:
 ///
 /// ```
@@ -239,6 +255,7 @@ pub struct WorkloadOptions {
     tenants: Vec<TenantSpec>,
     fair: bool,
     reference_admission: bool,
+    brownout: Option<BrownoutPolicy>,
 }
 
 impl Default for WorkloadOptions {
@@ -254,6 +271,7 @@ impl Default for WorkloadOptions {
             // with one (implicit) tenant it degenerates to exact FIFO.
             fair: true,
             reference_admission: false,
+            brownout: None,
         }
     }
 }
@@ -328,6 +346,13 @@ impl WorkloadOptions {
         &self.tenants
     }
 
+    /// Enables brownout shedding: see [`BrownoutPolicy`]. Off by default,
+    /// so overload handling is unchanged unless asked for.
+    pub fn brownout(mut self, policy: BrownoutPolicy) -> Self {
+        self.brownout = Some(policy);
+        self
+    }
+
     /// Selects the linear-scan reference admission engine instead of the
     /// keyed min-heap. The two are grant-for-grant equivalent (pinned by
     /// differential proptests); the reference exists as the executable
@@ -351,24 +376,12 @@ impl WorkloadOptions {
                 return Err(ConfigError::DuplicateTenant { tenant: i });
             }
         }
+        if let Some(b) = self.brownout {
+            if b.max_waiting == 0 {
+                return Err(ConfigError::ZeroBrownoutThreshold);
+            }
+        }
         Ok(self)
-    }
-
-    /// Field-bag construction, as the pre-builder struct literal allowed.
-    #[deprecated(note = "construct with the builder instead: \
-                WorkloadOptions::new().interface(..).queue_bound(..).deadline(..)")]
-    pub fn from_parts(
-        interface: InterfaceMode,
-        dop: Option<usize>,
-        verbosity: TraceLevel,
-        queue_bound: Option<usize>,
-        deadline: Option<SimTime>,
-    ) -> Self {
-        let mut o = Self::new().interface(interface).verbosity(verbosity);
-        o.dop = dop;
-        o.queue_bound = queue_bound;
-        o.deadline = deadline;
-        o
     }
 
     /// The deadline that applies to `tenant`: its own, else the
@@ -475,10 +488,6 @@ pub enum ArrivalOutcome {
     /// failure, or a resolution error); the rest of the workload ran on.
     Failed(FailedQuery),
 }
-
-/// The pre-serving name of [`ArrivalOutcome`].
-#[deprecated(note = "renamed to ArrivalOutcome")]
-pub type QueryOutcome = ArrivalOutcome;
 
 impl ArrivalOutcome {
     /// The completion record, when the query completed.
@@ -1267,6 +1276,38 @@ impl System {
                                 ));
                             }
                         }
+                        // Brownout: the wait queue is past the policy's
+                        // threshold and this arrival's tenant is (one of)
+                        // the lightest already queueing — shed it so the
+                        // heavier tenants keep their tail latency through
+                        // the overload instead of everyone collapsing
+                        // together.
+                        if let Some(b) = opts.brownout {
+                            if ws.total_waiting() >= b.max_waiting
+                                && ws
+                                    .min_waiting_weight()
+                                    .is_some_and(|m| ws.weight_of(tenant) <= m)
+                            {
+                                self.tracer.instant(
+                                    TraceLevel::Protocol,
+                                    pid::SESSION,
+                                    idx as u32,
+                                    "browned-out",
+                                    "session",
+                                    now,
+                                    &[],
+                                );
+                                return Ok((
+                                    Some(ArrivalOutcome::Rejected(ShedQuery {
+                                        index: idx,
+                                        query: item.query.name.clone(),
+                                        arrival: item.arrival,
+                                        shed_at: now,
+                                    })),
+                                    true,
+                                ));
+                            }
+                        }
                         let (slot, gen) = slab.insert(Pending {
                             item: item.clone(),
                             index: idx,
@@ -1284,6 +1325,15 @@ impl System {
                     }
                     DevAttempt::Done(sid, out) => {
                         self.breaker.record_success(breaker_now);
+                        // Latency health: the attempt's service time feeds
+                        // the slow-trip rule — a gray device opens the
+                        // breaker with zero hard failures.
+                        if self
+                            .breaker
+                            .record_service_time(breaker_now, out.finished_at.saturating_sub(now))
+                        {
+                            self.run_faults.slow_trips += 1;
+                        }
                         // Hold the session slot until its simulated finish,
                         // and charge the tenant's virtual time for exactly
                         // the service the slot delivered.
@@ -1515,6 +1565,7 @@ mod tests {
     use super::*;
     use crate::builder::{RunOptions, SystemBuilder};
     use crate::config::DeviceKind;
+    use proptest::prelude::*;
     use smartssd_exec::spec::{GroupAggSpec, ScanAggSpec};
     use smartssd_query::{Finalize, OpTemplate};
     use smartssd_storage::expr::{AggSpec, Expr, Pred};
@@ -2098,20 +2149,201 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_from_parts_matches_builder() {
-        let a = WorkloadOptions::from_parts(
-            InterfaceMode::Direct,
-            Some(4),
-            TraceLevel::default(),
-            Some(8),
-            Some(SimTime::from_nanos(100)),
+    fn brownout_sheds_the_lightest_tenant_first_under_overload() {
+        use crate::serving::TenantSpec;
+        let q = sum_query();
+        let tenants = |o: WorkloadOptions| {
+            o.tenant(TenantSpec::new("interactive").weight(4))
+                .tenant(TenantSpec::new("batch"))
+        };
+        // One slot; arrivals in index order: the slot-holder, then a mix
+        // of heavy (tenant 0) and light (tenant 1) arrivals that back the
+        // wait queue up past the brownout threshold.
+        let mk = || {
+            let shared = Arc::new(q.clone());
+            let mut w = Workload::new();
+            for tenant in [0, 0, 1, 1, 0, 1] {
+                w.push_item(WorkloadItem {
+                    query: Arc::clone(&shared),
+                    route: RoutePolicy::Natural,
+                    arrival: SimTime::ZERO,
+                    tenant,
+                    cancel_at: None,
+                });
+            }
+            w
+        };
+        let run = |opts: WorkloadOptions| {
+            let mut sys = build_sys(DeviceKind::SmartSsd, |b| {
+                b.tweak(|c| c.smart.max_sessions = 1)
+            });
+            sys.run_workload(&mk(), tenants(opts)).unwrap()
+        };
+        // Without the policy everyone eventually runs — latency collapses
+        // together, but nothing is shed.
+        let off = run(WorkloadOptions::new());
+        assert_eq!(off.completions.len(), 6);
+        assert_eq!(off.rejected, 0);
+        // With brownout at two waiters: index 0 holds the slot, 1 and 2
+        // queue; 3 (light) arrives with the queue full and a light tenant
+        // already waiting, so it is shed; 4 (heavy) outweighs the lightest
+        // waiter and joins; 5 (light) is shed again.
+        let on = run(WorkloadOptions::new().brownout(BrownoutPolicy { max_waiting: 2 }));
+        assert_eq!(on.rejected, 2);
+        assert_eq!(on.completions.len(), 4);
+        assert!(matches!(on.outcomes[3], ArrivalOutcome::Rejected(_)));
+        assert!(matches!(on.outcomes[5], ArrivalOutcome::Rejected(_)));
+        // Only batch work was sacrificed: the interactive tenant completes
+        // every arrival, and its answers are untouched.
+        assert_eq!(on.tenants[0].name, "interactive");
+        assert_eq!(on.tenants[0].arrivals, 3);
+        assert_eq!(on.tenants[0].completed, 3);
+        assert_eq!(on.tenants[0].rejected, 0);
+        assert_eq!(on.tenants[1].rejected, 2);
+        assert_eq!(on.tenants[1].completed, 1);
+        for (a, b) in off.completions.iter().zip(on.completions.iter()) {
+            assert_eq!(a.result.agg_values, b.result.agg_values);
+        }
+        // Shedding the queue's overflow must not slow anyone down.
+        assert!(on.makespan <= off.makespan);
+        // A zero threshold would shed everything unconditionally; the
+        // validator refuses it before any work starts.
+        assert_eq!(
+            WorkloadOptions::new()
+                .brownout(BrownoutPolicy { max_waiting: 0 })
+                .try_validate()
+                .unwrap_err(),
+            ConfigError::ZeroBrownoutThreshold
         );
-        let b = WorkloadOptions::new()
-            .interface(InterfaceMode::Direct)
-            .dop(4)
-            .queue_bound(8)
-            .deadline(SimTime::from_nanos(100));
-        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn scripted_crashes_trip_the_breaker_without_any_randomness() {
+        use crate::breaker::{BreakerPolicy, BreakerState};
+        use smartssd_sim::FaultPlan;
+        let q = sum_query();
+        // Three crashes scripted at t=0 and zero random fault rates: every
+        // failure the breaker sees is on the plan's schedule, so the whole
+        // incident replays bit-exactly.
+        let plan = FaultPlan::new()
+            .crash_at(0, SimTime::ZERO)
+            .crash_at(0, SimTime::ZERO)
+            .crash_at(0, SimTime::ZERO);
+        let run = |enabled: bool| {
+            let mut sys = build_sys(DeviceKind::SmartSsd, |b| {
+                let b = b.fault_plan(&plan);
+                if enabled {
+                    b.breaker(BreakerPolicy::enabled())
+                } else {
+                    b
+                }
+            });
+            sys.run_workload(&Workload::burst(&q, 6), WorkloadOptions::default())
+                .unwrap()
+        };
+        let (off, on) = (run(false), run(true));
+        // Unprotected, every arrival probes the sick device and falls back.
+        assert_eq!(off.faults.fallbacks, 6);
+        assert!(off.breaker_transitions.is_empty());
+        assert!(off.faults.device_crashes >= 1);
+        // The breaker trips on the threshold-th scripted failure and the
+        // remaining arrivals route straight to the host.
+        assert_eq!(on.faults.fallbacks, 3);
+        assert_eq!(on.breaker_transitions.len(), 1);
+        assert_eq!(on.breaker_transitions[0].to, BreakerState::Open);
+        assert!(on.faults.device_crashes >= 1);
+        assert!(on.faults.wasted_ns < off.faults.wasted_ns);
+        assert_eq!(on.completions.len(), 6);
+        for (a, b) in off.completions.iter().zip(on.completions.iter()) {
+            assert_eq!(a.result.agg_values, b.result.agg_values);
+            assert_eq!(b.route, Route::Host);
+        }
+        // Determinism: a second protected run reproduces the first to the
+        // nanosecond, breaker transitions included.
+        let again = run(true);
+        assert_eq!(again.makespan, on.makespan);
+        assert_eq!(again.breaker_transitions.len(), 1);
+        assert_eq!(
+            again.breaker_transitions[0].at,
+            on.breaker_transitions[0].at
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Differential chaos invariant: no scripted fault plan — firmware
+        /// slowdowns, crashes, and ECC bursts in any combination, with or
+        /// without the breaker — may change a completed answer, lose an
+        /// arrival, or perturb a replay. Faults buy latency, never bits.
+        #[test]
+        fn fault_plans_change_timing_never_answers(
+            factor in 1u32..24,
+            from_ms in 0u64..8,
+            len_ms in 1u64..8,
+            crash_ms in proptest::option::of(0u64..8),
+            ecc in any::<bool>(),
+            protected in any::<bool>(),
+            n in 2usize..6,
+            gap_us in 0u64..400,
+        ) {
+            use crate::breaker::BreakerPolicy;
+            use smartssd_sim::FaultPlan;
+
+            let q = sum_query();
+            let expected = {
+                let mut clean = build_sys(DeviceKind::SmartSsd, |b| b);
+                clean.run(&q, RunOptions::default()).unwrap().result.agg_values
+            };
+
+            let ms = |v: u64| SimTime::from_nanos(v * 1_000_000);
+            let mut plan =
+                FaultPlan::new().slowdown(0, factor, ms(from_ms), ms(from_ms + len_ms));
+            if let Some(c) = crash_ms {
+                plan = plan.crash_at(0, ms(c));
+            }
+            if ecc {
+                plan = plan.ecc_burst(0, 0..u64::MAX, ms(from_ms), ms(from_ms + len_ms));
+            }
+
+            let mut w = Workload::new();
+            for i in 0..n {
+                w.push(
+                    q.clone(),
+                    RoutePolicy::Natural,
+                    SimTime::from_nanos(i as u64 * gap_us * 1_000),
+                );
+            }
+            let run = || {
+                let plan = plan.clone();
+                let mut sys = build_sys(DeviceKind::SmartSsd, move |b| {
+                    let b = b.fault_plan(&plan);
+                    if protected {
+                        b.breaker(BreakerPolicy::enabled())
+                    } else {
+                        b
+                    }
+                });
+                sys.run_workload(&w, WorkloadOptions::default()).unwrap()
+            };
+            let rep = run();
+
+            // Every arrival completes (faults reroute, they never drop), and
+            // every completed answer matches the clean system bit for bit.
+            prop_assert_eq!(rep.completions.len(), n);
+            for c in &rep.completions {
+                prop_assert_eq!(&c.result.agg_values, &expected);
+            }
+
+            // Replay is bit-exact: same makespan, same fault accounting,
+            // same per-query finish instants and routes.
+            let again = run();
+            prop_assert_eq!(again.makespan, rep.makespan);
+            prop_assert_eq!(again.faults, rep.faults);
+            for (a, b) in rep.completions.iter().zip(again.completions.iter()) {
+                prop_assert_eq!(a.finished_at, b.finished_at);
+                prop_assert_eq!(a.route, b.route);
+            }
+        }
     }
 }

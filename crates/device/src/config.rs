@@ -1,7 +1,7 @@
 //! Smart SSD device-side configuration.
 
 use smartssd_exec::CostTable;
-use smartssd_sim::FaultRates;
+use smartssd_sim::{DeviceFaultPlan, FaultRates};
 
 /// Resources of the embedded computer inside the Smart SSD.
 ///
@@ -46,6 +46,13 @@ pub struct DeviceConfig {
     /// default, so no random numbers are drawn and clean runs reproduce
     /// bit-identically.
     pub fault_rates: FaultRates,
+    /// Scripted gray-failure plan for the smart runtime: crash instants
+    /// fire deterministically at the first session activity at or after
+    /// each scripted time (same reset machinery as `fault_rates`, minus
+    /// the randomness), and slowdown windows scale the embedded CPU's
+    /// per-batch occupancy. Empty by default; composes with `fault_rates`.
+    /// (The flash-path events of the same plan live on the flash config.)
+    pub fault_plan: DeviceFaultPlan,
     /// Cycle prices for the embedded CPU.
     pub costs: CostTable,
 }
@@ -61,6 +68,7 @@ impl Default for DeviceConfig {
             read_retry_limit: 2,
             shared_scans: false,
             fault_rates: FaultRates::default(),
+            fault_plan: DeviceFaultPlan::default(),
             costs: CostTable::device(),
         }
     }

@@ -202,6 +202,11 @@ pub struct SmartSsd {
     /// the death. `GET` on a victim reports the reset; `CLOSE` succeeds
     /// (the grants are already gone).
     reset_victims: HashSet<u32>,
+    /// Cursor into the scripted crash schedule
+    /// ([`DeviceConfig::fault_plan`]): the next instant that has not fired
+    /// yet. Timing state — reset with the timelines so a scenario replays
+    /// bit-exactly run after run.
+    plan_crash_cursor: usize,
     /// Per-LBA memo of checksum validation. Pointer-identity keyed, so a
     /// rewritten or corrupted buffer is always re-validated; not timing
     /// state, so it survives [`SmartSsd::reset_timing`].
@@ -226,6 +231,7 @@ impl SmartSsd {
             crash_rng: XorShift(0xD1B5_4A32_D192_ED03),
             reset_done: SimTime::ZERO,
             reset_victims: HashSet::new(),
+            plan_crash_cursor: 0,
             page_cache: PageDecodeCache::new(),
             cfg,
         }
@@ -333,6 +339,28 @@ impl SmartSsd {
         // advancing across resets, like the flash error RNG).
         self.reset_done = SimTime::ZERO;
         self.reset_victims.clear();
+        self.plan_crash_cursor = 0;
+    }
+
+    /// Fires the next scripted crash ([`DeviceConfig::fault_plan`]) if its
+    /// instant has passed and the device is not already mid-reset. Crashes
+    /// fire at the first session activity at or after their scripted time —
+    /// the device is a passive target, so a fault is only *observed* when
+    /// the host talks to it.
+    fn poll_scripted_crash(&mut self, now: SimTime) -> Option<DeviceError> {
+        let at = *self.cfg.fault_plan.crashes().get(self.plan_crash_cursor)?;
+        if now < at || now < self.reset_done {
+            return None;
+        }
+        self.plan_crash_cursor += 1;
+        Some(self.crash(now))
+    }
+
+    /// Cycle price of one page batch, inflated by any scripted slowdown
+    /// window covering the batch's start: a gray device's firmware is slow
+    /// too, not just its media.
+    fn batch_cycles(&self, w: &WorkCounts, at: SimTime) -> u64 {
+        self.cfg.costs.cycles(w) * self.cfg.fault_plan.slowdown_factor(at) as u64
     }
 
     /// Kills every open session and takes the smart runtime offline until
@@ -366,6 +394,9 @@ impl SmartSsd {
                 at: now,
                 until: self.reset_done,
             });
+        }
+        if let Some(err) = self.poll_scripted_crash(now) {
+            return Err(err);
         }
         if self.cfg.fault_rates.crash_rate > 0
             && self.crash_rng.next_u32() < self.cfg.fault_rates.crash_rate
@@ -405,6 +436,9 @@ impl SmartSsd {
 
     /// `GET`: polls the session at simulated time `now`.
     pub fn get(&mut self, sid: SessionId, now: SimTime) -> Result<GetResponse, DeviceError> {
+        if let Some(err) = self.poll_scripted_crash(now) {
+            return Err(err);
+        }
         if self.reset_victims.contains(&sid.0) {
             return Err(DeviceError::DeviceReset {
                 at: now,
@@ -652,7 +686,7 @@ impl SmartSsd {
                         let before = rows.len();
                         let mut w = WorkCounts::default();
                         scan_page(page, &table.schema, spec, &mut rows, &mut w);
-                        let iv = self.cpu.execute(*at, self.cfg.costs.cycles(&w));
+                        let iv = self.cpu.execute(*at, self.batch_cycles(&w, *at));
                         last_done = iv.end;
                         total.absorb(&w);
                         bytes += (rows.len() - before) as u64 * out_width;
@@ -674,7 +708,7 @@ impl SmartSsd {
                         (rows, w)
                     });
                     for ((_, at), (page_rows, w)) in pages.iter().zip(results) {
-                        let iv = self.cpu.execute(*at, self.cfg.costs.cycles(&w));
+                        let iv = self.cpu.execute(*at, self.batch_cycles(&w, *at));
                         last_done = iv.end;
                         total.absorb(&w);
                         bytes += page_rows.len() as u64 * out_width;
@@ -715,7 +749,7 @@ impl SmartSsd {
                     for (page, at) in &pages {
                         let mut w = WorkCounts::default();
                         scan_agg_page(page, &table.schema, spec, &mut states, &mut w);
-                        let iv = self.cpu.execute(*at, self.cfg.costs.cycles(&w));
+                        let iv = self.cpu.execute(*at, self.batch_cycles(&w, *at));
                         last_done = iv.end;
                         total.absorb(&w);
                     }
@@ -728,7 +762,7 @@ impl SmartSsd {
                         (states, w)
                     });
                     for ((_, at), (partial, w)) in pages.iter().zip(results) {
-                        let iv = self.cpu.execute(*at, self.cfg.costs.cycles(&w));
+                        let iv = self.cpu.execute(*at, self.batch_cycles(&w, *at));
                         last_done = iv.end;
                         total.absorb(&w);
                         for (s, p) in states.iter_mut().zip(partial.iter()) {
@@ -762,7 +796,7 @@ impl SmartSsd {
                     let (page, at) = self.read_page(lba, now)?;
                     let mut w = WorkCounts::default();
                     scan_group_agg_page(&page, &table.schema, spec, &mut acc, &mut w);
-                    let iv = self.cpu.execute(at, self.cfg.costs.cycles(&w));
+                    let iv = self.cpu.execute(at, self.batch_cycles(&w, at));
                     last_done = iv.end;
                     total.absorb(&w);
                     // The group table lives in the session's memory grant;
@@ -802,7 +836,10 @@ impl SmartSsd {
                 }
                 let mut w = WorkCounts::default();
                 let ht = JoinHashTable::build(&build_pages, &spec.build, &mut w);
-                let build_done = self.cpu.execute(build_ready, self.cfg.costs.cycles(&w)).end;
+                let build_done = self
+                    .cpu
+                    .execute(build_ready, self.batch_cycles(&w, build_ready))
+                    .end;
                 total.absorb(&w);
                 drop(build_pages);
                 if ht.memory_bytes() > self.cfg.session_memory_bytes {
@@ -847,9 +884,8 @@ impl SmartSsd {
                 let mut last_done = build_done;
                 let mut bytes = 0u64;
                 for ((_, at), (partial, w)) in pages.iter().zip(results) {
-                    let iv = self
-                        .cpu
-                        .execute((*at).max(build_done), self.cfg.costs.cycles(&w));
+                    let start = (*at).max(build_done);
+                    let iv = self.cpu.execute(start, self.batch_cycles(&w, start));
                     last_done = iv.end;
                     total.absorb(&w);
                     let fresh = partial.rows.len();
@@ -1272,6 +1308,83 @@ mod tests {
         // That refusal stormed the window once more.
         let s2 = dev.open(&op, stormed + penalty).unwrap();
         dev.close(s2).unwrap();
+    }
+
+    #[test]
+    fn scripted_crash_fires_at_first_activity_and_replays_bit_exact() {
+        use smartssd_sim::FaultPlan;
+        let mut dev = device();
+        let img = small_table(Layout::Pax, 1000);
+        let tref = dev.load_table(&img, 0).unwrap();
+        dev.reset_timing();
+        dev.cfg.fault_plan = FaultPlan::new()
+            .crash_at(0, SimTime::from_millis(1))
+            .for_device(0);
+        let op = count_op(tref);
+        // Activity before the scripted instant is clean.
+        let sid = dev.open(&op, SimTime::ZERO).unwrap();
+        // The first activity at/after the instant observes the crash — here
+        // a GET on the in-flight session, which dies with the firmware.
+        let at = SimTime::from_millis(3);
+        let until = match dev.get(sid, at) {
+            Err(DeviceError::DeviceReset { at: got, until }) => {
+                assert_eq!(got, at);
+                until
+            }
+            other => panic!("expected DeviceReset, got {other:?}"),
+        };
+        assert_eq!(until, at + dev.config().fault_rates.reset_latency);
+        dev.close(sid).unwrap();
+        let f = dev.fault_counters();
+        assert_eq!((f.device_crashes, f.killed_sessions), (1, 1));
+        // The schedule has one entry: once the reset completes the device
+        // admits sessions again, with no RNG draws anywhere.
+        let s2 = dev.open(&op, until).unwrap();
+        dev.close(s2).unwrap();
+        // reset_timing rewinds the cursor; the same scenario replays
+        // bit-exactly.
+        dev.reset_timing();
+        let sid = dev.open(&op, SimTime::ZERO).unwrap();
+        match dev.get(sid, at) {
+            Err(DeviceError::DeviceReset { at: got, until: u2 }) => {
+                assert_eq!(got, at);
+                assert_eq!(u2, until);
+            }
+            other => panic!("expected DeviceReset on replay, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scripted_slowdown_inflates_device_cpu_time() {
+        use smartssd_sim::FaultPlan;
+        let horizon = SimTime::from_secs(3600);
+        let run = |factor: u32| {
+            let plan = FaultPlan::new()
+                .slowdown(0, factor, SimTime::ZERO, horizon)
+                .for_device(0);
+            let mut dev = SmartSsd::new(
+                FlashConfig::default(),
+                DeviceConfig {
+                    fault_plan: plan,
+                    ..DeviceConfig::default()
+                },
+            );
+            let img = small_table(Layout::Pax, 10_000);
+            let tref = dev.load_table(&img, 0).unwrap();
+            dev.reset_timing();
+            let sid = dev.open(&count_op(tref), SimTime::ZERO).unwrap();
+            let (_, aggs, done) = drain(&mut dev, sid);
+            dev.close(sid).unwrap();
+            (aggs.unwrap()[0].finish(), done)
+        };
+        let (clean_count, clean_done) = run(1);
+        let (slow_count, slow_done) = run(64);
+        // Gray firmware is slower, never wrong.
+        assert_eq!(clean_count, slow_count);
+        assert!(
+            slow_done > clean_done,
+            "64x CPU slowdown must stretch the run ({slow_done:?} vs {clean_done:?})"
+        );
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Flash device geometry and timing parameters.
 
+use smartssd_sim::DeviceFaultPlan;
+
 /// Geometry and timing of the emulated SSD.
 ///
 /// Defaults are calibrated so that the assembled device reproduces the
@@ -49,6 +51,12 @@ pub struct FlashConfig {
     pub silent_corruption_rate: u32,
     /// GC trigger: collect when a chip's free blocks drop below this count.
     pub gc_low_water_blocks: usize,
+    /// Scripted gray-failure plan for this device's flash path: slowdown
+    /// windows scale cell/channel/DRAM occupancy, ECC bursts charge
+    /// deterministic correctable re-reads over an LBA extent. Empty by
+    /// default — no timing change, no extra draws, goldens untouched.
+    /// (Scripted crashes live on the device config, not here.)
+    pub fault_plan: DeviceFaultPlan,
 }
 
 impl FlashConfig {
@@ -135,6 +143,7 @@ impl Default for FlashConfig {
             ecc_fail_rate: 0,
             silent_corruption_rate: 0,
             gc_low_water_blocks: 4,
+            fault_plan: DeviceFaultPlan::default(),
         }
     }
 }

@@ -144,6 +144,15 @@ impl FlashSsd {
         &self.cfg
     }
 
+    /// Arms (or replaces) the scripted gray-failure plan on this device's
+    /// flash path — the per-device fault-injection hook fleet chaos
+    /// scenarios use. An empty plan disarms. The plan is threaded into the
+    /// timing model too, which holds its own config copy.
+    pub fn arm_fault_plan(&mut self, plan: smartssd_sim::DeviceFaultPlan) {
+        self.cfg.fault_plan = plan.clone();
+        self.timing.arm_fault_plan(plan);
+    }
+
     /// Advertised logical capacity in pages.
     pub fn logical_pages(&self) -> u64 {
         self.ftl.logical_pages()
@@ -226,6 +235,19 @@ impl FlashSsd {
         let data = self.nand.read(ppa)?;
         self.stats.reads += 1;
         let mut iv = self.timing.read_page(ppa.channel, ppa.chip, now);
+        // Scripted ECC burst: a read of an afflicted LBA whose cell read
+        // starts inside the window needs one correctable re-read. Data is
+        // intact by construction — the burst costs time, never answers —
+        // and the extra read is charged after the failed attempt, so
+        // recovery latency lands on the run. Composes with (and runs
+        // before) the rate-based injection below.
+        if self.cfg.fault_plan.ecc_burst_hits(lba, iv.start) {
+            self.stats.ecc_retries += 1;
+            iv = Interval {
+                start: iv.start,
+                end: self.timing.read_page(ppa.channel, ppa.chip, iv.end).end,
+            };
+        }
         // Error injection: correctable errors cost a re-read; an
         // uncorrectable error is surfaced once, after which the retry (with
         // adjusted read-reference voltage) succeeds.
@@ -278,11 +300,14 @@ impl FlashSsd {
     /// True when a run of reads can be charged as one batch with results
     /// bit-identical to page-at-a-time [`Self::read`] calls: no error
     /// injection configured (so no RNG draws are owed), no one-shot retry
-    /// or scrub pending, and no tracer expecting per-transfer spans.
+    /// or scrub pending, no scripted fault plan perturbing reads (each
+    /// page must observe the slowdown factor / ECC burst in effect at its
+    /// own start time), and no tracer expecting per-transfer spans.
     pub fn can_batch_reads(&self) -> bool {
         self.cfg.ecc_fail_rate == 0
             && self.cfg.ecc_retry_rate == 0
             && self.cfg.silent_corruption_rate == 0
+            && !self.cfg.fault_plan.perturbs_reads()
             && self.pending_retry.is_none()
             && self.pending_clean.is_none()
             && self.timing.tracer_quiet()

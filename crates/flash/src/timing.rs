@@ -50,6 +50,13 @@ impl FlashTiming {
         }
     }
 
+    /// Replaces the scripted fault plan. The timing model holds its own
+    /// config copy, so [`crate::FlashSsd::arm_fault_plan`] threads the
+    /// plan through here too.
+    pub(crate) fn arm_fault_plan(&mut self, plan: smartssd_sim::DeviceFaultPlan) {
+        self.cfg.fault_plan = plan;
+    }
+
     /// Attaches a tracer: channel occupancy is emitted per page transfer
     /// (tid `1 + channel` under the flash pid) and the shared DRAM bus
     /// emits its transfers on tid 0.
@@ -71,10 +78,16 @@ impl FlashTiming {
 
     /// Charges one page read: die tR, channel transfer + ECC, DMA to DRAM.
     /// Returns the interval from issue to the page landing in device DRAM.
+    ///
+    /// A scripted [`smartssd_sim::FaultEvent::Slowdown`] window covering
+    /// `now` scales all three occupancies by its factor (the DRAM share as
+    /// extra per-request setup, so `bytes_moved` stays honest): a gray
+    /// device loses time, not data.
     pub fn read_page(&mut self, channel: u16, chip: u16, now: SimTime) -> Interval {
         let ci = self.chip_idx(channel, chip);
-        let svc = self.channel_service_ns();
-        let cell = self.chips[ci].occupy(now, self.cfg.t_read_ns);
+        let factor = self.cfg.fault_plan.slowdown_factor(now) as u64;
+        let svc = self.channel_service_ns() * factor;
+        let cell = self.chips[ci].occupy(now, self.cfg.t_read_ns * factor);
         let xfer = self.channels[channel as usize].occupy(cell.end, svc);
         self.tracer.span(
             TraceLevel::Full,
@@ -85,7 +98,14 @@ impl FlashTiming {
             xfer,
             &[("bytes", self.cfg.page_size as f64)],
         );
-        let dma = self.dram.transfer(xfer.end, self.cfg.page_size as u64);
+        let dma = if factor > 1 {
+            let extra = (factor - 1)
+                * smartssd_sim::time::transfer_ns(self.cfg.page_size as u64, self.cfg.dram_bw);
+            self.dram
+                .transfer_with_setup(xfer.end, self.cfg.page_size as u64, extra)
+        } else {
+            self.dram.transfer(xfer.end, self.cfg.page_size as u64)
+        };
         Interval {
             start: cell.start,
             end: dma.end,
@@ -119,6 +139,10 @@ impl FlashTiming {
     /// no per-transfer spans.
     pub fn read_pages(&mut self, coords: &[(u16, u16)], now: SimTime) -> Vec<Interval> {
         debug_assert!(self.tracer_quiet(), "batched reads skip trace spans");
+        debug_assert!(
+            !self.cfg.fault_plan.perturbs_reads(),
+            "batched reads bypass scripted slowdowns/bursts; gate on can_batch_reads"
+        );
         let svc = self.channel_service_ns();
         // Stage 1: cell reads. Group each chip's pages (they keep their
         // relative order) into one homogeneous occupy_batch.

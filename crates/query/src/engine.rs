@@ -317,19 +317,6 @@ impl<'a, S: PageSource> HostEngine<'a, S> {
             work: total,
         })
     }
-
-    /// Former parallel entry point, superseded by [`Self::run`], which now
-    /// takes the degree of parallelism directly.
-    #[deprecated(since = "0.2.0", note = "use `run`, which now takes `dop` directly")]
-    pub fn run_with_dop(
-        &mut self,
-        op: &QueryOp,
-        finalize: &Finalize,
-        now: SimTime,
-        dop: usize,
-    ) -> Result<QueryResult, EngineError> {
-        self.run(op, finalize, now, dop)
-    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@
 pub mod bus;
 pub mod cpu;
 pub mod energy;
+pub mod faultplan;
 pub mod report;
 pub mod sched;
 pub mod time;
@@ -34,6 +35,7 @@ pub mod trace;
 pub use bus::Bus;
 pub use cpu::CpuModel;
 pub use energy::{EnergyBreakdown, PowerModel};
+pub use faultplan::{DeviceFaultPlan, FaultEvent, FaultPlan};
 pub use report::{FaultCounters, FaultRates, UtilizationReport};
 pub use sched::{ArrivalGen, ArrivalModel, EventQueue, KeyedMinHeap, LatencyStats};
 pub use time::SimTime;

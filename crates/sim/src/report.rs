@@ -40,6 +40,15 @@ pub struct FaultCounters {
     /// Simulated time the device spent resetting after crashes, in
     /// nanoseconds.
     pub reset_downtime_ns: u64,
+    /// Breaker trips caused by sustained slow service (latency EWMA past
+    /// the slow-trip threshold) rather than hard failures.
+    pub slow_trips: u64,
+    /// Host-side hedge runs launched against slow shards.
+    pub hedges: u64,
+    /// Hedge runs that beat the device shard they raced.
+    pub hedge_wins: u64,
+    /// Hedges wanted but denied because the retry budget was exhausted.
+    pub hedge_denied: u64,
 }
 
 impl FaultCounters {
@@ -55,6 +64,10 @@ impl FaultCounters {
         self.device_crashes += other.device_crashes;
         self.killed_sessions += other.killed_sessions;
         self.reset_downtime_ns += other.reset_downtime_ns;
+        self.slow_trips += other.slow_trips;
+        self.hedges += other.hedges;
+        self.hedge_wins += other.hedge_wins;
+        self.hedge_denied += other.hedge_denied;
     }
 
     /// Whether any fault or recovery action was recorded at all.
@@ -68,13 +81,27 @@ impl FaultCounters {
     }
 
     /// Renders the counters as a JSON object (the schema documented in
-    /// README/EXPERIMENTS: every field a non-negative integer).
+    /// README/EXPERIMENTS: every field a non-negative integer). The
+    /// resilience counters (`slow_trips`, `hedges`, `hedge_wins`,
+    /// `hedge_denied`) are emitted only when one of them is nonzero, so
+    /// artifacts from runs with the defenses off keep their historical
+    /// byte-exact shape.
     pub fn to_json(&self) -> String {
+        let resilience =
+            if (self.slow_trips | self.hedges | self.hedge_wins | self.hedge_denied) > 0 {
+                format!(
+                    ", \"slow_trips\": {}, \"hedges\": {}, \"hedge_wins\": {}, \
+                 \"hedge_denied\": {}",
+                    self.slow_trips, self.hedges, self.hedge_wins, self.hedge_denied
+                )
+            } else {
+                String::new()
+            };
         format!(
             "{{\"ecc_retries\": {}, \"ecc_failures\": {}, \"escapes_detected\": {}, \
              \"read_retries\": {}, \"get_retries\": {}, \"fallbacks\": {}, \
              \"wasted_ns\": {}, \"device_crashes\": {}, \"killed_sessions\": {}, \
-             \"reset_downtime_ns\": {}}}",
+             \"reset_downtime_ns\": {}{resilience}}}",
             self.ecc_retries,
             self.ecc_failures,
             self.escapes_detected,
@@ -106,7 +133,15 @@ impl fmt::Display for FaultCounters {
             self.device_crashes,
             self.killed_sessions,
             SimTime::from_nanos(self.reset_downtime_ns)
-        )
+        )?;
+        if (self.slow_trips | self.hedges | self.hedge_wins | self.hedge_denied) > 0 {
+            write!(
+                f,
+                ", slow trips {}, hedges {} ({} won, {} denied)",
+                self.slow_trips, self.hedges, self.hedge_wins, self.hedge_denied
+            )?;
+        }
+        Ok(())
     }
 }
 

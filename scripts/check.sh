@@ -28,7 +28,7 @@ if [[ "${1:-}" != "fast" ]]; then
     cargo bench -q -p smartssd-bench --bench kernels -- --quick group_agg
     # Every out-of-`all` repro subcommand, quick scale: each writes its
     # BENCH_<sub>.json (trace also writes trace_*.json).
-    for sub in kernels trace faults concurrency degrade fleet serving simspeed servescale; do
+    for sub in kernels trace faults concurrency degrade fleet serving simspeed servescale chaos; do
         echo "== repro ${sub} --quick (BENCH_${sub}.json) =="
         cargo run -q --release -p smartssd-bench --bin repro -- "${sub}" --quick
     done

@@ -106,6 +106,7 @@ proptest! {
             speculate,
             // Force the speculation path whenever it is enabled at all.
             straggler_factor: 0.0,
+            ..FleetOptions::default()
         };
         for query in [agg_query(cutoff), ratio_query(cutoff)] {
             let expect = single_device_reference(&rows, &query);
